@@ -1,0 +1,63 @@
+"""Micro-benchmarks for the hot inner structures.
+
+Not tied to a paper table; these track the costs the experiment
+harness leans on — counter merging (with and without the trie), the
+payload-size proxy, and raw lock-step scheduling throughput — so
+regressions in the substrate are visible independently of the
+experiment-level numbers.
+"""
+
+from repro.core.counters import apply_round_update
+from repro.core.es_consensus import ESConsensus
+from repro.giraf.environments import EventualSynchronyEnvironment
+from repro.giraf.messages import payload_size
+from repro.giraf.scheduler import LockStepScheduler
+from repro.sim.runner import stop_when_all_correct_decided
+
+
+def _counter_workload(depth: int, fanout: int):
+    maps = []
+    histories = []
+    for branch in range(fanout):
+        history = tuple([branch] + [0] * depth)
+        histories.append(history)
+        maps.append({history[: i + 1]: i + 1 for i in range(depth)})
+    return maps, histories
+
+
+def test_bench_counter_update_trie(benchmark):
+    maps, histories = _counter_workload(depth=60, fanout=8)
+    result = benchmark(
+        apply_round_update, maps, histories, use_trie=True
+    )
+    assert all(result[h] >= 1 for h in histories)
+
+
+def test_bench_counter_update_scan(benchmark):
+    maps, histories = _counter_workload(depth=60, fanout=8)
+    result = benchmark(
+        apply_round_update, maps, histories, use_trie=False
+    )
+    assert all(result[h] >= 1 for h in histories)
+
+
+def test_bench_payload_size(benchmark):
+    payload = frozenset(
+        {tuple(range(i, i + 30)) for i in range(40)}
+    )
+    size = benchmark(payload_size, payload)
+    assert size > 1000
+
+
+def test_bench_lockstep_round_throughput(benchmark):
+    def run():
+        scheduler = LockStepScheduler(
+            [ESConsensus(v) for v in range(16)],
+            EventualSynchronyEnvironment(gst=1),
+            max_rounds=50,
+            stop_when=stop_when_all_correct_decided,
+        )
+        return scheduler.run()
+
+    trace = benchmark(run)
+    assert trace.decided_pids()

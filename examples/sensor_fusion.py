@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Anonymous sensor network agreeing on a calibration value.
+
+The paper's motivating setting: wireless sensor nodes with no IDs and
+an unknown population must agree on one value (here: a temperature
+threshold) despite crashes and only partial synchrony.  The radio
+medium gives an eventually-stable-source guarantee — some node's
+broadcasts eventually reach everyone on time, round after round —
+which is exactly the ESS environment, so Algorithm 3 applies.
+
+The script also shows the anonymity limit case: when every sensor
+reads the *same* value they are fully indistinguishable forever, and
+the algorithm still terminates.
+
+    python examples/sensor_fusion.py
+"""
+
+from repro import CrashSchedule, check_ess, run_ess_consensus
+from repro.sim import sensor_readings
+
+
+def fuse(readings, *, stabilization_round, crash_fraction, seed):
+    crashes = CrashSchedule.fraction(
+        len(readings),
+        crash_fraction,
+        seed=seed,
+        latest_round=stabilization_round,
+        protect={0},
+    )
+    result = run_ess_consensus(
+        readings,
+        stabilization_round=stabilization_round,
+        preferred_source=0,
+        seed=seed,
+        crash_schedule=crashes,
+        max_rounds=stabilization_round + 200,
+    )
+    assert result.report.ok, result.report.violations
+    assert check_ess(result.trace, stabilization_round).ok
+    return result
+
+
+def main() -> None:
+    # 12 anonymous sensors, noisy readings, a third of them flaky
+    readings = sensor_readings(12, lo=180, hi=240, seed=5)
+    print(f"sensor readings : {readings}")
+
+    result = fuse(readings, stabilization_round=10, crash_fraction=0.33, seed=5)
+    decided = sorted(result.trace.decided_values())[0]
+    print(f"agreed threshold: {decided}")
+    print(f"decision round  : {result.metrics.last_decision_round}")
+    print(f"survivors       : {sorted(result.trace.correct)}")
+    print(f"messages        : {result.metrics.deliveries} deliveries")
+
+    # anonymity stress: identical readings — nodes are indistinguishable
+    clones = [200] * 8
+    result = fuse(clones, stabilization_round=6, crash_fraction=0.25, seed=9)
+    print("\nidentical-readings fleet (full indistinguishability):")
+    print(f"  agreed value  : {sorted(result.trace.decided_values())[0]}")
+    print(f"  decision round: {result.metrics.last_decision_round}")
+
+    # scale sweep: unknown n means the algorithm cannot be tuned to it
+    print("\nscale sweep (same code, no n parameter anywhere):")
+    for n in (4, 8, 16, 32):
+        result = fuse(
+            sensor_readings(n, seed=n), stabilization_round=8,
+            crash_fraction=0.25, seed=n,
+        )
+        print(
+            f"  n={n:3d}: decided {sorted(result.trace.decided_values())[0]} "
+            f"in round {result.metrics.last_decision_round}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for environments whose pip lacks PEP 660 editable-wheel support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Deterministic RNG derivation from structured keys.
+
+Many policies need a fresh-but-reproducible random stream per
+``(seed, round, sender, receiver)`` tuple.  ``random.Random`` only
+accepts scalar seeds, and Python's ``hash`` on strings is salted per
+process — but ``random.Random(str)`` seeds through SHA-512, which *is*
+stable across processes and versions.  So we derive streams from the
+``repr`` of the key tuple.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["derive_rng", "derive_uniform", "derive_randint"]
+
+
+def derive_rng(*key: object) -> random.Random:
+    """A reproducible :class:`random.Random` keyed by ``key``.
+
+    Equal keys (by ``repr``) give identical streams on every platform
+    and in every process — the property all seeded adversary policies
+    rely on.
+    """
+    return random.Random(repr(key))
+
+
+def derive_uniform(*key: object) -> float:
+    """One reproducible uniform draw in ``[0, 1)`` keyed by ``key``."""
+    return derive_rng(*key).random()
+
+
+def derive_randint(lo: int, hi: int, *key: object) -> int:
+    """One reproducible integer draw in ``[lo, hi]`` keyed by ``key``."""
+    return derive_rng(*key).randint(lo, hi)

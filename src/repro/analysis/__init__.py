@@ -1,0 +1,19 @@
+"""Statistics helpers and ASCII table rendering for experiments."""
+
+from repro.analysis.stats import (
+    fmt,
+    mean_or_none,
+    median_or_none,
+    percentile,
+    stdev_or_none,
+)
+from repro.analysis.tables import Table
+
+__all__ = [
+    "Table",
+    "fmt",
+    "mean_or_none",
+    "median_or_none",
+    "percentile",
+    "stdev_or_none",
+]

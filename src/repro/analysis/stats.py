@@ -1,0 +1,55 @@
+"""Small statistics helpers for the experiment tables.
+
+Thin wrappers over :mod:`statistics` with explicit empty-input
+behaviour (experiments routinely aggregate over runs that may not have
+terminated, so "no data" must render, not raise).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["mean_or_none", "stdev_or_none", "median_or_none", "percentile", "fmt"]
+
+
+def mean_or_none(values: Iterable[float]) -> Optional[float]:
+    """Arithmetic mean, skipping ``None`` entries; ``None`` on no data."""
+    data = [v for v in values if v is not None]
+    return statistics.fmean(data) if data else None
+
+
+def stdev_or_none(values: Iterable[float]) -> Optional[float]:
+    """Sample standard deviation; 0.0 for one point, ``None`` for none."""
+    data = [v for v in values if v is not None]
+    if len(data) < 2:
+        return 0.0 if data else None
+    return statistics.stdev(data)
+
+
+def median_or_none(values: Iterable[float]) -> Optional[float]:
+    """Median, skipping ``None`` entries; ``None`` on no data."""
+    data = sorted(v for v in values if v is not None)
+    return statistics.median(data) if data else None
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile ``q`` in [0, 100]; None on empty input."""
+    data = sorted(v for v in values if v is not None)
+    if not data:
+        return None
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(0, min(len(data) - 1, round(q / 100 * (len(data) - 1))))
+    return data[rank]
+
+
+def fmt(value: object, *, digits: int = 1) -> str:
+    """Render one table cell: floats rounded, None as a dash."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)

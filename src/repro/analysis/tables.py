@@ -1,0 +1,58 @@
+"""ASCII tables: the output format of the experiment harness.
+
+Every experiment produces one or more :class:`Table` objects; the
+benchmark files and the ``python -m repro.experiments`` CLI render
+them.  Keeping the result structured (rather than printing directly)
+lets tests assert on the rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.analysis.stats import fmt
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """One experiment's tabular result."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} headers"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> List[object]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[fmt(cell) for cell in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in cells), 1)
+            if cells
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [f"[{self.experiment_id}] {self.title}"]
+        lines.append("  " + " | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  " + "-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,28 @@
+"""Baselines and ablation variants for the experiment suite.
+
+* :class:`~repro.baselines.known_ids.KnownIdsConsensus` — Algorithm 3
+  with real IDs (the cost-of-anonymity comparator, T7);
+* :class:`~repro.baselines.synchronous.FloodSetConsensus` — classical
+  ``f + 1``-round synchronous flooding (T7 sanity baseline);
+* :class:`~repro.baselines.naive_anonymous.NaiveAnonymousConsensus` —
+  Algorithm 3 without prefix inheritance (ablation A1), plus the
+  white-box pollution adversary that defeats it.
+"""
+
+from repro.baselines.known_ids import IdMessage, KnownIdsConsensus
+from repro.baselines.naive_anonymous import (
+    DivergencePollutionLinks,
+    NaiveAnonymousConsensus,
+)
+from repro.baselines.omega_paxos import DiskBlock, OmegaPaxos
+from repro.baselines.synchronous import FloodSetConsensus
+
+__all__ = [
+    "DiskBlock",
+    "DivergencePollutionLinks",
+    "FloodSetConsensus",
+    "IdMessage",
+    "KnownIdsConsensus",
+    "NaiveAnonymousConsensus",
+    "OmegaPaxos",
+]

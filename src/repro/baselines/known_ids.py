@@ -1,0 +1,136 @@
+"""Baseline: consensus in ESS with *known IDs* (the cost of anonymity).
+
+This is Algorithm 3 with the pseudo leader election swapped for real
+leader election over process IDs — the same min-merge + bump counter
+discipline (see :mod:`repro.failuredetectors.omega`), but keyed by pid
+instead of by proposal history.  Everything else (the written-value
+safety machinery, ⊥ proposals by non-leaders, the even/odd phasing) is
+identical, which makes the comparison in experiment T7 an apples-to-
+apples measurement of what anonymity costs:
+
+* **message size** — ``O(n)`` counter vectors here versus Algorithm
+  3's ever-growing histories and history-keyed counter maps;
+* **latency** — ID counters identify the stable source immediately;
+  histories must first *diverge* before they can discriminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Mapping, Tuple
+
+from repro.core.interfaces import ConsensusAlgorithm
+from repro.giraf.automaton import InboxView
+from repro.values import BOTTOM, strip_bottom
+
+__all__ = ["IdMessage", "KnownIdsConsensus"]
+
+
+@dataclass(frozen=True)
+class IdMessage:
+    """``⟨pid, PROPOSED, C⟩`` — the non-anonymous analogue of Alg 3's
+    ``⟨PROPOSED, HISTORY, C⟩``."""
+
+    pid: int
+    proposed: FrozenSet[Hashable]
+    counts: Tuple[Tuple[int, int], ...]  # sorted (pid, count) pairs
+
+    def counts_dict(self) -> Dict[int, int]:
+        return dict(self.counts)
+
+    @property
+    def __payload_fields__(self) -> Tuple[str, ...]:
+        return ("proposed", "counts")
+
+
+def _intersect(messages) -> FrozenSet[Hashable]:
+    result = None
+    for message in messages:
+        result = message.proposed if result is None else result & message.proposed
+    return frozenset() if result is None else frozenset(result)
+
+
+def _union(messages) -> FrozenSet[Hashable]:
+    merged: set = set()
+    for message in messages:
+        merged |= message.proposed
+    return frozenset(merged)
+
+
+class KnownIdsConsensus(ConsensusAlgorithm):
+    """ESS consensus with ID-based leader election (baseline for T7)."""
+
+    def __init__(self, initial_value: Hashable, own_pid: int):
+        super().__init__(initial_value)
+        self.own_pid = own_pid
+        self.val: Hashable = initial_value
+        self.counts: Dict[int, int] = {}
+        self.written: FrozenSet[Hashable] = frozenset()
+        self.written_old: FrozenSet[Hashable] = frozenset()
+        self.proposed: FrozenSet[Hashable] = frozenset()
+        self._last_was_leader = True
+
+    # ------------------------------------------------------------------
+    def _is_leader(self) -> bool:
+        if not self.counts:
+            return True
+        leader = max(self.counts, key=lambda pid: (self.counts[pid], -pid))
+        return leader == self.own_pid
+
+    def _merge_counts(self, messages) -> None:
+        dicts = [message.counts_dict() for message in messages]
+        heard = {message.pid for message in messages}
+        merged: Dict[int, int] = {}
+        if dicts:
+            first, *rest = dicts
+            for pid, count in first.items():
+                low = count
+                for other in rest:
+                    low = min(low, other.get(pid, 0))
+                    if low == 0:
+                        break
+                if low > 0:
+                    merged[pid] = low
+        for pid in heard:
+            merged[pid] = 1 + merged.get(pid, 0)
+        self.counts = merged
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> IdMessage:
+        return IdMessage(self.own_pid, frozenset(), ())
+
+    def compute(self, k: int, inbox: InboxView) -> IdMessage:
+        messages = [m for m in inbox.received(k) if isinstance(m, IdMessage)]
+        self.written = _intersect(messages)
+        self.proposed = _union(messages) | self.proposed
+        self._merge_counts(messages)
+
+        if k % 2 == 0:
+            val_or_bottom = frozenset({self.val, BOTTOM})
+            if self.written_old == frozenset({self.val}) and self.proposed <= val_or_bottom:
+                self._decide(self.val, k)
+                return IdMessage(self.own_pid, self.proposed, ())
+            elif frozenset(strip_bottom(self.written)):
+                self.val = max(strip_bottom(self.written))
+
+            self._last_was_leader = self._is_leader()
+            if self._last_was_leader or self.proposed <= frozenset({self.val, BOTTOM}):
+                self.proposed = frozenset({self.val})
+            else:
+                self.proposed = frozenset({BOTTOM})
+
+        self.written_old = self.written
+        return IdMessage(
+            self.own_pid,
+            self.proposed,
+            tuple(sorted(self.counts.items())),
+        )
+
+    def snapshot(self) -> Mapping[str, object]:
+        return {
+            "val": self.val,
+            "leader": self._last_was_leader,
+            "proposed_size": len(self.proposed),
+            "counter_entries": len(self.counts),
+            "state_atoms": 2 * len(self.counts) + len(self.proposed),
+        }

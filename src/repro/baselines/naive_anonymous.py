@@ -1,0 +1,60 @@
+"""Ablation A1: anonymous leader election *without* prefix inheritance.
+
+Algorithm 3's line 9 credits a newly received history with
+``1 + max{C[H] : H prefix}`` — the counter *inherits* the standing of
+the history's past.  Drop that (bump only the exact key) and every
+counter is stuck at 1: histories grow each round, so the exact key is
+always fresh, nobody's counter ever exceeds anybody's, and **everyone
+considers itself a leader forever**.  The ⊥-quenching that gives
+Algorithm 3 liveness never happens; whether a run still terminates
+depends on luck — whenever processes with divergent ``VAL``s keep
+hearing each other, ``PROPOSED`` never collapses to ``{VAL, ⊥}``.
+
+:class:`DivergencePollutionLinks` is the white-box adversary that
+manufactures exactly that luck: it peeks at process state and makes a
+non-source link timely precisely when sender and receiver currently
+hold different ``VAL``s.  Under it the naive variant livelocks while
+real Algorithm 3 still terminates (the ablation bench A1 quantifies
+both).  White-box link policies are legal adversaries: environments
+constrain only the *obligatory* timely links, never the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.core.ess_consensus import ESSConsensus
+from repro.giraf.automaton import GirafProcess
+from repro.giraf.environments import LinkPolicy
+
+__all__ = ["NaiveAnonymousConsensus", "DivergencePollutionLinks"]
+
+
+class NaiveAnonymousConsensus(ESSConsensus):
+    """Algorithm 3 minus line 9's prefix inheritance (ablation A1)."""
+
+    def __init__(self, initial_value: Hashable, **kwargs):
+        kwargs.setdefault("prefix_inheritance", False)
+        super().__init__(initial_value, **kwargs)
+
+
+class DivergencePollutionLinks(LinkPolicy):
+    """Make a link timely iff its endpoints currently disagree.
+
+    Must be bound to the scheduler's processes before the run starts
+    (:meth:`bind`); the high-level runners in the experiment harness do
+    this wiring.  Unbound, it behaves like silent links.
+    """
+
+    def __init__(self) -> None:
+        self._processes: Optional[Sequence[GirafProcess]] = None
+
+    def bind(self, processes: Sequence[GirafProcess]) -> None:
+        self._processes = processes
+
+    def timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        if self._processes is None:
+            return False
+        sender_val = getattr(self._processes[sender].algorithm, "val", None)
+        receiver_val = getattr(self._processes[receiver].algorithm, "val", None)
+        return sender_val is not None and sender_val != receiver_val

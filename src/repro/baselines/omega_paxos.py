@@ -1,0 +1,150 @@
+"""Related-work baseline: consensus from atomic registers + Ω.
+
+The paper's related work ([4] Delporte-Gallet & Fauconnier; also [3]
+Chandra-Hadzilacos-Toueg) solves fault-tolerant consensus given shared
+registers and the leader failure detector Ω.  This module implements
+the classical shared-memory ballot protocol (single-decree Paxos in
+its Disk-Paxos formulation, specialized to one reliable "disk" of
+atomic registers) on the :mod:`repro.sharedmem` substrate:
+
+* each process ``i`` owns one SWMR record register
+  ``dblock[i] = (mbal, bal, inp)``;
+* a proposer with ballot ``b``: **phase 1** — write ``mbal := b``,
+  read all records, abort if any ``mbal' > b``, else adopt the value
+  of the maximal ``bal`` seen (or its own input); **phase 2** — write
+  ``bal := b, inp := v``, read all records again, abort if any
+  ``mbal' > b``, else **decide v** and publish it in a MWMR decision
+  register;
+* ballots are ``attempt * n + pid`` — unique per process, increasing
+  per attempt (this baseline *requires* IDs, which is the point of the
+  comparison: the paper's contribution removes them);
+* Ω gates who proposes: contention can force retries forever
+  (obstruction-freedom), a unique stable leader decides in one
+  attempt.
+
+Safety holds for **any** interleaving and any number of concurrent
+proposers — the property tests drive it through seeded schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Optional
+
+from repro.errors import ProtocolMisuse
+from repro.sharedmem.objects import AtomicRegister, Invoke
+from repro.sharedmem.simulator import Program, SharedMemorySimulator, TaskHandle
+
+__all__ = ["DiskBlock", "OmegaPaxos"]
+
+
+@dataclass(frozen=True)
+class DiskBlock:
+    """One process's ballot record ``(mbal, bal, inp)``."""
+
+    mbal: int = -1
+    bal: int = -1
+    inp: Hashable = None
+
+
+class OmegaPaxos:
+    """Single-decree register consensus for ``n`` known processes.
+
+    Drive it through the shared-memory simulator::
+
+        sim = SharedMemorySimulator(seed=7)
+        paxos = OmegaPaxos(3, simulator=sim)
+        handle = paxos.spawn_proposer(0, "value", attempts=5)
+        sim.run_until_quiet()
+        assert paxos.decided_value() == "value"
+    """
+
+    def __init__(self, n: int, *, simulator: Optional[SharedMemorySimulator] = None):
+        if n < 1:
+            raise ProtocolMisuse("need at least one process")
+        self.n = n
+        self.simulator = simulator or SharedMemorySimulator()
+        self.dblocks: List[AtomicRegister] = [
+            AtomicRegister(DiskBlock(), owner=pid, name=f"dblock[{pid}]")
+            for pid in range(n)
+        ]
+        self.decision = AtomicRegister(None, name="decision")
+        self.proposals: dict[int, Hashable] = {}
+
+    # ------------------------------------------------------------------
+    def decided_value(self) -> Hashable:
+        """The published decision (None while undecided)."""
+        return self.decision.read(pid=-1, step=-1)
+
+    def spawn_proposer(
+        self, pid: int, value: Hashable, *, attempts: int = 10
+    ) -> TaskHandle:
+        """Start a proposer task; returns its handle.
+
+        The task result is the decided value, or ``None`` when all
+        ``attempts`` ballots were interrupted by higher ballots
+        (obstruction — the Ω-less contention case).
+        """
+        if not 0 <= pid < self.n:
+            raise ProtocolMisuse(f"unknown process {pid}")
+        self.proposals[pid] = value
+        return self.simulator.spawn(
+            pid, f"propose({value!r})", self._proposer(pid, value, attempts)
+        )
+
+    def spawn_learner(self, pid: int, *, polls: int = 100) -> TaskHandle:
+        """A learner polling the decision register until it is set."""
+        return self.simulator.spawn(pid, "learn", self._learner(pid, polls))
+
+    # ------------------------------------------------------------------
+    def _proposer(self, pid: int, value: Hashable, attempts: int) -> Program:
+        for attempt in range(attempts):
+            decided = yield Invoke(self.decision, "read")
+            if decided is not None:
+                return decided
+            ballot = attempt * self.n + pid
+
+            # phase 1: claim the ballot
+            mine: DiskBlock = yield Invoke(self.dblocks[pid], "read")
+            if mine.mbal >= ballot:
+                continue  # a previous incarnation got further; next ballot
+            mine = DiskBlock(mbal=ballot, bal=mine.bal, inp=mine.inp)
+            yield Invoke(self.dblocks[pid], "write", (mine,))
+            blocks: List[DiskBlock] = []
+            for other in range(self.n):
+                if other == pid:
+                    blocks.append(mine)
+                else:
+                    blocks.append((yield Invoke(self.dblocks[other], "read")))
+            if any(block.mbal > ballot for block in blocks):
+                continue  # outrun: retry with a higher ballot
+            accepted = [block for block in blocks if block.bal >= 0]
+            if accepted:
+                chosen = max(accepted, key=lambda block: block.bal).inp
+            else:
+                chosen = value
+
+            # phase 2: commit the ballot
+            mine = DiskBlock(mbal=ballot, bal=ballot, inp=chosen)
+            yield Invoke(self.dblocks[pid], "write", (mine,))
+            interrupted = False
+            for other in range(self.n):
+                if other == pid:
+                    continue
+                block = yield Invoke(self.dblocks[other], "read")
+                if block.mbal > ballot:
+                    interrupted = True
+                    break
+            if interrupted:
+                continue
+
+            yield Invoke(self.decision, "write", (chosen,))
+            return chosen
+        return None
+
+    def _learner(self, pid: int, polls: int) -> Program:
+        for _ in range(polls):
+            decided = yield Invoke(self.decision, "read")
+            if decided is not None:
+                return decided
+        return None

@@ -1,0 +1,53 @@
+"""Baseline: FloodSet consensus in a fully synchronous known network.
+
+The textbook algorithm (Lynch, ch. 6): with ``n`` known, at most ``f``
+crashes, and fully synchronous rounds, flood the set of known values
+for ``f + 1`` rounds and decide its minimum.  One round must be
+crash-free among any ``f + 1``, which makes every surviving value set
+equal by the decision round.
+
+Included as the sanity baseline for experiment T7: it shows what the
+strongest classical assumptions buy (fixed ``f + 1`` latency, small
+messages) compared to the anonymous partially synchronous algorithms.
+Run it under ``EventualSynchronyEnvironment(gst=1)`` (i.e. synchrony
+from the start) — under weaker environments its agreement is *not*
+guaranteed, and a test demonstrates a violation under MS.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Mapping
+
+from repro.core.interfaces import ConsensusAlgorithm
+from repro.giraf.automaton import InboxView
+
+__all__ = ["FloodSetConsensus"]
+
+
+class FloodSetConsensus(ConsensusAlgorithm):
+    """``f + 1``-round flooding consensus (synchronous baseline).
+
+    Args:
+        initial_value: this process's proposal.
+        f: the crash-failure budget the run is designed for.
+    """
+
+    def __init__(self, initial_value: Hashable, *, f: int):
+        super().__init__(initial_value)
+        if f < 0:
+            raise ValueError("f must be >= 0")
+        self.f = f
+        self.known: FrozenSet[Hashable] = frozenset({initial_value})
+
+    def initialize(self) -> FrozenSet[Hashable]:
+        return self.known
+
+    def compute(self, k: int, inbox: InboxView) -> FrozenSet[Hashable]:
+        for message in inbox.received(k):
+            self.known = self.known | message
+        if k >= self.f + 1:
+            self._decide(min(self.known), k)
+        return self.known
+
+    def snapshot(self) -> Mapping[str, object]:
+        return {"known_size": len(self.known)}

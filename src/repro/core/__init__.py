@@ -1,0 +1,65 @@
+"""The paper's core contribution: anonymous fault-tolerant consensus.
+
+* :class:`~repro.core.es_consensus.ESConsensus` — Algorithm 2
+  (consensus under eventual synchrony, Theorem 1);
+* :class:`~repro.core.ess_consensus.ESSConsensus` — Algorithm 3
+  (consensus under an eventually stable source, Theorem 2);
+* :class:`~repro.core.pseudo_leader.PseudoLeaderElector` — the novel
+  pseudo leader election primitive, reusable on its own;
+* history / counter machinery and the consensus trace checkers.
+"""
+
+from repro.core.checkers import ConsensusReport, assert_consensus, check_consensus
+from repro.core.counters import (
+    FrozenCounters,
+    HistoryTrie,
+    apply_round_update,
+    pointwise_min,
+    prefix_max,
+    prefix_max_via_trie,
+)
+from repro.core.es_consensus import ESConsensus
+from repro.core.ess_consensus import ESSConsensus, EssMessage
+from repro.core.history import (
+    History,
+    common_prefix_length,
+    diverged,
+    extend,
+    initial_history,
+    is_prefix,
+    is_proper_prefix,
+    longest,
+)
+from repro.core.interfaces import ConsensusAlgorithm
+from repro.core.pseudo_leader import (
+    HeartbeatMessage,
+    HeartbeatPseudoLeader,
+    PseudoLeaderElector,
+)
+
+__all__ = [
+    "ConsensusAlgorithm",
+    "ConsensusReport",
+    "ESConsensus",
+    "ESSConsensus",
+    "EssMessage",
+    "FrozenCounters",
+    "HeartbeatMessage",
+    "HeartbeatPseudoLeader",
+    "History",
+    "HistoryTrie",
+    "PseudoLeaderElector",
+    "apply_round_update",
+    "assert_consensus",
+    "check_consensus",
+    "common_prefix_length",
+    "diverged",
+    "extend",
+    "initial_history",
+    "is_prefix",
+    "is_proper_prefix",
+    "longest",
+    "pointwise_min",
+    "prefix_max",
+    "prefix_max_via_trie",
+]

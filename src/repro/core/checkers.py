@@ -1,0 +1,101 @@
+"""Consensus property checkers over run traces (Section 2.1).
+
+Safety properties (validity, agreement, plus integrity — at most one
+decision per process) are absolute: a finite trace either respects them
+or exhibits a violation.  Termination is relative to the run length and
+the environment's stabilization time, so it is reported as data, never
+raised, unless the caller explicitly asserts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, List, Optional
+
+from repro.errors import ConsensusViolation
+from repro.giraf.traces import RunTrace
+
+__all__ = ["ConsensusReport", "check_consensus", "assert_consensus"]
+
+
+@dataclass
+class ConsensusReport:
+    """Verdict of the consensus checks on one trace."""
+
+    validity: bool
+    agreement: bool
+    integrity: bool
+    termination: bool
+    decided_values: FrozenSet[Hashable]
+    undecided_correct: FrozenSet[int]
+    first_decision_round: Optional[int]
+    last_decision_round: Optional[int]
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return self.validity and self.agreement and self.integrity
+
+    @property
+    def ok(self) -> bool:
+        return self.safe and self.termination
+
+    def raise_if_unsafe(self) -> None:
+        if not self.safe:
+            raise ConsensusViolation("; ".join(self.violations))
+
+
+def check_consensus(trace: RunTrace) -> ConsensusReport:
+    """Evaluate validity / agreement / integrity / termination."""
+    violations: List[str] = []
+
+    proposals = frozenset(trace.initial_values.values())
+    decided_values = trace.decided_values()
+
+    validity = decided_values <= proposals
+    if not validity:
+        rogue = decided_values - proposals
+        violations.append(f"validity: decided non-proposed values {sorted(map(repr, rogue))}")
+
+    agreement = len(decided_values) <= 1
+    if not agreement:
+        violations.append(
+            f"agreement: distinct decisions {sorted(map(repr, decided_values))}"
+        )
+
+    per_pid_counts: dict[int, int] = {}
+    for event in trace.decisions:
+        per_pid_counts[event.pid] = per_pid_counts.get(event.pid, 0) + 1
+    integrity = all(count == 1 for count in per_pid_counts.values())
+    if not integrity:
+        repeat = sorted(pid for pid, count in per_pid_counts.items() if count > 1)
+        violations.append(f"integrity: multiple decisions by {repeat}")
+
+    undecided_correct = trace.correct - trace.decided_pids()
+    termination = not undecided_correct
+    if not termination:
+        violations.append(
+            f"termination: correct processes {sorted(undecided_correct)} undecided "
+            f"after {trace.rounds_executed} rounds"
+        )
+
+    return ConsensusReport(
+        validity=validity,
+        agreement=agreement,
+        integrity=integrity,
+        termination=termination,
+        decided_values=decided_values,
+        undecided_correct=frozenset(undecided_correct),
+        first_decision_round=trace.first_decision_round(),
+        last_decision_round=trace.last_decision_round(),
+        violations=violations,
+    )
+
+
+def assert_consensus(trace: RunTrace, *, require_termination: bool = True) -> ConsensusReport:
+    """Check and raise :class:`ConsensusViolation` on any failure."""
+    report = check_consensus(trace)
+    report.raise_if_unsafe()
+    if require_termination and not report.termination:
+        raise ConsensusViolation("; ".join(report.violations))
+    return report

@@ -1,0 +1,232 @@
+"""Sparse per-history counters (Algorithm 3, lines 2, 8, 9).
+
+The pseudo leader election maintains, at every process, a counter
+``C[H]`` for each history ``H`` it has heard of.  The paper is explicit
+that the map is *sparse* ("no memory is allocated for histories it has
+not yet heard of"): an absent entry reads as 0.  Two operations drive
+it each round:
+
+* **line 8** — pointwise minimum over the round's received messages:
+  ``∀H, C[H] := min_m m.C[H]``.  With sparse default-0 semantics a
+  history missing from *any* received message mins to 0 and stays
+  unallocated, so the result's support is the intersection of the
+  messages' supports.
+* **line 9** — prefix-inheritance bump: for each received message,
+  ``C[m.HISTORY] := 1 + max{C[H] : H prefix of m.HISTORY}``.  Bumps are
+  evaluated *simultaneously* against the post-minimum map (the paper's
+  ``∀m`` batch assignment), so the order of messages in the set — which
+  anonymity makes meaningless anyway — cannot matter.
+
+:class:`FrozenCounters` is the immutable, hashable form that rides
+inside messages; :class:`HistoryTrie` is an optional index for
+prefix-maximum queries that turns the per-message bump from
+``O(|C| · len)`` into ``O(len)`` (they are tested against each other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.core.history import History, is_prefix
+
+__all__ = [
+    "FrozenCounters",
+    "HistoryTrie",
+    "pointwise_min",
+    "prefix_max",
+    "prefix_max_via_trie",
+    "apply_round_update",
+]
+
+
+class FrozenCounters(Mapping[History, int]):
+    """Immutable sparse counter map, safe to embed in frozen messages.
+
+    Zero entries are normalized away so that two maps with the same
+    non-zero support compare (and hash) equal — an allocated-at-zero
+    entry would otherwise leak scheduling history through message
+    equality, breaking anonymity's merge semantics.
+    """
+
+    __slots__ = ("_entries", "_hash")
+
+    def __init__(self, entries: Optional[Mapping[History, int]] = None):
+        cleaned = {
+            history: count
+            for history, count in (entries or {}).items()
+            if count != 0
+        }
+        for history, count in cleaned.items():
+            if count < 0:
+                raise ValueError(f"negative counter for {history!r}")
+        self._entries: Dict[History, int] = cleaned
+        self._hash: Optional[int] = None
+
+    EMPTY: "FrozenCounters"
+
+    def __getitem__(self, history: History) -> int:
+        # Sparse semantics: absent histories read as 0, per the paper.
+        return self._entries.get(history, 0)
+
+    def get(self, history: History, default: int = 0) -> int:  # type: ignore[override]
+        return self._entries.get(history, default)
+
+    def __iter__(self) -> Iterator[History]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, history: object) -> bool:
+        return history in self._entries
+
+    def items(self):
+        return self._entries.items()
+
+    def to_dict(self) -> Dict[History, int]:
+        return dict(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenCounters):
+            return self._entries == other._entries
+        if isinstance(other, Mapping):
+            return self._entries == {h: c for h, c in other.items() if c != 0}
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._entries.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{history!r}: {count}" for history, count in sorted(
+                self._entries.items(), key=lambda item: (len(item[0]), repr(item[0]))
+            )
+        )
+        return f"FrozenCounters({{{inner}}})"
+
+    def payload_atoms(self) -> int:
+        """Structural size: one atom per history element plus the count."""
+        return sum(len(history) + 1 for history in self._entries)
+
+
+FrozenCounters.EMPTY = FrozenCounters()
+
+
+def pointwise_min(counter_maps: Sequence[Mapping[History, int]]) -> Dict[History, int]:
+    """Line 8: ``∀H, C[H] := min_m m.C[H]`` with sparse default-0 reads.
+
+    The support of the result is the intersection of the supports (a
+    history missing anywhere mins to 0 and is dropped).
+    """
+    if not counter_maps:
+        return {}
+    first, *rest = counter_maps
+    result: Dict[History, int] = {}
+    for history, count in first.items():
+        minimum = count
+        for other in rest:
+            other_count = other.get(history, 0)
+            if other_count < minimum:
+                minimum = other_count
+            if minimum == 0:
+                break
+        if minimum > 0:
+            result[history] = minimum
+    return result
+
+
+def prefix_max(counters: Mapping[History, int], history: History) -> int:
+    """``max{C[H] : H prefix of history}`` (0 when no prefix is present)."""
+    best = 0
+    for candidate, count in counters.items():
+        if count > best and is_prefix(candidate, history):
+            best = count
+    return best
+
+
+class HistoryTrie:
+    """Prefix index over a counter map for fast prefix-maximum queries.
+
+    Built once per round from the post-minimum map; each query walks
+    the history once instead of scanning every entry.
+    """
+
+    __slots__ = ("_root",)
+
+    @dataclass
+    class _Node:
+        count: int = 0
+        children: Dict[Hashable, "HistoryTrie._Node"] = field(default_factory=dict)
+
+    def __init__(self, counters: Optional[Mapping[History, int]] = None):
+        self._root = HistoryTrie._Node()
+        if counters:
+            for history, count in counters.items():
+                self.insert(history, count)
+
+    def insert(self, history: History, count: int) -> None:
+        node = self._root
+        for element in history:
+            node = node.children.setdefault(element, HistoryTrie._Node())
+        node.count = count
+
+    def prefix_max(self, history: History) -> int:
+        """Maximum count over all stored prefixes of ``history``."""
+        best = self._root.count
+        node = self._root
+        for element in history:
+            child = node.children.get(element)
+            if child is None:
+                return best
+            if child.count > best:
+                best = child.count
+            node = child
+        return best
+
+
+def prefix_max_via_trie(counters: Mapping[History, int], histories: Iterable[History]) -> Dict[History, int]:
+    """Batch prefix-maximum via one trie build (equivalent to per-entry scans)."""
+    trie = HistoryTrie(counters)
+    return {history: trie.prefix_max(history) for history in histories}
+
+
+def apply_round_update(
+    counter_maps: Sequence[Mapping[History, int]],
+    received_histories: Iterable[History],
+    *,
+    use_trie: bool = True,
+    inherit_prefixes: bool = True,
+) -> Dict[History, int]:
+    """Lines 8 and 9 in one step.
+
+    Args:
+        counter_maps: the ``m.C`` of every message received this round.
+        received_histories: the ``m.HISTORY`` of every received message.
+        use_trie: query prefix maxima through a :class:`HistoryTrie`
+            (semantically identical to the naive scan; property tests
+            enforce the equivalence).
+        inherit_prefixes: the paper's line 9.  ``False`` is the
+            ablation A1 variant: bump only the exact history key, so a
+            history that grew since last round restarts from zero —
+            every counter stays at 1 and leadership degenerates to
+            "everybody, always".
+
+    Returns the process's new counter map.
+    """
+    merged = pointwise_min(counter_maps)
+    histories = list(dict.fromkeys(received_histories))
+    if not inherit_prefixes:
+        for history in histories:
+            merged[history] = 1 + merged.get(history, 0)
+        return merged
+    if use_trie:
+        maxima = prefix_max_via_trie(merged, histories)
+    else:
+        maxima = {history: prefix_max(merged, history) for history in histories}
+    # Simultaneous batch assignment: all bumps read the post-minimum map.
+    for history in histories:
+        merged[history] = 1 + maxima[history]
+    return merged

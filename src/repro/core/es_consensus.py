@@ -1,0 +1,139 @@
+"""Algorithm 2: consensus in the ES (eventual synchrony) environment.
+
+Safety idea (Section 3): a value is *written* when it appears in every
+message received in a round — in particular in the round's source
+message, which everyone received, so a written value is in everybody's
+``PROPOSED``.  A process decides ``VAL`` only when ``PROPOSED`` and the
+previous round's written set have both collapsed to ``{VAL}``; the
+even/odd phasing plus ``WRITTENOLD`` give the one-round lookback that
+Lemmas 1–2 need.  Liveness comes from eventual synchrony: once all
+correct processes exchange the same message sets each round, they pick
+the same maximum and converge in two rounds.
+
+Pseudocode correspondence (line numbers from the paper's listing)::
+
+    on initialization:                           initialize()
+      VAL := initial value                         line 2
+      WRITTEN := WRITTENOLD := ∅                   line 3
+      PROPOSED := {VAL}                            line 3 — see erratum note
+      return PROPOSED                              line 4
+
+    on compute(k, M):                            compute()
+      WRITTEN := ∩_{m ∈ M[k]} m                    line 6
+      PROPOSED := (∪_{m ∈ M[k]} m) ∪ PROPOSED      line 7
+      if k mod 2 = 0:                              line 8
+        if PROPOSED = WRITTENOLD = {VAL}:          line 9
+          decide VAL; halt                         line 10
+        else if WRITTEN ≠ ∅:                       line 11
+          VAL := max(WRITTEN)                      line 12
+          PROPOSED := {VAL}                        line 13
+      WRITTENOLD := WRITTEN                        line 14 (every round)
+      return PROPOSED                              line 15
+
+**Erratum note.** The paper's listing initializes ``PROPOSED := ∅`` and
+broadcasts it, but then no proposal value can ever enter any message:
+``WRITTEN`` stays empty forever and line 12 never fires, contradicting
+the termination proof ("everybody will always select the same maximum
+in Line 12").  The intended initialization is plainly ``PROPOSED :=
+{VAL}`` (the decide guard ``PROPOSED = WRITTENOLD = {VAL}`` and the
+validity argument both assume proposals start in ``PROPOSED``), so
+that is the default here.  ``seed_initial_proposal=False`` reproduces
+the listing verbatim — a regression test demonstrates that variant
+never decides.
+
+``WRITTENOLD := WRITTEN`` must execute **every** round (not only even
+ones): Lemma 2's proof uses ``WRITTENOLD^k = WRITTEN^{k-1}`` for even
+``k``, which requires the odd rounds to refresh it too.
+
+Ablation knobs (experiment A2): ``decide_every_round`` drops the
+even/odd phasing; ``require_written_old=False`` replaces the
+``WRITTENOLD`` lookback with the current round's ``WRITTEN``.  Both
+weaken the safety argument; the ablation bench searches for schedules
+that actually break them.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Mapping
+
+from repro.core.interfaces import ConsensusAlgorithm
+from repro.giraf.automaton import InboxView
+
+__all__ = ["ESConsensus"]
+
+
+def _intersect_all(messages: FrozenSet[Hashable]) -> FrozenSet[Hashable]:
+    """``∩_{m ∈ M[k]} m`` — each algorithm message is itself a value set."""
+    result: FrozenSet[Hashable] | None = None
+    for message in messages:
+        result = message if result is None else result & message
+    return frozenset() if result is None else frozenset(result)
+
+
+def _union_all(messages: FrozenSet[Hashable]) -> FrozenSet[Hashable]:
+    merged: set[Hashable] = set()
+    for message in messages:
+        merged |= message
+    return frozenset(merged)
+
+
+class ESConsensus(ConsensusAlgorithm):
+    """Consensus in ES (Algorithm 2, Theorem 1).
+
+    Algorithm messages are plain ``frozenset`` s of values (the
+    ``PROPOSED`` set), so identical anonymous messages merge in
+    transit, exactly as the model requires.
+    """
+
+    def __init__(
+        self,
+        initial_value: Hashable,
+        *,
+        seed_initial_proposal: bool = True,
+        decide_every_round: bool = False,
+        require_written_old: bool = True,
+    ):
+        super().__init__(initial_value)
+        self.val: Hashable = initial_value
+        self.written: FrozenSet[Hashable] = frozenset()
+        self.written_old: FrozenSet[Hashable] = frozenset()
+        self.proposed: FrozenSet[Hashable] = frozenset()
+        self._seed_initial_proposal = seed_initial_proposal
+        self._decide_every_round = decide_every_round
+        self._require_written_old = require_written_old
+
+    # ------------------------------------------------------------------
+    def initialize(self) -> FrozenSet[Hashable]:
+        if self._seed_initial_proposal:
+            self.proposed = frozenset({self.val})
+        else:
+            # verbatim listing: broadcast the empty set (never decides)
+            self.proposed = frozenset()
+        return self.proposed
+
+    def compute(self, k: int, inbox: InboxView) -> FrozenSet[Hashable]:
+        messages = inbox.received(k)
+        self.written = _intersect_all(messages)                      # line 6
+        self.proposed = _union_all(messages) | self.proposed         # line 7
+
+        if k % 2 == 0 or self._decide_every_round:                   # line 8
+            lookback = self.written_old if self._require_written_old else self.written
+            if (
+                self.proposed == lookback == frozenset({self.val})   # line 9
+            ):
+                self._decide(self.val, k)                            # line 10
+                return self.proposed  # unreachable by callers: halted
+            elif self.written:                                       # line 11
+                self.val = max(self.written)                         # line 12
+                self.proposed = frozenset({self.val})                # line 13
+
+        self.written_old = self.written                              # line 14
+        return self.proposed                                         # line 15
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Mapping[str, object]:
+        return {
+            "val": self.val,
+            "proposed_size": len(self.proposed),
+            "written_size": len(self.written),
+        }

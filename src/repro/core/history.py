@@ -1,0 +1,78 @@
+"""Proposal-value histories (Section 4.1 of the paper).
+
+Algorithm 3 identifies anonymous processes by the *history* of the
+values they appended round after round ("every process maintains a list
+of the values it broadcasts in every round").  Two processes that ever
+append different values in the same round have diverged forever —
+histories only grow, so equal histories mean behaviourally identical
+processes so far.
+
+Histories are plain tuples: hashable (they key the counter maps and
+ride inside frozen messages), cheap to extend, and prefix checks are
+slicing.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Tuple
+
+__all__ = [
+    "History",
+    "initial_history",
+    "extend",
+    "is_prefix",
+    "is_proper_prefix",
+    "common_prefix_length",
+    "diverged",
+    "longest",
+]
+
+History = Tuple[Hashable, ...]
+
+
+def initial_history(value: Hashable) -> History:
+    """The paper's initialization ``HISTORY := VAL`` (a length-1 list)."""
+    return (value,)
+
+
+def extend(history: History, value: Hashable) -> History:
+    """The paper's ``append VAL to HISTORY`` (Algorithm 3 line 21)."""
+    return history + (value,)
+
+
+def is_prefix(candidate: History, history: History) -> bool:
+    """True iff ``candidate`` is a (not necessarily proper) prefix."""
+    return len(candidate) <= len(history) and history[: len(candidate)] == candidate
+
+
+def is_proper_prefix(candidate: History, history: History) -> bool:
+    """True iff ``candidate`` is a strictly shorter prefix of ``history``."""
+    return len(candidate) < len(history) and history[: len(candidate)] == candidate
+
+
+def common_prefix_length(a: History, b: History) -> int:
+    """Length of the longest common prefix of the two histories."""
+    limit = min(len(a), len(b))
+    for index in range(limit):
+        if a[index] != b[index]:
+            return index
+    return limit
+
+
+def diverged(a: History, b: History) -> bool:
+    """True when neither history can ever become a prefix of the other.
+
+    Once two histories disagree at some position they have diverged
+    permanently (histories only grow) — the key observation behind the
+    pseudo leader election.
+    """
+    return common_prefix_length(a, b) < min(len(a), len(b))
+
+
+def longest(histories: Iterable[History]) -> Optional[History]:
+    """The longest history (ties broken by tuple order); None if empty."""
+    best: Optional[History] = None
+    for history in histories:
+        if best is None or (len(history), history) > (len(best), best):
+            best = history
+    return best

@@ -1,0 +1,59 @@
+"""Common interface for consensus algorithms plugged into GIRAF.
+
+The consensus problem (Section 2.1 of the paper):
+
+* **Validity** — every decided value was proposed;
+* **Termination** — eventually every correct process decides;
+* **Agreement** — no two processes decide differently.
+
+:class:`ConsensusAlgorithm` adds the decide-and-halt discipline on top
+of :class:`~repro.giraf.automaton.GirafAlgorithm`: the paper's
+``decide VAL; halt`` maps to :meth:`_decide`, which records the value
+and stops the automaton.  Schedulers pick the decision up by reading
+the ``decision`` / ``decision_round`` attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.errors import ProtocolMisuse
+from repro.giraf.automaton import GirafAlgorithm
+
+__all__ = ["ConsensusAlgorithm"]
+
+
+class ConsensusAlgorithm(GirafAlgorithm):
+    """Base class for GIRAF consensus algorithms.
+
+    Attributes:
+        initial_value: the proposal of this process (recorded into the
+            trace for validity checking).
+        decision: the decided value, or ``None`` while undecided.
+        decision_round: the round whose ``compute`` decided.
+    """
+
+    def __init__(self, initial_value: Hashable):
+        super().__init__()
+        self.initial_value = initial_value
+        self.decision: Optional[Hashable] = None
+        self.decision_round: Optional[int] = None
+
+    def _decide(self, value: Hashable, round_no: int) -> None:
+        """The paper's ``decide value; halt``.
+
+        Deciding twice is a bug in the algorithm, not in the run, so it
+        raises :class:`~repro.errors.ProtocolMisuse` immediately rather
+        than waiting for the trace checker to notice.
+        """
+        if self.decision is not None:
+            raise ProtocolMisuse(
+                f"decide({value!r}) after already deciding {self.decision!r}"
+            )
+        self.decision = value
+        self.decision_round = round_no
+        self.halt()
+
+    @property
+    def decided(self) -> bool:
+        return self.decision is not None

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch everything coming out of the simulator with a single handler
+while still letting genuine programming errors (``TypeError`` and
+friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """An inconsistency was detected while driving a simulation."""
+
+
+class EnvironmentViolation(ReproError):
+    """A run trace failed one of the environment property checks.
+
+    Raised by the checkers in :mod:`repro.giraf.checkers` when asked to
+    *assert* (rather than merely report) that a trace satisfies the MS,
+    ES, or ESS round-based properties.
+    """
+
+
+class ConsensusViolation(ReproError):
+    """A run violated one of the consensus safety properties.
+
+    Raised by :mod:`repro.core.checkers` for validity, agreement, or
+    irrevocability violations.  Termination failures are reported as
+    data (they depend on the run length) and never raise.
+    """
+
+
+class SpecViolation(ReproError):
+    """A shared-object history violated its sequential/concurrent spec.
+
+    Used by the weak-set checker (:mod:`repro.weakset.spec`), the
+    register regularity checker (:mod:`repro.sharedmem.histories`), and
+    the failure-detector checkers.
+    """
+
+
+class ProtocolMisuse(ReproError):
+    """An API was driven in an unsupported way.
+
+    Examples: invoking ``compute`` on a halted automaton, issuing an
+    ``add`` on a weak-set whose process already crashed, or scheduling
+    a crash for an unknown process.
+    """

@@ -1,0 +1,44 @@
+"""CLI: ``python -m repro.experiments [IDs…] [--full] [--seed N]``.
+
+With no IDs, runs the entire suite.  ``--full`` uses the full
+parameter grids (slower); the default is the quick grid the benchmarks
+use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the reproduction's tables and figures.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment IDs ({', '.join(sorted(EXPERIMENTS))}); default: all",
+    )
+    parser.add_argument("--full", action="store_true", help="full parameter grids")
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    args = parser.parse_args(argv)
+
+    ids = [identifier.upper() for identifier in args.ids] or sorted(EXPERIMENTS)
+    unknown = [identifier for identifier in ids if identifier not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    for identifier in ids:
+        table = run_experiment(identifier, quick=not args.full, seed=args.seed)
+        print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Experiment T7: the cost of anonymity.
+
+The same workload (distinct proposals, same environment family) solved
+by four algorithms:
+
+* **Algorithm 3** — anonymous, unknown n (the paper's contribution);
+* **known-IDs** — the same skeleton with ID-keyed leader counters;
+* **Algorithm 2** — anonymous but requiring full eventual synchrony;
+* **FloodSet** — the classical synchronous known-``n`` baseline.
+
+Expected shape: FloodSet is fastest but needs the strongest model;
+Algorithm 2 beats Algorithm 3 in latency but requires ES rather than
+ESS; known-IDs matches Algorithm 3's latency with O(n) messages, while
+Algorithm 3 pays with growing payloads — anonymity costs state, not
+rounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.stats import mean_or_none
+from repro.analysis.tables import Table
+from repro.baselines.known_ids import KnownIdsConsensus
+from repro.baselines.synchronous import FloodSetConsensus
+from repro.core.es_consensus import ESConsensus
+from repro.core.ess_consensus import ESSConsensus
+from repro.experiments.common import sample_consensus
+from repro.experiments.consensus_tables import carrier_proposals
+from repro.giraf.adversary import CrashSchedule
+from repro.giraf.blockade import BlockadeEnvironment
+from repro.giraf.environments import EventualSynchronyEnvironment
+from repro.giraf.messages import payload_size
+
+__all__ = ["run_t7"]
+
+
+def _mean_payload(trace) -> float:
+    sizes = [payload_size(send.payload) for send in trace.sends]
+    return mean_or_none(sizes) or 0.0
+
+
+def run_t7(quick: bool = True, seed: int = 0) -> Table:
+    """T7: four algorithms, one workload, per-algorithm costs."""
+    n = 6 if quick else 12
+    stab = 10
+    repeats = 2 if quick else 8
+    crash_fraction = 0.3
+
+    table = Table(
+        experiment_id="T7",
+        title=f"Cost of anonymity (n={n}, stabilization/GST at round {stab})",
+        headers=[
+            "algorithm", "model", "rounds", "term-rate", "mean-payload-atoms",
+        ],
+        notes=[
+            "same proposals and adversary family per row; payload atoms are "
+            "the structural message-size proxy (T3)",
+        ],
+    )
+
+    def ess_env(run_seed: int, crashes=None):
+        environment = BlockadeEnvironment(stab, mode="ess", preferred_source=0)
+        environment.bind_universe(n, crashes)
+        return environment
+
+    def es_env(run_seed: int, crashes=None):
+        environment = BlockadeEnvironment(stab, mode="es")
+        environment.bind_universe(n, crashes)
+        return environment
+
+    rows = []
+
+    def collect(label, model, factory_for, env_for, max_rounds):
+        samples = []
+        for rep in range(repeats):
+            run_seed = seed + 101 * rep
+            crashes = CrashSchedule.fraction(
+                n, crash_fraction, seed=run_seed, latest_round=stab, protect={0}
+            )
+            samples.append(
+                sample_consensus(
+                    factory_for(),
+                    carrier_proposals(n),
+                    env_for(run_seed, crashes),
+                    crash_schedule=crashes,
+                    max_rounds=max_rounds,
+                )
+            )
+        latency = mean_or_none(
+            [s.last_decision_round for s in samples if s.terminated]
+        )
+        term = sum(s.terminated for s in samples) / len(samples)
+        payload = mean_or_none([_mean_payload(s.trace) for s in samples])
+        rows.append([label, model, latency, term, payload])
+
+    collect(
+        "Algorithm 3 (anonymous)", "ESS", lambda: ESSConsensus, ess_env, stab + 150
+    )
+
+    def known_ids_factory():
+        counter = itertools.count()
+        return lambda value: KnownIdsConsensus(value, own_pid=next(counter))
+
+    collect("known-IDs leader", "ESS + IDs", known_ids_factory, ess_env, stab + 150)
+    collect("Algorithm 2 (anonymous)", "ES", lambda: ESConsensus, es_env, stab + 60)
+
+    f = max(1, int(crash_fraction * n))
+    collect(
+        f"FloodSet (f={f})",
+        "synchronous + IDs + n",
+        lambda: (lambda value: FloodSetConsensus(value, f=f)),
+        lambda run_seed, crashes=None: EventualSynchronyEnvironment(gst=1),
+        f + 10,
+    )
+
+    for row in rows:
+        table.add_row(*row)
+    return table

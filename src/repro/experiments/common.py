@@ -1,0 +1,80 @@
+"""Shared plumbing for the experiment suite.
+
+Each experiment function has the signature
+``run(quick: bool = True, seed: int = 0) -> Table`` (or a list of
+tables).  ``quick`` selects the parameter grid used by the pytest
+benchmarks; the full grid is what ``python -m repro.experiments`` runs
+by default.  Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.analysis.stats import mean_or_none
+from repro.core.checkers import check_consensus
+from repro.giraf.adversary import CrashSchedule
+from repro.giraf.environments import Environment
+from repro.giraf.scheduler import LockStepScheduler
+from repro.giraf.traces import RunTrace
+from repro.sim.runner import stop_when_all_correct_decided
+
+__all__ = ["ConsensusSample", "sample_consensus", "aggregate_latency"]
+
+
+@dataclass
+class ConsensusSample:
+    """One run's headline numbers for table aggregation."""
+
+    terminated: bool
+    safe: bool
+    last_decision_round: Optional[int]
+    sends: int
+    deliveries: int
+    trace: RunTrace
+
+
+def sample_consensus(
+    factory: Callable[[Hashable], object],
+    proposals: Sequence[Hashable],
+    environment: Environment,
+    *,
+    crash_schedule: Optional[CrashSchedule] = None,
+    max_rounds: int = 300,
+    record_snapshots: bool = False,
+    bind_link_policy: bool = False,
+) -> ConsensusSample:
+    """Run once and summarize (used by every consensus experiment)."""
+    algorithms = [factory(value) for value in proposals]
+    scheduler = LockStepScheduler(
+        algorithms,
+        environment,
+        crash_schedule,
+        max_rounds=max_rounds,
+        stop_when=stop_when_all_correct_decided,
+        record_snapshots=record_snapshots,
+    )
+    if bind_link_policy and hasattr(environment.link_policy, "bind"):
+        environment.link_policy.bind(scheduler.processes)  # type: ignore[attr-defined]
+    trace = scheduler.run()
+    report = check_consensus(trace)
+    return ConsensusSample(
+        terminated=report.termination,
+        safe=report.safe,
+        last_decision_round=trace.last_decision_round(),
+        sends=trace.send_count(),
+        deliveries=trace.message_count(),
+        trace=trace,
+    )
+
+
+def aggregate_latency(samples: Sequence[ConsensusSample]) -> tuple:
+    """``(mean latency, termination rate, safety rate, mean deliveries)``."""
+    latency = mean_or_none(
+        [s.last_decision_round for s in samples if s.terminated]
+    )
+    termination_rate = sum(s.terminated for s in samples) / len(samples)
+    safety_rate = sum(s.safe for s in samples) / len(samples)
+    deliveries = mean_or_none([s.deliveries for s in samples])
+    return latency, termination_rate, safety_rate, deliveries

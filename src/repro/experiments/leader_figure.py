@@ -1,0 +1,105 @@
+"""Experiment F3: pseudo-leader convergence (Lemmas 4–6).
+
+Runs the stripped-down heartbeat pseudo-leader algorithm (no consensus
+on top) under ESS and plots, per round:
+
+* how many processes currently consider themselves leaders — must
+  shrink to the processes tracking the eventual source's history
+  (Lemma 6: eventually leaders exist and leaders ⊆ ⋄-proposers);
+* the eventual source's own counter — must grow by one per round after
+  stabilization (Lemma 4);
+* the same series for the **naive** variant without prefix inheritance
+  (ablation preview): counters freeze at 1, everyone stays a leader
+  forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.tables import Table
+from repro.core.pseudo_leader import HeartbeatPseudoLeader
+from repro.giraf.adversary import CrashSchedule, RandomSource
+from repro.giraf.environments import BernoulliLinks, EventuallyStableSourceEnvironment
+from repro.giraf.scheduler import LockStepScheduler
+
+__all__ = ["run_f3"]
+
+
+def _leader_counts(trace, rounds: List[int]) -> Dict[int, int]:
+    series = trace.snapshot_series("leader")
+    counts = {}
+    for round_no in rounds:
+        total = 0
+        for pid, points in series.items():
+            value = dict(points).get(round_no)
+            if value:
+                total += 1
+        counts[round_no] = total
+    return counts
+
+
+def _run_once(n: int, stab: int, horizon: int, seed: int, *, naive: bool):
+    env = EventuallyStableSourceEnvironment(
+        stabilization_round=stab,
+        preferred_source=0,
+        source_schedule=RandomSource(seed),
+        link_policy=BernoulliLinks(0.3, seed=seed + 7),
+    )
+
+    def make(pid: int) -> HeartbeatPseudoLeader:
+        algorithm = HeartbeatPseudoLeader(brand=pid)
+        if naive:
+            algorithm.elector._inherit_prefixes = False
+        return algorithm
+
+    scheduler = LockStepScheduler(
+        [make(pid) for pid in range(n)],
+        env,
+        CrashSchedule.none(),
+        max_rounds=horizon,
+        record_snapshots=True,
+    )
+    return scheduler.run()
+
+
+def run_f3(quick: bool = True, seed: int = 0) -> Table:
+    """F3: self-considered leader count by round, real vs naive."""
+    n = 6 if quick else 10
+    stab = 8
+    horizon = 40 if quick else 100
+    checkpoints = [2, 6, 12, 20, 40] if quick else [2, 6, 12, 20, 40, 70, 100]
+    checkpoints = [c for c in checkpoints if c < horizon]
+
+    real = _run_once(n, stab, horizon, seed, naive=False)
+    naive = _run_once(n, stab, horizon, seed, naive=True)
+    real_counts = _leader_counts(real, checkpoints)
+    naive_counts = _leader_counts(naive, checkpoints)
+
+    source_counter = {
+        round_no: snap.get("my_counter")
+        for round_no, snap in sorted(real.snapshots.get(0, {}).items())
+    }
+
+    table = Table(
+        experiment_id="F3",
+        title=f"Pseudo-leader convergence (n={n}, stabilization at {stab})",
+        headers=[
+            "round", "leaders (Alg 3)", "leaders (naive)", "source-counter (Alg 3)",
+        ],
+        notes=[
+            "Lemma 6: the leader set converges onto processes tracking the "
+            "eventual source; the naive variant (no prefix inheritance) "
+            "leaves everyone a leader forever",
+            "Lemma 4: the source's history counter grows by 1 per round "
+            "after stabilization",
+        ],
+    )
+    for checkpoint in checkpoints:
+        table.add_row(
+            checkpoint,
+            real_counts.get(checkpoint),
+            naive_counts.get(checkpoint),
+            source_counter.get(checkpoint),
+        )
+    return table

@@ -1,0 +1,54 @@
+"""The experiment registry: every table and figure, by ID.
+
+``EXPERIMENTS`` maps the IDs from DESIGN.md's per-experiment index to
+their runner functions; :func:`run_experiment` executes one and
+returns its :class:`~repro.analysis.tables.Table`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.tables import Table
+from repro.experiments.ablations import run_a1, run_a2, run_a3
+from repro.experiments.baseline_table import run_t7
+from repro.experiments.consensus_tables import run_f1, run_f2, run_t1, run_t2
+from repro.experiments.leader_figure import run_f3
+from repro.experiments.sigma_table import run_t6
+from repro.experiments.state_growth import run_t3
+from repro.experiments.weakset_tables import run_f4, run_t4, run_t5
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+Runner = Callable[..., Table]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "T1": run_t1,
+    "T2": run_t2,
+    "T3": run_t3,
+    "T4": run_t4,
+    "T5": run_t5,
+    "T6": run_t6,
+    "T7": run_t7,
+    "F1": run_f1,
+    "F2": run_f2,
+    "F3": run_f3,
+    "F4": run_f4,
+    "A1": run_a1,
+    "A2": run_a2,
+    "A3": run_a3,
+}
+
+
+def run_experiment(experiment_id: str, *, quick: bool = True, seed: int = 0) -> Table:
+    """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[key](quick=quick, seed=seed)
+
+
+def run_all(*, quick: bool = True, seed: int = 0) -> List[Table]:
+    """Run the whole suite in ID order."""
+    return [EXPERIMENTS[key](quick=quick, seed=seed) for key in sorted(EXPERIMENTS)]

@@ -1,0 +1,62 @@
+"""Experiment T6: Proposition 4 — Σ cannot be emulated in MS.
+
+Drives every candidate emulator in the zoo through the paper's
+``r1``/``r2`` indistinguishability construction and tabulates which Σ
+property each one loses.  Every row must show a violation: that *is*
+the proposition.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.failuredetectors.impossibility import demonstrate_impossibility
+from repro.failuredetectors.sigma import ALL_CANDIDATES, RecentWindowSigma
+
+__all__ = ["run_t6"]
+
+
+def run_t6(quick: bool = True, seed: int = 0) -> Table:
+    """T6: per-candidate Σ violations under the r1/r2 construction."""
+    ns = [2] if quick else [2, 3, 5]
+    horizons = [40] if quick else [40, 120]
+
+    table = Table(
+        experiment_id="T6",
+        title="Proposition 4: Σ emulation candidates vs the r1/r2 runs",
+        headers=["candidate", "n", "horizon", "violated-property", "stab-round-t"],
+        notes=[
+            "every deterministic emulator loses: either completeness in r1 "
+            "(never converges to {p1}) or intersection between p1@t in r2 "
+            "and p2's eventual output — the paper's contradiction",
+        ],
+    )
+    for name, factory in sorted(ALL_CANDIDATES.items()):
+        for n in ns:
+            for horizon in horizons:
+                outcome = demonstrate_impossibility(
+                    name, factory, n=n, horizon=horizon
+                )
+                table.add_row(
+                    name,
+                    n,
+                    horizon,
+                    outcome.violated_property,
+                    outcome.stabilization_round,
+                )
+    # window widths change *when* it fails, never *whether*
+    widths = [2, 10] if quick else [2, 5, 10, 25]
+    for window in widths:
+        outcome = demonstrate_impossibility(
+            f"recent-window(w={window})",
+            lambda pid, n, w=window: RecentWindowSigma(pid, n, window=w),
+            n=2,
+            horizon=max(40, 4 * window),
+        )
+        table.add_row(
+            f"recent-window(w={window})",
+            2,
+            max(40, 4 * window),
+            outcome.violated_property,
+            outcome.stabilization_round,
+        )
+    return table

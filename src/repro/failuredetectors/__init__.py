@@ -1,0 +1,47 @@
+"""Failure detectors: Σ (spec + Proposition-4 impossibility) and Ω.
+
+Σ is the weakest failure detector for registers in known networks; the
+paper shows MS implements registers (via weak-sets) yet cannot emulate
+Σ — the first partially synchronous environment with that property.
+Ω appears as the known-IDs baseline substrate for experiment T7.
+"""
+
+from repro.failuredetectors.impossibility import (
+    ImpossibilityOutcome,
+    Run1Result,
+    demonstrate_impossibility,
+)
+from repro.failuredetectors.omega import (
+    HeartbeatOmega,
+    OmegaReport,
+    check_omega_convergence,
+)
+from repro.failuredetectors.sigma import (
+    ALL_CANDIDATES,
+    EverHeardSigma,
+    MajorityCountSigma,
+    RecentWindowSigma,
+    SelfOnlySigma,
+    SigmaEmulator,
+    SigmaOutputLog,
+    SigmaReport,
+    check_sigma,
+)
+
+__all__ = [
+    "ALL_CANDIDATES",
+    "EverHeardSigma",
+    "HeartbeatOmega",
+    "ImpossibilityOutcome",
+    "MajorityCountSigma",
+    "OmegaReport",
+    "RecentWindowSigma",
+    "Run1Result",
+    "SelfOnlySigma",
+    "SigmaEmulator",
+    "SigmaOutputLog",
+    "SigmaReport",
+    "check_omega_convergence",
+    "check_sigma",
+    "demonstrate_impossibility",
+]

@@ -1,0 +1,220 @@
+"""The quorum failure detector Σ: specification and candidate emulators.
+
+Σ (Section 6) outputs, at each process and time, a list of *trusted*
+process IDs subject to:
+
+* **Intersection** — any two output lists, at any processes and any
+  times, share at least one process;
+* **Completeness** — eventually every trusted process is correct.
+
+Σ is the weakest failure detector for registers in asynchronous
+message-passing with known IDs; Proposition 4 shows it is *not*
+emulable in the MS environment even with known IDs — the library
+mechanizes that argument in
+:mod:`repro.failuredetectors.impossibility`, driving the candidate
+emulators defined here through the paper's ``r1``/``r2`` runs.
+
+Emulators observe an abstract per-round view (who they heard from,
+with IDs — the proposition grants known IDs, making the impossibility
+stronger) and output a trusted set after every round.  They must be
+deterministic: indistinguishable observation prefixes must produce
+identical outputs, which is the crux of the proof.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import SpecViolation
+
+__all__ = [
+    "SigmaEmulator",
+    "EverHeardSigma",
+    "RecentWindowSigma",
+    "MajorityCountSigma",
+    "SelfOnlySigma",
+    "SigmaOutputLog",
+    "SigmaReport",
+    "check_sigma",
+    "ALL_CANDIDATES",
+]
+
+
+class SigmaEmulator(ABC):
+    """A deterministic candidate algorithm trying to emulate Σ.
+
+    The emulator runs at one process in a system of ``n`` processes
+    with known IDs.  After each round it observes the set of processes
+    it heard from that round (always including itself) and produces a
+    trusted set.
+    """
+
+    def __init__(self, own_pid: int, n: int):
+        self.own_pid = own_pid
+        self.n = n
+
+    @abstractmethod
+    def observe_round(self, round_no: int, heard: FrozenSet[int]) -> FrozenSet[int]:
+        """Consume one round's observation; return the trusted set."""
+
+
+class EverHeardSigma(SigmaEmulator):
+    """Trust self plus everyone ever heard from."""
+
+    def __init__(self, own_pid: int, n: int):
+        super().__init__(own_pid, n)
+        self._ever: set[int] = {own_pid}
+
+    def observe_round(self, round_no: int, heard: FrozenSet[int]) -> FrozenSet[int]:
+        self._ever |= heard
+        return frozenset(self._ever)
+
+
+class RecentWindowSigma(SigmaEmulator):
+    """Trust self plus everyone heard within the last ``window`` rounds.
+
+    The timeout-flavoured candidate: silence eventually expels a
+    process from the trusted set (needed for completeness), which is
+    exactly what the indistinguishability argument exploits.
+    """
+
+    def __init__(self, own_pid: int, n: int, *, window: int = 5):
+        super().__init__(own_pid, n)
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._last_heard: Dict[int, int] = {own_pid: 0}
+
+    def observe_round(self, round_no: int, heard: FrozenSet[int]) -> FrozenSet[int]:
+        self._last_heard[self.own_pid] = round_no
+        for pid in heard:
+            self._last_heard[pid] = round_no
+        return frozenset(
+            pid
+            for pid, last in self._last_heard.items()
+            if round_no - last < self.window
+        )
+
+
+class MajorityCountSigma(SigmaEmulator):
+    """Trust the ⌈(n+1)/2⌉ most recently heard processes (self first).
+
+    A quorum-flavoured candidate: it tries to keep a majority trusted,
+    padding with the most recently heard.  Its completeness forces it
+    to shrink to the live set eventually, so it too falls to the
+    ``r1``/``r2`` construction.
+    """
+
+    def __init__(self, own_pid: int, n: int):
+        super().__init__(own_pid, n)
+        self._last_heard: Dict[int, int] = {own_pid: 0}
+        self._silence: Dict[int, int] = {}
+
+    def observe_round(self, round_no: int, heard: FrozenSet[int]) -> FrozenSet[int]:
+        self._last_heard[self.own_pid] = round_no
+        for pid in heard:
+            self._last_heard[pid] = round_no
+        # expel processes silent for more than n rounds; keep a
+        # majority-sized prefix of the most recently heard otherwise
+        alive_guess = [
+            pid
+            for pid, last in sorted(
+                self._last_heard.items(), key=lambda item: (-item[1], item[0])
+            )
+            if round_no - last <= self.n
+        ]
+        quorum = max(1, (self.n + 1) // 2)
+        trusted = alive_guess[:quorum] if len(alive_guess) >= quorum else alive_guess
+        return frozenset(trusted) | {self.own_pid}
+
+
+class SelfOnlySigma(SigmaEmulator):
+    """Always trust exactly yourself.
+
+    Trivially complete, trivially violates intersection between two
+    different processes — the degenerate end of the candidate
+    spectrum, useful for checker tests.
+    """
+
+    def observe_round(self, round_no: int, heard: FrozenSet[int]) -> FrozenSet[int]:
+        return frozenset({self.own_pid})
+
+
+#: Candidate factories swept by the impossibility experiment (T6).
+ALL_CANDIDATES = {
+    "ever-heard": EverHeardSigma,
+    "recent-window": RecentWindowSigma,
+    "majority-count": MajorityCountSigma,
+    "self-only": SelfOnlySigma,
+}
+
+
+# ----------------------------------------------------------------------
+# Σ output logs and the property checker
+# ----------------------------------------------------------------------
+@dataclass
+class SigmaOutputLog:
+    """Recorded Σ outputs: ``(pid, time, trusted)`` triples."""
+
+    n: int
+    correct: FrozenSet[int]
+    outputs: List[Tuple[int, float, FrozenSet[int]]] = field(default_factory=list)
+
+    def record(self, pid: int, time: float, trusted: FrozenSet[int]) -> None:
+        self.outputs.append((pid, time, trusted))
+
+    def outputs_of(self, pid: int) -> List[Tuple[float, FrozenSet[int]]]:
+        return [(t, s) for p, t, s in self.outputs if p == pid]
+
+
+@dataclass
+class SigmaReport:
+    """Checker verdict: which Σ property failed, if any."""
+
+    intersection_ok: bool
+    completeness_ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.intersection_ok and self.completeness_ok
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise SpecViolation("Σ violated: " + "; ".join(self.violations[:5]))
+
+
+def check_sigma(log: SigmaOutputLog, *, completeness_suffix: int = 1) -> SigmaReport:
+    """Check Intersection (all pairs, all times) and Completeness.
+
+    Completeness on a finite log: the last ``completeness_suffix``
+    outputs of every correct process must trust only correct processes
+    (the finite-prefix proxy for "eventually forever").
+    """
+    report = SigmaReport(intersection_ok=True, completeness_ok=True)
+
+    outputs = log.outputs
+    for i, (pid_a, time_a, set_a) in enumerate(outputs):
+        for pid_b, time_b, set_b in outputs[i:]:
+            if not set_a & set_b:
+                report.intersection_ok = False
+                report.violations.append(
+                    f"intersection: p{pid_a}@{time_a} trusted {sorted(set_a)} vs "
+                    f"p{pid_b}@{time_b} trusted {sorted(set_b)}"
+                )
+                break
+        if not report.intersection_ok:
+            break
+
+    for pid in sorted(log.correct):
+        tail = log.outputs_of(pid)[-completeness_suffix:]
+        for time, trusted in tail:
+            rogue = trusted - log.correct
+            if rogue:
+                report.completeness_ok = False
+                report.violations.append(
+                    f"completeness: p{pid}@{time} trusts crashed {sorted(rogue)}"
+                )
+    return report

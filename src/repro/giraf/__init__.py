@@ -1,0 +1,98 @@
+"""Extended GIRAF: the round framework of Algorithm 1 plus environments.
+
+Public surface:
+
+* :class:`~repro.giraf.automaton.GirafAlgorithm` /
+  :class:`~repro.giraf.automaton.GirafProcess` — the process automaton;
+* :class:`~repro.giraf.scheduler.LockStepScheduler` /
+  :class:`~repro.giraf.scheduler.DriftingScheduler` — run drivers;
+* the MS / ES / ESS environments and their adversary knobs;
+* :mod:`~repro.giraf.checkers` — ground-truth property validation.
+"""
+
+from repro.giraf.adversary import (
+    ConstantDelay,
+    CrashPlan,
+    CrashSchedule,
+    DelayPolicy,
+    FixedSource,
+    FlappingSource,
+    NEVER_DELIVERED,
+    RandomSource,
+    RoundRobinSource,
+    SourceSchedule,
+    UniformDelay,
+)
+from repro.giraf.automaton import GirafAlgorithm, GirafProcess, InboxView
+from repro.giraf.checkers import (
+    CheckReport,
+    assert_environment,
+    check_es,
+    check_ess,
+    check_ms,
+    sources_of_round,
+)
+from repro.giraf.environments import (
+    AllTimelyLinks,
+    BernoulliLinks,
+    Environment,
+    EventualSynchronyEnvironment,
+    EventuallyStableSourceEnvironment,
+    LinkPolicy,
+    MovingSourceEnvironment,
+    RoundPlan,
+    SilentLinks,
+)
+from repro.giraf.messages import Envelope, merge_payloads, payload_size
+from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
+from repro.giraf.traces import (
+    CrashEvent,
+    DecisionEvent,
+    DeliveryEvent,
+    HaltEvent,
+    RunTrace,
+    SendEvent,
+)
+
+__all__ = [
+    "AllTimelyLinks",
+    "BernoulliLinks",
+    "CheckReport",
+    "ConstantDelay",
+    "CrashEvent",
+    "CrashPlan",
+    "CrashSchedule",
+    "DecisionEvent",
+    "DelayPolicy",
+    "DeliveryEvent",
+    "DriftingScheduler",
+    "Envelope",
+    "Environment",
+    "EventualSynchronyEnvironment",
+    "EventuallyStableSourceEnvironment",
+    "FixedSource",
+    "FlappingSource",
+    "GirafAlgorithm",
+    "GirafProcess",
+    "HaltEvent",
+    "InboxView",
+    "LinkPolicy",
+    "LockStepScheduler",
+    "MovingSourceEnvironment",
+    "NEVER_DELIVERED",
+    "RandomSource",
+    "RoundPlan",
+    "RoundRobinSource",
+    "RunTrace",
+    "SendEvent",
+    "SilentLinks",
+    "SourceSchedule",
+    "UniformDelay",
+    "assert_environment",
+    "check_es",
+    "check_ess",
+    "check_ms",
+    "merge_payloads",
+    "payload_size",
+    "sources_of_round",
+]

@@ -1,0 +1,164 @@
+"""A decision-blocking MS adversary for the latency experiments.
+
+FLP (via Theorem 4 + Proposition 2) implies consensus is unsolvable in
+MS alone, so for every algorithm there are MS schedules that postpone
+decisions indefinitely.  The *generous* constructive environments in
+:mod:`repro.giraf.environments` rarely exercise that freedom — a
+moving source that everyone hears drives Algorithm 2 to convergence in
+a handful of rounds regardless of GST, which would flatten the latency
+tables (T1/T2/F1/F2).  This module implements a concrete blocking
+schedule so that decision latency genuinely tracks the stabilization
+point.
+
+The construction (two-group divergence):
+
+* process ``0`` is the **high carrier**: give it the maximal proposal
+  (the experiment workloads do);
+* every pre-release round's source is drawn round-robin from the
+  *other* processes (the low group), so the carrier is never a source;
+* one extra timely link per round: carrier → next round's source, so
+  the carrier's maximal value keeps entering the source's broadcast —
+  every process's ``PROPOSED`` stays polluted with the high value,
+  while the high value never reaches the *own* messages of low
+  processes, keeping it out of their ``WRITTEN`` intersections.
+
+Effect: the low group keeps adopting low written values, the carrier
+keeps its high value (it sees it in its own and the source's
+messages), ``PROPOSED`` never collapses to a singleton anywhere, and
+nobody decides.  From ``release_round`` on the environment turns into
+honest ES (every link timely) or ESS (one stable source), and the
+algorithms converge within a few rounds — which is what the latency
+tables measure.
+
+The blockade stays within the MS contract: every round still has a
+source, timely to all.  It is *schedule* adversarial, not byzantine.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.giraf.environments import Environment, RoundPlan
+
+__all__ = ["BlockadeEnvironment"]
+
+
+class BlockadeEnvironment(Environment):
+    """MS with the two-group blocking schedule until ``release_round``.
+
+    Args:
+        release_round: first round of the honest phase.
+        mode: ``"es"`` (all timely after release — Theorem 1 setting)
+            or ``"ess"`` (one stable source after release — Theorem 2
+            setting).
+        carrier: pid of the high-value carrier (default 0); the
+            workload must hand it the maximal proposal.
+        preferred_source: the stable source for ``mode="ess"``.
+    """
+
+    def __init__(
+        self,
+        release_round: int,
+        *,
+        mode: str = "es",
+        carrier: int = 0,
+        preferred_source: Optional[int] = None,
+        delay_policy=None,
+    ):
+        super().__init__(link_policy=None, delay_policy=delay_policy)
+        if release_round < 1:
+            raise ValueError("release_round must be >= 1")
+        if mode not in ("es", "ess"):
+            raise ValueError("mode must be 'es' or 'ess'")
+        self.release_round = release_round
+        self.mode = mode
+        self.carrier = carrier
+        self.preferred_source = (
+            preferred_source if preferred_source is not None else carrier
+        )
+        self.name = f"Blockade→{mode.upper()}(release={release_round})"
+
+    # ------------------------------------------------------------------
+    def _alive_low(self, round_no: int) -> Sequence[int]:
+        """The low group expected to broadcast in ``round_no``.
+
+        Deterministic from the bound crash schedule (crash rounds are
+        fixed up front), so the source rotation and the extra-link
+        targets stay consistent even when low processes crash.
+        """
+        low = []
+        for pid in range(self._universe_size):
+            if pid == self.carrier:
+                continue
+            plan = self._crash_schedule.plan_for(pid) if self._crash_schedule else None
+            if plan is not None:
+                if plan.round_no < round_no:
+                    continue
+                if plan.round_no == round_no and plan.before_send:
+                    continue
+            low.append(pid)
+        return low
+
+    def _low_group(self, candidates: Sequence[int]) -> Sequence[int]:
+        low = [pid for pid in candidates if pid != self.carrier]
+        return low or list(candidates)
+
+    def _blockade_source(self, round_no: int, candidates: Sequence[int]) -> int:
+        alive = self._alive_low(round_no)
+        if alive:
+            planned = alive[round_no % len(alive)]
+            if planned in candidates:
+                return planned
+        low = self._low_group(candidates)
+        return low[round_no % len(low)]
+
+    def plan_round(self, round_no: int, candidates: Sequence[int]) -> RoundPlan:
+        if not candidates:
+            return RoundPlan(source=None, obligatory=frozenset())
+        if round_no >= self.release_round:
+            if self.mode == "es":
+                return RoundPlan(
+                    source=candidates[0], obligatory=frozenset(candidates)
+                )
+            source = (
+                self.preferred_source
+                if self.preferred_source in candidates
+                else candidates[0]
+            )
+            return RoundPlan(source=source, obligatory=frozenset({source}))
+        source = self._blockade_source(round_no, candidates)
+        return RoundPlan(source=source, obligatory=frozenset({source}))
+
+    def extra_timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        if round_no >= self.release_round:
+            return False  # obligations already cover everything needed
+        low_now = self._alive_low(round_no)
+        low_next = self._alive_low(round_no + 1)
+        if not low_now or not low_next:
+            return False
+        current_source = low_now[round_no % len(low_now)]
+        next_source = low_next[(round_no + 1) % len(low_next)]
+        if sender == self.carrier:
+            # E1: carrier → next round's source, so the high value rides
+            # inside every source broadcast
+            return receiver == next_source
+        # E2: next source → current source.  The current source otherwise
+        # only hears itself, and its own message carries the high value
+        # (E1 fed it last round) — without a second, high-free message in
+        # its intersection it would adopt the high value and the blockade
+        # would collapse.
+        return sender == next_source and receiver == current_source
+
+    #: set by bind_universe (the experiment runners call it); defaults
+    #: to a generous guess so unbound use still produces a schedule
+    _universe_size: int = 64
+    _crash_schedule = None
+
+    def bind_universe(self, n: int, crash_schedule=None) -> None:
+        """Tell the blockade the pid universe and the crash schedule.
+
+        Crash rounds are adversary-chosen up front, so the blockade may
+        legitimately anticipate them when planning its rotation.
+        """
+        self._universe_size = n
+        self._crash_schedule = crash_schedule

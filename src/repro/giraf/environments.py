@@ -1,0 +1,262 @@
+"""The three environments of the paper: MS, ES, and ESS.
+
+Section 2.3 specifies environments as round-based timeliness
+properties:
+
+* **MS (moving source):** every round ``k`` has a *source* — a process
+  whose round-``k`` message is received by every correct process in
+  round ``k``.  The source may change every round.
+* **ES (eventual synchrony):** MS, plus a round ``GST`` after which
+  *every* correct process has a timely link every round.
+* **ESS (eventually stable source):** MS, plus a round after which the
+  source is always the *same* process.
+
+These classes are the **constructive** side: given a round and the set
+of eligible senders they decide which links must be timely, which extra
+links happen to be timely (a seeded link policy — partial synchrony is
+allowed to be generous), and how late the remaining deliveries are.
+The **checking** side lives in :mod:`repro.giraf.checkers`, which
+recomputes everything from delivered-message ground truth and never
+trusts these declarations.
+
+A note on halting: the paper's environments are properties of infinite
+runs over processes that never stop.  Once a process decides and halts
+it stops receiving, so we treat halted processes as outside the
+quantification (their rounds are never entered, making the property
+vacuous for them), and an ESS environment whose designated stable
+source halts re-designates a new stable source among the remaining
+active correct processes.  Re-designation happens at most ``n`` times,
+so "eventually always the same source" still holds.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence
+
+from repro._rng import derive_rng
+from repro.giraf.adversary import (
+    DelayPolicy,
+    RandomSource,
+    SourceSchedule,
+    UniformDelay,
+)
+
+__all__ = [
+    "Environment",
+    "LinkPolicy",
+    "SilentLinks",
+    "AllTimelyLinks",
+    "BernoulliLinks",
+    "MovingSourceEnvironment",
+    "EventualSynchronyEnvironment",
+    "EventuallyStableSourceEnvironment",
+    "RoundPlan",
+]
+
+
+# ----------------------------------------------------------------------
+# link policies: timeliness of links the environment is not obliged on
+# ----------------------------------------------------------------------
+class LinkPolicy(ABC):
+    """Whether a non-obligatory link happens to be timely in a round."""
+
+    @abstractmethod
+    def timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        """Deterministic in ``(round_no, sender, receiver)`` and the seed."""
+
+
+class SilentLinks(LinkPolicy):
+    """Nothing beyond the environment's obligations is timely.
+
+    The *stingiest* adversary permitted by the environment — the right
+    default for stress-testing liveness.
+    """
+
+    def timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        return False
+
+
+class AllTimelyLinks(LinkPolicy):
+    """Every link is timely (a fully synchronous run prefix)."""
+
+    def timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        return True
+
+
+class BernoulliLinks(LinkPolicy):
+    """Each link is independently timely with probability ``p``."""
+
+    def __init__(self, p: float, seed: int = 0):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self._p = p
+        self._seed = seed
+
+    def timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        rng = derive_rng("link", self._seed, round_no, sender, receiver)
+        return rng.random() < self._p
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """The environment's decisions for one round.
+
+    Attributes:
+        source: the declared source (for trace debugging; may be
+            ``None`` when no sender exists this round).
+        obligatory: senders whose round-``k`` message must reach every
+            active process timely (the source in MS/ESS; everyone after
+            GST in ES).
+    """
+
+    source: Optional[int]
+    obligatory: FrozenSet[int]
+
+
+class Environment(ABC):
+    """Common machinery for the three environments."""
+
+    #: short name used in tables and traces
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        link_policy: Optional[LinkPolicy] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+    ):
+        self.link_policy = link_policy if link_policy is not None else SilentLinks()
+        self.delay_policy = (
+            delay_policy if delay_policy is not None else UniformDelay(2, 6)
+        )
+
+    # -- obligations ---------------------------------------------------
+    @abstractmethod
+    def plan_round(
+        self, round_no: int, candidates: Sequence[int]
+    ) -> RoundPlan:
+        """Choose the obligatory timely senders for ``round_no``.
+
+        ``candidates`` is the sorted, non-empty list of processes the
+        scheduler deems eligible to be relied upon this round
+        (correct, active senders when possible).
+        """
+
+    # -- non-obligatory links -------------------------------------------
+    def extra_timely(self, round_no: int, sender: int, receiver: int) -> bool:
+        """Whether a non-obligatory link happens to be timely."""
+        return self.link_policy.timely(round_no, sender, receiver)
+
+    def delay_ticks(self, round_no: int, sender: int, receiver: int) -> int:
+        """Lateness (in ticks) for a delivery that is not timely."""
+        return self.delay_policy.delay(round_no, sender, receiver)
+
+    # -- drifting-scheduler latencies ------------------------------------
+    def timely_latency(self, round_no: int, sender: int, receiver: int) -> float:
+        """Continuous-time latency for an obligatory (timely) delivery.
+
+        The drifting scheduler additionally gates receivers so these
+        always arrive in time; the value only shapes the interleaving.
+        """
+        rng = derive_rng("lat-t", round_no, sender, receiver)
+        return 0.05 + 0.4 * rng.random()
+
+    def late_latency(self, round_no: int, sender: int, receiver: int) -> float:
+        """Continuous-time latency for a non-timely delivery."""
+        return float(self.delay_ticks(round_no, sender, receiver))
+
+
+class MovingSourceEnvironment(Environment):
+    """MS: some (possibly different) source every round."""
+
+    name = "MS"
+
+    def __init__(
+        self,
+        source_schedule: Optional[SourceSchedule] = None,
+        link_policy: Optional[LinkPolicy] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+    ):
+        super().__init__(link_policy, delay_policy)
+        self.source_schedule = (
+            source_schedule if source_schedule is not None else RandomSource()
+        )
+
+    def plan_round(self, round_no: int, candidates: Sequence[int]) -> RoundPlan:
+        if not candidates:
+            return RoundPlan(source=None, obligatory=frozenset())
+        source = self.source_schedule.pick(round_no, candidates)
+        return RoundPlan(source=source, obligatory=frozenset({source}))
+
+
+class EventualSynchronyEnvironment(Environment):
+    """ES: MS before ``gst``, every link timely from round ``gst`` on."""
+
+    name = "ES"
+
+    def __init__(
+        self,
+        gst: int = 1,
+        source_schedule: Optional[SourceSchedule] = None,
+        link_policy: Optional[LinkPolicy] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+    ):
+        if gst < 1:
+            raise ValueError("gst must be >= 1")
+        super().__init__(link_policy, delay_policy)
+        self.gst = gst
+        self.source_schedule = (
+            source_schedule if source_schedule is not None else RandomSource()
+        )
+
+    def plan_round(self, round_no: int, candidates: Sequence[int]) -> RoundPlan:
+        if not candidates:
+            return RoundPlan(source=None, obligatory=frozenset())
+        if round_no >= self.gst:
+            return RoundPlan(source=candidates[0], obligatory=frozenset(candidates))
+        source = self.source_schedule.pick(round_no, candidates)
+        return RoundPlan(source=source, obligatory=frozenset({source}))
+
+
+class EventuallyStableSourceEnvironment(Environment):
+    """ESS: MS before ``stabilization_round``, one fixed source after.
+
+    ``preferred_source`` names the eventual source; the adversary's
+    crash schedule must keep it correct (``CrashSchedule.fraction``'s
+    ``protect`` argument exists for this).  When the preferred source
+    is ineligible in a stable round (it halted after deciding), the
+    smallest eligible candidate takes over — see the module docstring
+    for why this preserves ESS.
+    """
+
+    name = "ESS"
+
+    def __init__(
+        self,
+        stabilization_round: int = 1,
+        preferred_source: int = 0,
+        source_schedule: Optional[SourceSchedule] = None,
+        link_policy: Optional[LinkPolicy] = None,
+        delay_policy: Optional[DelayPolicy] = None,
+    ):
+        if stabilization_round < 1:
+            raise ValueError("stabilization_round must be >= 1")
+        super().__init__(link_policy, delay_policy)
+        self.stabilization_round = stabilization_round
+        self.preferred_source = preferred_source
+        self.source_schedule = (
+            source_schedule if source_schedule is not None else RandomSource()
+        )
+
+    def plan_round(self, round_no: int, candidates: Sequence[int]) -> RoundPlan:
+        if not candidates:
+            return RoundPlan(source=None, obligatory=frozenset())
+        if round_no >= self.stabilization_round:
+            if self.preferred_source in candidates:
+                source = self.preferred_source
+            else:
+                source = candidates[0]
+            return RoundPlan(source=source, obligatory=frozenset({source}))
+        source = self.source_schedule.pick(round_no, candidates)
+        return RoundPlan(source=source, obligatory=frozenset({source}))

@@ -1,0 +1,78 @@
+"""Transport-level messages for the extended GIRAF framework.
+
+GIRAF (Algorithm 1 of the paper) makes every process broadcast, at each
+``end-of-round``, the pair ``⟨M_i[k_i], k_i⟩``: the *set* of algorithm
+messages it currently holds for its new round together with the round
+number.  Receivers merge the payload into their own round slot
+(``M_i[k] := M_i[k] ∪ M``), which is how relaying happens for free.
+
+Anonymity is structural here: payload elements are plain hashable
+values with **no sender identity**, so two processes in identical
+states produce *identical* algorithm messages that collapse to a single
+set element at every receiver — exactly the indistinguishability the
+anonymous model demands.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable
+
+__all__ = ["Envelope", "merge_payloads", "payload_size"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A transport message ``⟨M, k⟩``.
+
+    Attributes:
+        round_no: the sender's round number ``k`` at send time.
+        payload: the frozen set ``M`` of algorithm messages for round
+            ``k`` (the sender's own message plus any round-``k``
+            messages it had already received early).
+    """
+
+    round_no: int
+    payload: FrozenSet[Hashable] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.round_no < 1:
+            raise ValueError(f"envelope round must be >= 1, got {self.round_no}")
+        if not isinstance(self.payload, frozenset):
+            object.__setattr__(self, "payload", frozenset(self.payload))
+
+    def __repr__(self) -> str:
+        return f"Envelope(k={self.round_no}, |M|={len(self.payload)})"
+
+
+def merge_payloads(envelopes: Iterable[Envelope]) -> FrozenSet[Hashable]:
+    """Union the payloads of several envelopes (all rounds mixed).
+
+    Convenience for tests and checkers; the automaton itself merges per
+    round slot.
+    """
+    merged: set[Hashable] = set()
+    for envelope in envelopes:
+        merged |= envelope.payload
+    return frozenset(merged)
+
+
+def payload_size(obj: object) -> int:
+    """A structural size proxy: the number of atoms in a message.
+
+    Counts every atomic constituent of nested tuples/frozensets/dicts.
+    Used by the metrics layer to quantify the growth of Algorithm 3's
+    histories and counter maps (experiment T3) without depending on any
+    particular wire encoding.
+    """
+    if isinstance(obj, (tuple, list, frozenset, set)):
+        return 1 + sum(payload_size(item) for item in obj)
+    if isinstance(obj, Mapping):
+        return 1 + sum(payload_size(k) + payload_size(v) for k, v in obj.items())
+    # Dataclass-ish algorithm messages expose their fields via
+    # ``__payload_fields__`` so the proxy can descend into them.
+    fields = getattr(obj, "__payload_fields__", None)
+    if fields is not None:
+        return 1 + sum(payload_size(getattr(obj, name)) for name in fields)
+    return 1

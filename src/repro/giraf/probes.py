@@ -1,0 +1,56 @@
+"""Probe algorithms: trivial GIRAF payloads for exercising transports.
+
+These carry no protocol logic — they exist so schedulers, environments
+and emulations can be tested independently of the consensus machinery.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List, Mapping
+
+from repro.giraf.automaton import GirafAlgorithm, InboxView
+
+__all__ = ["EchoProbe", "CountingProbe"]
+
+
+class EchoProbe(GirafAlgorithm):
+    """Broadcasts ``(tag, round)`` each round and remembers what it saw.
+
+    Distinct tags make every process's messages unique (no anonymous
+    merging); identical tags exercise the merge semantics.
+    """
+
+    def __init__(self, tag: Hashable):
+        super().__init__()
+        self.tag = tag
+        self.seen: List[FrozenSet[Hashable]] = []
+
+    def initialize(self) -> Hashable:
+        return (self.tag, 1)
+
+    def compute(self, k: int, inbox: InboxView) -> Hashable:
+        self.seen.append(inbox.received(k))
+        return (self.tag, k + 1)
+
+    def snapshot(self) -> Mapping[str, object]:
+        return {"rounds_seen": len(self.seen)}
+
+
+class CountingProbe(GirafAlgorithm):
+    """Broadcasts how many distinct messages it has ever received.
+
+    All instances are anonymous clones (identical initial state), so
+    two processes that have seen the same history send *identical*
+    messages — the strongest merge stress for the transport.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.total_seen = 0
+
+    def initialize(self) -> Hashable:
+        return ("count", 0)
+
+    def compute(self, k: int, inbox: InboxView) -> Hashable:
+        self.total_seen += len(inbox.received(k))
+        return ("count", self.total_seen)

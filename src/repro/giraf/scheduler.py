@@ -1,0 +1,567 @@
+"""Schedulers: drive GIRAF automata through an environment.
+
+Two schedulers are provided.
+
+:class:`LockStepScheduler`
+    All processes fire their ``end-of-round`` together at integer
+    ticks.  Deliveries either happen within the tick (timely) or are
+    queued for a later tick (late).  This is the workhorse for the
+    benchmarks: fast, fully deterministic, and sufficient because the
+    paper's environment properties are exactly about per-round
+    timeliness, not about real time.
+
+:class:`DriftingScheduler`
+    An event-driven scheduler in continuous time where processes run at
+    different speeds, so local rounds genuinely drift apart and late
+    messages land in old round slots while a process is several rounds
+    ahead.  The environment's obligations are enforced by *gating*: a
+    process may not execute ``compute(k, ·)`` until the obligatory
+    round-``k`` envelopes have reached it (in GIRAF terms, the
+    environment simply schedules ``end-of-round`` after the relevant
+    ``receive`` actions — the environment controls both).
+
+Both produce the same :class:`~repro.giraf.traces.RunTrace` format, and
+both compute every delivery's *timely* flag from ground truth (did it
+land before the receiver's ``compute(k, ·)``?) so the checkers in
+:mod:`repro.giraf.checkers` validate the schedulers as much as the
+algorithms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.giraf.adversary import NEVER_DELIVERED, CrashSchedule
+from repro.giraf.automaton import GirafAlgorithm, GirafProcess
+from repro.giraf.environments import Environment
+from repro.giraf.messages import Envelope
+from repro.giraf.traces import (
+    CrashEvent,
+    DecisionEvent,
+    DeliveryEvent,
+    HaltEvent,
+    RunTrace,
+    SendEvent,
+)
+
+__all__ = ["LockStepScheduler", "DriftingScheduler"]
+
+StopPredicate = Callable[[RunTrace], bool]
+
+
+def _poll_decision(
+    trace: RunTrace, proc: GirafProcess, recorded: Set[int], time: float
+) -> None:
+    """Record a decision if the algorithm exposes one (duck-typed)."""
+    if proc.pid in recorded:
+        return
+    decision = getattr(proc.algorithm, "decision", None)
+    if decision is None:
+        return
+    round_no = getattr(proc.algorithm, "decision_round", None)
+    trace.decisions.append(
+        DecisionEvent(
+            pid=proc.pid,
+            value=decision,
+            round_no=round_no if round_no is not None else proc.round,
+            time=time,
+        )
+    )
+    recorded.add(proc.pid)
+
+
+def _initial_values(trace: RunTrace, algorithms: Sequence[GirafAlgorithm]) -> None:
+    for pid, algorithm in enumerate(algorithms):
+        value = getattr(algorithm, "initial_value", None)
+        if value is not None:
+            trace.initial_values[pid] = value
+
+
+class LockStepScheduler:
+    """Synchronized global rounds with controlled per-message lateness.
+
+    Tick ``t`` (``t = 1, 2, …``):
+
+    1. flush late deliveries due at ``t``;
+    2. apply before-send crashes scheduled for round ``t``;
+    3. every active process fires its ``end-of-round`` (entering round
+       ``t`` and executing ``compute(t-1, ·)`` for ``t ≥ 2``);
+    4. apply after-send crashes scheduled for round ``t``;
+    5. ask the environment for the round plan and deliver: obligatory
+       (and lucky extra) links within the tick, the rest queued with
+       the environment's delay.
+
+    ``max_rounds`` bounds the number of ticks.
+    """
+
+    def __init__(
+        self,
+        algorithms: Sequence[GirafAlgorithm],
+        environment: Environment,
+        crash_schedule: Optional[CrashSchedule] = None,
+        *,
+        max_rounds: int = 200,
+        stop_when: Optional[StopPredicate] = None,
+        record_snapshots: bool = False,
+    ):
+        if not algorithms:
+            raise SimulationError("need at least one process")
+        if max_rounds < 1:
+            raise SimulationError("max_rounds must be >= 1")
+        self._algorithms = list(algorithms)
+        self._environment = environment
+        self._crashes = crash_schedule or CrashSchedule.none()
+        self._crashes.validate(len(self._algorithms))
+        self._max_rounds = max_rounds
+        self._stop_when = stop_when
+        self._record_snapshots = record_snapshots
+        self.processes = [
+            GirafProcess(pid, algorithm) for pid, algorithm in enumerate(self._algorithms)
+        ]
+
+        self._trace: Optional[RunTrace] = None
+        self._tick = 0
+        self._decided: Set[int] = set()
+        self._halted_recorded: Set[int] = set()
+        # due tick -> list of (receiver, envelope, sender, sent_tick)
+        self._pending: Dict[int, List[Tuple[int, Envelope, int, int]]] = {}
+
+    @property
+    def trace(self) -> RunTrace:
+        """The trace being built (created lazily on first access)."""
+        if self._trace is None:
+            n = len(self.processes)
+            self._trace = RunTrace(n=n, correct=self._crashes.correct_set(n))
+            _initial_values(self._trace, self._algorithms)
+        return self._trace
+
+    def step(self) -> bool:
+        """Advance one tick; return False once the run is over.
+
+        Exposed so synchronous facades (e.g. the weak-set cluster) can
+        interleave application operations with round advancement.
+        """
+        if self._tick >= self._max_rounds:
+            return False
+        trace = self.trace
+        self._tick += 1
+        tick = self._tick
+        self._flush_late(trace, self._pending, tick)
+        self._apply_crashes(trace, tick, before_send=True)
+
+        envelopes = self._fire_round(trace, tick, self._decided, self._halted_recorded)
+        self._apply_crashes(trace, tick, before_send=False)
+        self._deliver(trace, self._pending, tick, envelopes)
+
+        if not any(proc.active for proc in self.processes):
+            return False
+        if self._stop_when is not None and self._stop_when(trace):
+            return False
+        return True
+
+    def run(self) -> RunTrace:
+        while self.step():
+            pass
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def _flush_late(
+        self,
+        trace: RunTrace,
+        pending: Dict[int, List[Tuple[int, Envelope, int, int]]],
+        tick: int,
+    ) -> None:
+        for receiver, envelope, sender, sent_tick in pending.pop(tick, ()):
+            proc = self.processes[receiver]
+            timely = not proc.has_computed(envelope.round_no)
+            if proc.active:
+                proc.receive(envelope)
+            trace.deliveries.append(
+                DeliveryEvent(
+                    sender=sender,
+                    receiver=receiver,
+                    round_no=envelope.round_no,
+                    sent_time=float(sent_tick),
+                    delivered_time=float(tick),
+                    timely=timely and proc.active,
+                )
+            )
+
+    def _apply_crashes(self, trace: RunTrace, tick: int, *, before_send: bool) -> None:
+        for proc in self.processes:
+            if proc.crashed or proc.halted:
+                continue
+            plan = self._crashes.plan_for(proc.pid)
+            if plan is not None and plan.round_no == tick and plan.before_send == before_send:
+                proc.crash()
+                trace.crashes.append(
+                    CrashEvent(
+                        pid=proc.pid, round_no=tick, time=float(tick), before_send=before_send
+                    )
+                )
+
+    def _fire_round(
+        self,
+        trace: RunTrace,
+        tick: int,
+        decided: Set[int],
+        halted_recorded: Set[int],
+    ) -> Dict[int, Envelope]:
+        envelopes: Dict[int, Envelope] = {}
+        for proc in self.processes:
+            if not proc.active:
+                continue
+            envelope = proc.end_of_round()
+            if tick >= 2:
+                trace.record_compute(proc.pid, tick - 1, float(tick))
+                if self._record_snapshots:
+                    trace.record_snapshot(proc.pid, tick - 1, proc.algorithm.snapshot())
+            _poll_decision(trace, proc, decided, float(tick))
+            if envelope is None:
+                # the algorithm halted during compute (decide; halt)
+                if proc.pid not in halted_recorded:
+                    trace.halts.append(
+                        HaltEvent(pid=proc.pid, round_no=proc.round, time=float(tick))
+                    )
+                    halted_recorded.add(proc.pid)
+                continue
+            trace.record_round_entry(proc.pid, envelope.round_no, float(tick))
+            trace.sends.append(
+                SendEvent(
+                    pid=proc.pid,
+                    round_no=envelope.round_no,
+                    time=float(tick),
+                    payload=envelope.payload,
+                )
+            )
+            envelopes[proc.pid] = envelope
+        return envelopes
+
+    def _deliver(
+        self,
+        trace: RunTrace,
+        pending: Dict[int, List[Tuple[int, Envelope, int, int]]],
+        tick: int,
+        envelopes: Dict[int, Envelope],
+    ) -> None:
+        if not envelopes:
+            return
+        correct_senders = sorted(
+            pid for pid in envelopes if pid in trace.correct
+        )
+        candidates = correct_senders or sorted(envelopes)
+        plan = self._environment.plan_round(tick, candidates)
+        if plan.source is not None:
+            trace.declared_sources[tick] = plan.source
+
+        receivers = [proc for proc in self.processes if proc.active]
+        for sender, envelope in envelopes.items():
+            obligatory = sender in plan.obligatory
+            for proc in receivers:
+                if proc.pid == sender:
+                    continue
+                if obligatory or self._environment.extra_timely(tick, sender, proc.pid):
+                    proc.receive(envelope)
+                    trace.deliveries.append(
+                        DeliveryEvent(
+                            sender=sender,
+                            receiver=proc.pid,
+                            round_no=envelope.round_no,
+                            sent_time=float(tick),
+                            delivered_time=float(tick),
+                            timely=True,
+                        )
+                    )
+                else:
+                    delay = self._environment.delay_ticks(tick, sender, proc.pid)
+                    due = tick + delay
+                    if due <= self._max_rounds and delay < NEVER_DELIVERED:
+                        pending.setdefault(due, []).append(
+                            (proc.pid, envelope, sender, tick)
+                        )
+
+
+class _Gate:
+    """Round-``k`` obligations a process must receive before computing ``k``."""
+
+    __slots__ = ("round_no", "awaiting")
+
+    def __init__(self, round_no: int, awaiting: Set[int]):
+        self.round_no = round_no
+        self.awaiting = awaiting
+
+
+class DriftingScheduler:
+    """Continuous-time scheduler with per-process speeds and gating.
+
+    Each process ``p`` nominally fires its ``t``-th ``end-of-round`` at
+    ``phase[p] + t * period[p]``.  Before executing ``compute(k, ·)``
+    (its ``(k+1)``-th end-of-round) it must have received the round-``k``
+    envelopes of the environment's obligatory senders for round ``k``;
+    if they have not arrived, the end-of-round is postponed until they
+    do — GIRAF's environment controls ``end-of-round``, so holding it
+    back is exactly how a constructive environment realizes its own
+    timeliness promises.
+
+    Obligations are planned lazily per round and re-planned when an
+    obligatory sender halts or crashes before sending that round (the
+    replacement is an active correct process that has not passed the
+    round yet; see DESIGN.md §4 on halting).
+    """
+
+    def __init__(
+        self,
+        algorithms: Sequence[GirafAlgorithm],
+        environment: Environment,
+        crash_schedule: Optional[CrashSchedule] = None,
+        *,
+        periods: Optional[Sequence[float]] = None,
+        phases: Optional[Sequence[float]] = None,
+        max_rounds: int = 200,
+        stop_when: Optional[StopPredicate] = None,
+        record_snapshots: bool = False,
+    ):
+        if not algorithms:
+            raise SimulationError("need at least one process")
+        n = len(algorithms)
+        self._algorithms = list(algorithms)
+        self._environment = environment
+        self._crashes = crash_schedule or CrashSchedule.none()
+        self._crashes.validate(n)
+        self._max_rounds = max_rounds
+        self._stop_when = stop_when
+        self._record_snapshots = record_snapshots
+        self.processes = [GirafProcess(pid, alg) for pid, alg in enumerate(algorithms)]
+        if periods is None:
+            periods = [1.0 + 0.13 * pid for pid in range(n)]
+        if phases is None:
+            phases = [0.01 * pid for pid in range(n)]
+        if len(periods) != n or len(phases) != n:
+            raise SimulationError("periods/phases must match the process count")
+        if any(p <= 0 for p in periods):
+            raise SimulationError("periods must be positive")
+        self._periods = list(periods)
+        self._phases = list(phases)
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunTrace:
+        n = len(self.processes)
+        trace = RunTrace(n=n, correct=self._crashes.correct_set(n))
+        _initial_values(trace, self._algorithms)
+        decided: Set[int] = set()
+        seq = itertools.count()
+        # heap of (time, seq, kind, data); kinds: "eor" / "deliver"
+        heap: List[Tuple[float, int, str, tuple]] = []
+        # round -> set of obligatory sender pids (mutable, re-plannable)
+        obligations: Dict[int, Set[int]] = {}
+        declared: Dict[int, int] = {}
+        # pid -> _Gate when the process is parked waiting for obligations
+        waiting: Dict[int, _Gate] = {}
+        # pid -> rounds for which each obligatory envelope has arrived
+        received_from_obligatory: Dict[int, Dict[int, Set[int]]] = {
+            pid: {} for pid in range(n)
+        }
+        stopped = False
+
+        def nominal_time(pid: int, invocation: int) -> float:
+            return self._phases[pid] + invocation * self._periods[pid]
+
+        def plan_obligations(round_no: int) -> Set[int]:
+            """Plan (or fetch) the obligatory senders of ``round_no``."""
+            if round_no in obligations:
+                return obligations[round_no]
+            candidates = sorted(
+                proc.pid
+                for proc in self.processes
+                if proc.active and proc.pid in trace.correct and proc.round <= round_no
+            )
+            if not candidates:
+                candidates = sorted(
+                    proc.pid for proc in self.processes if proc.active
+                )
+            if not candidates:
+                obligations[round_no] = set()
+                return obligations[round_no]
+            plan = self._environment.plan_round(round_no, candidates)
+            obligations[round_no] = set(plan.obligatory)
+            if plan.source is not None:
+                declared[round_no] = plan.source
+                trace.declared_sources.setdefault(round_no, plan.source)
+            return obligations[round_no]
+
+        def gate_satisfied(pid: int, round_no: int) -> bool:
+            if round_no < 1:
+                return True
+            needed = plan_obligations(round_no)
+            got = received_from_obligatory[pid].get(round_no, set())
+            return all(s == pid or s in got for s in needed)
+
+        def replan_after_exit(exited: int, now: float) -> None:
+            """Drop an exited process from unfulfilled obligations."""
+            exited_round = self.processes[exited].round
+            for round_no, needed in list(obligations.items()):
+                if exited in needed and exited_round < round_no:
+                    needed.discard(exited)
+                    if not needed:
+                        candidates = sorted(
+                            proc.pid
+                            for proc in self.processes
+                            if proc.active
+                            and proc.pid in trace.correct
+                            and proc.round <= round_no
+                        )
+                        if candidates:
+                            plan = self._environment.plan_round(round_no, candidates)
+                            needed.update(plan.obligatory)
+                            if plan.source is not None:
+                                declared[round_no] = plan.source
+            release_waiters(now)
+
+        def release_waiters(now: Optional[float] = None) -> None:
+            for pid, gate in list(waiting.items()):
+                if gate_satisfied(pid, gate.round_no):
+                    del waiting[pid]
+                    invocation = gate.round_no + 1
+                    when = nominal_time(pid, invocation)
+                    if now is not None and when < now:
+                        when = now
+                    heapq.heappush(
+                        heap, (when, next(seq), "eor", (pid, invocation))
+                    )
+
+        def broadcast(proc: GirafProcess, envelope: Envelope, now: float) -> None:
+            round_no = envelope.round_no
+            needed = plan_obligations(round_no)
+            obligatory = proc.pid in needed
+            for other in self.processes:
+                if other.pid == proc.pid:
+                    continue
+                if obligatory or self._environment.extra_timely(
+                    round_no, proc.pid, other.pid
+                ):
+                    latency = self._environment.timely_latency(
+                        round_no, proc.pid, other.pid
+                    )
+                else:
+                    latency = self._environment.late_latency(
+                        round_no, proc.pid, other.pid
+                    )
+                if latency >= NEVER_DELIVERED:
+                    continue
+                heapq.heappush(
+                    heap,
+                    (
+                        now + latency,
+                        next(seq),
+                        "deliver",
+                        (proc.pid, other.pid, envelope, now),
+                    ),
+                )
+
+        # seed the first end-of-round of every process
+        for pid in range(n):
+            heapq.heappush(heap, (nominal_time(pid, 1), next(seq), "eor", (pid, 1)))
+
+        while heap and not stopped:
+            now, _, kind, data = heapq.heappop(heap)
+            if kind == "deliver":
+                sender, receiver, envelope, sent_time = data
+                proc = self.processes[receiver]
+                timely = proc.active and not proc.has_computed(envelope.round_no)
+                if proc.active:
+                    proc.receive(envelope)
+                    received_from_obligatory[receiver].setdefault(
+                        envelope.round_no, set()
+                    ).add(sender)
+                trace.deliveries.append(
+                    DeliveryEvent(
+                        sender=sender,
+                        receiver=receiver,
+                        round_no=envelope.round_no,
+                        sent_time=sent_time,
+                        delivered_time=now,
+                        timely=timely,
+                    )
+                )
+                release_waiters(now)
+                continue
+
+            pid, invocation = data
+            proc = self.processes[pid]
+            if not proc.active or proc.round != invocation - 1:
+                continue
+            if invocation > self._max_rounds:
+                continue
+
+            crash_plan = self._crashes.plan_for(pid)
+            if (
+                crash_plan is not None
+                and crash_plan.round_no == invocation
+                and crash_plan.before_send
+            ):
+                proc.crash()
+                trace.crashes.append(
+                    CrashEvent(pid=pid, round_no=invocation, time=now, before_send=True)
+                )
+                replan_after_exit(pid, now)
+                continue
+
+            computing = invocation - 1
+            if computing >= 1 and not gate_satisfied(pid, computing):
+                waiting[pid] = _Gate(
+                    computing,
+                    set(plan_obligations(computing)),
+                )
+                continue
+
+            envelope = proc.end_of_round()
+            if computing >= 1:
+                trace.record_compute(pid, computing, now)
+                if self._record_snapshots:
+                    trace.record_snapshot(pid, computing, proc.algorithm.snapshot())
+            _poll_decision(trace, proc, decided, now)
+            if envelope is None:
+                trace.halts.append(HaltEvent(pid=pid, round_no=proc.round, time=now))
+                replan_after_exit(pid, now)
+            else:
+                trace.record_round_entry(pid, envelope.round_no, now)
+                trace.sends.append(
+                    SendEvent(
+                        pid=pid,
+                        round_no=envelope.round_no,
+                        time=now,
+                        payload=envelope.payload,
+                    )
+                )
+                broadcast(proc, envelope, now)
+                if (
+                    crash_plan is not None
+                    and crash_plan.round_no == invocation
+                    and not crash_plan.before_send
+                ):
+                    proc.crash()
+                    trace.crashes.append(
+                        CrashEvent(
+                            pid=pid, round_no=invocation, time=now, before_send=False
+                        )
+                    )
+                    replan_after_exit(pid, now)
+                else:
+                    heapq.heappush(
+                        heap,
+                        (
+                            nominal_time(pid, invocation + 1),
+                            next(seq),
+                            "eor",
+                            (pid, invocation + 1),
+                        ),
+                    )
+
+            if self._stop_when is not None and self._stop_when(trace):
+                stopped = True
+            if not any(p.active for p in self.processes):
+                stopped = True
+        return trace

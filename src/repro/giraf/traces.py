@@ -1,0 +1,225 @@
+"""Run traces: the complete observable record of a simulated run.
+
+Every scheduler produces a :class:`RunTrace`.  Traces are the common
+currency of the library: the environment checkers
+(:mod:`repro.giraf.checkers`), the consensus checkers
+(:mod:`repro.core.checkers`), the metrics layer (:mod:`repro.sim.metrics`)
+and the experiment harness all consume them.
+
+A trace records, per event:
+
+* round entries (``end-of-round`` invocations) and the computes they
+  perform,
+* sends (with the full payload object, enabling message-size studies),
+* deliveries, each flagged *timely* iff it landed before the receiver
+  executed ``compute(k, ·)`` for the message's round ``k``,
+* crashes, halts, and decisions,
+* the source the environment *declared* for each round (debugging aid —
+  checkers recompute sources from deliveries and never trust this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+__all__ = [
+    "CrashEvent",
+    "DecisionEvent",
+    "DeliveryEvent",
+    "HaltEvent",
+    "RunTrace",
+    "SendEvent",
+]
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """A broadcast: process ``pid`` sent ``⟨payload, round_no⟩`` at ``time``."""
+
+    pid: int
+    round_no: int
+    time: float
+    payload: FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """One delivery of a round-``round_no`` envelope to ``receiver``."""
+
+    sender: int
+    receiver: int
+    round_no: int
+    sent_time: float
+    delivered_time: float
+    timely: bool
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    pid: int
+    round_no: int
+    time: float
+    before_send: bool
+
+
+@dataclass(frozen=True)
+class HaltEvent:
+    pid: int
+    round_no: int
+    time: float
+
+
+@dataclass(frozen=True)
+class DecisionEvent:
+    pid: int
+    value: Hashable
+    round_no: int
+    time: float
+
+
+@dataclass
+class RunTrace:
+    """The observable record of one run.
+
+    Attributes:
+        n: number of processes in the system.
+        correct: pids that never crash in this run (per the adversary's
+            schedule; processes the run ended before crashing still
+            count as faulty if a crash was scheduled within the run).
+        rounds_executed: highest round any process entered.
+    """
+
+    n: int
+    correct: FrozenSet[int]
+    rounds_executed: int = 0
+    sends: List[SendEvent] = field(default_factory=list)
+    deliveries: List[DeliveryEvent] = field(default_factory=list)
+    crashes: List[CrashEvent] = field(default_factory=list)
+    halts: List[HaltEvent] = field(default_factory=list)
+    decisions: List[DecisionEvent] = field(default_factory=list)
+    declared_sources: Dict[int, int] = field(default_factory=dict)
+    initial_values: Dict[int, Hashable] = field(default_factory=dict)
+    snapshots: Dict[int, Dict[int, Mapping[str, object]]] = field(default_factory=dict)
+    # pid -> {round k entered: time}; entering round k means firing the
+    # k-th end-of-round.
+    round_entries: Dict[int, Dict[int, float]] = field(default_factory=dict)
+    # pid -> {round k: time compute(k, ·) executed}.
+    compute_times: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording helpers (called by schedulers)
+    # ------------------------------------------------------------------
+    def record_round_entry(self, pid: int, round_no: int, time: float) -> None:
+        self.round_entries.setdefault(pid, {})[round_no] = time
+        if round_no > self.rounds_executed:
+            self.rounds_executed = round_no
+
+    def record_compute(self, pid: int, round_no: int, time: float) -> None:
+        self.compute_times.setdefault(pid, {})[round_no] = time
+
+    def record_snapshot(
+        self, pid: int, round_no: int, snapshot: Optional[Mapping[str, object]]
+    ) -> None:
+        if snapshot is not None:
+            self.snapshots.setdefault(pid, {})[round_no] = dict(snapshot)
+
+    # ------------------------------------------------------------------
+    # queries (used by checkers, metrics, experiments)
+    # ------------------------------------------------------------------
+    def entered(self, round_no: int) -> FrozenSet[int]:
+        """Pids that fired their ``round_no``-th end-of-round."""
+        return frozenset(
+            pid for pid, rounds in self.round_entries.items() if round_no in rounds
+        )
+
+    def computed(self, round_no: int) -> FrozenSet[int]:
+        """Pids that executed ``compute(round_no, ·)``.
+
+        These are exactly the processes the paper's per-round lemmas
+        quantify over ("every process p_j that enters round k" and then
+        evaluates its state in that round).
+        """
+        return frozenset(
+            pid for pid, rounds in self.compute_times.items() if round_no in rounds
+        )
+
+    def timely_receivers(self, sender: int, round_no: int) -> FrozenSet[int]:
+        """Receivers that got ``sender``'s round-``round_no`` envelope timely.
+
+        The sender itself always counts: its own algorithm message is
+        placed in its slot ``M[k]`` at round entry by the automaton.
+        """
+        receivers: Set[int] = set()
+        for event in self.deliveries:
+            if event.sender == sender and event.round_no == round_no and event.timely:
+                receivers.add(event.receiver)
+        if round_no in self.round_entries.get(sender, {}):
+            receivers.add(sender)
+        return frozenset(receivers)
+
+    def senders_of_round(self, round_no: int) -> FrozenSet[int]:
+        """Pids that actually broadcast an envelope for ``round_no``."""
+        return frozenset(s.pid for s in self.sends if s.round_no == round_no)
+
+    def decision_of(self, pid: int) -> Optional[DecisionEvent]:
+        for event in self.decisions:
+            if event.pid == pid:
+                return event
+        return None
+
+    def decided_values(self) -> FrozenSet[Hashable]:
+        return frozenset(event.value for event in self.decisions)
+
+    def decided_pids(self) -> FrozenSet[int]:
+        return frozenset(event.pid for event in self.decisions)
+
+    def crashed_pids(self) -> FrozenSet[int]:
+        return frozenset(event.pid for event in self.crashes)
+
+    def first_decision_round(self) -> Optional[int]:
+        if not self.decisions:
+            return None
+        return min(event.round_no for event in self.decisions)
+
+    def last_decision_round(self) -> Optional[int]:
+        if not self.decisions:
+            return None
+        return max(event.round_no for event in self.decisions)
+
+    def all_correct_decided(self) -> bool:
+        return self.correct <= self.decided_pids()
+
+    def message_count(self) -> int:
+        """Total number of point-to-point deliveries in the run."""
+        return len(self.deliveries)
+
+    def send_count(self) -> int:
+        return len(self.sends)
+
+    def max_round_of(self, pid: int) -> int:
+        rounds = self.round_entries.get(pid)
+        return max(rounds) if rounds else 0
+
+    def snapshot_series(self, key: str) -> Dict[int, List[Tuple[int, object]]]:
+        """Per-pid ``(round, value)`` series for one snapshot key."""
+        series: Dict[int, List[Tuple[int, object]]] = {}
+        for pid, per_round in self.snapshots.items():
+            points = [
+                (round_no, snap[key])
+                for round_no, snap in sorted(per_round.items())
+                if key in snap
+            ]
+            if points:
+                series[pid] = points
+        return series
+
+    def summary(self) -> str:
+        """A short human-readable digest (used by examples and logs)."""
+        decided = sorted((e.pid, e.value, e.round_no) for e in self.decisions)
+        return (
+            f"RunTrace(n={self.n}, correct={sorted(self.correct)}, "
+            f"rounds={self.rounds_executed}, sends={len(self.sends)}, "
+            f"deliveries={len(self.deliveries)}, crashes={len(self.crashes)}, "
+            f"decisions={decided})"
+        )

@@ -1,0 +1,228 @@
+"""Trace serialization: save and reload runs as JSON.
+
+Run traces are the library's evidence format — checkers, metrics and
+experiments all consume them — so being able to archive a run (a
+violating schedule found by a search, a benchmark's raw trace) and
+reload it later for inspection matters.  The obstacle is that message
+payloads are arbitrary nested frozen structures (frozensets, tuples,
+``⊥``, the algorithm message dataclasses, counter maps); JSON knows
+none of them.  This module provides a **tagged codec** with a registry
+covering every message type the library ships, extensible for user
+algorithm messages via :func:`register_codec`.
+
+Round-trip guarantee: ``trace_from_json(trace_to_json(t))`` reproduces
+every event, with payload objects comparing equal to the originals —
+property-tested in ``tests/test_serialization.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.counters import FrozenCounters
+from repro.core.ess_consensus import EssMessage
+from repro.core.pseudo_leader import HeartbeatMessage
+from repro.baselines.known_ids import IdMessage
+from repro.errors import ReproError
+from repro.giraf.traces import (
+    CrashEvent,
+    DecisionEvent,
+    DeliveryEvent,
+    HaltEvent,
+    RunTrace,
+    SendEvent,
+)
+from repro.values import BOTTOM, Bottom
+
+__all__ = [
+    "SerializationError",
+    "register_codec",
+    "encode_value",
+    "decode_value",
+    "trace_to_dict",
+    "trace_from_dict",
+    "trace_to_json",
+    "trace_from_json",
+]
+
+
+class SerializationError(ReproError):
+    """A value could not be encoded or decoded."""
+
+
+Encoder = Callable[[Any], Any]
+Decoder = Callable[[Any], Any]
+
+#: tag -> (type, encode_payload, decode_payload)
+_CODECS: Dict[str, Tuple[type, Encoder, Decoder]] = {}
+
+
+def register_codec(tag: str, cls: type, encode: Encoder, decode: Decoder) -> None:
+    """Register a codec for a custom message type.
+
+    ``encode`` maps an instance to JSON-able *via* :func:`encode_value`
+    for nested fields; ``decode`` inverts it (receiving already-decoded
+    fields).
+    """
+    if tag in _CODECS and _CODECS[tag][0] is not cls:
+        raise SerializationError(f"tag {tag!r} already registered")
+    _CODECS[tag] = (cls, encode, decode)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode an arbitrary payload value into JSON-able structure."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Bottom):
+        return {"__t": "bottom"}
+    if isinstance(value, tuple):
+        return {"__t": "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        return {"__t": "fset", "v": [encode_value(item) for item in value]}
+    for tag, (cls, encode, _decode) in _CODECS.items():
+        if isinstance(value, cls):
+            return {"__t": tag, "v": encode(value)}
+    raise SerializationError(f"no codec for {type(value).__name__}: {value!r}")
+
+
+def decode_value(blob: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if blob is None or isinstance(blob, (bool, int, float, str)):
+        return blob
+    if isinstance(blob, dict) and "__t" in blob:
+        tag = blob["__t"]
+        if tag == "bottom":
+            return BOTTOM
+        if tag == "tuple":
+            return tuple(decode_value(item) for item in blob["v"])
+        if tag == "fset":
+            return frozenset(decode_value(item) for item in blob["v"])
+        if tag in _CODECS:
+            _cls, _encode, decode = _CODECS[tag]
+            return decode(blob["v"])
+        raise SerializationError(f"unknown tag {tag!r}")
+    raise SerializationError(f"cannot decode {blob!r}")
+
+
+# ----------------------------------------------------------------------
+# built-in message codecs
+# ----------------------------------------------------------------------
+register_codec(
+    "counters",
+    FrozenCounters,
+    lambda c: [[encode_value(h), n] for h, n in sorted(c.items())],
+    lambda v: FrozenCounters({decode_value(h): n for h, n in v}),
+)
+register_codec(
+    "ess",
+    EssMessage,
+    lambda m: [encode_value(m.proposed), encode_value(m.history), encode_value(m.counters)],
+    lambda v: EssMessage(decode_value(v[0]), decode_value(v[1]), decode_value(v[2])),
+)
+register_codec(
+    "hb",
+    HeartbeatMessage,
+    lambda m: [encode_value(m.history), encode_value(m.counters)],
+    lambda v: HeartbeatMessage(decode_value(v[0]), decode_value(v[1])),
+)
+register_codec(
+    "id",
+    IdMessage,
+    lambda m: [m.pid, encode_value(m.proposed), encode_value(m.counts)],
+    lambda v: IdMessage(v[0], decode_value(v[1]), decode_value(v[2])),
+)
+
+
+# ----------------------------------------------------------------------
+# trace <-> dict
+# ----------------------------------------------------------------------
+def trace_to_dict(trace: RunTrace) -> Dict[str, Any]:
+    """A JSON-able dictionary capturing the full trace."""
+    return {
+        "n": trace.n,
+        "correct": sorted(trace.correct),
+        "rounds_executed": trace.rounds_executed,
+        "sends": [
+            [s.pid, s.round_no, s.time, encode_value(s.payload)] for s in trace.sends
+        ],
+        "deliveries": [
+            [d.sender, d.receiver, d.round_no, d.sent_time, d.delivered_time, d.timely]
+            for d in trace.deliveries
+        ],
+        "crashes": [
+            [c.pid, c.round_no, c.time, c.before_send] for c in trace.crashes
+        ],
+        "halts": [[h.pid, h.round_no, h.time] for h in trace.halts],
+        "decisions": [
+            [d.pid, encode_value(d.value), d.round_no, d.time] for d in trace.decisions
+        ],
+        "declared_sources": {str(k): v for k, v in trace.declared_sources.items()},
+        "initial_values": {
+            str(pid): encode_value(value)
+            for pid, value in trace.initial_values.items()
+        },
+        "round_entries": {
+            str(pid): {str(k): t for k, t in rounds.items()}
+            for pid, rounds in trace.round_entries.items()
+        },
+        "compute_times": {
+            str(pid): {str(k): t for k, t in rounds.items()}
+            for pid, rounds in trace.compute_times.items()
+        },
+        "snapshots": {
+            str(pid): {
+                str(k): {key: encode_value(val) for key, val in snap.items()}
+                for k, snap in rounds.items()
+            }
+            for pid, rounds in trace.snapshots.items()
+        },
+    }
+
+
+def trace_from_dict(blob: Dict[str, Any]) -> RunTrace:
+    """Rebuild a :class:`RunTrace` from :func:`trace_to_dict` output."""
+    trace = RunTrace(n=blob["n"], correct=frozenset(blob["correct"]))
+    trace.rounds_executed = blob["rounds_executed"]
+    for pid, round_no, time, payload in blob["sends"]:
+        trace.sends.append(SendEvent(pid, round_no, time, decode_value(payload)))
+    for sender, receiver, round_no, sent, delivered, timely in blob["deliveries"]:
+        trace.deliveries.append(
+            DeliveryEvent(sender, receiver, round_no, sent, delivered, timely)
+        )
+    for pid, round_no, time, before_send in blob["crashes"]:
+        trace.crashes.append(CrashEvent(pid, round_no, time, before_send))
+    for pid, round_no, time in blob["halts"]:
+        trace.halts.append(HaltEvent(pid, round_no, time))
+    for pid, value, round_no, time in blob["decisions"]:
+        trace.decisions.append(DecisionEvent(pid, decode_value(value), round_no, time))
+    trace.declared_sources = {int(k): v for k, v in blob["declared_sources"].items()}
+    trace.initial_values = {
+        int(pid): decode_value(value) for pid, value in blob["initial_values"].items()
+    }
+    trace.round_entries = {
+        int(pid): {int(k): t for k, t in rounds.items()}
+        for pid, rounds in blob["round_entries"].items()
+    }
+    trace.compute_times = {
+        int(pid): {int(k): t for k, t in rounds.items()}
+        for pid, rounds in blob["compute_times"].items()
+    }
+    trace.snapshots = {
+        int(pid): {
+            int(k): {key: decode_value(val) for key, val in snap.items()}
+            for k, snap in rounds.items()
+        }
+        for pid, rounds in blob["snapshots"].items()
+    }
+    return trace
+
+
+def trace_to_json(trace: RunTrace, *, indent: int | None = None) -> str:
+    """Serialize a trace to a JSON string."""
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+def trace_from_json(text: str) -> RunTrace:
+    """Parse a trace serialized with :func:`trace_to_json`."""
+    return trace_from_dict(json.loads(text))

@@ -1,0 +1,32 @@
+"""Shared-memory substrate: registers + interleaving simulator.
+
+Provides the atomic registers Propositions 2–3 assume, the regular
+register semantics Proposition 1 produces, and the seeded interleaving
+executor that drives generator-based shared-memory processes.
+"""
+
+from repro.sharedmem.histories import (
+    ReadRecord,
+    RegisterLog,
+    RegularityReport,
+    WriteRecord,
+    check_regular,
+    find_new_old_inversion,
+)
+from repro.sharedmem.objects import AtomicRegister, Invoke, RegularRegister
+from repro.sharedmem.simulator import Program, SharedMemorySimulator, TaskHandle
+
+__all__ = [
+    "AtomicRegister",
+    "Invoke",
+    "Program",
+    "ReadRecord",
+    "RegisterLog",
+    "RegularRegister",
+    "RegularityReport",
+    "SharedMemorySimulator",
+    "TaskHandle",
+    "WriteRecord",
+    "check_regular",
+    "find_new_old_inversion",
+]

@@ -1,0 +1,142 @@
+"""Register operation histories and the regularity checker.
+
+Used to validate Proposition 1's weak-set-backed register and the
+:class:`~repro.sharedmem.objects.RegularRegister` object itself.
+
+Regularity (generalized to multiple writers, following the standard
+"not overwritten" reading): a read ``R`` may return
+
+* the value of any write **overlapping** ``R``, or
+* the value of a write ``W`` that completed before ``R`` started and
+  was **not superseded** — no other write started after ``W``
+  completed and itself completed before ``R`` started — or
+* the initial value, when no write completed before ``R`` and the
+  above yields nothing.
+
+Atomicity (linearizability) additionally forbids new/old inversion;
+:func:`find_new_old_inversion` detects it, which is how the tests show
+the Proposition-1 register is regular but *not* atomic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Set, Tuple
+
+from repro.errors import SpecViolation
+
+__all__ = [
+    "WriteRecord",
+    "ReadRecord",
+    "RegisterLog",
+    "RegularityReport",
+    "check_regular",
+    "find_new_old_inversion",
+]
+
+
+@dataclass
+class WriteRecord:
+    pid: int
+    value: Hashable
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.end is not None
+
+
+@dataclass
+class ReadRecord:
+    pid: int
+    start: float
+    end: float
+    result: Hashable = None
+
+
+@dataclass
+class RegisterLog:
+    """Operation history of one register."""
+
+    initial: Hashable = None
+    writes: List[WriteRecord] = field(default_factory=list)
+    reads: List[ReadRecord] = field(default_factory=list)
+
+
+@dataclass
+class RegularityReport:
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise SpecViolation("register regularity violated: " + "; ".join(self.violations[:5]))
+
+
+def _allowed_values(log: RegisterLog, read: ReadRecord) -> Set[Hashable]:
+    allowed: Set[Hashable] = set()
+    preceding = [
+        w for w in log.writes if w.completed and w.end < read.start
+    ]
+    overlapping = [
+        w
+        for w in log.writes
+        if w.start <= read.end and (not w.completed or w.end >= read.start)
+    ]
+    for write in overlapping:
+        allowed.add(write.value)
+    # non-superseded preceding writes
+    for write in preceding:
+        superseded = any(
+            other is not write
+            and other.completed
+            and other.start > write.end
+            and other.end < read.start
+            for other in preceding
+        )
+        if not superseded:
+            allowed.add(write.value)
+    if not preceding:
+        allowed.add(log.initial)
+    return allowed
+
+
+def check_regular(log: RegisterLog) -> RegularityReport:
+    """Every read must return an allowed value (see module docstring)."""
+    report = RegularityReport(ok=True)
+    for read in log.reads:
+        allowed = _allowed_values(log, read)
+        if read.result not in allowed:
+            report.ok = False
+            report.violations.append(
+                f"read@{read.start} by p{read.pid} returned {read.result!r}; "
+                f"allowed {sorted(map(repr, allowed))}"
+            )
+    return report
+
+
+def find_new_old_inversion(log: RegisterLog) -> Optional[Tuple[ReadRecord, ReadRecord]]:
+    """Find two sequential reads where the later returns the older value.
+
+    Returns a pair ``(earlier_read, later_read)`` such that the earlier
+    read returned the value of a write ``W2`` while the later
+    (non-overlapping) read returned a value written strictly before
+    ``W2`` started — impossible for an atomic register, permitted for a
+    regular one.  ``None`` when no inversion is present.
+    """
+    writes_by_value = {}
+    for write in log.writes:
+        writes_by_value.setdefault(write.value, []).append(write)
+    ordered_reads = sorted(log.reads, key=lambda r: r.start)
+    for i, first in enumerate(ordered_reads):
+        for later in ordered_reads[i + 1 :]:
+            if later.start <= first.end:
+                continue  # overlapping reads: no ordering obligation
+            first_writes = writes_by_value.get(first.result, [])
+            later_writes = writes_by_value.get(later.result, [])
+            for w_first in first_writes:
+                for w_later in later_writes:
+                    if w_later.completed and w_later.end < w_first.start:
+                        return (first, later)
+    return None

@@ -1,0 +1,39 @@
+"""Simulation support: workloads, metrics, and high-level run drivers."""
+
+from repro.sim.metrics import (
+    ConsensusMetrics,
+    consensus_metrics,
+    mean_payload_by_round,
+    payload_growth,
+)
+from repro.sim.runner import (
+    ConsensusRun,
+    run_consensus,
+    run_es_consensus,
+    run_ess_consensus,
+    stop_when_all_correct_decided,
+)
+from repro.sim.workloads import (
+    binary_proposals,
+    clustered_proposals,
+    distinct_proposals,
+    identical_proposals,
+    sensor_readings,
+)
+
+__all__ = [
+    "ConsensusMetrics",
+    "ConsensusRun",
+    "binary_proposals",
+    "clustered_proposals",
+    "consensus_metrics",
+    "distinct_proposals",
+    "identical_proposals",
+    "mean_payload_by_round",
+    "payload_growth",
+    "run_consensus",
+    "run_es_consensus",
+    "run_ess_consensus",
+    "sensor_readings",
+    "stop_when_all_correct_decided",
+]

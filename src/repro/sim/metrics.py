@@ -1,0 +1,85 @@
+"""Metrics extracted from run traces.
+
+Everything the experiment tables report is computed here, from the
+trace alone: decision latencies (absolute and relative to the
+environment's stabilization point), message/delivery counts, and the
+structural payload sizes that quantify Algorithm 3's unbounded state
+(experiment T3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.giraf.messages import payload_size
+from repro.giraf.traces import RunTrace
+
+__all__ = ["ConsensusMetrics", "consensus_metrics", "payload_growth", "mean_payload_by_round"]
+
+
+@dataclass(frozen=True)
+class ConsensusMetrics:
+    """Headline numbers of one consensus run."""
+
+    n: int
+    correct_count: int
+    decided_count: int
+    all_correct_decided: bool
+    first_decision_round: Optional[int]
+    last_decision_round: Optional[int]
+    rounds_executed: int
+    sends: int
+    deliveries: int
+    #: rounds from the stabilization point (GST / stable round) to the
+    #: last correct decision; None when undecided or no reference given
+    latency_after_stabilization: Optional[int]
+
+    @property
+    def decided_fraction(self) -> float:
+        return self.decided_count / self.correct_count if self.correct_count else 0.0
+
+
+def consensus_metrics(
+    trace: RunTrace, *, stabilization_round: Optional[int] = None
+) -> ConsensusMetrics:
+    """Extract the headline numbers of one consensus run from its trace."""
+    last = trace.last_decision_round()
+    latency = None
+    if last is not None and stabilization_round is not None:
+        latency = max(0, last - stabilization_round)
+    return ConsensusMetrics(
+        n=trace.n,
+        correct_count=len(trace.correct),
+        decided_count=len(trace.decided_pids() & trace.correct),
+        all_correct_decided=trace.all_correct_decided(),
+        first_decision_round=trace.first_decision_round(),
+        last_decision_round=last,
+        rounds_executed=trace.rounds_executed,
+        sends=trace.send_count(),
+        deliveries=trace.message_count(),
+        latency_after_stabilization=latency,
+    )
+
+
+def payload_growth(trace: RunTrace) -> List[Tuple[int, int, float]]:
+    """Per-round (round, max, mean) structural payload size of sends.
+
+    The structural size counts atoms in the envelope payload (values,
+    history elements, counter entries) — a wire-encoding-independent
+    proxy for message length.
+    """
+    by_round: Dict[int, List[int]] = {}
+    for send in trace.sends:
+        by_round.setdefault(send.round_no, []).append(payload_size(send.payload))
+    series = []
+    for round_no in sorted(by_round):
+        sizes = by_round[round_no]
+        series.append((round_no, max(sizes), sum(sizes) / len(sizes)))
+    return series
+
+
+def mean_payload_by_round(trace: RunTrace, rounds: List[int]) -> List[float]:
+    """Mean payload size at each requested round (0.0 when no sends)."""
+    growth = {round_no: mean for round_no, _, mean in payload_growth(trace)}
+    return [growth.get(round_no, 0.0) for round_no in rounds]

@@ -1,0 +1,167 @@
+"""High-level run drivers: one call = one configured simulation.
+
+These wrap scheduler + environment + adversary assembly so tests,
+examples, and the experiment harness never repeat the plumbing.  Every
+knob is an explicit keyword with a reproducible default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.core.checkers import ConsensusReport, check_consensus
+from repro.core.es_consensus import ESConsensus
+from repro.core.ess_consensus import ESSConsensus
+from repro.giraf.adversary import CrashSchedule, RandomSource
+from repro.giraf.environments import (
+    Environment,
+    EventualSynchronyEnvironment,
+    EventuallyStableSourceEnvironment,
+)
+from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
+from repro.giraf.traces import RunTrace
+from repro.sim.metrics import ConsensusMetrics, consensus_metrics
+
+__all__ = [
+    "ConsensusRun",
+    "run_consensus",
+    "run_es_consensus",
+    "run_ess_consensus",
+    "stop_when_all_correct_decided",
+]
+
+AlgorithmFactory = Callable[[Hashable], object]
+
+
+@dataclass
+class ConsensusRun:
+    """Everything one consensus simulation produced."""
+
+    trace: RunTrace
+    report: ConsensusReport
+    metrics: ConsensusMetrics
+    environment: Environment
+
+
+def stop_when_all_correct_decided(trace: RunTrace) -> bool:
+    """Early-exit predicate for consensus runs."""
+    return trace.correct <= trace.decided_pids()
+
+
+def run_consensus(
+    factory: AlgorithmFactory,
+    proposals: Sequence[Hashable],
+    environment: Environment,
+    *,
+    crash_schedule: Optional[CrashSchedule] = None,
+    max_rounds: int = 200,
+    scheduler: str = "lockstep",
+    record_snapshots: bool = False,
+    stabilization_round: Optional[int] = None,
+    stop_early: bool = True,
+    periods: Optional[Sequence[float]] = None,
+    phases: Optional[Sequence[float]] = None,
+) -> ConsensusRun:
+    """Run one consensus instance and package trace + verdict + metrics.
+
+    Args:
+        factory: builds one algorithm instance from a proposal value.
+        proposals: one proposal per process (``len(proposals)`` = n).
+        environment: a constructed MS/ES/ESS environment.
+        scheduler: ``"lockstep"`` or ``"drifting"``.
+        stabilization_round: reference point for the latency metric
+            (GST for ES, the stable round for ESS).
+    """
+    algorithms = [factory(value) for value in proposals]
+    stop = stop_when_all_correct_decided if stop_early else None
+    if scheduler == "lockstep":
+        driver = LockStepScheduler(
+            algorithms,
+            environment,
+            crash_schedule,
+            max_rounds=max_rounds,
+            stop_when=stop,
+            record_snapshots=record_snapshots,
+        )
+    elif scheduler == "drifting":
+        driver = DriftingScheduler(
+            algorithms,
+            environment,
+            crash_schedule,
+            max_rounds=max_rounds,
+            stop_when=stop,
+            record_snapshots=record_snapshots,
+            periods=periods,
+            phases=phases,
+        )
+    else:
+        raise ValueError(f"unknown scheduler {scheduler!r}")
+    trace = driver.run()
+    return ConsensusRun(
+        trace=trace,
+        report=check_consensus(trace),
+        metrics=consensus_metrics(trace, stabilization_round=stabilization_round),
+        environment=environment,
+    )
+
+
+def run_es_consensus(
+    proposals: Sequence[Hashable],
+    *,
+    gst: int = 1,
+    crash_schedule: Optional[CrashSchedule] = None,
+    max_rounds: int = 200,
+    seed: int = 0,
+    scheduler: str = "lockstep",
+    record_snapshots: bool = False,
+    **algorithm_kwargs,
+) -> ConsensusRun:
+    """Algorithm 2 under a seeded ES environment."""
+    environment = EventualSynchronyEnvironment(
+        gst=gst, source_schedule=RandomSource(seed)
+    )
+    return run_consensus(
+        lambda value: ESConsensus(value, **algorithm_kwargs),
+        proposals,
+        environment,
+        crash_schedule=crash_schedule,
+        max_rounds=max_rounds,
+        scheduler=scheduler,
+        record_snapshots=record_snapshots,
+        stabilization_round=gst,
+    )
+
+
+def run_ess_consensus(
+    proposals: Sequence[Hashable],
+    *,
+    stabilization_round: int = 1,
+    preferred_source: int = 0,
+    crash_schedule: Optional[CrashSchedule] = None,
+    max_rounds: int = 400,
+    seed: int = 0,
+    scheduler: str = "lockstep",
+    record_snapshots: bool = False,
+    **algorithm_kwargs,
+) -> ConsensusRun:
+    """Algorithm 3 under a seeded ESS environment.
+
+    The ``preferred_source`` must be correct; pass a ``crash_schedule``
+    built with ``protect={preferred_source}`` when injecting crashes.
+    """
+    environment = EventuallyStableSourceEnvironment(
+        stabilization_round=stabilization_round,
+        preferred_source=preferred_source,
+        source_schedule=RandomSource(seed),
+    )
+    return run_consensus(
+        lambda value: ESSConsensus(value, **algorithm_kwargs),
+        proposals,
+        environment,
+        crash_schedule=crash_schedule,
+        max_rounds=max_rounds,
+        scheduler=scheduler,
+        record_snapshots=record_snapshots,
+        stabilization_round=stabilization_round,
+    )

@@ -1,0 +1,67 @@
+"""Workload generation: proposal distributions and crash patterns.
+
+The paper's motivating setting is a wireless sensor network of
+anonymous nodes trying to agree on a value (a reading, a configuration
+epoch, …).  The generators here produce the proposal vectors the
+experiment suite sweeps over; crash patterns live in
+:class:`~repro.giraf.adversary.CrashSchedule` and are composed by the
+runner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Sequence
+
+__all__ = [
+    "distinct_proposals",
+    "binary_proposals",
+    "identical_proposals",
+    "clustered_proposals",
+    "sensor_readings",
+]
+
+
+def distinct_proposals(n: int, *, base: int = 0) -> List[int]:
+    """Every process proposes a different value — the hardest case for
+    agreement (maximal initial disagreement)."""
+    return [base + pid for pid in range(n)]
+
+
+def binary_proposals(n: int, *, ones: int, seed: int = 0) -> List[int]:
+    """``ones`` processes propose 1, the rest 0, shuffled by ``seed``."""
+    if not 0 <= ones <= n:
+        raise ValueError("ones must be in [0, n]")
+    values = [1] * ones + [0] * (n - ones)
+    random.Random(seed).shuffle(values)
+    return values
+
+
+def identical_proposals(n: int, value: Hashable = 7) -> List[Hashable]:
+    """Everyone proposes the same value.
+
+    The anonymity stress case: all processes are indistinguishable
+    forever, every message merges, and the algorithms must still decide
+    (they do — identical behaviour is exactly what the pseudo leader
+    election tolerates).
+    """
+    return [value] * n
+
+
+def clustered_proposals(n: int, clusters: int, *, seed: int = 0) -> List[int]:
+    """Proposals drawn from ``clusters`` distinct values."""
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    rng = random.Random(seed)
+    return [rng.randrange(clusters) for _ in range(n)]
+
+
+def sensor_readings(n: int, *, lo: int = 180, hi: int = 240, seed: int = 0) -> List[int]:
+    """Integer 'temperature' readings — the sensor-fusion example."""
+    rng = random.Random(seed)
+    return [rng.randint(lo, hi) for _ in range(n)]
+
+
+def spread(values: Sequence[Hashable]) -> int:
+    """Number of distinct proposals (a difficulty proxy for tables)."""
+    return len(set(values))

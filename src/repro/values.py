@@ -1,0 +1,118 @@
+"""The consensus value universe.
+
+The paper's algorithms manipulate *proposal values* drawn from an
+arbitrary totally ordered universe (``max`` is taken over sets of
+values, e.g. Algorithm 2 line 12) plus one special symbol:
+
+* ``BOTTOM`` (the paper's ``⊥``) — proposed by processes that do not
+  consider themselves leaders in Algorithm 3.  It is explicitly
+  *excluded* before taking maxima (``WRITTEN \\ {⊥}``), so its ordering
+  relative to real values never matters to the algorithms.  We still
+  give it a total order (smaller than everything) so that sorted
+  renderings of message payloads are deterministic.
+
+Any hashable, mutually comparable Python values work as the universe
+(``int`` and ``str`` are what the tests and benchmarks use).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, TypeVar
+
+__all__ = ["Bottom", "BOTTOM", "is_bottom", "strip_bottom", "max_value", "sort_key"]
+
+
+class Bottom:
+    """Singleton sentinel for the paper's ``⊥`` value.
+
+    Compares strictly less than every non-``Bottom`` value and equal
+    only to itself, so heterogeneous payload sets remain sortable.
+    """
+
+    _instance: "Bottom | None" = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "⊥"
+
+    def __hash__(self) -> int:
+        return hash((Bottom, "⊥"))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Bottom)
+
+    def __lt__(self, other: object) -> bool:
+        return not isinstance(other, Bottom)
+
+    def __le__(self, other: object) -> bool:
+        return True
+
+    def __gt__(self, other: object) -> bool:
+        return False
+
+    def __ge__(self, other: object) -> bool:
+        return isinstance(other, Bottom)
+
+    def __reduce__(self):
+        return (Bottom, ())
+
+
+#: The unique ``⊥`` instance used throughout the library.
+BOTTOM = Bottom()
+
+Value = Hashable
+V = TypeVar("V", bound=Hashable)
+
+
+def is_bottom(value: object) -> bool:
+    """Return ``True`` iff *value* is the ``⊥`` sentinel."""
+    return isinstance(value, Bottom)
+
+
+def strip_bottom(values: Iterable[V]) -> Iterator[V]:
+    """Yield the elements of *values* that are not ``⊥``.
+
+    This is the ``WRITTEN \\ {⊥}`` idiom from Algorithm 3 (line 13).
+    """
+    for value in values:
+        if not isinstance(value, Bottom):
+            yield value
+
+
+def max_value(values: Iterable[V]) -> V:
+    """Return the maximum non-``⊥`` element of *values*.
+
+    Raises ``ValueError`` when no non-``⊥`` element exists, mirroring
+    the guard ``WRITTEN \\ {⊥} ≠ ∅`` the algorithms perform before
+    calling ``max``.
+    """
+    stripped = list(strip_bottom(values))
+    if not stripped:
+        raise ValueError("max_value over a set with no non-bottom element")
+    return max(stripped)
+
+
+def sort_key(value: object) -> tuple:
+    """A total-order key covering ``⊥``, ints, strs, and tuples.
+
+    Used only for deterministic rendering and trace output — never by
+    the algorithms themselves, which rely on the natural order of the
+    (homogeneous) value universe of a given run.
+    """
+    if isinstance(value, Bottom):
+        return (0, "")
+    if isinstance(value, bool):  # bool before int: bool is an int subclass
+        return (1, str(int(value)))
+    if isinstance(value, int):
+        return (2, format(value, "+021d"))
+    if isinstance(value, float):
+        return (3, format(value, "+.17e"))
+    if isinstance(value, str):
+        return (4, value)
+    if isinstance(value, tuple):
+        return (5, tuple(sort_key(item) for item in value))
+    return (6, repr(value))

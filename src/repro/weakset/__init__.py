@@ -1,0 +1,60 @@
+"""Weak-sets (Section 5): spec, implementations, and equivalences.
+
+* :mod:`~repro.weakset.spec` — the data structure's specification and
+  history checker;
+* :mod:`~repro.weakset.ms_weakset` — Algorithm 4 (weak-set in MS);
+* :mod:`~repro.weakset.cluster` — synchronous facade over Algorithm 4;
+* :mod:`~repro.weakset.ms_emulation` — Algorithm 5 (MS from weak-set);
+* :mod:`~repro.weakset.register_adapter` — Proposition 1 (regular
+  register from weak-set);
+* :mod:`~repro.weakset.from_registers` — Propositions 2–3 (weak-set
+  from registers in known networks);
+* :mod:`~repro.weakset.flp_chain` — the executable FLP chain:
+  registers → weak-set → MS emulation (Section 5.3);
+* :mod:`~repro.weakset.ideal` — atomic reference implementation.
+"""
+
+from repro.weakset.cluster import MSWeakSetCluster, WeakSetHandle
+from repro.weakset.flp_chain import RegisterBackedMSEmulation
+from repro.weakset.from_registers import FiniteUniverseWeakSet, KnownParticipantsWeakSet
+from repro.weakset.ideal import IdealWeakSet, uniform_completion_delay
+from repro.weakset.ms_emulation import EmulationResult, MSEmulation
+from repro.weakset.ms_weakset import (
+    MSWeakSetAlgorithm,
+    OpScript,
+    WeakSetRunResult,
+    run_ms_weakset,
+)
+from repro.weakset.register_adapter import RegisterEntry, WeakSetRegister
+from repro.weakset.spec import (
+    AddRecord,
+    GetRecord,
+    OpLog,
+    WeakSet,
+    WeakSetReport,
+    check_weakset,
+)
+
+__all__ = [
+    "AddRecord",
+    "EmulationResult",
+    "FiniteUniverseWeakSet",
+    "GetRecord",
+    "IdealWeakSet",
+    "KnownParticipantsWeakSet",
+    "MSEmulation",
+    "MSWeakSetAlgorithm",
+    "MSWeakSetCluster",
+    "OpLog",
+    "OpScript",
+    "RegisterBackedMSEmulation",
+    "RegisterEntry",
+    "WeakSet",
+    "WeakSetHandle",
+    "WeakSetReport",
+    "WeakSetRegister",
+    "WeakSetRunResult",
+    "check_weakset",
+    "run_ms_weakset",
+    "uniform_completion_delay",
+]

@@ -1,0 +1,120 @@
+"""A synchronous client facade over the Algorithm-4 weak-set.
+
+Tests and the register adapter want to *use* the MS weak-set the way
+the paper's pseudo-code does — call ``add`` and have it return when
+done — without writing a scheduler loop every time.
+:class:`MSWeakSetCluster` owns ``n`` :class:`MSWeakSetAlgorithm`
+processes plus a lock-step scheduler and exposes per-process
+:class:`WeakSetHandle` objects whose ``add`` advances simulated rounds
+until the add is written (the paper's line-11 wait) and whose ``get``
+is instantaneous.
+
+The facade serializes one *blocking* operation at a time (the calling
+test is a single thread of control), but rounds keep running for every
+process while an add is in flight, so background propagation and
+crash interleavings still happen.  For genuinely concurrent workloads
+use :func:`repro.weakset.ms_weakset.run_ms_weakset` with a script.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, List, Optional
+
+from repro.errors import SimulationError
+from repro.giraf.adversary import CrashSchedule
+from repro.giraf.environments import Environment, MovingSourceEnvironment
+from repro.giraf.scheduler import LockStepScheduler
+from repro.giraf.traces import RunTrace
+from repro.weakset.ms_weakset import MSWeakSetAlgorithm
+from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
+
+__all__ = ["MSWeakSetCluster", "WeakSetHandle"]
+
+
+class WeakSetHandle(WeakSet):
+    """One process's synchronous view of the shared weak-set."""
+
+    def __init__(self, cluster: "MSWeakSetCluster", pid: int):
+        self._cluster = cluster
+        self.pid = pid
+
+    def add(self, value: Hashable) -> None:
+        """Algorithm 4's ``add``: returns once the value is written."""
+        self._cluster._blocking_add(self.pid, value)
+
+    def get(self) -> FrozenSet[Hashable]:
+        """Algorithm 4's ``get``: the local ``PROPOSED``, instantly."""
+        return self._cluster._instant_get(self.pid)
+
+
+class MSWeakSetCluster:
+    """``n`` Algorithm-4 processes + scheduler behind a blocking API."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        environment: Optional[Environment] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        max_total_rounds: int = 10_000,
+    ):
+        self.algorithms = [MSWeakSetAlgorithm() for _ in range(n)]
+        self._scheduler = LockStepScheduler(
+            self.algorithms,
+            environment or MovingSourceEnvironment(),
+            crash_schedule,
+            max_rounds=max_total_rounds,
+        )
+        self.log = OpLog()
+        self._exhausted = False
+
+    # -- facade plumbing -------------------------------------------------
+    @property
+    def now(self) -> float:
+        return float(self._scheduler._tick)
+
+    def handle(self, pid: int) -> WeakSetHandle:
+        if not 0 <= pid < len(self.algorithms):
+            raise SimulationError(f"no process {pid}")
+        return WeakSetHandle(self, pid)
+
+    def handles(self) -> List[WeakSetHandle]:
+        return [self.handle(pid) for pid in range(len(self.algorithms))]
+
+    def advance(self, rounds: int = 1) -> None:
+        """Let the cluster run ``rounds`` ticks with no client activity."""
+        for _ in range(rounds):
+            if not self._scheduler.step():
+                self._exhausted = True
+                break
+
+    @property
+    def trace(self) -> RunTrace:
+        return self._scheduler.trace
+
+    # -- operations ------------------------------------------------------
+    def _blocking_add(self, pid: int, value: Hashable) -> None:
+        algorithm = self.algorithms[pid]
+        process = self._scheduler.processes[pid]
+        if process.crashed:
+            raise SimulationError(f"add on crashed process {pid}")
+        algorithm.begin_add(value)
+        record = AddRecord(pid=pid, value=value, start=self.now)
+        self.log.adds.append(record)
+        while algorithm.blocked:
+            if process.crashed or self._exhausted:
+                return  # the add never completes (record.end stays None)
+            if not self._scheduler.step():
+                self._exhausted = True
+        record.end = self.now
+
+    def _instant_get(self, pid: int) -> FrozenSet[Hashable]:
+        algorithm = self.algorithms[pid]
+        process = self._scheduler.processes[pid]
+        if process.crashed:
+            raise SimulationError(f"get on crashed process {pid}")
+        result = algorithm.get_now()
+        self.log.gets.append(
+            GetRecord(pid=pid, start=self.now, end=self.now, result=result)
+        )
+        return result

@@ -1,0 +1,192 @@
+"""The full FLP chain, executable: registers → weak-set → MS.
+
+Section 5.3's impossibility argument composes three artifacts: a
+weak-set is implementable from atomic registers in known asynchronous
+networks (Proposition 2), Algorithm 5 emulates the MS environment from
+any weak-set, and FLP forbids consensus from registers alone — hence
+no algorithm can solve consensus in MS.  This module *runs* that
+composition: GIRAF algorithms execute over transport emulated via
+Algorithm 5 from the Proposition-2 register-backed weak-set, with all
+register operations interleaved by the seeded shared-memory scheduler.
+
+The stack, bottom-up::
+
+    SharedMemorySimulator          (asynchronous steps, seeded)
+      └ AtomicRegister × n         (SWMR, one per process)
+          └ KnownParticipantsWeakSet   (Proposition 2)
+              └ Algorithm-5 loop       (add ⟨m,k⟩; get; deliver; next round)
+                  └ any GirafAlgorithm (probes, Algorithm 2, …)
+
+Checked end to end: the emulated trace satisfies MS, the weak-set log
+satisfies its spec, and consensus run on top stays *safe* while
+termination is schedule-dependent — exactly the paper's conclusion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.errors import SimulationError
+from repro.giraf.automaton import GirafAlgorithm, GirafProcess
+from repro.giraf.messages import Envelope
+from repro.giraf.traces import (
+    DecisionEvent,
+    DeliveryEvent,
+    HaltEvent,
+    RunTrace,
+    SendEvent,
+)
+from repro.sharedmem.simulator import SharedMemorySimulator, TaskHandle
+from repro.weakset.from_registers import KnownParticipantsWeakSet
+from repro.weakset.ms_emulation import EmulationResult, Pair
+
+__all__ = ["RegisterBackedMSEmulation"]
+
+
+class _State:
+    """Per-process position in the Algorithm-5 loop."""
+
+    __slots__ = ("proc", "delivered", "phase", "task", "pending_pair")
+
+    def __init__(self, proc: GirafProcess):
+        self.proc = proc
+        self.delivered: Set[Pair] = set()
+        self.phase = "ready"  # ready → adding → getting → (ready | done)
+        self.task: Optional[TaskHandle] = None
+        self.pending_pair: Optional[Pair] = None
+
+
+class RegisterBackedMSEmulation:
+    """Algorithm 5 over the Proposition-2 weak-set (see module doc)."""
+
+    def __init__(
+        self,
+        algorithms: Sequence[GirafAlgorithm],
+        *,
+        seed: int = 0,
+        max_rounds: int = 50,
+        max_steps: int = 500_000,
+    ):
+        if not algorithms:
+            raise SimulationError("need at least one process")
+        self._algorithms = list(algorithms)
+        self._max_rounds = max_rounds
+        self._max_steps = max_steps
+        self.simulator = SharedMemorySimulator(seed=seed)
+        self.weakset = KnownParticipantsWeakSet(
+            len(algorithms), simulator=self.simulator
+        )
+
+    def run(self) -> EmulationResult:
+        n = len(self._algorithms)
+        trace = RunTrace(n=n, correct=frozenset(range(n)))
+        for pid, algorithm in enumerate(self._algorithms):
+            value = getattr(algorithm, "initial_value", None)
+            if value is not None:
+                trace.initial_values[pid] = value
+
+        states = [
+            _State(GirafProcess(pid, algorithm))
+            for pid, algorithm in enumerate(self._algorithms)
+        ]
+        pair_senders: Dict[Pair, Set[int]] = {}
+        pair_sent_step: Dict[Pair, float] = {}
+        decided: Set[int] = set()
+
+        def now() -> float:
+            return float(self.simulator.step_count)
+
+        def fire_round(state: _State) -> None:
+            """End-of-round; then start the round's add (lines 4–5)."""
+            proc = state.proc
+            if not proc.active or proc.round >= self._max_rounds:
+                state.phase = "done"
+                return
+            prev_round = proc.round
+            envelope = proc.end_of_round()
+            if prev_round >= 1:
+                trace.record_compute(proc.pid, prev_round, now())
+                trace.record_snapshot(proc.pid, prev_round, proc.algorithm.snapshot())
+            decision = getattr(proc.algorithm, "decision", None)
+            if decision is not None and proc.pid not in decided:
+                round_no = getattr(proc.algorithm, "decision_round", None)
+                trace.decisions.append(
+                    DecisionEvent(
+                        pid=proc.pid,
+                        value=decision,
+                        round_no=round_no if round_no is not None else proc.round,
+                        time=now(),
+                    )
+                )
+                decided.add(proc.pid)
+            if envelope is None:
+                trace.halts.append(
+                    HaltEvent(pid=proc.pid, round_no=proc.round, time=now())
+                )
+                state.phase = "done"
+                return
+            trace.record_round_entry(proc.pid, envelope.round_no, now())
+            trace.sends.append(
+                SendEvent(
+                    pid=proc.pid,
+                    round_no=envelope.round_no,
+                    time=now(),
+                    payload=envelope.payload,
+                )
+            )
+            pair: Pair = (envelope.payload, envelope.round_no)
+            pair_senders.setdefault(pair, set()).add(proc.pid)
+            pair_sent_step.setdefault(pair, now())
+            state.pending_pair = pair
+            state.task = self.weakset.spawn_add(proc.pid, pair)
+            state.phase = "adding"
+
+        def on_add_complete(state: _State) -> None:
+            """Line 6: the get after the add's ack."""
+            state.task = self.weakset.spawn_get(state.proc.pid)
+            state.phase = "getting"
+
+        def on_get_complete(state: _State) -> None:
+            """Lines 6–9: deliver the news, then the next end-of-round."""
+            proc = state.proc
+            snapshot: FrozenSet[Pair] = state.task.result  # type: ignore[assignment]
+            news: List[Pair] = [
+                pair for pair in snapshot if pair not in state.delivered
+            ]
+            news.sort(key=lambda pair: (pair[1], sorted(map(repr, pair[0]))))
+            for pair in news:
+                state.delivered.add(pair)
+                payload, round_no = pair
+                timely = proc.active and not proc.has_computed(round_no)
+                if proc.active:
+                    proc.receive(Envelope(round_no, payload))
+                for sender in sorted(pair_senders.get(pair, ())):
+                    trace.deliveries.append(
+                        DeliveryEvent(
+                            sender=sender,
+                            receiver=proc.pid,
+                            round_no=round_no,
+                            sent_time=pair_sent_step.get(pair, now()),
+                            delivered_time=now(),
+                            timely=timely,
+                        )
+                    )
+            state.task = None
+            fire_round(state)
+
+        # line 3: initialization triggers the first end-of-round
+        for state in states:
+            fire_round(state)
+
+        for _ in range(self._max_steps):
+            if not self.simulator.step():
+                break
+            for state in states:
+                if state.task is not None and state.task.done:
+                    if state.phase == "adding":
+                        on_add_complete(state)
+                    elif state.phase == "getting":
+                        on_get_complete(state)
+            if all(state.phase == "done" for state in states):
+                break
+        return EmulationResult(trace=trace, log=self.weakset.log)

@@ -1,0 +1,162 @@
+"""Propositions 2 and 3: weak-sets from atomic registers.
+
+These are the "known network" constructions the paper imports from
+prior work — needed here because Algorithm 5 plus Proposition 2 is the
+paper's FLP argument (a weak-set exists in asynchronous known networks
+with registers, so consensus in MS would contradict FLP).
+
+* **Proposition 2** (:class:`KnownParticipantsWeakSet`): when the ``n``
+  participants and their IDs are known, give each a single-writer
+  multi-reader register holding its local set.  ``add(v)``: union
+  ``v`` into the local set and write it; ``get``: read all ``n``
+  registers and union.
+* **Proposition 3** (:class:`FiniteUniverseWeakSet`): when the value
+  universe is finite, keep one multi-writer boolean flag per value.
+  ``add(v)``: set ``flag[v]``; ``get``: read every flag.
+
+Both run on the :mod:`repro.sharedmem` interleaving simulator; the
+operation generators yield one :class:`~repro.sharedmem.objects.Invoke`
+per register access, so adversarial interleavings are explored by the
+seeded scheduler (and by hypothesis in the property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set
+
+from repro.errors import ProtocolMisuse
+from repro.sharedmem.objects import AtomicRegister, Invoke
+from repro.sharedmem.simulator import Program, SharedMemorySimulator, TaskHandle
+from repro.weakset.spec import AddRecord, GetRecord, OpLog
+
+__all__ = ["KnownParticipantsWeakSet", "FiniteUniverseWeakSet"]
+
+
+class _RegisterWeakSetBase:
+    """Shared plumbing: simulator wiring and op-log recording."""
+
+    def __init__(self, simulator: Optional[SharedMemorySimulator] = None):
+        self.simulator = simulator or SharedMemorySimulator()
+        self.log = OpLog()
+
+    # -- blocking facade (runs the simulator until the op completes) ----
+    def add(self, pid: int, value: Hashable) -> None:
+        handle = self.spawn_add(pid, value)
+        self.simulator.run_task(handle)
+
+    def get(self, pid: int) -> FrozenSet[Hashable]:
+        handle = self.spawn_get(pid)
+        return self.simulator.run_task(handle)  # type: ignore[return-value]
+
+    # -- asynchronous spawns (for concurrent workloads) ------------------
+    def spawn_add(self, pid: int, value: Hashable) -> TaskHandle:
+        record = AddRecord(pid=pid, value=value, start=-1.0)
+        self.log.adds.append(record)
+        handle = self.simulator.spawn(pid, f"add({value!r})", self._add_program(pid, value))
+        self._track(handle, record=record)
+        return handle
+
+    def spawn_get(self, pid: int) -> TaskHandle:
+        record = GetRecord(pid=pid, start=-1.0, end=-1.0)
+        self.log.gets.append(record)
+        handle = self.simulator.spawn(pid, "get()", self._get_program(pid))
+        self._track(handle, get_record=record)
+        return handle
+
+    def _track(self, handle: TaskHandle, record: Optional[AddRecord] = None,
+               get_record: Optional[GetRecord] = None) -> None:
+        # wrap the program to stamp start/end times into the records
+        program = handle.program
+
+        def stamped() -> Program:
+            try:
+                invoke = next(program)
+                first = True
+                while True:
+                    result = yield invoke
+                    if first:
+                        first = False
+                    invoke = program.send(result)
+            except StopIteration as stop:
+                now = float(self.simulator.step_count)
+                if record is not None:
+                    record.end = now
+                if get_record is not None:
+                    get_record.end = now
+                    get_record.result = stop.value
+                return stop.value
+
+        if record is not None:
+            record.start = float(self.simulator.step_count)
+        if get_record is not None:
+            get_record.start = float(self.simulator.step_count)
+        handle.program = stamped()
+
+    # -- construction-specific programs ----------------------------------
+    def _add_program(self, pid: int, value: Hashable) -> Program:
+        raise NotImplementedError
+
+    def _get_program(self, pid: int) -> Program:
+        raise NotImplementedError
+
+
+class KnownParticipantsWeakSet(_RegisterWeakSetBase):
+    """Proposition 2: SWMR registers, known participant set."""
+
+    def __init__(self, n: int, *, simulator: Optional[SharedMemorySimulator] = None):
+        super().__init__(simulator)
+        if n < 1:
+            raise ProtocolMisuse("need at least one participant")
+        self.n = n
+        self.registers: List[AtomicRegister] = [
+            AtomicRegister(frozenset(), owner=pid, name=f"set[{pid}]")
+            for pid in range(n)
+        ]
+        self._local: List[Set[Hashable]] = [set() for _ in range(n)]
+
+    def _add_program(self, pid: int, value: Hashable) -> Program:
+        if not 0 <= pid < self.n:
+            raise ProtocolMisuse(f"unknown participant {pid}")
+        self._local[pid].add(value)
+        snapshot = frozenset(self._local[pid])
+        yield Invoke(self.registers[pid], "write", (snapshot,))
+        return None
+
+    def _get_program(self, pid: int) -> Program:
+        union: Set[Hashable] = set()
+        for reg in self.registers:
+            contents = yield Invoke(reg, "read")
+            union |= contents
+        return frozenset(union)
+
+
+class FiniteUniverseWeakSet(_RegisterWeakSetBase):
+    """Proposition 3: one MWMR flag per value of a finite universe."""
+
+    def __init__(
+        self,
+        universe: Sequence[Hashable],
+        *,
+        simulator: Optional[SharedMemorySimulator] = None,
+    ):
+        super().__init__(simulator)
+        if not universe:
+            raise ProtocolMisuse("universe must be non-empty")
+        self.universe = list(dict.fromkeys(universe))
+        self.flags: Dict[Hashable, AtomicRegister] = {
+            value: AtomicRegister(False, name=f"flag[{value!r}]")
+            for value in self.universe
+        }
+
+    def _add_program(self, pid: int, value: Hashable) -> Program:
+        if value not in self.flags:
+            raise ProtocolMisuse(f"value {value!r} outside the finite universe")
+        yield Invoke(self.flags[value], "write", (True,))
+        return None
+
+    def _get_program(self, pid: int) -> Program:
+        present: Set[Hashable] = set()
+        for value in self.universe:
+            if (yield Invoke(self.flags[value], "read")):
+                present.add(value)
+        return frozenset(present)

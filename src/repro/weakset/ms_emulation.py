@@ -1,0 +1,230 @@
+"""Algorithm 5: emulating the MS environment from a weak-set.
+
+Each emulated process runs the loop::
+
+    on initialization:  trigger end-of-round            (lines 1–3)
+    on send(m_i, k_i):                                   (line 4)
+      add_S(⟨m_i, k_i⟩)                                  (line 5)
+      for all ⟨m, k⟩ ∈ get_S \\ DELIVERED:               (line 6)
+        DELIVERED := DELIVERED ∪ {⟨m, k⟩}                (line 7)
+        trigger receive(m, k)                            (line 8)
+      trigger end-of-round                               (line 9)
+
+Theorem 4: the emulated run satisfies MS.  The source of round ``k``
+emerges from the weak-set semantics — it is the first process whose
+round-``k`` ``add`` *completes*: every other process performs its
+round-``k`` ``get`` only after completing its own round-``k`` add,
+which is later, so visibility delivers the first completer's pair to
+everyone before they compute round ``k``.  The emulation therefore
+never chooses a source; :func:`repro.giraf.checkers.check_ms` recovers
+one from the delivery ground truth of the emulated trace.
+
+Since weak-set values are anonymous, a delivered pair ``⟨M, k⟩`` is
+attributed to *every* process whose round-``k`` envelope equals it —
+exactly the paper's footnote 2 ("it is sufficient if it receives an
+identical message from another process").
+
+By Proposition 2 a weak-set exists in asynchronous *known* networks
+with registers for any number of crashes, so consensus in MS would
+contradict FLP — the emulation is the impossibility half of the MS ≡
+weak-set equivalence (the possibility half is Algorithm 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.giraf.automaton import GirafAlgorithm, GirafProcess
+from repro.giraf.messages import Envelope
+from repro.giraf.traces import (
+    CrashEvent,
+    DecisionEvent,
+    DeliveryEvent,
+    HaltEvent,
+    RunTrace,
+    SendEvent,
+)
+from repro.weakset.ideal import IdealWeakSet, uniform_completion_delay
+from repro.weakset.spec import AddRecord, OpLog
+
+__all__ = ["MSEmulation", "EmulationResult"]
+
+#: A pair stored in the weak-set: (envelope payload, round number).
+Pair = Tuple[FrozenSet[Hashable], int]
+
+
+@dataclass
+class EmulationResult:
+    """Emulated GIRAF trace plus the weak-set operation log."""
+
+    trace: RunTrace
+    log: OpLog
+
+
+class _EmulatedProcess:
+    """Per-process driver state for the Algorithm-5 loop."""
+
+    __slots__ = ("proc", "delivered", "pending_add", "op_index")
+
+    def __init__(self, proc: GirafProcess):
+        self.proc = proc
+        self.delivered: Set[Pair] = set()
+        self.pending_add: Optional[AddRecord] = None
+        self.op_index = 0
+
+
+class MSEmulation:
+    """Run GIRAF algorithms over transport emulated from a weak-set.
+
+    Args:
+        algorithms: the upper-layer GIRAF algorithms (one per process).
+        completion_delay: sampler ``(pid, op_index) -> steps >= 1`` for
+            add-acknowledgement delays (what moves the source around).
+        crash_steps: optional map pid -> global step at which the
+            process crashes (its last add may remain visible — the
+            weak-set has no removal, so this is harmless).
+        max_rounds: emulated-round budget per process.
+        max_steps: global step budget (safety net).
+    """
+
+    def __init__(
+        self,
+        algorithms: Sequence[GirafAlgorithm],
+        *,
+        completion_delay: Optional[Callable[[int, int], int]] = None,
+        crash_steps: Optional[Dict[int, int]] = None,
+        max_rounds: int = 100,
+        max_steps: int = 100_000,
+    ):
+        if not algorithms:
+            raise SimulationError("need at least one process")
+        self._algorithms = list(algorithms)
+        self._delay = completion_delay or uniform_completion_delay()
+        self._crash_steps = dict(crash_steps or {})
+        self._max_rounds = max_rounds
+        self._max_steps = max_steps
+        self.weakset = IdealWeakSet()
+
+    def run(self) -> EmulationResult:
+        n = len(self._algorithms)
+        correct = frozenset(pid for pid in range(n) if pid not in self._crash_steps)
+        trace = RunTrace(n=n, correct=correct)
+        for pid, algorithm in enumerate(self._algorithms):
+            value = getattr(algorithm, "initial_value", None)
+            if value is not None:
+                trace.initial_values[pid] = value
+
+        states = [
+            _EmulatedProcess(GirafProcess(pid, algorithm))
+            for pid, algorithm in enumerate(self._algorithms)
+        ]
+        # pair -> pids whose round-k envelope equals it (sender attribution)
+        pair_senders: Dict[Pair, Set[int]] = {}
+        pair_sent_step: Dict[Pair, float] = {}
+        # completion step -> list of pids
+        completions: Dict[int, List[int]] = {}
+        decided: Set[int] = set()
+
+        def fire_round(state: _EmulatedProcess, step: int) -> None:
+            """Lines 3/9 + 4–5: end-of-round, then start the add."""
+            proc = state.proc
+            if not proc.active:
+                return
+            if proc.round >= self._max_rounds:
+                return
+            prev_round = proc.round
+            envelope = proc.end_of_round()
+            if prev_round >= 1:
+                # compute(prev_round, ·) just executed (whether or not
+                # the algorithm halted during it)
+                trace.record_compute(proc.pid, prev_round, float(step))
+                trace.record_snapshot(proc.pid, prev_round, proc.algorithm.snapshot())
+            decision = getattr(proc.algorithm, "decision", None)
+            if decision is not None and proc.pid not in decided:
+                round_no = getattr(proc.algorithm, "decision_round", proc.round)
+                trace.decisions.append(
+                    DecisionEvent(
+                        pid=proc.pid,
+                        value=decision,
+                        round_no=round_no if round_no is not None else proc.round,
+                        time=float(step),
+                    )
+                )
+                decided.add(proc.pid)
+            if envelope is None:
+                trace.halts.append(
+                    HaltEvent(pid=proc.pid, round_no=proc.round, time=float(step))
+                )
+                return
+            trace.record_round_entry(proc.pid, envelope.round_no, float(step))
+            trace.sends.append(
+                SendEvent(
+                    pid=proc.pid,
+                    round_no=envelope.round_no,
+                    time=float(step),
+                    payload=envelope.payload,
+                )
+            )
+            pair: Pair = (envelope.payload, envelope.round_no)
+            pair_senders.setdefault(pair, set()).add(proc.pid)
+            pair_sent_step.setdefault(pair, float(step))
+            state.pending_add = self.weakset.invoke_add(proc.pid, pair, float(step))
+            state.op_index += 1
+            due = step + self._delay(proc.pid, state.op_index)
+            completions.setdefault(due, []).append(proc.pid)
+
+        def complete_and_deliver(state: _EmulatedProcess, step: int) -> None:
+            """Lines 6–9: ack the add, get, deliver the news, next round."""
+            proc = state.proc
+            record = state.pending_add
+            state.pending_add = None
+            if proc.crashed:
+                return
+            if record is not None:
+                self.weakset.complete_add(record, float(step))
+            snapshot = self.weakset.snapshot(proc.pid, float(step))
+            news = [pair for pair in snapshot if pair not in state.delivered]
+            # deterministic order: by round then payload id via repr
+            news.sort(key=lambda pair: (pair[1], sorted(map(repr, pair[0]))))
+            for pair in news:
+                state.delivered.add(pair)                       # line 7
+                payload, round_no = pair
+                timely = proc.active and not proc.has_computed(round_no)
+                if proc.active:
+                    proc.receive(Envelope(round_no, payload))   # line 8
+                for sender in sorted(pair_senders.get(pair, ())):
+                    trace.deliveries.append(
+                        DeliveryEvent(
+                            sender=sender,
+                            receiver=proc.pid,
+                            round_no=round_no,
+                            sent_time=pair_sent_step.get(pair, float(step)),
+                            delivered_time=float(step),
+                            timely=timely,
+                        )
+                    )
+            fire_round(state, step)                             # line 9
+
+        # line 3: initialization triggers the first end-of-round
+        for state in states:
+            fire_round(state, 0)
+
+        for step in range(1, self._max_steps + 1):
+            for pid, crash_step in self._crash_steps.items():
+                if crash_step == step and not states[pid].proc.crashed:
+                    states[pid].proc.crash()
+                    trace.crashes.append(
+                        CrashEvent(
+                            pid=pid,
+                            round_no=states[pid].proc.round,
+                            time=float(step),
+                            before_send=False,
+                        )
+                    )
+            for pid in completions.pop(step, ()):
+                complete_and_deliver(states[pid], step)
+            if not completions:
+                break
+        return EmulationResult(trace=trace, log=self.weakset.log)

@@ -1,0 +1,60 @@
+"""Proposition 1: a regular MWMR register from a weak-set.
+
+The construction (Section 5.1):
+
+* ``write(v)`` — read the weak-set into ``HISTORY``, then add the pair
+  ``(v, HISTORY)``;
+* ``read()`` — read the weak-set and return the highest value among
+  the entries whose attached history has **maximal length**.
+
+Why it is regular: a write that completed before a read began left an
+entry whose history contains every earlier completed entry, so its
+history is strictly longer than all of theirs — later writes dominate.
+Reads overlapping writes may see either side, which regularity allows
+(and linearizability would not: two concurrent reads can order two
+concurrent writes differently — a test demonstrates this is possible).
+
+Entries nest (each history is a frozenset of earlier entries), so
+state grows fast with write count; experiment F4 measures the cost.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Tuple
+
+from repro.weakset.spec import WeakSet
+
+__all__ = ["RegisterEntry", "WeakSetRegister"]
+
+#: One register entry: ``(value, history-at-write-time)``.
+RegisterEntry = Tuple[Hashable, FrozenSet]
+
+
+class WeakSetRegister:
+    """A regular multi-writer multi-reader register over a weak-set.
+
+    Each client process wraps its *own* handle of the shared weak-set;
+    all wrappers of the same weak-set form one register.
+
+    Args:
+        weakset: the process's weak-set handle (any
+            :class:`~repro.weakset.spec.WeakSet`).
+        initial: the value reads return before any write completes.
+    """
+
+    def __init__(self, weakset: WeakSet, *, initial: Hashable = None):
+        self._weakset = weakset
+        self._initial = initial
+
+    def write(self, value: Hashable) -> None:
+        """Add ``(value, snapshot)`` — Proposition 1's write."""
+        history = self._weakset.get()
+        self._weakset.add((value, frozenset(history)))
+
+    def read(self) -> Hashable:
+        """Highest value among maximal-history entries."""
+        entries = self._weakset.get()
+        if not entries:
+            return self._initial
+        longest = max(len(history) for _, history in entries)
+        return max(value for value, history in entries if len(history) == longest)

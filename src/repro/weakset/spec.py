@@ -1,0 +1,148 @@
+"""The weak-set shared data structure: specification and checker.
+
+A weak-set ``S`` (Delporte-Gallet & Fauconnier, cited as [4] in the
+paper) holds a growing set of values with two operations:
+
+* ``add(v)`` — insert ``v`` (no removal exists);
+* ``get()`` — return a subset ``R`` of the values such that
+
+  1. every ``v`` whose ``add(v)`` **completed before** the ``get``
+     started is in ``R`` (visibility);
+  2. no ``v'`` whose ``add(v')`` had **not started before** the ``get``
+     terminated is in ``R`` (no phantoms);
+  3. adds concurrent with the ``get`` may or may not be visible.
+
+Weak-sets are not necessarily linearizable, which is exactly what makes
+them implementable in the anonymous MS environment (Algorithm 4) —
+and strong enough to emulate MS back (Algorithm 5) and to build regular
+registers (Proposition 1).
+
+This module defines the operation records, the abstract interface, and
+:func:`check_weakset` — the history checker every implementation in
+this package is validated against.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, List, Optional
+
+from repro.errors import SpecViolation
+
+__all__ = [
+    "AddRecord",
+    "GetRecord",
+    "OpLog",
+    "WeakSet",
+    "WeakSetReport",
+    "check_weakset",
+]
+
+
+@dataclass
+class AddRecord:
+    """One ``add`` operation: ``[start, end]`` interval and its value.
+
+    ``end is None`` means the add never completed within the run
+    (e.g. the adder crashed first) — its value *may* appear in gets.
+    """
+
+    pid: int
+    value: Hashable
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.end is not None
+
+
+@dataclass
+class GetRecord:
+    """One ``get`` operation and the subset it returned."""
+
+    pid: int
+    start: float
+    end: float
+    result: FrozenSet[Hashable] = frozenset()
+
+
+@dataclass
+class OpLog:
+    """The operation history of one run against one weak-set."""
+
+    adds: List[AddRecord] = field(default_factory=list)
+    gets: List[GetRecord] = field(default_factory=list)
+
+    def values_added(self) -> FrozenSet[Hashable]:
+        return frozenset(record.value for record in self.adds)
+
+    def completed_adds(self) -> List[AddRecord]:
+        return [record for record in self.adds if record.completed]
+
+
+class WeakSet(ABC):
+    """Synchronous facade interface for weak-set implementations.
+
+    ``add`` blocks (in simulation: advances the substrate) until the
+    weak-set guarantees visibility; ``get`` returns a subset honoring
+    the spec above.  Implementations whose operations span simulated
+    time also maintain an :class:`OpLog` for checking.
+    """
+
+    @abstractmethod
+    def add(self, value: Hashable) -> None:
+        """Insert ``value``; returns only once the add completed."""
+
+    @abstractmethod
+    def get(self) -> FrozenSet[Hashable]:
+        """Return a subset of the values per the weak-set spec."""
+
+
+@dataclass
+class WeakSetReport:
+    """Checker verdict for one :class:`OpLog`."""
+
+    ok: bool
+    violations: List[str] = field(default_factory=list)
+    checked_gets: int = 0
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise SpecViolation("weak-set spec violated: " + "; ".join(self.violations[:5]))
+
+
+def check_weakset(log: OpLog) -> WeakSetReport:
+    """Validate an operation history against the weak-set spec.
+
+    Interval comparisons: an add *completed before* a get iff
+    ``add.end < get.start`` (strict — same-timestamp events are
+    treated as concurrent, where the spec leaves the outcome free);
+    an add *started before the get terminated* iff
+    ``add.start <= get.end``.  Instantaneous gets (``start == end``)
+    are allowed.
+    """
+    report = WeakSetReport(ok=True)
+    for get in log.gets:
+        report.checked_gets += 1
+        # (1) visibility of completed adds
+        for add in log.adds:
+            if add.completed and add.end < get.start and add.value not in get.result:
+                report.ok = False
+                report.violations.append(
+                    f"get@{get.start} by p{get.pid} missed value {add.value!r} "
+                    f"whose add completed at {add.end}"
+                )
+        # (2) no phantoms
+        started_values = {
+            add.value for add in log.adds if add.start <= get.end
+        }
+        phantoms = set(get.result) - started_values
+        if phantoms:
+            report.ok = False
+            report.violations.append(
+                f"get@{get.start} by p{get.pid} returned phantom values "
+                f"{sorted(map(repr, phantoms))}"
+            )
+    return report

@@ -1,0 +1,70 @@
+"""Tests for the statistics helpers and table rendering."""
+
+import pytest
+
+from repro.analysis.stats import (
+    fmt,
+    mean_or_none,
+    median_or_none,
+    percentile,
+    stdev_or_none,
+)
+from repro.analysis.tables import Table
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean_or_none([1, 2, 3]) == 2.0
+        assert mean_or_none([]) is None
+        assert mean_or_none([None, 4]) == 4.0
+
+    def test_stdev(self):
+        assert stdev_or_none([2, 4]) == pytest.approx(1.4142, abs=1e-3)
+        assert stdev_or_none([5]) == 0.0
+        assert stdev_or_none([]) is None
+
+    def test_median(self):
+        assert median_or_none([1, 9, 2]) == 2
+        assert median_or_none([]) is None
+
+    def test_percentile(self):
+        data = list(range(101))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 50) == 50
+        assert percentile(data, 100) == 100
+        assert percentile([], 50) is None
+        with pytest.raises(ValueError):
+            percentile([1], 120)
+
+    def test_fmt(self):
+        assert fmt(None) == "—"
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+        assert fmt(3.14159) == "3.1"
+        assert fmt(7) == "7"
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table("X", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = Table("X", "t", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_render_contains_everything(self):
+        table = Table("T9", "demo table", ["col", "val"], notes=["a note"])
+        table.add_row("x", 1.5)
+        rendered = table.render()
+        assert "[T9] demo table" in rendered
+        assert "col" in rendered and "val" in rendered
+        assert "1.5" in rendered
+        assert "note: a note" in rendered
+
+    def test_render_empty_table(self):
+        table = Table("T0", "empty", ["h"])
+        assert "[T0]" in table.render()

@@ -1,0 +1,133 @@
+"""Tests for the known-IDs, FloodSet, and naive-anonymous baselines."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.known_ids import KnownIdsConsensus
+from repro.baselines.naive_anonymous import (
+    DivergencePollutionLinks,
+    NaiveAnonymousConsensus,
+)
+from repro.baselines.synchronous import FloodSetConsensus
+from repro.core.checkers import check_consensus
+from repro.giraf.adversary import CrashPlan, CrashSchedule, RandomSource
+from repro.giraf.environments import (
+    EventualSynchronyEnvironment,
+    EventuallyStableSourceEnvironment,
+)
+from repro.giraf.scheduler import LockStepScheduler
+from repro.sim.runner import stop_when_all_correct_decided
+
+
+def run(algorithms, env, crashes=None, max_rounds=200):
+    scheduler = LockStepScheduler(
+        algorithms, env, crashes, max_rounds=max_rounds,
+        stop_when=stop_when_all_correct_decided,
+    )
+    return check_consensus(scheduler.run()), scheduler
+
+
+class TestKnownIds:
+    def make(self, proposals):
+        counter = itertools.count()
+        return [KnownIdsConsensus(v, own_pid=next(counter)) for v in proposals]
+
+    def test_decides_in_ess(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=6, preferred_source=0, source_schedule=RandomSource(1)
+        )
+        report, _ = run(self.make([4, 1, 3, 2]), env)
+        assert report.ok
+
+    def test_survives_crashes(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=8, preferred_source=2
+        )
+        crashes = CrashSchedule.fraction(5, 0.4, seed=3, protect={2}, latest_round=10)
+        report, _ = run(self.make([5, 4, 3, 2, 1]), env, crashes)
+        assert report.ok
+
+    def test_identical_proposals(self):
+        env = EventuallyStableSourceEnvironment(stabilization_round=4, preferred_source=0)
+        report, _ = run(self.make([7, 7, 7]), env)
+        assert report.ok
+        assert report.decided_values == frozenset({7})
+
+
+class TestFloodSet:
+    def test_decides_in_f_plus_one_rounds(self):
+        env = EventualSynchronyEnvironment(gst=1)
+        report, scheduler = run(
+            [FloodSetConsensus(v, f=2) for v in [5, 3, 8, 1]], env, max_rounds=10
+        )
+        assert report.ok
+        assert report.decided_values == frozenset({1})
+        assert report.last_decision_round == 3
+
+    def test_tolerates_up_to_f_crashes(self):
+        env = EventualSynchronyEnvironment(gst=1)
+        crashes = CrashSchedule(
+            {0: CrashPlan(1, before_send=False), 1: CrashPlan(2, before_send=True)}
+        )
+        report, _ = run(
+            [FloodSetConsensus(v, f=2) for v in [1, 2, 3, 4, 5]],
+            env,
+            crashes,
+            max_rounds=10,
+        )
+        assert report.ok
+
+    def test_rejects_negative_f(self):
+        with pytest.raises(ValueError):
+            FloodSetConsensus(1, f=-1)
+
+    def test_unsafe_outside_its_model(self):
+        """FloodSet under mere MS can violate agreement — that is why
+        the paper's algorithms exist."""
+        from repro.giraf.adversary import FlappingSource
+        from repro.giraf.environments import MovingSourceEnvironment
+
+        violated = False
+        for seed in range(40):
+            env = MovingSourceEnvironment(source_schedule=RandomSource(seed))
+            crashes = CrashSchedule.fraction(4, 0.5, seed=seed, latest_round=2)
+            report, _ = run(
+                [FloodSetConsensus(v, f=1) for v in [1, 2, 3, 4]],
+                env,
+                crashes,
+                max_rounds=10,
+            )
+            if not report.agreement:
+                violated = True
+                break
+        assert violated, "expected an agreement violation under MS"
+
+
+class TestNaiveAnonymous:
+    def test_everyone_stays_leader(self):
+        env = EventuallyStableSourceEnvironment(stabilization_round=5, preferred_source=0)
+        algorithms = [NaiveAnonymousConsensus(v) for v in [1, 2, 3, 4]]
+        scheduler = LockStepScheduler(
+            algorithms, env, max_rounds=40, record_snapshots=True
+        )
+        trace = scheduler.run()
+        for pid, per_round in trace.snapshots.items():
+            last = per_round[max(per_round)]
+            assert last["leader"]
+
+    def test_pollution_policy_requires_binding(self):
+        policy = DivergencePollutionLinks()
+        assert not policy.timely(1, 0, 1)  # unbound: silent
+
+    def test_pollution_policy_targets_divergence(self):
+        policy = DivergencePollutionLinks()
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=4, preferred_source=0, link_policy=policy
+        )
+        algorithms = [NaiveAnonymousConsensus(v) for v in [1, 2, 3]]
+        scheduler = LockStepScheduler(algorithms, env, max_rounds=60)
+        policy.bind(scheduler.processes)
+        trace = scheduler.run()
+        report = check_consensus(trace)
+        assert report.safe  # the ablation may cost liveness, never safety

@@ -1,0 +1,95 @@
+"""Tests for the registers+Ω consensus baseline (shared-memory Paxos)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolMisuse
+from repro.baselines.omega_paxos import DiskBlock, OmegaPaxos
+from repro.sharedmem.simulator import SharedMemorySimulator
+
+
+class TestSoloLeader:
+    def test_single_proposer_decides_own_value(self):
+        paxos = OmegaPaxos(3)
+        handle = paxos.spawn_proposer(0, "v0")
+        paxos.simulator.run_until_quiet()
+        assert handle.result == "v0"
+        assert paxos.decided_value() == "v0"
+
+    def test_learners_learn(self):
+        sim = SharedMemorySimulator(seed=2)
+        paxos = OmegaPaxos(3, simulator=sim)
+        learner = paxos.spawn_learner(1, polls=500)
+        paxos.spawn_proposer(0, "x")
+        sim.run_until_quiet()
+        assert learner.result == "x"
+
+    def test_sequential_second_proposer_adopts_the_decision(self):
+        paxos = OmegaPaxos(2)
+        paxos.spawn_proposer(0, "first")
+        paxos.simulator.run_until_quiet()
+        second = paxos.spawn_proposer(1, "second")
+        paxos.simulator.run_until_quiet()
+        assert second.result == "first"
+        assert paxos.decided_value() == "first"
+
+    def test_validates_pid_and_n(self):
+        with pytest.raises(ProtocolMisuse):
+            OmegaPaxos(0)
+        with pytest.raises(ProtocolMisuse):
+            OmegaPaxos(2).spawn_proposer(5, "x")
+
+
+class TestContention:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_agreement_and_validity_under_any_interleaving(self, seed):
+        """Safety is interleaving-independent (the Paxos invariant)."""
+        sim = SharedMemorySimulator(seed=seed)
+        paxos = OmegaPaxos(3, simulator=sim)
+        handles = [paxos.spawn_proposer(pid, f"v{pid}", attempts=8) for pid in range(3)]
+        sim.run_until_quiet()
+        outcomes = {h.result for h in handles if h.result is not None}
+        decided = paxos.decided_value()
+        # agreement: all successful proposers returned one value
+        assert len(outcomes) <= 1
+        if decided is not None:
+            assert outcomes <= {decided}
+            # validity: the decision is someone's proposal
+            assert decided in {"v0", "v1", "v2"}
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_crash_during_proposal_keeps_safety(self, seed):
+        sim = SharedMemorySimulator(seed=seed)
+        paxos = OmegaPaxos(3, simulator=sim)
+        doomed = paxos.spawn_proposer(0, "dead")
+        for _ in range(seed % 7):
+            sim.step()
+        sim.crash(0)
+        survivor = paxos.spawn_proposer(1, "alive", attempts=12)
+        sim.run_until_quiet()
+        if survivor.result is not None:
+            assert survivor.result in {"dead", "alive"}
+            assert paxos.decided_value() == survivor.result
+
+    def test_stable_leader_decides_despite_past_contention(self):
+        """Ω's role: once one proposer is left, it terminates."""
+        sim = SharedMemorySimulator(seed=11)
+        paxos = OmegaPaxos(4, simulator=sim)
+        # a burst of contention, possibly deciding or not
+        for pid in range(4):
+            paxos.spawn_proposer(pid, f"v{pid}", attempts=2)
+        sim.run_until_quiet()
+        # the Ω-elected leader proposes alone afterwards: must decide
+        leader = paxos.spawn_proposer(2, "leader-value", attempts=20)
+        sim.run_until_quiet()
+        assert leader.result is not None
+        assert paxos.decided_value() == leader.result
+
+
+class TestDiskBlock:
+    def test_defaults(self):
+        block = DiskBlock()
+        assert block.mbal == -1 and block.bal == -1 and block.inp is None

@@ -1,0 +1,15 @@
+"""Shared pytest configuration: a stable hypothesis profile.
+
+Simulation-backed properties have variable per-example cost, so the
+default 200 ms deadline would flake on loaded machines; example counts
+are set per-test where the default is too heavy.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

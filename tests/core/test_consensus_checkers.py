@@ -1,0 +1,69 @@
+"""Tests for the consensus trace checkers."""
+
+import pytest
+
+from repro.core.checkers import assert_consensus, check_consensus
+from repro.errors import ConsensusViolation
+from repro.giraf.traces import DecisionEvent, RunTrace
+
+
+def trace_with(n=3, correct=None, initial=None, decisions=()):
+    trace = RunTrace(n=n, correct=frozenset(correct if correct is not None else range(n)))
+    trace.initial_values = dict(initial or {pid: pid for pid in range(n)})
+    for pid, value, round_no in decisions:
+        trace.decisions.append(
+            DecisionEvent(pid=pid, value=value, round_no=round_no, time=float(round_no))
+        )
+    return trace
+
+
+class TestCheckConsensus:
+    def test_clean_run(self):
+        trace = trace_with(decisions=[(0, 1, 4), (1, 1, 4), (2, 1, 6)])
+        report = check_consensus(trace)
+        assert report.ok
+        assert report.decided_values == frozenset({1})
+        assert report.first_decision_round == 4
+        assert report.last_decision_round == 6
+
+    def test_validity_violation(self):
+        trace = trace_with(decisions=[(0, 99, 4), (1, 99, 4), (2, 99, 4)])
+        report = check_consensus(trace)
+        assert not report.validity
+        assert not report.safe
+        assert any("validity" in v for v in report.violations)
+
+    def test_agreement_violation(self):
+        trace = trace_with(decisions=[(0, 1, 4), (1, 2, 4), (2, 1, 4)])
+        report = check_consensus(trace)
+        assert not report.agreement
+        assert report.validity
+
+    def test_integrity_violation(self):
+        trace = trace_with(decisions=[(0, 1, 4), (0, 1, 6), (1, 1, 4), (2, 1, 4)])
+        report = check_consensus(trace)
+        assert not report.integrity
+
+    def test_termination_reported_not_raised(self):
+        trace = trace_with(decisions=[(0, 1, 4)])
+        report = check_consensus(trace)
+        assert report.safe
+        assert not report.termination
+        assert report.undecided_correct == frozenset({1, 2})
+
+    def test_faulty_processes_exempt_from_termination(self):
+        trace = trace_with(correct={0}, decisions=[(0, 1, 4)])
+        assert check_consensus(trace).termination
+
+
+class TestAssertConsensus:
+    def test_raises_on_unsafe(self):
+        trace = trace_with(decisions=[(0, 1, 4), (1, 2, 4), (2, 2, 4)])
+        with pytest.raises(ConsensusViolation):
+            assert_consensus(trace)
+
+    def test_raises_on_non_termination_when_required(self):
+        trace = trace_with(decisions=[(0, 1, 4)])
+        with pytest.raises(ConsensusViolation):
+            assert_consensus(trace, require_termination=True)
+        assert assert_consensus(trace, require_termination=False).safe

@@ -1,0 +1,119 @@
+"""Tests for Algorithm 2 (ES consensus), including the erratum variant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkers import check_consensus
+from repro.core.es_consensus import ESConsensus
+from repro.errors import ProtocolMisuse
+from repro.giraf.adversary import CrashSchedule, RandomSource
+from repro.giraf.blockade import BlockadeEnvironment
+from repro.giraf.environments import BernoulliLinks, EventualSynchronyEnvironment
+from repro.giraf.scheduler import LockStepScheduler
+from repro.sim.runner import run_es_consensus, stop_when_all_correct_decided
+
+
+class TestUnit:
+    def test_initialize_seeds_proposal(self):
+        algorithm = ESConsensus(7)
+        assert algorithm.initialize() == frozenset({7})
+
+    def test_verbatim_listing_broadcasts_empty(self):
+        algorithm = ESConsensus(7, seed_initial_proposal=False)
+        assert algorithm.initialize() == frozenset()
+
+    def test_decide_is_once(self):
+        algorithm = ESConsensus(7)
+        algorithm._decide(7, 2)
+        with pytest.raises(ProtocolMisuse):
+            algorithm._decide(7, 4)
+
+    def test_decision_halts(self):
+        algorithm = ESConsensus(7)
+        algorithm._decide(7, 2)
+        assert algorithm.halted
+        assert algorithm.decided
+
+
+class TestRuns:
+    def test_decides_under_immediate_synchrony(self):
+        result = run_es_consensus([3, 1, 4], gst=1, seed=0)
+        assert result.report.ok
+        assert result.metrics.last_decision_round <= 8
+
+    def test_single_process_decides_alone(self):
+        result = run_es_consensus([42], gst=1)
+        assert result.report.ok
+        assert result.trace.decided_values() == frozenset({42})
+
+    def test_identical_proposals(self):
+        result = run_es_consensus([9] * 5, gst=4, seed=2)
+        assert result.report.ok
+        assert result.trace.decided_values() == frozenset({9})
+
+    def test_tolerates_all_but_one_crashing(self):
+        crashes = CrashSchedule.all_but_one(5, survivor=2, latest_round=6)
+        result = run_es_consensus(
+            [1, 2, 3, 4, 5], gst=10, seed=1, crash_schedule=crashes, max_rounds=60
+        )
+        assert result.report.ok
+        assert result.trace.decided_pids() >= frozenset({2})
+
+    def test_latency_tracks_gst_under_blockade(self):
+        for gst in (4, 12, 24):
+            env = BlockadeEnvironment(gst, mode="es")
+            env.bind_universe(6)
+            scheduler = LockStepScheduler(
+                [ESConsensus(v) for v in [6, 1, 2, 3, 4, 5]],
+                env,
+                max_rounds=gst + 30,
+                stop_when=stop_when_all_correct_decided,
+            )
+            trace = scheduler.run()
+            report = check_consensus(trace)
+            assert report.ok
+            assert gst <= trace.last_decision_round() <= gst + 4
+
+    def test_erratum_variant_never_decides(self):
+        """The listing's ``PROPOSED := ∅`` init can never decide."""
+        env = EventualSynchronyEnvironment(gst=1)
+        scheduler = LockStepScheduler(
+            [ESConsensus(v, seed_initial_proposal=False) for v in [1, 2, 3]],
+            env,
+            max_rounds=100,
+        )
+        trace = scheduler.run()
+        assert trace.decisions == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        proposals=st.lists(st.integers(0, 9), min_size=2, max_size=6),
+        seed=st.integers(0, 10_000),
+        gst=st.integers(1, 20),
+    )
+    def test_safety_and_termination_random_adversaries(self, proposals, seed, gst):
+        """Theorem 1 as a property: any seeded ES adversary is survived."""
+        env = EventualSynchronyEnvironment(
+            gst=gst,
+            source_schedule=RandomSource(seed),
+            link_policy=BernoulliLinks(0.4, seed=seed + 1),
+        )
+        crashes = CrashSchedule.fraction(
+            len(proposals), 0.4, seed=seed, latest_round=gst + 2
+        )
+        scheduler = LockStepScheduler(
+            [ESConsensus(v) for v in proposals],
+            env,
+            crashes,
+            max_rounds=gst + 60,
+            stop_when=stop_when_all_correct_decided,
+        )
+        report = check_consensus(scheduler.run())
+        assert report.ok
+
+    def test_drifting_scheduler_agrees(self):
+        result = run_es_consensus(
+            [5, 2, 8, 1], gst=6, seed=3, scheduler="drifting", max_rounds=80
+        )
+        assert result.report.ok

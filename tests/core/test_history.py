@@ -1,0 +1,83 @@
+"""Tests for proposal histories: prefixes, divergence, growth."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.history import (
+    common_prefix_length,
+    diverged,
+    extend,
+    initial_history,
+    is_prefix,
+    is_proper_prefix,
+    longest,
+)
+
+histories = st.lists(st.integers(0, 5), min_size=1, max_size=8).map(tuple)
+
+
+class TestBasics:
+    def test_initial(self):
+        assert initial_history(7) == (7,)
+
+    def test_extend(self):
+        assert extend((1, 2), 3) == (1, 2, 3)
+
+    def test_is_prefix(self):
+        assert is_prefix((1,), (1, 2))
+        assert is_prefix((1, 2), (1, 2))  # non-proper
+        assert not is_prefix((2,), (1, 2))
+        assert not is_prefix((1, 2, 3), (1, 2))
+
+    def test_is_proper_prefix(self):
+        assert is_proper_prefix((1,), (1, 2))
+        assert not is_proper_prefix((1, 2), (1, 2))
+
+    def test_empty_is_prefix_of_everything(self):
+        assert is_prefix((), (1, 2))
+        assert is_prefix((), ())
+
+    def test_common_prefix_length(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 9)) == 2
+        assert common_prefix_length((1,), (2,)) == 0
+        assert common_prefix_length((1, 2), (1, 2)) == 2
+
+    def test_diverged(self):
+        assert diverged((1, 2), (1, 3))
+        assert not diverged((1,), (1, 2))  # still extendable into it
+        assert not diverged((1, 2), (1, 2))
+
+    def test_longest(self):
+        assert longest([(1,), (1, 2), (3,)]) == (1, 2)
+        assert longest([]) is None
+
+
+class TestProperties:
+    @given(histories, st.integers(0, 5))
+    def test_history_is_prefix_of_its_extension(self, history, value):
+        assert is_proper_prefix(history, extend(history, value))
+
+    @given(histories, histories)
+    def test_divergence_is_permanent(self, a, b):
+        # once diverged, no extension can reconcile them
+        if diverged(a, b):
+            assert diverged(extend(a, 0), b)
+            assert diverged(a, extend(b, 1))
+
+    @given(histories, histories)
+    def test_prefix_antisymmetry(self, a, b):
+        if is_prefix(a, b) and is_prefix(b, a):
+            assert a == b
+
+    @given(histories, histories, histories)
+    def test_prefix_transitivity(self, a, b, c):
+        if is_prefix(a, b) and is_prefix(b, c):
+            assert is_prefix(a, c)
+
+    @given(histories, histories)
+    def test_exactly_one_of_prefix_or_diverged_or_suffix(self, a, b):
+        # trichotomy: a ⊑ b, b ⊑ a, or permanently diverged
+        relations = [is_prefix(a, b), is_prefix(b, a), diverged(a, b)]
+        assert any(relations)
+        if diverged(a, b):
+            assert not is_prefix(a, b) and not is_prefix(b, a)

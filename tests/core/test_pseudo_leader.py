@@ -1,0 +1,132 @@
+"""Tests for the pseudo leader election primitive (Lemmas 4–6)."""
+
+from repro.core.counters import FrozenCounters
+from repro.core.pseudo_leader import HeartbeatPseudoLeader, PseudoLeaderElector
+from repro.failuredetectors.omega import check_omega_convergence  # noqa: F401 (similar API sanity)
+from repro.giraf.adversary import CrashSchedule, RandomSource
+from repro.giraf.environments import EventuallyStableSourceEnvironment, SilentLinks
+from repro.giraf.scheduler import LockStepScheduler
+
+
+class TestElector:
+    def test_initial_state_is_leader(self):
+        elector = PseudoLeaderElector(5)
+        assert elector.history == (5,)
+        assert elector.is_leader()  # empty counters: trivially maximal
+
+    def test_merge_and_leadership(self):
+        elector = PseudoLeaderElector(5)
+        # hear a rival history with a high counter: lose leadership
+        rival = (9, 9, 9)
+        elector.merge_round(
+            [FrozenCounters({rival: 10})], [rival]
+        )
+        assert not elector.is_leader()
+        assert elector.max_counter() >= 10
+
+    def test_own_history_bump_keeps_leadership(self):
+        elector = PseudoLeaderElector(5)
+        message_counters = FrozenCounters({elector.history: 1})
+        elector.merge_round([message_counters], [elector.history])
+        assert elector.is_leader()
+        assert elector.my_counter() == 2
+
+    def test_append_extends_history(self):
+        elector = PseudoLeaderElector(5)
+        elector.append(6)
+        assert elector.history == (5, 6)
+
+    def test_state_size_grows(self):
+        elector = PseudoLeaderElector(5)
+        before = elector.state_size()
+        elector.append(6)
+        elector.merge_round([FrozenCounters({(5, 6): 1})], [(5, 6)])
+        assert elector.state_size() > before
+
+    def test_frozen_counters_roundtrip(self):
+        elector = PseudoLeaderElector(5)
+        elector.merge_round([FrozenCounters({(5,): 1})], [(5,)])
+        assert elector.frozen_counters() == FrozenCounters(elector.counters)
+
+
+def run_heartbeats(n, stab, rounds, *, seed=0, naive=False, crashes=None):
+    env = EventuallyStableSourceEnvironment(
+        stabilization_round=stab,
+        preferred_source=0,
+        source_schedule=RandomSource(seed),
+        link_policy=SilentLinks(),
+    )
+
+    def make(pid):
+        algorithm = HeartbeatPseudoLeader(brand=pid)
+        if naive:
+            algorithm.elector._inherit_prefixes = False
+        return algorithm
+
+    scheduler = LockStepScheduler(
+        [make(pid) for pid in range(n)],
+        env,
+        crashes,
+        max_rounds=rounds,
+        record_snapshots=True,
+    )
+    return scheduler, scheduler.run()
+
+
+class TestConvergence:
+    def test_lemma4_source_counter_ratchets(self):
+        """The eventual source's counter grows by 1 per round."""
+        scheduler, trace = run_heartbeats(4, stab=5, rounds=30)
+        series = [
+            snap["my_counter"] for _, snap in sorted(trace.snapshots[0].items())
+        ][10:]
+        deltas = [b - a for a, b in zip(series, series[1:])]
+        assert all(delta == 1 for delta in deltas)
+
+    def test_lemma6_leaders_converge_to_source_trackers(self):
+        scheduler, trace = run_heartbeats(5, stab=5, rounds=40)
+        final_leaders = [
+            pid
+            for pid in range(5)
+            if trace.snapshots[pid][max(trace.snapshots[pid])]["leader"]
+        ]
+        assert final_leaders == [0]  # only the eventual source
+
+    def test_identical_brands_stay_co_leaders(self):
+        """Indistinguishable processes cannot be separated (anonymity)."""
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=3, preferred_source=0
+        )
+        algorithms = [HeartbeatPseudoLeader(brand="same") for _ in range(4)]
+        scheduler = LockStepScheduler(
+            algorithms, env, max_rounds=30, record_snapshots=True
+        )
+        trace = scheduler.run()
+        leaders = [
+            trace.snapshots[pid][max(trace.snapshots[pid])]["leader"]
+            for pid in range(4)
+        ]
+        # identical histories ⇒ identical counters ⇒ all or none lead;
+        # the source's history *is* everyone's history, so all lead
+        assert all(leaders)
+
+    def test_naive_variant_never_deelects(self):
+        scheduler, trace = run_heartbeats(5, stab=5, rounds=40, naive=True)
+        for pid in range(5):
+            last = trace.snapshots[pid][max(trace.snapshots[pid])]
+            assert last["leader"], "naive counters freeze at 1: everyone leads"
+
+    def test_convergence_survives_crashes(self):
+        crashes = CrashSchedule.fraction(6, 0.5, seed=3, protect={0}, latest_round=8)
+        scheduler, trace = run_heartbeats(6, stab=6, rounds=50, crashes=crashes)
+        for pid in sorted(trace.correct):
+            last = trace.snapshots[pid][max(trace.snapshots[pid])]
+            assert last["leader"] == (pid == 0)
+
+    def test_history_grows_one_per_round(self):
+        scheduler, trace = run_heartbeats(3, stab=2, rounds=20)
+        lengths = [
+            snap["history_len"] for _, snap in sorted(trace.snapshots[1].items())
+        ]
+        deltas = [b - a for a, b in zip(lengths, lengths[1:])]
+        assert all(delta == 1 for delta in deltas)

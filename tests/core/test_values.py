@@ -1,0 +1,73 @@
+"""Tests for the value universe: ⊥ ordering and helpers."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.values import BOTTOM, Bottom, is_bottom, max_value, sort_key, strip_bottom
+
+
+class TestBottom:
+    def test_singleton(self):
+        assert Bottom() is BOTTOM
+        assert Bottom() is Bottom()
+
+    def test_equality_only_with_itself(self):
+        assert BOTTOM == Bottom()
+        assert BOTTOM != 0
+        assert BOTTOM != ""
+        assert BOTTOM != None  # noqa: E711 — deliberate: ⊥ is not None
+
+    def test_hash_stable(self):
+        assert hash(BOTTOM) == hash(Bottom())
+
+    def test_orders_below_everything(self):
+        assert BOTTOM < 0
+        assert BOTTOM < -(10**9)
+        assert BOTTOM < ""
+        assert not (BOTTOM < BOTTOM)
+        assert BOTTOM <= BOTTOM
+        assert 5 > BOTTOM  # reflected comparison
+        assert BOTTOM >= BOTTOM
+
+    def test_repr(self):
+        assert repr(BOTTOM) == "⊥"
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(BOTTOM)) is BOTTOM
+
+    def test_in_frozenset(self):
+        assert BOTTOM in frozenset({BOTTOM, 1})
+
+
+class TestHelpers:
+    def test_is_bottom(self):
+        assert is_bottom(BOTTOM)
+        assert not is_bottom(0)
+
+    def test_strip_bottom(self):
+        assert set(strip_bottom({BOTTOM, 1, 2})) == {1, 2}
+        assert list(strip_bottom([BOTTOM])) == []
+
+    def test_max_value(self):
+        assert max_value({BOTTOM, 3, 7, 1}) == 7
+
+    def test_max_value_rejects_all_bottom(self):
+        with pytest.raises(ValueError):
+            max_value({BOTTOM})
+        with pytest.raises(ValueError):
+            max_value(set())
+
+    @given(st.sets(st.integers(), min_size=1))
+    def test_max_value_matches_builtin_on_pure_ints(self, values):
+        assert max_value(values) == max(values)
+        assert max_value(values | {BOTTOM}) == max(values)
+
+    @given(st.lists(st.one_of(st.integers(), st.just(BOTTOM)), min_size=2))
+    def test_sort_key_total_order(self, values):
+        ordered = sorted(values, key=sort_key)
+        assert len(ordered) == len(values)
+        keys = [sort_key(v) for v in ordered]
+        assert keys == sorted(keys)

@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["T6"]) == 0
+        out = capsys.readouterr().out
+        assert "[T6]" in out
+        assert "intersection" in out
+
+    def test_lowercase_ids_accepted(self, capsys):
+        assert main(["f4"]) == 0
+        assert "[F4]" in capsys.readouterr().out
+
+    def test_multiple_ids_in_order(self, capsys):
+        assert main(["T6", "F4"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("[T6]") < out.index("[F4]")
+
+    def test_unknown_id_is_an_argparse_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["T99"])
+        assert excinfo.value.code == 2
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["T6", "--seed", "3"]) == 0
+        assert "[T6]" in capsys.readouterr().out

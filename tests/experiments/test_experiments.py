@@ -1,0 +1,72 @@
+"""Smoke tests for the experiment harness (quick grids only).
+
+The heavy sweeps run in ``benchmarks/``; here we validate registry
+dispatch, table structure, and the headline assertions each experiment
+makes (checker verdicts, violation presence, growth direction).
+"""
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.leader_figure import run_f3
+from repro.experiments.sigma_table import run_t6
+from repro.experiments.state_growth import run_t3
+from repro.experiments.weakset_tables import run_f4, run_t4, run_t5
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        assert set(EXPERIMENTS) == {
+            "T1", "T2", "T3", "T4", "T5", "T6", "T7",
+            "F1", "F2", "F3", "F4", "A1", "A2", "A3",
+        }
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("T99")
+
+    def test_case_insensitive_lookup(self):
+        table = run_experiment("t6")
+        assert isinstance(table, Table)
+
+
+class TestHeadlineClaims:
+    def test_t3_anonymous_payload_grows_ids_plateau(self):
+        table = run_t3(quick=True)
+        anonymous = table.column("anonymous (histories)")
+        ids = table.column("known-IDs (Ω)")
+        assert anonymous[-1] > 3 * anonymous[0], "anonymous payload must grow"
+        assert ids[-1] < 3 * ids[0], "ID payload must stay near-flat"
+
+    def test_t4_all_verdicts_pass(self):
+        table = run_t4(quick=True)
+        assert all(table.column("spec-ok"))
+        assert all(table.column("ms-ok"))
+
+    def test_t5_all_verdicts_pass(self):
+        table = run_t5(quick=True)
+        assert all(table.column("ms-ok"))
+        assert all(table.column("weakset-ok"))
+        assert all(s >= 2 for s in table.column("distinct-sources"))
+
+    def test_t6_every_candidate_violates_something(self):
+        table = run_t6(quick=True)
+        for verdict in table.column("violated-property"):
+            assert verdict in {
+                "completeness(r1)", "completeness(r2)", "intersection(r1,r2)",
+            }
+
+    def test_f3_real_converges_naive_does_not(self):
+        table = run_f3(quick=True)
+        real = table.column("leaders (Alg 3)")
+        naive = table.column("leaders (naive)")
+        assert real[-1] < real[0]
+        assert naive[-1] == naive[0]
+
+    def test_f4_registers_read_back_last_write(self):
+        table = run_f4(quick=True)
+        writes = table.column("writes")
+        finals = table.column("final-read")
+        for write_count, final in zip(writes, finals):
+            assert final == 100 + write_count - 1

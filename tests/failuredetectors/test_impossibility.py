@@ -1,0 +1,79 @@
+"""Tests for the mechanized Proposition 4 (Σ not emulable in MS)."""
+
+import pytest
+
+from repro.failuredetectors.impossibility import (
+    _run_r1,
+    demonstrate_impossibility,
+)
+from repro.failuredetectors.sigma import (
+    ALL_CANDIDATES,
+    EverHeardSigma,
+    RecentWindowSigma,
+    SigmaEmulator,
+)
+
+
+class TestRun1:
+    def test_timeout_style_candidate_stabilizes(self):
+        result = _run_r1(RecentWindowSigma, n=2, horizon=30)
+        assert result.completeness_holds
+        assert result.outputs[-1] == frozenset({0})
+
+    def test_ever_heard_with_silence_also_stabilizes(self):
+        # p1 hears nothing in r1, so ever-heard = {p1}: stabilizes at once
+        result = _run_r1(EverHeardSigma, n=2, horizon=10)
+        assert result.stabilization_round == 1
+
+
+class TestProposition4:
+    @pytest.mark.parametrize("name", sorted(ALL_CANDIDATES))
+    def test_every_candidate_fails_some_sigma_property(self, name):
+        outcome = demonstrate_impossibility(name, ALL_CANDIDATES[name])
+        assert outcome.violated_property in {
+            "completeness(r1)",
+            "completeness(r2)",
+            "intersection(r1,r2)",
+        }
+
+    def test_window_candidate_hits_intersection_exactly(self):
+        outcome = demonstrate_impossibility("w", RecentWindowSigma)
+        assert outcome.violated_property == "intersection(r1,r2)"
+        assert outcome.p1_output_at_t == frozenset({0})
+        assert outcome.p2_final_output == frozenset({1})
+        assert not (outcome.p1_output_at_t & outcome.p2_final_output)
+
+    def test_ever_heard_fails_completeness_in_r2(self):
+        # it never drops the crashed p1, so completeness breaks instead
+        outcome = demonstrate_impossibility("ever", EverHeardSigma)
+        assert outcome.violated_property == "completeness(r2)"
+
+    def test_larger_systems_fail_identically(self):
+        for n in (3, 5):
+            outcome = demonstrate_impossibility("w", RecentWindowSigma, n=n)
+            assert outcome.violated_property == "intersection(r1,r2)"
+
+    def test_never_completing_candidate_reported_as_r1_failure(self):
+        class Stubborn(SigmaEmulator):
+            """Trusts everyone forever — never satisfies completeness."""
+
+            def observe_round(self, round_no, heard):
+                return frozenset(range(self.n))
+
+        outcome = demonstrate_impossibility("stubborn", Stubborn, horizon=20)
+        assert outcome.violated_property == "completeness(r1)"
+
+    def test_nondeterministic_candidate_is_caught(self):
+        class Flaky(SigmaEmulator):
+            """Output depends on identity, not observations — cheating."""
+
+            counter = 0
+
+            def observe_round(self, round_no, heard):
+                Flaky.counter += 1
+                if Flaky.counter % 2:
+                    return frozenset({self.own_pid})
+                return frozenset(range(self.n))
+
+        with pytest.raises(AssertionError):
+            demonstrate_impossibility("flaky", Flaky, horizon=11)

@@ -1,0 +1,88 @@
+"""Tests for the known-IDs heartbeat Ω implementation and its checker."""
+
+from repro.failuredetectors.omega import HeartbeatOmega, check_omega_convergence
+from repro.giraf.adversary import CrashSchedule, RandomSource
+from repro.giraf.environments import (
+    BernoulliLinks,
+    EventuallyStableSourceEnvironment,
+    MovingSourceEnvironment,
+)
+from repro.giraf.scheduler import LockStepScheduler
+
+
+def run_omega(n, env, crashes=None, rounds=60):
+    scheduler = LockStepScheduler(
+        [HeartbeatOmega(pid) for pid in range(n)],
+        env,
+        crashes,
+        max_rounds=rounds,
+        record_snapshots=True,
+    )
+    return scheduler.run()
+
+
+class TestConvergence:
+    def test_converges_to_stable_source(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=8, preferred_source=3
+        )
+        trace = run_omega(5, env)
+        report = check_omega_convergence(trace)
+        assert report.ok
+        assert report.converged_leader == 3
+
+    def test_converges_under_noisy_links(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=10,
+            preferred_source=1,
+            link_policy=BernoulliLinks(0.5, seed=4),
+            source_schedule=RandomSource(4),
+        )
+        trace = run_omega(5, env, rounds=100)
+        report = check_omega_convergence(trace)
+        assert report.ok
+        assert report.converged_leader == 1
+
+    def test_converges_despite_crashes(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=8, preferred_source=0
+        )
+        crashes = CrashSchedule.fraction(6, 0.5, seed=1, protect={0}, latest_round=10)
+        trace = run_omega(6, env, crashes=crashes, rounds=80)
+        report = check_omega_convergence(trace)
+        assert report.ok
+        assert report.converged_leader == 0
+
+    def test_message_size_stays_bounded(self):
+        """ID-keyed counters are O(n) — the T3 contrast."""
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=5, preferred_source=0
+        )
+        trace = run_omega(4, env, rounds=80)
+        from repro.giraf.messages import payload_size
+
+        sizes = [payload_size(s.payload) for s in trace.sends]
+        late = [payload_size(s.payload) for s in trace.sends if s.round_no > 40]
+        assert max(late) <= max(sizes[: len(sizes) // 2]) + 2 * 4
+
+
+class TestChecker:
+    def test_moving_source_does_not_converge(self):
+        from repro.giraf.adversary import FlappingSource
+
+        env = MovingSourceEnvironment(source_schedule=FlappingSource(1))
+        trace = run_omega(4, env, rounds=40)
+        report = check_omega_convergence(trace)
+        # flapping sources: the leader estimate keeps oscillating, or
+        # converges by luck — either way the checker must not crash and
+        # must report a consistent verdict
+        if report.ok:
+            assert report.converged_leader in trace.correct
+        else:
+            assert report.violations
+
+    def test_no_snapshots_is_a_failure(self):
+        from repro.giraf.traces import RunTrace
+
+        report = check_omega_convergence(RunTrace(n=2, correct=frozenset({0, 1})))
+        assert not report.ok

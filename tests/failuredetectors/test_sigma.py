@@ -1,0 +1,90 @@
+"""Tests for the Σ specification checker and candidate emulators."""
+
+import pytest
+
+from repro.errors import SpecViolation
+from repro.failuredetectors.sigma import (
+    EverHeardSigma,
+    MajorityCountSigma,
+    RecentWindowSigma,
+    SelfOnlySigma,
+    SigmaOutputLog,
+    check_sigma,
+)
+
+
+def log_with(correct, outputs):
+    log = SigmaOutputLog(n=3, correct=frozenset(correct))
+    for pid, time, trusted in outputs:
+        log.record(pid, time, frozenset(trusted))
+    return log
+
+
+class TestChecker:
+    def test_clean_log_passes(self):
+        log = log_with({0, 1}, [(0, 1.0, {0, 1}), (1, 2.0, {0, 1})])
+        assert check_sigma(log).ok
+
+    def test_intersection_violation(self):
+        log = log_with({0, 1}, [(0, 1.0, {0}), (1, 2.0, {1})])
+        report = check_sigma(log)
+        assert not report.intersection_ok
+        assert any("intersection" in v for v in report.violations)
+
+    def test_intersection_is_across_times_too(self):
+        log = log_with({0}, [(0, 1.0, {1}), (0, 9.0, {2})])
+        assert not check_sigma(log).intersection_ok
+
+    def test_completeness_violation(self):
+        # pid 2 crashed but is still trusted at the end
+        log = log_with({0, 1}, [(0, 5.0, {0, 2}), (1, 5.0, {0, 1})])
+        report = check_sigma(log)
+        assert not report.completeness_ok
+
+    def test_completeness_checks_only_the_suffix(self):
+        log = log_with(
+            {0}, [(0, 1.0, {0, 2}), (0, 2.0, {0})]  # early trust of faulty ok
+        )
+        assert check_sigma(log, completeness_suffix=1).ok
+
+    def test_raise_if_failed(self):
+        log = log_with({0, 1}, [(0, 1.0, {0}), (1, 1.0, {1})])
+        with pytest.raises(SpecViolation):
+            check_sigma(log).raise_if_failed()
+
+
+class TestCandidates:
+    def test_ever_heard_accumulates(self):
+        emulator = EverHeardSigma(0, 3)
+        assert emulator.observe_round(1, frozenset({0, 2})) == frozenset({0, 2})
+        assert emulator.observe_round(2, frozenset({0})) == frozenset({0, 2})
+
+    def test_recent_window_expels_the_silent(self):
+        emulator = RecentWindowSigma(0, 3, window=2)
+        emulator.observe_round(1, frozenset({0, 1}))
+        out = emulator.observe_round(3, frozenset({0}))
+        assert 1 not in out
+        assert 0 in out
+
+    def test_recent_window_validates(self):
+        with pytest.raises(ValueError):
+            RecentWindowSigma(0, 3, window=0)
+
+    def test_majority_count_keeps_a_quorum_when_possible(self):
+        emulator = MajorityCountSigma(0, 5)
+        out = emulator.observe_round(1, frozenset({0, 1, 2, 3, 4}))
+        assert len(out) >= 3
+        assert 0 in out
+
+    def test_self_only(self):
+        emulator = SelfOnlySigma(2, 4)
+        assert emulator.observe_round(1, frozenset({0, 1, 2})) == frozenset({2})
+
+    def test_candidates_are_deterministic(self):
+        """Determinism is what the indistinguishability proof leans on."""
+        for factory in (EverHeardSigma, RecentWindowSigma, MajorityCountSigma):
+            a, b = factory(0, 3), factory(0, 3)
+            observations = [frozenset({0}), frozenset({0, 1}), frozenset({0})]
+            outputs_a = [a.observe_round(k, obs) for k, obs in enumerate(observations, 1)]
+            outputs_b = [b.observe_round(k, obs) for k, obs in enumerate(observations, 1)]
+            assert outputs_a == outputs_b

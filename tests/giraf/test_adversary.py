@@ -1,0 +1,125 @@
+"""Unit tests for crash schedules, source schedules, delay policies."""
+
+import pytest
+
+from repro.errors import ProtocolMisuse
+from repro.giraf.adversary import (
+    ConstantDelay,
+    CrashPlan,
+    CrashSchedule,
+    FixedSource,
+    FlappingSource,
+    RandomSource,
+    RoundRobinSource,
+    UniformDelay,
+)
+
+
+class TestCrashSchedule:
+    def test_none_is_all_correct(self):
+        schedule = CrashSchedule.none()
+        assert schedule.correct_set(5) == frozenset(range(5))
+        assert len(schedule) == 0
+
+    def test_fraction_counts(self):
+        schedule = CrashSchedule.fraction(10, 0.5, seed=1)
+        assert len(schedule) == 5
+        assert len(schedule.correct_set(10)) == 5
+
+    def test_fraction_protects(self):
+        schedule = CrashSchedule.fraction(6, 0.9, seed=2, protect={0, 1})
+        assert 0 in schedule.correct_set(6)
+        assert 1 in schedule.correct_set(6)
+
+    def test_fraction_keeps_one_correct(self):
+        schedule = CrashSchedule.fraction(4, 1.0, seed=3)
+        assert len(schedule.correct_set(4)) >= 1
+
+    def test_fraction_deterministic_per_seed(self):
+        a = CrashSchedule.fraction(10, 0.4, seed=9)
+        b = CrashSchedule.fraction(10, 0.4, seed=9)
+        assert a.faulty_set(10) == b.faulty_set(10)
+        for pid in a.faulty_set(10):
+            assert a.plan_for(pid) == b.plan_for(pid)
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            CrashSchedule.fraction(4, 1.5)
+
+    def test_all_but_one(self):
+        schedule = CrashSchedule.all_but_one(5, survivor=3)
+        assert schedule.correct_set(5) == frozenset({3})
+
+    def test_validate_rejects_total_wipeout(self):
+        schedule = CrashSchedule({pid: CrashPlan(1) for pid in range(3)})
+        with pytest.raises(ProtocolMisuse):
+            schedule.validate(3)
+
+    def test_validate_rejects_unknown_pid(self):
+        schedule = CrashSchedule({7: CrashPlan(1)})
+        with pytest.raises(ProtocolMisuse):
+            schedule.validate(3)
+
+    def test_crash_plan_round_positive(self):
+        with pytest.raises(ValueError):
+            CrashPlan(0)
+
+
+class TestSourceSchedules:
+    CANDIDATES = [2, 5, 7]
+
+    def test_round_robin_cycles(self):
+        schedule = RoundRobinSource()
+        picks = [schedule.pick(k, self.CANDIDATES) for k in range(6)]
+        assert picks == [2, 5, 7, 2, 5, 7]
+
+    def test_random_is_deterministic_and_in_range(self):
+        schedule = RandomSource(seed=4)
+        picks = [schedule.pick(k, self.CANDIDATES) for k in range(20)]
+        again = [RandomSource(seed=4).pick(k, self.CANDIDATES) for k in range(20)]
+        assert picks == again
+        assert set(picks) <= set(self.CANDIDATES)
+
+    def test_random_seed_changes_picks(self):
+        a = [RandomSource(seed=1).pick(k, list(range(10))) for k in range(30)]
+        b = [RandomSource(seed=2).pick(k, list(range(10))) for k in range(30)]
+        assert a != b
+
+    def test_flapping_alternates_extremes(self):
+        schedule = FlappingSource(period=1)
+        picks = {schedule.pick(k, self.CANDIDATES) for k in range(4)}
+        assert picks == {2, 7}
+
+    def test_flapping_period(self):
+        schedule = FlappingSource(period=3)
+        picks = [schedule.pick(k, self.CANDIDATES) for k in range(6)]
+        assert picks == [2, 2, 2, 7, 7, 7]
+
+    def test_flapping_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            FlappingSource(period=0)
+
+    def test_fixed_prefers_then_falls_back(self):
+        schedule = FixedSource(5)
+        assert schedule.pick(1, self.CANDIDATES) == 5
+        assert schedule.pick(1, [2, 7]) == 2
+
+
+class TestDelayPolicies:
+    def test_uniform_range_and_determinism(self):
+        policy = UniformDelay(2, 6, seed=1)
+        delays = [policy.delay(k, 0, 1) for k in range(50)]
+        assert all(2 <= d <= 6 for d in delays)
+        assert delays == [UniformDelay(2, 6, seed=1).delay(k, 0, 1) for k in range(50)]
+
+    def test_uniform_rejects_timely_delays(self):
+        # a 1-tick delay still lands in time to be read (see module doc)
+        with pytest.raises(ValueError):
+            UniformDelay(1, 5)
+
+    def test_constant(self):
+        assert ConstantDelay(4).delay(9, 0, 1) == 4
+
+    def test_constant_rejects_small(self):
+        with pytest.raises(ValueError):
+            ConstantDelay(1)

@@ -1,0 +1,79 @@
+"""Tests for the decision-blocking MS adversary."""
+
+import pytest
+
+from repro.core.checkers import check_consensus
+from repro.core.es_consensus import ESConsensus
+from repro.giraf.adversary import CrashPlan, CrashSchedule
+from repro.giraf.blockade import BlockadeEnvironment
+from repro.giraf.checkers import check_es, check_ms
+from repro.giraf.scheduler import LockStepScheduler
+from repro.sim.runner import stop_when_all_correct_decided
+
+
+def run_es_under_blockade(release, n=6, crashes=None, max_rounds=None):
+    env = BlockadeEnvironment(release, mode="es")
+    env.bind_universe(n, crashes)
+    proposals = [n] + list(range(1, n))  # carrier (pid 0) holds the max
+    scheduler = LockStepScheduler(
+        [ESConsensus(v) for v in proposals],
+        env,
+        crashes,
+        max_rounds=max_rounds or (release + 40),
+        stop_when=stop_when_all_correct_decided,
+    )
+    return scheduler.run()
+
+
+class TestConstruction:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            BlockadeEnvironment(0)
+        with pytest.raises(ValueError):
+            BlockadeEnvironment(1, mode="weird")
+
+    def test_stays_within_the_ms_contract(self):
+        trace = run_es_under_blockade(release=12)
+        assert check_ms(trace).ok
+
+    def test_es_holds_from_the_release_round(self):
+        trace = run_es_under_blockade(release=10)
+        assert check_es(trace, 10).ok
+
+    def test_carrier_is_never_the_source(self):
+        env = BlockadeEnvironment(50, mode="es", carrier=0)
+        env.bind_universe(5)
+        for k in range(1, 40):
+            plan = env.plan_round(k, [0, 1, 2, 3, 4])
+            assert plan.source != 0
+
+
+class TestBlocking:
+    def test_decisions_track_the_release_round(self):
+        for release in (4, 10, 20):
+            trace = run_es_under_blockade(release)
+            report = check_consensus(trace)
+            assert report.ok
+            assert release <= trace.last_decision_round() <= release + 4
+
+    def test_never_releasing_blocks_forever_safely(self):
+        trace = run_es_under_blockade(release=10_000, max_rounds=120)
+        report = check_consensus(trace)
+        assert report.safe
+        assert not report.termination
+        assert trace.decisions == []
+
+    def test_crash_aware_rotation(self):
+        # a crashing low process must not derail the schedule's guesses
+        crashes = CrashSchedule({2: CrashPlan(5, before_send=True)})
+        trace = run_es_under_blockade(release=14, crashes=crashes)
+        report = check_consensus(trace)
+        assert report.safe
+        assert check_ms(trace).ok
+
+    def test_degenerate_two_process_universe(self):
+        # |low| = 1: E2 has no distinct companion; the blockade is weak
+        # but must stay a legal MS environment
+        trace = run_es_under_blockade(release=8, n=2, max_rounds=60)
+        assert check_ms(trace).ok
+        assert check_consensus(trace).safe

@@ -1,0 +1,123 @@
+"""Tests for the MS/ES/ESS trace checkers, including mutation detection."""
+
+import pytest
+
+from repro.errors import EnvironmentViolation
+from repro.giraf.adversary import RoundRobinSource
+from repro.giraf.checkers import (
+    assert_environment,
+    check_es,
+    check_ess,
+    check_ms,
+    sources_of_round,
+)
+from repro.giraf.environments import (
+    EventualSynchronyEnvironment,
+    EventuallyStableSourceEnvironment,
+    MovingSourceEnvironment,
+)
+from repro.giraf.probes import EchoProbe
+from repro.giraf.scheduler import LockStepScheduler
+from repro.giraf.traces import DeliveryEvent
+
+
+def make_trace(env, n=4, max_rounds=10):
+    scheduler = LockStepScheduler(
+        [EchoProbe(pid) for pid in range(n)], env, max_rounds=max_rounds
+    )
+    return scheduler.run()
+
+
+def drop_timeliness(trace, sender):
+    """Mutate: mark all of one sender's deliveries as late."""
+    trace.deliveries = [
+        DeliveryEvent(
+            d.sender, d.receiver, d.round_no, d.sent_time, d.delivered_time,
+            timely=d.timely and d.sender != sender,
+        )
+        for d in trace.deliveries
+    ]
+
+
+class TestCheckMS:
+    def test_accepts_conforming_run(self):
+        trace = make_trace(MovingSourceEnvironment(source_schedule=RoundRobinSource()))
+        report = check_ms(trace)
+        assert report.ok
+        assert report.violations == []
+
+    def test_sources_recovered_per_round(self):
+        trace = make_trace(MovingSourceEnvironment(source_schedule=RoundRobinSource()))
+        for k in range(2, 8):
+            sources = sources_of_round(trace, k)
+            assert sources
+            assert trace.declared_sources[k] in sources
+
+    def test_rejects_mutated_run(self):
+        trace = make_trace(MovingSourceEnvironment(source_schedule=RoundRobinSource()))
+        # kill every sender's timeliness in round 5
+        trace.deliveries = [
+            DeliveryEvent(
+                d.sender, d.receiver, d.round_no, d.sent_time, d.delivered_time,
+                timely=d.timely and d.round_no != 5,
+            )
+            for d in trace.deliveries
+        ]
+        report = check_ms(trace)
+        assert not report.ok
+        assert any("round 5" in v for v in report.violations)
+
+    def test_raise_if_failed(self):
+        trace = make_trace(MovingSourceEnvironment(source_schedule=RoundRobinSource()))
+        trace.deliveries = []
+        with pytest.raises(EnvironmentViolation):
+            check_ms(trace).raise_if_failed()
+
+
+class TestCheckES:
+    def test_accepts_conforming_run(self):
+        trace = make_trace(EventualSynchronyEnvironment(gst=3))
+        assert check_es(trace, 3).ok
+
+    def test_rejects_partial_synchrony_after_gst(self):
+        trace = make_trace(EventualSynchronyEnvironment(gst=3))
+        drop_timeliness(trace, sender=2)
+        report = check_es(trace, 3)
+        assert not report.ok
+
+    def test_checker_only_cares_after_gst(self):
+        # MS-only run passes an ES check whose GST is beyond the horizon
+        trace = make_trace(
+            MovingSourceEnvironment(source_schedule=RoundRobinSource()), max_rounds=6
+        )
+        assert check_es(trace, 100).ok
+
+
+class TestCheckESS:
+    def test_accepts_conforming_run(self):
+        trace = make_trace(
+            EventuallyStableSourceEnvironment(stabilization_round=3, preferred_source=1)
+        )
+        assert check_ess(trace, 3).ok
+
+    def test_rejects_source_that_keeps_moving(self):
+        trace = make_trace(
+            MovingSourceEnvironment(source_schedule=RoundRobinSource()), n=4
+        )
+        report = check_ess(trace, 2)
+        assert not report.ok
+
+    def test_search_mode_finds_stable_suffix(self):
+        trace = make_trace(
+            EventuallyStableSourceEnvironment(stabilization_round=5, preferred_source=2)
+        )
+        assert check_ess(trace).ok
+
+    def test_assert_environment_dispatch(self):
+        trace = make_trace(EventualSynchronyEnvironment(gst=2))
+        assert assert_environment(trace, "ES", gst=2).ok
+        assert assert_environment(trace, "MS").ok
+        with pytest.raises(ValueError):
+            assert_environment(trace, "XX")
+        with pytest.raises(ValueError):
+            assert_environment(trace, "ES")  # missing gst

@@ -1,0 +1,104 @@
+"""Unit tests for the MS / ES / ESS constructive environments."""
+
+import pytest
+
+from repro.giraf.adversary import FixedSource, RoundRobinSource
+from repro.giraf.environments import (
+    AllTimelyLinks,
+    BernoulliLinks,
+    EventualSynchronyEnvironment,
+    EventuallyStableSourceEnvironment,
+    MovingSourceEnvironment,
+    SilentLinks,
+)
+
+CANDIDATES = [0, 1, 2, 3]
+
+
+class TestMovingSource:
+    def test_one_obligatory_sender_per_round(self):
+        env = MovingSourceEnvironment(source_schedule=RoundRobinSource())
+        for k in range(1, 10):
+            plan = env.plan_round(k, CANDIDATES)
+            assert len(plan.obligatory) == 1
+            assert plan.source in CANDIDATES
+            assert plan.obligatory == frozenset({plan.source})
+
+    def test_source_moves_with_round_robin(self):
+        env = MovingSourceEnvironment(source_schedule=RoundRobinSource())
+        sources = {env.plan_round(k, CANDIDATES).source for k in range(1, 5)}
+        assert sources == set(CANDIDATES)
+
+    def test_empty_candidates(self):
+        env = MovingSourceEnvironment()
+        plan = env.plan_round(1, [])
+        assert plan.source is None
+        assert plan.obligatory == frozenset()
+
+
+class TestEventualSynchrony:
+    def test_pre_gst_single_source(self):
+        env = EventualSynchronyEnvironment(gst=5, source_schedule=FixedSource(2))
+        assert env.plan_round(4, CANDIDATES).obligatory == frozenset({2})
+
+    def test_post_gst_everyone_obligatory(self):
+        env = EventualSynchronyEnvironment(gst=5)
+        assert env.plan_round(5, CANDIDATES).obligatory == frozenset(CANDIDATES)
+        assert env.plan_round(50, CANDIDATES).obligatory == frozenset(CANDIDATES)
+
+    def test_gst_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventualSynchronyEnvironment(gst=0)
+
+
+class TestEventuallyStableSource:
+    def test_stable_phase_uses_preferred(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=3, preferred_source=2
+        )
+        for k in range(3, 8):
+            assert env.plan_round(k, CANDIDATES).source == 2
+
+    def test_fallback_when_preferred_gone(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=1, preferred_source=9
+        )
+        assert env.plan_round(4, CANDIDATES).source == CANDIDATES[0]
+
+    def test_moving_phase_moves(self):
+        env = EventuallyStableSourceEnvironment(
+            stabilization_round=100,
+            preferred_source=0,
+            source_schedule=RoundRobinSource(),
+        )
+        sources = {env.plan_round(k, CANDIDATES).source for k in range(1, 5)}
+        assert len(sources) > 1
+
+
+class TestLinkPolicies:
+    def test_silent_never(self):
+        assert not SilentLinks().timely(1, 0, 1)
+
+    def test_all_timely_always(self):
+        assert AllTimelyLinks().timely(1, 0, 1)
+
+    def test_bernoulli_rate_and_determinism(self):
+        policy = BernoulliLinks(0.5, seed=3)
+        draws = [policy.timely(k, 0, 1) for k in range(400)]
+        assert draws == [BernoulliLinks(0.5, seed=3).timely(k, 0, 1) for k in range(400)]
+        rate = sum(draws) / len(draws)
+        assert 0.35 < rate < 0.65
+
+    def test_bernoulli_extremes(self):
+        assert not BernoulliLinks(0.0).timely(1, 0, 1)
+        assert BernoulliLinks(1.0).timely(1, 0, 1)
+
+    def test_bernoulli_validates_p(self):
+        with pytest.raises(ValueError):
+            BernoulliLinks(1.5)
+
+    def test_environment_delay_ticks_at_least_two(self):
+        env = MovingSourceEnvironment()
+        assert all(
+            env.delay_ticks(k, 0, 1) >= 2 for k in range(1, 30)
+        )

@@ -1,0 +1,66 @@
+"""Unit tests for transport envelopes and the payload-size proxy."""
+
+import pytest
+
+from repro.giraf.messages import Envelope, merge_payloads, payload_size
+
+
+class TestEnvelope:
+    def test_round_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Envelope(0, frozenset())
+
+    def test_payload_coerced_to_frozenset(self):
+        envelope = Envelope(1, {1, 2})
+        assert isinstance(envelope.payload, frozenset)
+        assert envelope.payload == frozenset({1, 2})
+
+    def test_equal_envelopes_are_interchangeable(self):
+        # anonymity: identical content ⇒ identical envelope
+        a = Envelope(3, frozenset({frozenset({1})}))
+        b = Envelope(3, frozenset({frozenset({1})}))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_is_compact(self):
+        assert repr(Envelope(2, frozenset({1, 2, 3}))) == "Envelope(k=2, |M|=3)"
+
+
+class TestMergePayloads:
+    def test_union_across_rounds(self):
+        merged = merge_payloads(
+            [Envelope(1, frozenset({1})), Envelope(2, frozenset({2, 3}))]
+        )
+        assert merged == frozenset({1, 2, 3})
+
+    def test_empty(self):
+        assert merge_payloads([]) == frozenset()
+
+
+class TestPayloadSize:
+    def test_atom(self):
+        assert payload_size(7) == 1
+
+    def test_flat_set(self):
+        assert payload_size(frozenset({1, 2, 3})) == 4  # container + atoms
+
+    def test_nested_structures(self):
+        nested = (1, frozenset({2, 3}))
+        assert payload_size(nested) == 1 + 1 + 3
+
+    def test_dict_counts_keys_and_values(self):
+        assert payload_size({"a": 1}) == 3
+
+    def test_respects_payload_fields_protocol(self):
+        class Msg:
+            __payload_fields__ = ("xs",)
+
+            def __init__(self):
+                self.xs = (1, 2)
+
+        assert payload_size(Msg()) == 1 + 3
+
+    def test_grows_with_content(self):
+        small = frozenset({(1,)})
+        large = frozenset({(1, 2, 3, 4, 5)})
+        assert payload_size(large) > payload_size(small)

@@ -1,0 +1,78 @@
+"""Tests for RunTrace recording and query helpers."""
+
+from repro.giraf.traces import (
+    DecisionEvent,
+    DeliveryEvent,
+    RunTrace,
+    SendEvent,
+)
+
+
+def make_trace():
+    trace = RunTrace(n=3, correct=frozenset({0, 1}))
+    trace.record_round_entry(0, 1, 1.0)
+    trace.record_round_entry(1, 1, 1.0)
+    trace.record_round_entry(0, 2, 2.0)
+    trace.record_compute(0, 1, 2.0)
+    trace.sends.append(SendEvent(0, 1, 1.0, frozenset({"m"})))
+    trace.sends.append(SendEvent(1, 1, 1.0, frozenset({"m"})))
+    trace.deliveries.append(DeliveryEvent(1, 0, 1, 1.0, 1.0, timely=True))
+    trace.deliveries.append(DeliveryEvent(0, 1, 1, 1.0, 4.0, timely=False))
+    return trace
+
+
+class TestQueries:
+    def test_entered_and_computed(self):
+        trace = make_trace()
+        assert trace.entered(1) == frozenset({0, 1})
+        assert trace.entered(2) == frozenset({0})
+        assert trace.computed(1) == frozenset({0})
+
+    def test_rounds_executed_tracks_max(self):
+        trace = make_trace()
+        assert trace.rounds_executed == 2
+
+    def test_timely_receivers_includes_sender(self):
+        trace = make_trace()
+        receivers = trace.timely_receivers(1, 1)
+        assert receivers == frozenset({0, 1})  # receiver 0 + sender itself
+
+    def test_late_delivery_not_timely(self):
+        trace = make_trace()
+        assert 1 not in trace.timely_receivers(0, 1)
+
+    def test_senders_of_round(self):
+        trace = make_trace()
+        assert trace.senders_of_round(1) == frozenset({0, 1})
+        assert trace.senders_of_round(2) == frozenset()
+
+    def test_decision_queries(self):
+        trace = make_trace()
+        assert trace.first_decision_round() is None
+        trace.decisions.append(DecisionEvent(0, "v", 4, 5.0))
+        trace.decisions.append(DecisionEvent(1, "v", 6, 7.0))
+        assert trace.first_decision_round() == 4
+        assert trace.last_decision_round() == 6
+        assert trace.decided_values() == frozenset({"v"})
+        assert trace.decision_of(1).round_no == 6
+        assert trace.decision_of(2) is None
+        assert trace.all_correct_decided()
+
+    def test_max_round_of(self):
+        trace = make_trace()
+        assert trace.max_round_of(0) == 2
+        assert trace.max_round_of(2) == 0
+
+    def test_snapshot_series(self):
+        trace = make_trace()
+        trace.record_snapshot(0, 1, {"x": 10})
+        trace.record_snapshot(0, 2, {"x": 20})
+        trace.record_snapshot(1, 1, None)  # ignored
+        series = trace.snapshot_series("x")
+        assert series == {0: [(1, 10), (2, 20)]}
+
+    def test_summary_mentions_the_essentials(self):
+        trace = make_trace()
+        text = trace.summary()
+        assert "n=3" in text
+        assert "rounds=2" in text

@@ -1,0 +1,64 @@
+"""End-to-end tests of the executable FLP chain (Section 5.3).
+
+registers → Proposition-2 weak-set → Algorithm-5 emulation → MS,
+with GIRAF algorithms (probes, then Algorithm 2) on top.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkers import check_consensus
+from repro.core.es_consensus import ESConsensus
+from repro.giraf.checkers import check_ms, sources_of_round
+from repro.giraf.probes import EchoProbe
+from repro.weakset.flp_chain import RegisterBackedMSEmulation
+from repro.weakset.spec import check_weakset
+
+
+class TestRegisterBackedEmulation:
+    def test_probes_over_the_full_stack_satisfy_ms(self):
+        emulation = RegisterBackedMSEmulation(
+            [EchoProbe(i) for i in range(3)], seed=4, max_rounds=12
+        )
+        result = emulation.run()
+        assert result.trace.rounds_executed == 12
+        report = check_ms(result.trace)
+        assert report.ok, report.violations
+
+    def test_weakset_log_respects_spec(self):
+        emulation = RegisterBackedMSEmulation(
+            [EchoProbe(i) for i in range(3)], seed=9, max_rounds=10
+        )
+        result = emulation.run()
+        assert check_weakset(result.log).ok
+
+    def test_sources_vary_with_scheduling(self):
+        all_sources = set()
+        for seed in range(6):
+            emulation = RegisterBackedMSEmulation(
+                [EchoProbe(i) for i in range(3)], seed=seed, max_rounds=8
+            )
+            result = emulation.run()
+            for round_no in range(2, 7):
+                all_sources |= sources_of_round(result.trace, round_no)
+        assert len(all_sources) > 1, "scheduling never moved the source"
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_ms_holds_for_any_register_interleaving(self, seed):
+        emulation = RegisterBackedMSEmulation(
+            [EchoProbe(i) for i in range(3)], seed=seed, max_rounds=8
+        )
+        result = emulation.run()
+        assert check_ms(result.trace).ok
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_consensus_on_top_is_safe_for_any_interleaving(self, seed):
+        """The FLP conclusion: safety holds; termination is not owed."""
+        emulation = RegisterBackedMSEmulation(
+            [ESConsensus(v) for v in [3, 1, 4]], seed=seed, max_rounds=40
+        )
+        result = emulation.run()
+        report = check_consensus(result.trace)
+        assert report.safe, report.violations

@@ -1,0 +1,222 @@
+"""Integration tests: one test class per theorem/proposition of the paper.
+
+These stack multiple subsystems (algorithms over schedulers over
+environments, with checkers validating both the algorithm and the
+run), exactly as the corresponding proof composes its lemmas.
+"""
+
+import itertools
+
+from repro.baselines.known_ids import KnownIdsConsensus
+from repro.core.checkers import check_consensus
+from repro.core.es_consensus import ESConsensus
+from repro.core.ess_consensus import ESSConsensus
+from repro.failuredetectors.sigma import ALL_CANDIDATES
+from repro.failuredetectors.impossibility import demonstrate_impossibility
+from repro.giraf.adversary import CrashSchedule, FlappingSource, RandomSource
+from repro.giraf.blockade import BlockadeEnvironment
+from repro.giraf.checkers import check_es, check_ess, check_ms
+from repro.giraf.environments import (
+    BernoulliLinks,
+    EventualSynchronyEnvironment,
+    EventuallyStableSourceEnvironment,
+    MovingSourceEnvironment,
+)
+from repro.giraf.probes import EchoProbe
+from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
+from repro.sim.runner import stop_when_all_correct_decided
+from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.ideal import uniform_completion_delay
+from repro.weakset.ms_emulation import MSEmulation
+from repro.weakset.ms_weakset import run_ms_weakset
+from repro.weakset.register_adapter import WeakSetRegister
+from repro.weakset.spec import check_weakset
+
+
+class TestTheorem1:
+    """Algorithm 2 implements consensus in ES."""
+
+    def test_sweep_environments_and_adversaries(self):
+        for seed in range(6):
+            for gst in (1, 6, 14):
+                env = EventualSynchronyEnvironment(
+                    gst=gst,
+                    source_schedule=RandomSource(seed),
+                    link_policy=BernoulliLinks(0.3, seed=seed),
+                )
+                crashes = CrashSchedule.fraction(
+                    6, 0.5, seed=seed, latest_round=gst + 2
+                )
+                scheduler = LockStepScheduler(
+                    [ESConsensus(v) for v in [6, 2, 4, 1, 5, 3]],
+                    env,
+                    crashes,
+                    max_rounds=gst + 60,
+                    stop_when=stop_when_all_correct_decided,
+                )
+                trace = scheduler.run()
+                assert check_consensus(trace).ok
+                assert check_es(trace, gst).ok
+
+    def test_environment_checker_cross_validates_scheduler(self):
+        env = EventualSynchronyEnvironment(gst=5, source_schedule=FlappingSource(1))
+        scheduler = LockStepScheduler(
+            [EchoProbe(pid) for pid in range(5)], env, max_rounds=20
+        )
+        trace = scheduler.run()
+        assert check_ms(trace).ok
+        assert check_es(trace, 5).ok
+
+
+class TestTheorem2:
+    """Algorithm 3 implements consensus in ESS."""
+
+    def test_sweep_stabilization_and_adversaries(self):
+        for seed in range(5):
+            for stab in (1, 8):
+                env = EventuallyStableSourceEnvironment(
+                    stabilization_round=stab,
+                    preferred_source=0,
+                    source_schedule=RandomSource(seed),
+                    link_policy=BernoulliLinks(0.3, seed=seed),
+                )
+                crashes = CrashSchedule.fraction(
+                    5, 0.4, seed=seed, latest_round=stab + 2, protect={0}
+                )
+                scheduler = LockStepScheduler(
+                    [ESSConsensus(v) for v in [5, 2, 4, 1, 3]],
+                    env,
+                    crashes,
+                    max_rounds=stab + 150,
+                    stop_when=stop_when_all_correct_decided,
+                )
+                trace = scheduler.run()
+                assert check_consensus(trace).ok
+                assert check_ess(trace, stab).ok
+
+    def test_es_is_stronger_than_ess_for_algorithm_3(self):
+        """Algorithm 3 also decides under full ES (ES ⊆ MS-family)."""
+        env = EventualSynchronyEnvironment(gst=1)
+        scheduler = LockStepScheduler(
+            [ESSConsensus(v) for v in [3, 1, 4]],
+            env,
+            max_rounds=60,
+            stop_when=stop_when_all_correct_decided,
+        )
+        assert check_consensus(scheduler.run()).ok
+
+    def test_algorithm2_need_not_terminate_in_ess(self):
+        """The separation: ES's algorithm under mere ESS can stall
+        (its liveness argument needs everyone heard by everyone)."""
+        env = BlockadeEnvironment(10_000, mode="ess")  # never releases
+        env.bind_universe(5)
+        scheduler = LockStepScheduler(
+            [ESConsensus(v) for v in [5, 1, 2, 3, 4]],
+            env,
+            max_rounds=150,
+            stop_when=stop_when_all_correct_decided,
+        )
+        trace = scheduler.run()
+        report = check_consensus(trace)
+        assert report.safe
+        assert not report.termination  # blocked forever, safely
+
+
+class TestTheorem3:
+    """Algorithm 4 implements a weak-set in MS."""
+
+    def test_full_stack_with_crashes_and_flapping_source(self):
+        env = MovingSourceEnvironment(source_schedule=FlappingSource(1))
+        crashes = CrashSchedule.fraction(5, 0.4, seed=9, latest_round=15)
+        script = {
+            1: [("add", 0, "a")],
+            4: [("add", 1, "b"), ("get", 2)],
+            9: [("add", 2, "c")],
+            30: [("get", pid) for pid in range(5)],
+        }
+        result = run_ms_weakset(5, script, environment=env,
+                                crash_schedule=crashes, max_rounds=60)
+        assert result.report.ok
+        assert check_ms(result.trace).ok
+
+
+class TestTheorem4:
+    """Algorithm 5 emulates MS from a weak-set (hence no consensus in MS)."""
+
+    def test_emulated_environment_passes_the_ms_checker(self):
+        for seed in range(4):
+            emulation = MSEmulation(
+                [EchoProbe(i) for i in range(4)],
+                completion_delay=uniform_completion_delay(1, 6, seed=seed),
+                max_rounds=20,
+            )
+            result = emulation.run()
+            assert check_ms(result.trace).ok
+            assert check_weakset(result.log).ok
+
+
+class TestProposition1:
+    """A weak-set implements a regular MWMR register."""
+
+    def test_register_over_the_full_ms_stack(self):
+        cluster = MSWeakSetCluster(4)
+        registers = [WeakSetRegister(h, initial=0) for h in cluster.handles()]
+        registers[0].write(11)
+        assert registers[3].read() == 11
+        registers[2].write(7)
+        registers[1].write(13)
+        assert registers[0].read() == 13
+        assert check_weakset(cluster.log).ok
+
+
+class TestProposition4:
+    """Σ is not emulable in MS, even with known IDs."""
+
+    def test_the_whole_candidate_zoo_falls(self):
+        for name, factory in ALL_CANDIDATES.items():
+            outcome = demonstrate_impossibility(name, factory)
+            assert outcome.sigma_emulation_failed
+
+
+class TestCostOfAnonymity:
+    """The known-IDs baseline and Algorithm 3 agree on outcomes."""
+
+    def test_same_workload_same_decision_regime(self):
+        proposals = [4, 2, 5, 1, 3]
+        env_a = EventuallyStableSourceEnvironment(
+            stabilization_round=6, preferred_source=0, source_schedule=RandomSource(2)
+        )
+        scheduler_a = LockStepScheduler(
+            [ESSConsensus(v) for v in proposals],
+            env_a,
+            max_rounds=200,
+            stop_when=stop_when_all_correct_decided,
+        )
+        report_a = check_consensus(scheduler_a.run())
+
+        counter = itertools.count()
+        env_b = EventuallyStableSourceEnvironment(
+            stabilization_round=6, preferred_source=0, source_schedule=RandomSource(2)
+        )
+        scheduler_b = LockStepScheduler(
+            [KnownIdsConsensus(v, own_pid=next(counter)) for v in proposals],
+            env_b,
+            max_rounds=200,
+            stop_when=stop_when_all_correct_decided,
+        )
+        report_b = check_consensus(scheduler_b.run())
+        assert report_a.ok and report_b.ok
+
+
+class TestDriftingStack:
+    """The async scheduler supports the full algorithm portfolio."""
+
+    def test_probes_weakset_and_consensus_under_drift(self):
+        env = MovingSourceEnvironment(source_schedule=RandomSource(5))
+        scheduler = DriftingScheduler(
+            [EchoProbe(i) for i in range(4)],
+            env,
+            max_rounds=12,
+            periods=[0.9, 1.4, 2.1, 1.0],
+        )
+        assert check_ms(scheduler.run()).ok

@@ -1,0 +1,93 @@
+"""Tests for the register regularity checker and inversion detector."""
+
+import pytest
+
+from repro.errors import SpecViolation
+from repro.sharedmem.histories import (
+    ReadRecord,
+    RegisterLog,
+    WriteRecord,
+    check_regular,
+    find_new_old_inversion,
+)
+
+
+def log_of(initial, writes, reads):
+    log = RegisterLog(initial=initial)
+    for pid, value, start, end in writes:
+        log.writes.append(WriteRecord(pid=pid, value=value, start=start, end=end))
+    for pid, start, end, result in reads:
+        log.reads.append(ReadRecord(pid=pid, start=start, end=end, result=result))
+    return log
+
+
+class TestCheckRegular:
+    def test_read_of_initial_before_any_write(self):
+        log = log_of(0, [], [(0, 1, 2, 0)])
+        assert check_regular(log).ok
+
+    def test_read_of_latest_completed_write(self):
+        log = log_of(0, [(0, 5, 1, 2), (1, 9, 3, 4)], [(2, 6, 7, 9)])
+        assert check_regular(log).ok
+
+    def test_read_of_superseded_write_fails(self):
+        log = log_of(0, [(0, 5, 1, 2), (1, 9, 3, 4)], [(2, 6, 7, 5)])
+        report = check_regular(log)
+        assert not report.ok
+
+    def test_read_overlapping_write_may_see_either(self):
+        writes = [(0, 5, 1, 2), (1, 9, 5, 10)]
+        assert check_regular(log_of(0, writes, [(2, 6, 7, 5)])).ok
+        assert check_regular(log_of(0, writes, [(2, 6, 7, 9)])).ok
+
+    def test_read_of_never_written_value_fails(self):
+        log = log_of(0, [(0, 5, 1, 2)], [(2, 6, 7, 42)])
+        assert not check_regular(log).ok
+
+    def test_incomplete_write_counts_as_overlapping(self):
+        log = log_of(0, [(0, 5, 1, None)], [(2, 6, 7, 5)])
+        assert check_regular(log).ok
+
+    def test_raise_if_failed(self):
+        log = log_of(0, [], [(0, 1, 2, 42)])
+        with pytest.raises(SpecViolation):
+            check_regular(log).raise_if_failed()
+
+    def test_concurrent_preceding_writes_both_allowed(self):
+        # two writes overlapping each other, both completed before the
+        # read: neither supersedes the other
+        writes = [(0, 5, 1, 4), (1, 9, 2, 3)]
+        assert check_regular(log_of(0, writes, [(2, 6, 7, 5)])).ok
+        assert check_regular(log_of(0, writes, [(2, 6, 7, 9)])).ok
+
+
+class TestNewOldInversion:
+    def test_detects_inversion(self):
+        # write A then write B (sequential); read1 sees B, read2 sees A
+        log = log_of(
+            0,
+            [(0, "A", 1, 2), (1, "B", 3, 4)],
+            [(2, 5, 6, "B"), (2, 7, 8, "A")],
+        )
+        inversion = find_new_old_inversion(log)
+        assert inversion is not None
+        first, later = inversion
+        assert first.result == "B" and later.result == "A"
+
+    def test_no_inversion_in_monotone_reads(self):
+        log = log_of(
+            0,
+            [(0, "A", 1, 2), (1, "B", 3, 4)],
+            [(2, 5, 6, "A"), (2, 7, 8, "B")],
+        )
+        # read1 of A is stale but both reads overlap nothing; A-then-B
+        # is the write order, no inversion
+        assert find_new_old_inversion(log) is None
+
+    def test_overlapping_reads_are_exempt(self):
+        log = log_of(
+            0,
+            [(0, "A", 1, 2), (1, "B", 3, 4)],
+            [(2, 5, 9, "B"), (3, 6, 8, "A")],
+        )
+        assert find_new_old_inversion(log) is None

@@ -1,0 +1,59 @@
+"""Tests for atomic and regular register objects."""
+
+import pytest
+
+from repro.errors import ProtocolMisuse
+from repro.sharedmem.objects import AtomicRegister, RegularRegister
+
+
+class TestAtomicRegister:
+    def test_read_initial(self):
+        assert AtomicRegister(7).read(pid=0, step=1) == 7
+
+    def test_write_then_read(self):
+        register = AtomicRegister(0)
+        register.write(5, pid=1, step=1)
+        assert register.read(pid=2, step=2) == 5
+
+    def test_swmr_owner_enforced(self):
+        register = AtomicRegister(0, owner=3)
+        register.write(1, pid=3, step=1)
+        with pytest.raises(ProtocolMisuse):
+            register.write(2, pid=0, step=2)
+
+    def test_mwmr_by_default(self):
+        register = AtomicRegister(0)
+        register.write(1, pid=0, step=1)
+        register.write(2, pid=9, step=2)
+        assert register.read(pid=1, step=3) == 2
+
+
+class TestRegularRegister:
+    def test_read_committed_when_quiet(self):
+        register = RegularRegister("init")
+        assert register.read(pid=0, step=1) == "init"
+
+    def test_write_commits_at_write_end(self):
+        register = RegularRegister("old", seed=1)
+        token = register.write_begin("new", pid=0, step=1)
+        register.write_end(token, pid=0, step=2)
+        assert register.read(pid=1, step=3) == "new"
+
+    def test_overlapping_read_sees_old_or_new(self):
+        register = RegularRegister("old", seed=1)
+        register.write_begin("new", pid=0, step=1)
+        seen = {register.read(pid=1, step=step) for step in range(2, 60)}
+        assert seen == {"old", "new"}
+
+    def test_unknown_token_rejected(self):
+        register = RegularRegister(0)
+        with pytest.raises(ProtocolMisuse):
+            register.write_end(99, pid=0, step=1)
+
+    def test_reads_are_deterministic_per_step(self):
+        a = RegularRegister("old", seed=5, name="r")
+        b = RegularRegister("old", seed=5, name="r")
+        a.write_begin("new", pid=0, step=1)
+        b.write_begin("new", pid=0, step=1)
+        for step in range(2, 30):
+            assert a.read(pid=1, step=step) == b.read(pid=1, step=step)

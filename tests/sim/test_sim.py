@@ -1,0 +1,103 @@
+"""Tests for workloads, metrics, runners, and the RNG derivation."""
+
+import pytest
+
+from repro._rng import derive_randint, derive_rng, derive_uniform
+from repro.giraf.traces import RunTrace, SendEvent
+from repro.sim.metrics import consensus_metrics, mean_payload_by_round, payload_growth
+from repro.sim.runner import run_consensus, run_es_consensus
+from repro.sim.workloads import (
+    binary_proposals,
+    clustered_proposals,
+    distinct_proposals,
+    identical_proposals,
+    sensor_readings,
+)
+
+
+class TestRng:
+    def test_same_key_same_stream(self):
+        assert derive_rng("a", 1).random() == derive_rng("a", 1).random()
+
+    def test_different_keys_differ(self):
+        draws = {derive_rng("k", i).random() for i in range(50)}
+        assert len(draws) == 50
+
+    def test_helpers(self):
+        assert 0 <= derive_uniform("x", 3) < 1
+        assert 1 <= derive_randint(1, 6, "y", 4) <= 6
+
+
+class TestWorkloads:
+    def test_distinct(self):
+        assert distinct_proposals(4) == [0, 1, 2, 3]
+        assert distinct_proposals(3, base=10) == [10, 11, 12]
+
+    def test_binary_counts(self):
+        values = binary_proposals(10, ones=3, seed=1)
+        assert sum(values) == 3
+        assert len(values) == 10
+
+    def test_binary_validates(self):
+        with pytest.raises(ValueError):
+            binary_proposals(4, ones=5)
+
+    def test_identical(self):
+        assert identical_proposals(3, value="x") == ["x", "x", "x"]
+
+    def test_clustered_range(self):
+        values = clustered_proposals(20, clusters=3, seed=2)
+        assert set(values) <= {0, 1, 2}
+
+    def test_clustered_validates(self):
+        with pytest.raises(ValueError):
+            clustered_proposals(5, clusters=0)
+
+    def test_sensor_readings_in_range(self):
+        values = sensor_readings(20, lo=100, hi=110, seed=3)
+        assert all(100 <= v <= 110 for v in values)
+
+
+class TestMetrics:
+    def test_consensus_metrics_from_run(self):
+        result = run_es_consensus([3, 1, 4], gst=2, seed=1)
+        metrics = result.metrics
+        assert metrics.n == 3
+        assert metrics.all_correct_decided
+        assert metrics.decided_fraction == 1.0
+        assert metrics.latency_after_stabilization is not None
+
+    def test_payload_growth_series(self):
+        trace = RunTrace(n=1, correct=frozenset({0}))
+        trace.sends.append(SendEvent(0, 1, 1.0, frozenset({frozenset({1})})))
+        trace.sends.append(SendEvent(0, 2, 2.0, frozenset({frozenset({1, 2, 3})})))
+        growth = payload_growth(trace)
+        assert [g[0] for g in growth] == [1, 2]
+        assert growth[1][1] > growth[0][1]
+
+    def test_mean_payload_by_round_handles_gaps(self):
+        trace = RunTrace(n=1, correct=frozenset({0}))
+        trace.sends.append(SendEvent(0, 1, 1.0, frozenset({frozenset({1})})))
+        means = mean_payload_by_round(trace, [1, 7])
+        assert means[0] > 0
+        assert means[1] == 0.0
+
+
+class TestRunner:
+    def test_unknown_scheduler_rejected(self):
+        from repro.core import ESConsensus
+        from repro.giraf import EventualSynchronyEnvironment
+
+        with pytest.raises(ValueError):
+            run_consensus(
+                ESConsensus, [1, 2], EventualSynchronyEnvironment(gst=1),
+                scheduler="quantum",
+            )
+
+    def test_run_records_initial_values(self):
+        result = run_es_consensus([5, 6], gst=1)
+        assert result.trace.initial_values == {0: 5, 1: 6}
+
+    def test_stop_early_toggle(self):
+        slow = run_es_consensus([1, 2], gst=1, max_rounds=30)
+        assert slow.trace.rounds_executed < 30

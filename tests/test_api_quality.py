@@ -1,0 +1,67 @@
+"""API quality gates: docstrings, exports, and error hierarchy.
+
+Meta-tests that keep the library's public surface honest: every public
+module/class/function must be documented, every ``__all__`` name must
+resolve, and every library error must descend from ``ReproError``.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+from repro.errors import ReproError
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_every_module_has_a_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip()
+
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_every_public_item_is_documented(self, module):
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            item = getattr(module, name)
+            if inspect.isclass(item) or inspect.isfunction(item):
+                if not (item.__doc__ and item.__doc__.strip()):
+                    undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+class TestExports:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_all_names_resolve(self, module):
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists {name!r}"
+
+    def test_top_level_api_is_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_descend_from_repro_error(self):
+        from repro import errors
+        from repro.serialization import SerializationError
+
+        for name in errors.__dict__:
+            item = getattr(errors, name)
+            if inspect.isclass(item) and issubclass(item, Exception):
+                assert issubclass(item, ReproError) or item is ReproError
+        assert issubclass(SerializationError, ReproError)
+
+    def test_repro_error_is_catchable_as_exception(self):
+        with pytest.raises(Exception):
+            raise ReproError("x")

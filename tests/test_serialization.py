@@ -1,0 +1,118 @@
+"""Tests for trace/message JSON serialization (round-trip guarantees)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.checkers import check_consensus
+from repro.core.counters import FrozenCounters
+from repro.core.ess_consensus import EssMessage
+from repro.giraf.checkers import check_es
+from repro.serialization import (
+    SerializationError,
+    decode_value,
+    encode_value,
+    register_codec,
+    trace_from_json,
+    trace_to_json,
+)
+from repro.sim.runner import run_es_consensus, run_ess_consensus
+from repro.values import BOTTOM
+
+# a strategy over the payload value universe the library uses
+atoms = st.one_of(
+    st.integers(-5, 5), st.text(max_size=3), st.booleans(), st.just(BOTTOM), st.none()
+)
+values = st.recursive(
+    atoms,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=3).map(tuple),
+        st.lists(inner, max_size=3).map(frozenset),
+    ),
+    max_leaves=10,
+)
+
+
+class TestValueCodec:
+    @given(values)
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bottom_identity(self):
+        assert decode_value(encode_value(BOTTOM)) is BOTTOM
+
+    def test_counters_roundtrip(self):
+        counters = FrozenCounters({(1, 2): 3, (BOTTOM,): 1})
+        assert decode_value(encode_value(counters)) == counters
+
+    def test_ess_message_roundtrip(self):
+        message = EssMessage(
+            frozenset({1, BOTTOM}), (5, 6), FrozenCounters({(5,): 2})
+        )
+        assert decode_value(encode_value(message)) == message
+
+    def test_unknown_type_rejected(self):
+        class Alien:
+            pass
+
+        with pytest.raises(SerializationError):
+            encode_value(Alien())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_value({"__t": "alien", "v": []})
+
+    def test_register_codec_conflict_rejected(self):
+        with pytest.raises(SerializationError):
+            register_codec("ess", int, lambda x: x, lambda x: x)
+
+    def test_custom_codec(self):
+        class Custom:
+            def __init__(self, x):
+                self.x = x
+
+            def __eq__(self, other):
+                return isinstance(other, Custom) and other.x == self.x
+
+        register_codec(
+            "test-custom", Custom, lambda c: c.x, lambda v: Custom(v)
+        )
+        assert decode_value(encode_value(Custom(7))) == Custom(7)
+
+
+class TestTraceRoundTrip:
+    def test_es_run_roundtrips_and_checkers_agree(self):
+        result = run_es_consensus([3, 1, 4, 1], gst=4, seed=1)
+        restored = trace_from_json(trace_to_json(result.trace))
+        assert restored.n == result.trace.n
+        assert restored.correct == result.trace.correct
+        assert restored.decided_values() == result.trace.decided_values()
+        assert len(restored.sends) == len(result.trace.sends)
+        assert len(restored.deliveries) == len(result.trace.deliveries)
+        # the archived trace is as checkable as the live one
+        assert check_consensus(restored).ok == check_consensus(result.trace).ok
+        assert check_es(restored, 4).ok == check_es(result.trace, 4).ok
+
+    def test_ess_run_with_snapshots_roundtrips(self):
+        result = run_ess_consensus(
+            [5, 2, 7], stabilization_round=4, seed=2, record_snapshots=True
+        )
+        restored = trace_from_json(trace_to_json(result.trace))
+        assert restored.snapshots == result.trace.snapshots
+        assert restored.initial_values == result.trace.initial_values
+        payloads = {s.payload for s in result.trace.sends}
+        restored_payloads = {s.payload for s in restored.sends}
+        assert payloads == restored_payloads
+
+    def test_crashes_and_halts_preserved(self):
+        from repro.giraf.adversary import CrashSchedule
+
+        crashes = CrashSchedule.fraction(5, 0.4, seed=3)
+        result = run_es_consensus([1, 2, 3, 4, 5], gst=6, seed=3, crash_schedule=crashes)
+        restored = trace_from_json(trace_to_json(result.trace))
+        assert restored.crashed_pids() == result.trace.crashed_pids()
+        assert len(restored.halts) == len(result.trace.halts)
+
+    def test_json_is_deterministic(self):
+        result = run_es_consensus([3, 1], gst=2, seed=5)
+        assert trace_to_json(result.trace) == trace_to_json(result.trace)

@@ -1,0 +1,140 @@
+"""Tests for the cluster facade and the Proposition-1 register."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.giraf.adversary import CrashPlan, CrashSchedule
+from repro.sharedmem.histories import (
+    ReadRecord,
+    RegisterLog,
+    WriteRecord,
+    check_regular,
+)
+from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.ideal import IdealWeakSet
+from repro.weakset.register_adapter import WeakSetRegister
+from repro.weakset.spec import WeakSet, check_weakset
+
+
+class TestCluster:
+    def test_add_blocks_until_written_then_visible_everywhere(self):
+        cluster = MSWeakSetCluster(3)
+        handles = cluster.handles()
+        handles[0].add("x")
+        cluster.advance(2)
+        for handle in handles:
+            assert "x" in handle.get()
+
+    def test_oplog_satisfies_spec(self):
+        cluster = MSWeakSetCluster(4)
+        handles = cluster.handles()
+        handles[0].add("a")
+        handles[2].get()
+        handles[1].add("b")
+        cluster.advance(5)
+        for handle in handles:
+            handle.get()
+        assert check_weakset(cluster.log).ok
+
+    def test_crashed_process_operations_rejected(self):
+        cluster = MSWeakSetCluster(
+            3, crash_schedule=CrashSchedule({2: CrashPlan(1, before_send=True)})
+        )
+        cluster.advance(3)
+        with pytest.raises(SimulationError):
+            cluster.handle(2).add("x")
+        with pytest.raises(SimulationError):
+            cluster.handle(2).get()
+
+    def test_unknown_pid_rejected(self):
+        with pytest.raises(SimulationError):
+            MSWeakSetCluster(2).handle(5)
+
+
+class _InstantWeakSet(WeakSet):
+    """In-memory weak-set for unit-testing the register adapter."""
+
+    def __init__(self):
+        self._values = set()
+
+    def add(self, value):
+        self._values.add(value)
+
+    def get(self):
+        return frozenset(self._values)
+
+
+class TestWeakSetRegisterUnit:
+    def test_initial_read(self):
+        register = WeakSetRegister(_InstantWeakSet(), initial=-1)
+        assert register.read() == -1
+
+    def test_last_write_wins_sequentially(self):
+        ws = _InstantWeakSet()
+        register = WeakSetRegister(ws)
+        register.write(10)
+        assert register.read() == 10
+        register.write(3)
+        assert register.read() == 3  # newer write, longer history
+        register.write(7)
+        assert register.read() == 7
+
+    def test_two_writers_share_the_set(self):
+        ws = _InstantWeakSet()
+        a, b = WeakSetRegister(ws), WeakSetRegister(ws)
+        a.write(1)
+        b.write(2)
+        assert a.read() == b.read() == 2
+
+
+class TestWeakSetRegisterOverMS:
+    def test_register_is_regular_over_the_ms_weakset(self):
+        cluster = MSWeakSetCluster(3)
+        registers = [WeakSetRegister(h, initial=0) for h in cluster.handles()]
+        log = RegisterLog(initial=0)
+
+        def timed_write(idx, value):
+            start = cluster.now
+            registers[idx].write(value)
+            log.writes.append(
+                WriteRecord(pid=idx, value=value, start=start, end=cluster.now)
+            )
+
+        def timed_read(idx):
+            start = cluster.now
+            value = registers[idx].read()
+            log.reads.append(
+                ReadRecord(pid=idx, start=start, end=cluster.now, result=value)
+            )
+            return value
+
+        timed_write(0, 5)
+        timed_read(1)
+        timed_write(1, 9)
+        timed_read(2)
+        timed_write(2, 2)
+        timed_read(0)
+        report = check_regular(log)
+        assert report.ok, report.violations
+
+    def test_sequential_semantics_match_a_plain_variable(self):
+        cluster = MSWeakSetCluster(2)
+        register = WeakSetRegister(cluster.handle(0), initial=None)
+        for value in [4, 8, 1, 9]:
+            register.write(value)
+            assert register.read() == value
+
+
+class TestIdealWeakSet:
+    def test_visibility_at_invocation(self):
+        ws = IdealWeakSet()
+        ws.invoke_add(0, "v", now=1.0)
+        assert "v" in ws.snapshot(1, now=2.0)
+
+    def test_log_records_everything(self):
+        ws = IdealWeakSet()
+        record = ws.invoke_add(0, "v", now=1.0)
+        ws.complete_add(record, now=4.0)
+        ws.snapshot(1, now=5.0)
+        assert check_weakset(ws.log).ok
+        assert ws.log.adds[0].end == 4.0

@@ -1,0 +1,92 @@
+"""Tests for Propositions 2–3: weak-sets built from atomic registers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolMisuse
+from repro.sharedmem.simulator import SharedMemorySimulator
+from repro.weakset.from_registers import FiniteUniverseWeakSet, KnownParticipantsWeakSet
+from repro.weakset.spec import check_weakset
+
+
+class TestKnownParticipants:
+    def test_sequential_add_then_get(self):
+        ws = KnownParticipantsWeakSet(3)
+        ws.add(0, "a")
+        ws.add(2, "b")
+        assert ws.get(1) == frozenset({"a", "b"})
+        assert check_weakset(ws.log).ok
+
+    def test_swmr_discipline_is_enforced(self):
+        ws = KnownParticipantsWeakSet(2)
+        assert ws.registers[0].owner == 0
+        assert ws.registers[1].owner == 1
+
+    def test_unknown_participant_rejected(self):
+        ws = KnownParticipantsWeakSet(2)
+        with pytest.raises(ProtocolMisuse):
+            ws.add(5, "x")
+
+    def test_needs_participants(self):
+        with pytest.raises(ProtocolMisuse):
+            KnownParticipantsWeakSet(0)
+
+    def test_concurrent_interleavings_respect_spec(self):
+        sim = SharedMemorySimulator(seed=42)
+        ws = KnownParticipantsWeakSet(4, simulator=sim)
+        for index in range(4):
+            ws.spawn_add(index, f"v{index}")
+        ws.spawn_get(0)
+        ws.spawn_get(3)
+        sim.run_until_quiet()
+        assert check_weakset(ws.log).ok
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_spec_holds_for_any_interleaving(self, seed):
+        sim = SharedMemorySimulator(seed=seed)
+        ws = KnownParticipantsWeakSet(3, simulator=sim)
+        ws.spawn_add(0, "x")
+        ws.spawn_get(1)
+        ws.spawn_add(2, "y")
+        ws.spawn_get(0)
+        sim.run_until_quiet()
+        report = check_weakset(ws.log)
+        assert report.ok, report.violations
+
+
+class TestFiniteUniverse:
+    def test_sequential_add_then_get(self):
+        ws = FiniteUniverseWeakSet([1, 2, 3])
+        ws.add(0, 2)
+        ws.add(7, 3)  # any pid may write MWMR flags
+        assert ws.get(0) == frozenset({2, 3})
+        assert check_weakset(ws.log).ok
+
+    def test_value_outside_universe_rejected(self):
+        ws = FiniteUniverseWeakSet([1, 2])
+        with pytest.raises(ProtocolMisuse):
+            ws.add(0, 99)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ProtocolMisuse):
+            FiniteUniverseWeakSet([])
+
+    def test_duplicate_universe_entries_deduped(self):
+        ws = FiniteUniverseWeakSet([1, 1, 2])
+        assert len(ws.flags) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_spec_holds_for_any_interleaving(self, seed):
+        sim = SharedMemorySimulator(seed=seed)
+        ws = FiniteUniverseWeakSet(list(range(5)), simulator=sim)
+        ws.spawn_add(0, 1)
+        ws.spawn_add(1, 3)
+        ws.spawn_get(2)
+        ws.spawn_add(2, 1)
+        ws.spawn_get(0)
+        sim.run_until_quiet()
+        report = check_weakset(ws.log)
+        assert report.ok, report.violations

@@ -1,0 +1,95 @@
+"""Tests for Algorithm 5: emulating MS from a weak-set (Theorem 4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkers import check_consensus
+from repro.core.es_consensus import ESConsensus
+from repro.giraf.checkers import check_ms, sources_of_round
+from repro.giraf.probes import CountingProbe, EchoProbe
+from repro.weakset.ideal import uniform_completion_delay
+from repro.weakset.ms_emulation import MSEmulation
+from repro.weakset.spec import check_weakset
+
+
+class TestTheorem4:
+    def test_emulated_trace_satisfies_ms(self):
+        emulation = MSEmulation([EchoProbe(i) for i in range(4)], max_rounds=25)
+        result = emulation.run()
+        assert check_ms(result.trace).ok
+
+    def test_weakset_log_respects_spec(self):
+        emulation = MSEmulation([EchoProbe(i) for i in range(3)], max_rounds=20)
+        result = emulation.run()
+        assert check_weakset(result.log).ok
+
+    def test_source_is_first_add_completer(self):
+        """Theorem 4's proof: the per-round source emerges from add order."""
+        emulation = MSEmulation(
+            [EchoProbe(i) for i in range(3)],
+            completion_delay=lambda pid, op: [1, 4, 4][pid],  # pid 0 always first
+            max_rounds=15,
+        )
+        result = emulation.run()
+        for round_no in range(2, 10):
+            assert 0 in sources_of_round(result.trace, round_no)
+
+    def test_source_moves_with_delays(self):
+        emulation = MSEmulation(
+            [EchoProbe(i) for i in range(4)],
+            completion_delay=uniform_completion_delay(1, 6, seed=3),
+            max_rounds=30,
+        )
+        result = emulation.run()
+        sources = set()
+        for round_no in range(2, 25):
+            round_sources = sources_of_round(result.trace, round_no)
+            assert round_sources, f"round {round_no} lost its source"
+            sources |= round_sources
+        assert len(sources) > 1, "the moving source never moved"
+
+    def test_anonymous_clones_merge_in_the_weakset(self):
+        """Identical processes add identical pairs — footnote 2's case."""
+        emulation = MSEmulation([CountingProbe() for _ in range(4)], max_rounds=15)
+        result = emulation.run()
+        assert check_ms(result.trace).ok
+        # in round 1 all four processes add the same pair: one set element
+        round1_pairs = {
+            pair for pair in emulation.weakset.peek() if pair[1] == 1
+        }
+        assert len(round1_pairs) == 1
+
+    def test_crashes_tolerated(self):
+        emulation = MSEmulation(
+            [EchoProbe(i) for i in range(4)],
+            crash_steps={1: 10, 2: 30},
+            max_rounds=25,
+        )
+        result = emulation.run()
+        assert result.trace.correct == frozenset({0, 3})
+        assert check_ms(result.trace).ok
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(2, 5))
+    def test_ms_holds_for_random_delay_schedules(self, seed, n):
+        emulation = MSEmulation(
+            [EchoProbe(i) for i in range(n)],
+            completion_delay=uniform_completion_delay(1, 7, seed=seed),
+            max_rounds=15,
+        )
+        result = emulation.run()
+        assert check_ms(result.trace).ok
+        assert check_weakset(result.log).ok
+
+
+class TestConsensusOverEmulation:
+    def test_consensus_safety_preserved(self):
+        """FLP says termination may fail over MS; safety must not."""
+        emulation = MSEmulation(
+            [ESConsensus(v) for v in [3, 1, 4, 1]],
+            completion_delay=uniform_completion_delay(1, 5, seed=9),
+            max_rounds=60,
+        )
+        result = emulation.run()
+        report = check_consensus(result.trace)
+        assert report.safe

@@ -1,0 +1,107 @@
+"""Tests for Algorithm 4: the weak-set in the MS environment."""
+
+import pytest
+
+from repro.errors import ProtocolMisuse
+from repro.giraf.adversary import (
+    ConstantDelay,
+    CrashPlan,
+    CrashSchedule,
+    FlappingSource,
+    RandomSource,
+    RoundRobinSource,
+)
+from repro.giraf.checkers import check_ms
+from repro.giraf.environments import MovingSourceEnvironment
+from repro.weakset.ms_weakset import MSWeakSetAlgorithm, run_ms_weakset
+
+
+class TestAlgorithmUnit:
+    def test_get_before_any_add_is_empty(self):
+        algorithm = MSWeakSetAlgorithm()
+        assert algorithm.get_now() == frozenset()
+
+    def test_begin_add_updates_state(self):
+        algorithm = MSWeakSetAlgorithm()
+        algorithm.begin_add("v")
+        assert algorithm.blocked
+        assert "v" in algorithm.get_now()
+        assert algorithm.val == "v"
+
+    def test_double_add_rejected_while_blocked(self):
+        algorithm = MSWeakSetAlgorithm()
+        algorithm.begin_add("v")
+        with pytest.raises(ProtocolMisuse):
+            algorithm.begin_add("w")
+
+
+class TestRuns:
+    def test_adds_complete_and_spec_holds(self):
+        script = {1: [("add", 0, "a")], 6: [("add", 1, "b")], 20: [("get", 2)]}
+        result = run_ms_weakset(3, script, max_rounds=40)
+        assert result.report.ok
+        assert all(record.completed for record in result.log.adds)
+        assert result.log.gets[-1].result >= {"a", "b"}
+
+    def test_ms_property_holds(self):
+        script = {1: [("add", 0, "a")], 10: [("get", 1)]}
+        result = run_ms_weakset(3, script, max_rounds=30)
+        assert check_ms(result.trace).ok
+
+    def test_every_source_schedule(self):
+        for schedule in (RandomSource(3), RoundRobinSource(), FlappingSource(2)):
+            env = MovingSourceEnvironment(source_schedule=schedule)
+            result = run_ms_weakset(
+                4,
+                {1: [("add", 0, "x")], 5: [("add", 3, "y")], 25: [("get", 1), ("get", 2)]},
+                environment=env,
+                max_rounds=50,
+            )
+            assert result.report.ok
+            final = result.log.gets[-1].result
+            assert final >= {"x", "y"}
+
+    def test_add_latency_finite_under_slow_links(self):
+        env = MovingSourceEnvironment(
+            source_schedule=RoundRobinSource(), delay_policy=ConstantDelay(8)
+        )
+        result = run_ms_weakset(
+            4, {1: [("add", 2, "slow")], 40: [("get", 0)]}, environment=env,
+            max_rounds=60,
+        )
+        record = result.log.adds[0]
+        assert record.completed
+        assert result.report.ok
+
+    def test_queued_adds_run_in_order(self):
+        script = {1: [("add", 0, "first"), ("add", 0, "second")], 30: [("get", 1)]}
+        result = run_ms_weakset(3, script, max_rounds=50)
+        first, second = result.log.adds
+        assert first.value == "first" and second.value == "second"
+        assert first.end <= second.start or second.start >= first.start
+        assert result.report.ok
+
+    def test_crashed_adder_leaves_add_incomplete_or_visible(self):
+        crashes = CrashSchedule({0: CrashPlan(2, before_send=True)})
+        script = {1: [("add", 0, "doomed")], 20: [("get", 1)]}
+        result = run_ms_weakset(3, script, crash_schedule=crashes, max_rounds=40)
+        # the spec permits either outcome; the checker must accept it
+        assert result.report.ok
+
+    def test_gets_monotone_over_time(self):
+        """Lemma 9: written values stay in PROPOSED forever."""
+        script = {
+            1: [("add", 0, "a")],
+            8: [("get", 1)],
+            9: [("add", 1, "b")],
+            20: [("get", 1)],
+            30: [("get", 1)],
+        }
+        result = run_ms_weakset(3, script, max_rounds=50)
+        gets_of_1 = [g.result for g in result.log.gets if g.pid == 1]
+        for earlier, later in zip(gets_of_1, gets_of_1[1:]):
+            assert earlier <= later
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolMisuse):
+            run_ms_weakset(2, {1: [("frobnicate", 0)]}, max_rounds=5)

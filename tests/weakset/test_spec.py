@@ -1,0 +1,89 @@
+"""Tests for the weak-set spec checker, including metamorphic mutations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SpecViolation
+from repro.weakset.spec import AddRecord, GetRecord, OpLog, check_weakset
+
+
+def log_of(adds, gets):
+    log = OpLog()
+    for pid, value, start, end in adds:
+        log.adds.append(AddRecord(pid=pid, value=value, start=start, end=end))
+    for pid, start, end, result in gets:
+        log.gets.append(
+            GetRecord(pid=pid, start=start, end=end, result=frozenset(result))
+        )
+    return log
+
+
+class TestVisibility:
+    def test_completed_add_must_be_visible(self):
+        log = log_of([(0, "a", 1, 3)], [(1, 5, 5, set())])
+        report = check_weakset(log)
+        assert not report.ok
+        assert "missed" in report.violations[0]
+
+    def test_visible_add_passes(self):
+        log = log_of([(0, "a", 1, 3)], [(1, 5, 5, {"a"})])
+        assert check_weakset(log).ok
+
+    def test_concurrent_add_may_be_invisible(self):
+        # add completes exactly when the get starts: concurrent, free
+        log = log_of([(0, "a", 1, 5)], [(1, 5, 5, set())])
+        assert check_weakset(log).ok
+
+    def test_incomplete_add_is_unconstrained(self):
+        log = log_of([(0, "a", 1, None)], [(1, 50, 50, set())])
+        assert check_weakset(log).ok
+        log2 = log_of([(0, "a", 1, None)], [(1, 50, 50, {"a"})])
+        assert check_weakset(log2).ok
+
+
+class TestPhantoms:
+    def test_unstarted_value_is_phantom(self):
+        log = log_of([(0, "a", 10, 12)], [(1, 5, 5, {"a"})])
+        report = check_weakset(log)
+        assert not report.ok
+        assert "phantom" in report.violations[0]
+
+    def test_never_added_value_is_phantom(self):
+        log = log_of([], [(1, 5, 5, {"ghost"})])
+        assert not check_weakset(log).ok
+
+    def test_started_but_incomplete_is_allowed(self):
+        log = log_of([(0, "a", 3, None)], [(1, 5, 5, {"a"})])
+        assert check_weakset(log).ok
+
+
+class TestReport:
+    def test_raise_if_failed(self):
+        log = log_of([], [(1, 5, 5, {"ghost"})])
+        with pytest.raises(SpecViolation):
+            check_weakset(log).raise_if_failed()
+
+    def test_counts_checked_gets(self):
+        log = log_of([(0, "a", 1, 2)], [(1, 5, 5, {"a"}), (0, 6, 6, {"a"})])
+        assert check_weakset(log).checked_gets == 2
+
+
+class TestMetamorphic:
+    """A conforming log must fail after adversarial mutations."""
+
+    @given(seed=st.integers(0, 100))
+    def test_removing_visible_value_fails(self, seed):
+        adds = [(0, f"v{i}", i, i + 1) for i in range(3)]
+        visible = {f"v{i}" for i in range(3)}
+        log = log_of(adds, [(1, 10, 10, visible)])
+        assert check_weakset(log).ok
+        victim = f"v{seed % 3}"
+        mutated = log_of(adds, [(1, 10, 10, visible - {victim})])
+        assert not check_weakset(mutated).ok
+
+    @given(extra=st.text(min_size=1, max_size=5))
+    def test_injecting_foreign_value_fails(self, extra):
+        adds = [(0, "x", 1, 2)]
+        log = log_of(adds, [(1, 10, 10, {"x", "foreign-" + extra})])
+        assert not check_weakset(log).ok

@@ -1,0 +1,82 @@
+"""Property tests: Algorithm 4 under randomized workloads & adversaries.
+
+Theorem 3 as a hypothesis property: for *any* scripted workload of
+adds/gets, any seeded source movement, and any crash pattern, the
+operation log satisfies the weak-set spec and the run satisfies MS.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.giraf.adversary import (
+    CrashSchedule,
+    FlappingSource,
+    RandomSource,
+    RoundRobinSource,
+    UniformDelay,
+)
+from repro.giraf.checkers import check_ms
+from repro.giraf.environments import MovingSourceEnvironment
+from repro.weakset.ms_weakset import run_ms_weakset
+
+N = 4
+
+
+@st.composite
+def op_scripts(draw):
+    """A random schedule of adds and gets over the first 20 ticks."""
+    script = {}
+    op_count = draw(st.integers(1, 8))
+    for index in range(op_count):
+        tick = draw(st.integers(1, 20))
+        pid = draw(st.integers(0, N - 1))
+        if draw(st.booleans()):
+            op = ("add", pid, f"v{index}")
+        else:
+            op = ("get", pid)
+        script.setdefault(tick, []).append(op)
+    # a final quiescent read on every process
+    script.setdefault(60, []).extend(("get", pid) for pid in range(N))
+    return script
+
+
+def build_environment(seed: int) -> MovingSourceEnvironment:
+    schedules = [RandomSource(seed), RoundRobinSource(), FlappingSource(2)]
+    return MovingSourceEnvironment(
+        source_schedule=schedules[seed % 3],
+        delay_policy=UniformDelay(2, 6, seed=seed),
+    )
+
+
+class TestTheorem3Properties:
+    @settings(max_examples=30, deadline=None)
+    @given(script=op_scripts(), seed=st.integers(0, 10_000))
+    def test_spec_and_ms_hold_for_any_workload(self, script, seed):
+        result = run_ms_weakset(
+            N, script, environment=build_environment(seed), max_rounds=80
+        )
+        assert result.report.ok, result.report.violations
+        assert check_ms(result.trace).ok
+
+    @settings(max_examples=20, deadline=None)
+    @given(script=op_scripts(), seed=st.integers(0, 10_000))
+    def test_spec_holds_with_crashes_too(self, script, seed):
+        crashes = CrashSchedule.fraction(N, 0.5, seed=seed, latest_round=15)
+        result = run_ms_weakset(
+            N,
+            script,
+            environment=build_environment(seed),
+            crash_schedule=crashes,
+            max_rounds=80,
+        )
+        assert result.report.ok, result.report.violations
+
+    @settings(max_examples=15, deadline=None)
+    @given(script=op_scripts(), seed=st.integers(0, 10_000))
+    def test_adds_by_correct_processes_complete(self, script, seed):
+        """Theorem 3's termination half: no correct adder blocks forever."""
+        result = run_ms_weakset(
+            N, script, environment=build_environment(seed), max_rounds=80
+        )
+        for record in result.log.adds:
+            assert record.completed, f"add {record.value!r} never completed"
