@@ -1,0 +1,18 @@
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test bench experiments experiments-full
+
+test:
+	$(PYTHON) -m pytest -q
+
+# Capture the performance trajectory (micro benches + T1/F1 quick +
+# T3 full) into BENCH_micro.json.  See PERFORMANCE.md.
+bench:
+	$(PYTHON) benchmarks/capture.py
+
+experiments:
+	$(PYTHON) -m repro.experiments
+
+experiments-full:
+	$(PYTHON) -m repro.experiments --full

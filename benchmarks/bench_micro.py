@@ -1,32 +1,71 @@
 """Micro-benchmarks for the hot inner structures.
 
 Not tied to a paper table; these track the costs the experiment
-harness leans on — counter merging (with and without the trie), the
-payload-size proxy, and raw lock-step scheduling throughput — so
-regressions in the substrate are visible independently of the
-experiment-level numbers.
+harness leans on — counter merging, the payload-size proxy, and raw
+lock-step scheduling throughput — so regressions in the substrate are
+visible independently of the experiment-level numbers.
+
+The headline benches (``test_bench_counter_update_trie``,
+``test_bench_lockstep_round_throughput``) measure the engine's
+*default* path: interned histories riding in :class:`FrozenCounters`
+and the aggregate trace mode — what every experiment actually
+executes.  The ``*_tuples`` / ``*_full_trace`` variants keep the
+legacy paths honest (they remain supported and property-tested).
+``benchmarks/capture.py`` records all of them into ``BENCH_micro.json``.
 """
 
-from repro.core.counters import apply_round_update
+from repro.core.counters import FrozenCounters, apply_round_update
 from repro.core.es_consensus import ESConsensus
+from repro.core.history import intern_history
 from repro.giraf.environments import EventualSynchronyEnvironment
 from repro.giraf.messages import payload_size
 from repro.giraf.scheduler import LockStepScheduler
 from repro.sim.runner import stop_when_all_correct_decided
 
 
-def _counter_workload(depth: int, fanout: int):
+def _counter_workload(depth: int, fanout: int, *, interned: bool = True):
+    """Counter maps sharing a deep trunk, one private leaf per process.
+
+    This is the support shape relaying produces (and what the pointwise
+    minimum actually intersects): every process carries the counters of
+    the shared ⋄-proposer prefix chain plus its own divergent leaf.
+    ``interned=True`` builds the engine's default representation
+    (hash-consed histories in frozen counter maps); ``False`` builds
+    the same workload as plain tuples — the seed representation — so
+    the two benches compare the engines on identical inputs.
+    """
+    trunk = [0] * depth
     maps = []
     histories = []
     for branch in range(fanout):
-        history = tuple([branch] + [0] * depth)
-        histories.append(history)
-        maps.append({history[: i + 1]: i + 1 for i in range(depth)})
+        entries = {tuple(trunk[: i + 1]): i + 1 for i in range(depth)}
+        leaf = tuple(trunk) + (branch,)
+        entries[leaf] = 1
+        if interned:
+            entries = {intern_history(h): c for h, c in entries.items()}
+            histories.append(intern_history(leaf))
+            maps.append(FrozenCounters(entries))
+        else:
+            histories.append(leaf)
+            maps.append(entries)
     return maps, histories
 
 
 def test_bench_counter_update_trie(benchmark):
+    """Default engine path: interned histories, stamped fused update.
+
+    (Historic name: on all-interned inputs no trie is built at all —
+    the stamped walk replaces it.  The actual ``HistoryTrie`` path is
+    what ``test_bench_counter_update_tuples`` measures.)
+    """
     maps, histories = _counter_workload(depth=60, fanout=8)
+    result = benchmark(apply_round_update, maps, histories)
+    assert all(result[h] >= 1 for h in histories)
+
+
+def test_bench_counter_update_tuples(benchmark):
+    """Legacy tuple-history path (trie-indexed prefix maxima)."""
+    maps, histories = _counter_workload(depth=60, fanout=8, interned=False)
     result = benchmark(
         apply_round_update, maps, histories, use_trie=True
     )
@@ -34,7 +73,8 @@ def test_bench_counter_update_trie(benchmark):
 
 
 def test_bench_counter_update_scan(benchmark):
-    maps, histories = _counter_workload(depth=60, fanout=8)
+    """Legacy tuple-history path, naive per-entry scans."""
+    maps, histories = _counter_workload(depth=60, fanout=8, interned=False)
     result = benchmark(
         apply_round_update, maps, histories, use_trie=False
     )
@@ -49,15 +89,33 @@ def test_bench_payload_size(benchmark):
     assert size > 1000
 
 
-def test_bench_lockstep_round_throughput(benchmark):
-    def run():
-        scheduler = LockStepScheduler(
-            [ESConsensus(v) for v in range(16)],
-            EventualSynchronyEnvironment(gst=1),
-            max_rounds=50,
-            stop_when=stop_when_all_correct_decided,
-        )
-        return scheduler.run()
+def test_bench_payload_size_interned(benchmark):
+    """Same structural measurement over interned (cached-size) histories."""
+    payload = frozenset(
+        {intern_history(range(i, i + 30)) for i in range(40)}
+    )
+    size = benchmark(payload_size, payload)
+    assert size > 1000
 
-    trace = benchmark(run)
+
+def _run_lockstep(trace_mode: str):
+    scheduler = LockStepScheduler(
+        [ESConsensus(v) for v in range(16)],
+        EventualSynchronyEnvironment(gst=1),
+        max_rounds=50,
+        stop_when=stop_when_all_correct_decided,
+        trace_mode=trace_mode,
+    )
+    return scheduler.run()
+
+
+def test_bench_lockstep_round_throughput(benchmark):
+    """Default experiment path: aggregate trace mode."""
+    trace = benchmark(_run_lockstep, "aggregate")
+    assert trace.decided_pids()
+
+
+def test_bench_lockstep_round_throughput_full_trace(benchmark):
+    """Checker-grade full event traces (the seed's only mode)."""
+    trace = benchmark(_run_lockstep, "full")
     assert trace.decided_pids()

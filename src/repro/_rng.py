@@ -6,13 +6,37 @@ accepts scalar seeds, and Python's ``hash`` on strings is salted per
 process — but ``random.Random(str)`` seeds through SHA-512, which *is*
 stable across processes and versions.  So we derive streams from the
 ``repr`` of the key tuple.
+
+Seeding through SHA-512 plus a full Mersenne-Twister init is the single
+most expensive step on the simulator's per-link hot path, and most hot
+callers only ever take the *first* draw of the derived stream.  The
+single-draw helpers (:func:`derive_uniform`, :func:`derive_randint`,
+:func:`derive_randrange`) therefore memoize their results by key:
+values are bit-identical to seeding a fresh stream (the property every
+seeded policy and every recorded table relies on), but a key seen
+before — the same link re-queried across repeats, grid cells, or the
+paired runs of an experiment — costs one dict probe instead of a
+re-seed.  :func:`derive_rng` itself stays uncached: it hands out a
+stateful stream the caller consumes.
 """
 
 from __future__ import annotations
 
 import random
+from functools import lru_cache
 
-__all__ = ["derive_rng", "derive_uniform", "derive_randint"]
+__all__ = [
+    "derive_rng",
+    "derive_uniform",
+    "derive_randint",
+    "derive_randrange",
+    "clear_rng_cache",
+]
+
+#: Bound on each memo table.  Keys are short reprs and values scalars,
+#: so even full tables are a few tens of MB; LRU eviction keeps
+#: long-lived processes (the experiment CLI, notebook sessions) flat.
+_CACHE_SIZE = 1 << 18
 
 
 def derive_rng(*key: object) -> random.Random:
@@ -25,11 +49,38 @@ def derive_rng(*key: object) -> random.Random:
     return random.Random(repr(key))
 
 
+@lru_cache(maxsize=_CACHE_SIZE)
+def _uniform_for(key_repr: str) -> float:
+    return random.Random(key_repr).random()
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _randint_for(lo: int, hi: int, key_repr: str) -> int:
+    return random.Random(key_repr).randint(lo, hi)
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
+def _randrange_for(n: int, key_repr: str) -> int:
+    return random.Random(key_repr).randrange(n)
+
+
 def derive_uniform(*key: object) -> float:
     """One reproducible uniform draw in ``[0, 1)`` keyed by ``key``."""
-    return derive_rng(*key).random()
+    return _uniform_for(repr(key))
 
 
 def derive_randint(lo: int, hi: int, *key: object) -> int:
     """One reproducible integer draw in ``[lo, hi]`` keyed by ``key``."""
-    return derive_rng(*key).randint(lo, hi)
+    return _randint_for(lo, hi, repr(key))
+
+
+def derive_randrange(n: int, *key: object) -> int:
+    """One reproducible draw from ``range(n)`` keyed by ``key``."""
+    return _randrange_for(n, repr(key))
+
+
+def clear_rng_cache() -> None:
+    """Drop the memoized single-draw tables (tests, memory pressure)."""
+    _uniform_for.cache_clear()
+    _randint_for.cache_clear()
+    _randrange_for.cache_clear()

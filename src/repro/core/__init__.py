@@ -22,13 +22,19 @@ from repro.core.es_consensus import ESConsensus
 from repro.core.ess_consensus import ESSConsensus, EssMessage
 from repro.core.history import (
     History,
+    HistoryNode,
+    clear_intern_cache,
     common_prefix_length,
     diverged,
     extend,
     initial_history,
+    intern_history,
+    interning_disabled,
+    interning_enabled,
     is_prefix,
     is_proper_prefix,
     longest,
+    set_interning,
 )
 from repro.core.interfaces import ConsensusAlgorithm
 from repro.core.pseudo_leader import (
@@ -47,18 +53,24 @@ __all__ = [
     "HeartbeatMessage",
     "HeartbeatPseudoLeader",
     "History",
+    "HistoryNode",
     "HistoryTrie",
     "PseudoLeaderElector",
     "apply_round_update",
     "assert_consensus",
     "check_consensus",
+    "clear_intern_cache",
     "common_prefix_length",
     "diverged",
     "extend",
     "initial_history",
+    "intern_history",
+    "interning_disabled",
+    "interning_enabled",
     "is_prefix",
     "is_proper_prefix",
     "longest",
+    "set_interning",
     "pointwise_min",
     "prefix_max",
     "prefix_max_via_trie",

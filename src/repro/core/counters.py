@@ -18,17 +18,32 @@ it each round:
   anonymity makes meaningless anyway — cannot matter.
 
 :class:`FrozenCounters` is the immutable, hashable form that rides
-inside messages; :class:`HistoryTrie` is an optional index for
-prefix-maximum queries that turns the per-message bump from
-``O(|C| · len)`` into ``O(len)`` (they are tested against each other).
+inside messages; :class:`HistoryTrie` is an index for prefix-maximum
+queries that turns the per-message bump from ``O(|C| · len)`` into
+``O(len)`` (they are tested against each other).  Three fast paths keep
+the round update cheap at scale (PERFORMANCE.md):
+
+* an empty post-minimum map short-circuits the bump to ``C[H] := 1``;
+* interned :class:`~repro.core.history.HistoryNode` histories answer
+  prefix maxima by walking parent pointers — no index at all;
+* a caller-owned trie (see
+  :meth:`~repro.core.pseudo_leader.PseudoLeaderElector`) is refilled in
+  place per round, reusing its node allocations via version stamping.
+
+**Concurrency note:** the stamped fast paths annotate shared interned
+nodes through a module-global stamp, so concurrent counter merges from
+multiple *threads* can clobber each other's in-flight annotations.
+The library's parallelism unit is the process (see
+:func:`repro.experiments.common.run_cells`), where every worker owns
+its interpreter; keep it that way, or confine threads to tuple
+histories (the generic paths are pure).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, Iterator, Mapping, Optional, Sequence
 
-from repro.core.history import History, is_prefix
+from repro.core.history import History, HistoryNode, intern_generation, is_prefix
 
 __all__ = [
     "FrozenCounters",
@@ -49,7 +64,7 @@ class FrozenCounters(Mapping[History, int]):
     equality, breaking anonymity's merge semantics.
     """
 
-    __slots__ = ("_entries", "_hash")
+    __slots__ = ("_entries", "_hash", "_atoms", "_psize", "_nodes_gen")
 
     def __init__(self, entries: Optional[Mapping[History, int]] = None):
         cleaned = {
@@ -62,8 +77,58 @@ class FrozenCounters(Mapping[History, int]):
                 raise ValueError(f"negative counter for {history!r}")
         self._entries: Dict[History, int] = cleaned
         self._hash: Optional[int] = None
+        self._atoms: Optional[int] = None
+        self._psize: Optional[int] = None
+        self._nodes_gen: Optional[int] = None
 
     EMPTY: "FrozenCounters"
+
+    @classmethod
+    def _adopt(cls, entries: Dict[History, int]) -> "FrozenCounters":
+        """Wrap an already-clean dict without copying or validating.
+
+        Internal fast path for producers whose output is zero-free and
+        positive by construction (the round update: minima drop zeros,
+        bumps are ≥ 1) and who relinquish the dict (the elector
+        replaces, never mutates, its map).
+        """
+        frozen = cls.__new__(cls)
+        frozen._entries = entries
+        frozen._hash = None
+        frozen._atoms = None
+        frozen._psize = None
+        frozen._nodes_gen = None
+        return frozen
+
+    def _node_generation(self) -> int:
+        """Common intern generation of the keys, or ``-1``.
+
+        ``-1`` means "not eligible for identity-based fast paths": a
+        non-node key, or keys from different intern generations (nodes
+        that survived :func:`~repro.core.history.clear_intern_cache`
+        may have equal-content doppelgängers, so only a single-current-
+        generation map may be merged by identity).  Cached — the map is
+        immutable.
+        """
+        if not self._entries:
+            # An empty map is trivially mergeable in any generation —
+            # never cache, or the shared EMPTY singleton would pin the
+            # generation of its first use forever.
+            return intern_generation()
+        generation = self._nodes_gen
+        if generation is None:
+            generation = -1
+            for history in self._entries:
+                if type(history) is not HistoryNode:
+                    generation = -1
+                    break
+                if generation == -1:
+                    generation = history._gen
+                elif generation != history._gen:
+                    generation = -1
+                    break
+            self._nodes_gen = generation
+        return generation
 
     def __getitem__(self, history: History) -> int:
         # Sparse semantics: absent histories read as 0, per the paper.
@@ -109,7 +174,31 @@ class FrozenCounters(Mapping[History, int]):
 
     def payload_atoms(self) -> int:
         """Structural size: one atom per history element plus the count."""
-        return sum(len(history) + 1 for history in self._entries)
+        atoms = self._atoms
+        if atoms is None:
+            atoms = self._atoms = sum(
+                len(history) + 1 for history in self._entries
+            )
+        return atoms
+
+    def __payload_size__(self, recurse) -> int:
+        # Exactly the Mapping recursion of payload_size, cached: counter
+        # maps are the dominant share of Algorithm 3's payload and are
+        # measured once per broadcast in experiment T3.  The common case
+        # (interned history keys, int counts) skips the generic
+        # recursion: such a key contributes its cached node size and
+        # the count contributes 1 atom, which is what the recursion
+        # would conclude.
+        size = self._psize
+        if size is None:
+            size = 1
+            for history, count in self._entries.items():
+                if type(history) is HistoryNode and type(count) is int:
+                    size += history.__payload_size__(recurse) + 1
+                else:
+                    size += recurse(history) + recurse(count)
+            self._psize = size
+        return size
 
 
 FrozenCounters.EMPTY = FrozenCounters()
@@ -119,23 +208,137 @@ def pointwise_min(counter_maps: Sequence[Mapping[History, int]]) -> Dict[History
     """Line 8: ``∀H, C[H] := min_m m.C[H]`` with sparse default-0 reads.
 
     The support of the result is the intersection of the supports (a
-    history missing anywhere mins to 0 and is dropped).
+    history missing anywhere mins to 0 and is dropped).  Iteration is
+    driven by the smallest support — minima are commutative, so the
+    result cannot depend on the choice, and the intersection can never
+    be larger than its smallest operand.
     """
     if not counter_maps:
         return {}
-    first, *rest = counter_maps
+    if _identity_mergeable(counter_maps):
+        return _stamped_merge(
+            [counters._entries for counters in counter_maps]
+        )[0]
+    # Generic path: tuple histories or plain dicts.
+    plain = [
+        counters._entries if isinstance(counters, FrozenCounters) else counters
+        for counters in counter_maps
+    ]
+    base = _smallest(plain)
+    others = [counters for counters in plain if counters is not base]
     result: Dict[History, int] = {}
-    for history, count in first.items():
+    for history, count in base.items():
         minimum = count
-        for other in rest:
+        for other in others:
             other_count = other.get(history, 0)
             if other_count < minimum:
                 minimum = other_count
-            if minimum == 0:
-                break
+                if minimum == 0:
+                    break
         if minimum > 0:
             result[history] = minimum
     return result
+
+
+def _smallest(maps: Sequence) -> Mapping:
+    """The map with the smallest support: the merge's iteration base.
+
+    Minima are commutative, so the choice cannot change the result, and
+    the support intersection can never be larger than its smallest
+    operand.
+    """
+    base = maps[0]
+    for candidate in maps:
+        if len(candidate) < len(base):
+            base = candidate
+    return base
+
+
+def _identity_mergeable(counter_maps: Sequence[Mapping[History, int]]) -> bool:
+    """Whether every map may be merged by node *identity*.
+
+    Requires frozen maps whose keys are all interned nodes of the
+    *current* generation — nodes predating a ``clear_intern_cache()``
+    may have equal-content doppelgängers in the new table, which
+    identity matching would wrongly treat as distinct keys.
+    """
+    generation = intern_generation()
+    return all(
+        isinstance(counters, FrozenCounters)
+        and counters._node_generation() == generation
+        for counters in counter_maps
+    )
+
+
+def _stamped_merge(maps: Sequence[Dict["HistoryNode", int]]):
+    """Pointwise minimum over all-interned maps without hashing a key.
+
+    One stamped pass per map accumulates, directly on the nodes, the
+    running minimum and the number of maps each key appeared in; keys
+    seen in every map (the support intersection) with a positive
+    minimum survive.  Duplicate map objects (one process's counters
+    relayed through several envelopes) are skipped — ``min(x, x) = x``.
+
+    Returns ``(merged, stamp, needed)`` so callers can keep reading the
+    post-minimum annotations: a node was in the intersection iff
+    ``node._stamp == stamp and node._seen == needed``, with its minimum
+    in ``node._count``.
+    """
+    unique: list = []
+    for entries in maps:
+        if not any(entries is seen for seen in unique):
+            unique.append(entries)
+    base = _smallest(unique)
+    others = [entries for entries in unique if entries is not base]
+    global _STAMP
+    _STAMP += 1
+    stamp = _STAMP
+    for node, count in base.items():
+        node._stamp = stamp
+        node._count = count
+        node._seen = 1
+    for other in others:
+        for node, count in other.items():
+            if node._stamp == stamp:
+                node._seen += 1
+                if count < node._count:
+                    node._count = count
+    needed = len(others) + 1
+    merged: Dict[History, int] = {
+        node: node._count
+        for node in base
+        if node._seen == needed and node._count > 0
+    }
+    return merged, stamp, needed
+
+
+def _fast_round_update(
+    maps: Sequence[Dict["HistoryNode", int]],
+    histories: Sequence["HistoryNode"],
+) -> Dict[History, int]:
+    """Lines 8 + 9 fused for the all-interned case, hashing no key twice.
+
+    The stamped minimum leaves the per-key running minimum and presence
+    count on the nodes; the prefix walks read those same stamps, so the
+    prefix maxima need neither a trie nor a single dict probe.  Bumps
+    are written into the result dict only — node annotations keep their
+    post-minimum values — which realizes the paper's simultaneous batch
+    assignment for free.
+    """
+    merged, stamp, needed = _stamped_merge(maps)
+    for history in histories:
+        best = 0
+        node = history
+        while node is not None:
+            # Includes the length-0 root: an empty-history entry (if a
+            # caller ever constructs one) is a prefix of everything.
+            if node._stamp == stamp and node._seen == needed:
+                count = node._count
+                if count > best:
+                    best = count
+            node = node.parent
+        merged[history] = 1 + best
+    return merged
 
 
 def prefix_max(counters: Mapping[History, int], history: History) -> int:
@@ -147,41 +350,90 @@ def prefix_max(counters: Mapping[History, int], history: History) -> int:
     return best
 
 
+def _prefix_max_ancestors(counters: Mapping[History, int], history: HistoryNode) -> int:
+    """Prefix maximum for an interned history: walk its parent chain.
+
+    Every prefix of an interned node is one of its ancestors, and node
+    hashes are cached, so each step is one O(1) dict probe — no index
+    construction at all.  (Tuple keys in ``counters`` are still found:
+    nodes hash and compare equal to their element tuples.)
+    """
+    best = 0
+    node = history
+    while node is not None:
+        # Includes the length-0 root: the empty history is a prefix of
+        # everything, exactly as the scan and trie paths treat it.
+        count = counters.get(node, 0)
+        if count > best:
+            best = count
+        node = node.parent
+    return best
+
+
+#: Monotone stamp distinguishing one round-update's node annotations
+#: from every earlier one (see :func:`_pointwise_min_stamped` and
+#: :func:`_fast_round_update`).
+_STAMP = 0
+
+
 class HistoryTrie:
     """Prefix index over a counter map for fast prefix-maximum queries.
 
-    Built once per round from the post-minimum map; each query walks
-    the history once instead of scanning every entry.
+    Each query walks the history once instead of scanning every entry.
+    The trie can be built once from a map (the seed behaviour) or owned
+    by an elector and *refilled in place* every round: nodes are
+    version-stamped rather than deallocated, so the per-round rebuild
+    reuses the allocation of every previously-seen path — histories
+    only grow, so path reuse is near-total.
     """
 
-    __slots__ = ("_root",)
+    __slots__ = ("_root", "_version")
 
-    @dataclass
     class _Node:
-        count: int = 0
-        children: Dict[Hashable, "HistoryTrie._Node"] = field(default_factory=dict)
+        __slots__ = ("count", "version", "children")
+
+        def __init__(self):
+            self.count = 0
+            self.version = 0
+            self.children: Dict[Hashable, "HistoryTrie._Node"] = {}
 
     def __init__(self, counters: Optional[Mapping[History, int]] = None):
         self._root = HistoryTrie._Node()
+        self._version = 0
         if counters:
             for history, count in counters.items():
                 self.insert(history, count)
 
     def insert(self, history: History, count: int) -> None:
+        version = self._version
         node = self._root
         for element in history:
             node = node.children.setdefault(element, HistoryTrie._Node())
         node.count = count
+        node.version = version
+
+    def refill(self, counters: Mapping[History, int]) -> None:
+        """Reset to exactly ``counters`` without discarding trie nodes.
+
+        Bumping the version makes every stale count read as 0; the
+        inserts restamp the live entries.  O(total length of the new
+        support), with no allocation along previously-seen paths.
+        """
+        self._version += 1
+        for history, count in counters.items():
+            self.insert(history, count)
 
     def prefix_max(self, history: History) -> int:
         """Maximum count over all stored prefixes of ``history``."""
-        best = self._root.count
-        node = self._root
+        version = self._version
+        root = self._root
+        best = root.count if root.version == version else 0
+        node = root
         for element in history:
             child = node.children.get(element)
             if child is None:
                 return best
-            if child.count > best:
+            if child.version == version and child.count > best:
                 best = child.count
             node = child
         return best
@@ -199,6 +451,7 @@ def apply_round_update(
     *,
     use_trie: bool = True,
     inherit_prefixes: bool = True,
+    trie: Optional[HistoryTrie] = None,
 ) -> Dict[History, int]:
     """Lines 8 and 9 in one step.
 
@@ -207,25 +460,62 @@ def apply_round_update(
         received_histories: the ``m.HISTORY`` of every received message.
         use_trie: query prefix maxima through a :class:`HistoryTrie`
             (semantically identical to the naive scan; property tests
-            enforce the equivalence).
+            enforce the equivalence).  Interned histories skip the trie
+            and walk their parent chain instead — same answers, no
+            index build.
         inherit_prefixes: the paper's line 9.  ``False`` is the
             ablation A1 variant: bump only the exact history key, so a
             history that grew since last round restarts from zero —
             every counter stays at 1 and leadership degenerates to
             "everybody, always".
+        trie: an optional caller-owned trie, refilled in place from the
+            post-minimum map — the persistent-index path electors use
+            to avoid re-allocating the index every round.
 
     Returns the process's new counter map.
     """
-    merged = pointwise_min(counter_maps)
     histories = list(dict.fromkeys(received_histories))
+    generation = intern_generation()
+    if (
+        inherit_prefixes
+        and counter_maps
+        and all(
+            type(h) is HistoryNode and h._gen == generation for h in histories
+        )
+        and _identity_mergeable(counter_maps)
+    ):
+        # All-interned fast path: minimum + prefix maxima + bumps in
+        # one stamped pass, no trie and no per-key hashing.
+        return _fast_round_update(
+            [counters._entries for counters in counter_maps], histories
+        )
+    merged = pointwise_min(counter_maps)
     if not inherit_prefixes:
         for history in histories:
             merged[history] = 1 + merged.get(history, 0)
         return merged
-    if use_trie:
-        maxima = prefix_max_via_trie(merged, histories)
-    else:
-        maxima = {history: prefix_max(merged, history) for history in histories}
+    if not merged:
+        # Empty post-minimum support: every prefix maximum is 0.
+        for history in histories:
+            merged[history] = 1
+        return merged
+    node_histories = [h for h in histories if isinstance(h, HistoryNode)]
+    slow_histories = [h for h in histories if not isinstance(h, HistoryNode)]
+    maxima: Dict[History, int] = {
+        history: _prefix_max_ancestors(merged, history)
+        for history in node_histories
+    }
+    if slow_histories:
+        if use_trie:
+            if trie is not None:
+                trie.refill(merged)
+                for history in slow_histories:
+                    maxima[history] = trie.prefix_max(history)
+            else:
+                maxima.update(prefix_max_via_trie(merged, slow_histories))
+        else:
+            for history in slow_histories:
+                maxima[history] = prefix_max(merged, history)
     # Simultaneous batch assignment: all bumps read the post-minimum map.
     for history in histories:
         merged[history] = 1 + maxima[history]

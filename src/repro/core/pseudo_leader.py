@@ -22,9 +22,10 @@ on top.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 from typing import Dict, Hashable, Iterable, Mapping, Optional, Tuple
 
-from repro.core.counters import FrozenCounters, apply_round_update
+from repro.core.counters import FrozenCounters, HistoryTrie, apply_round_update
 from repro.core.history import History, extend, initial_history
 from repro.giraf.automaton import GirafAlgorithm, InboxView
 
@@ -51,9 +52,24 @@ class PseudoLeaderElector:
         inherit_prefixes: bool = True,
     ):
         self.history: History = initial_history(initial_value)
-        self.counters: Dict[History, int] = {}
+        self._counters: Dict[History, int] = {}
         self._use_trie = use_trie
         self._inherit_prefixes = inherit_prefixes
+        # Persistent prefix index, refilled in place each round instead
+        # of rebuilt from scratch (only consulted for tuple histories —
+        # interned nodes answer prefix maxima from parent pointers).
+        self._trie = HistoryTrie() if use_trie else None
+
+    @property
+    def counters(self) -> Mapping[History, int]:
+        """The current counter map ``C`` (read-only view).
+
+        Read-only because the same dict backs the frozen counters
+        already broadcast in messages (:meth:`frozen_counters` adopts
+        it without a copy); mutating it from outside would silently
+        change payloads in flight.
+        """
+        return MappingProxyType(self._counters)
 
     def merge_round(
         self,
@@ -61,23 +77,24 @@ class PseudoLeaderElector:
         received_histories: Iterable[History],
     ) -> None:
         """Lines 8–9: pointwise minimum then prefix-inheritance bumps."""
-        self.counters = apply_round_update(
+        self._counters = apply_round_update(
             list(counter_maps),
             received_histories,
             use_trie=self._use_trie,
             inherit_prefixes=self._inherit_prefixes,
+            trie=self._trie,
         )
 
     def is_leader(self) -> bool:
         """Definition 1: own history's counter is maximal."""
-        mine = self.counters.get(self.history, 0)
-        return all(mine >= count for count in self.counters.values())
+        mine = self._counters.get(self.history, 0)
+        return all(mine >= count for count in self._counters.values())
 
     def my_counter(self) -> int:
-        return self.counters.get(self.history, 0)
+        return self._counters.get(self.history, 0)
 
     def max_counter(self) -> int:
-        return max(self.counters.values(), default=0)
+        return max(self._counters.values(), default=0)
 
     def append(self, value: Hashable) -> None:
         """Line 21: ``append VAL to HISTORY``."""
@@ -85,12 +102,16 @@ class PseudoLeaderElector:
 
     def frozen_counters(self) -> FrozenCounters:
         """The immutable form carried in outgoing messages."""
-        return FrozenCounters(self.counters)
+        # The round update's output is zero-free and positive by
+        # construction, merge_round replaces (never mutates) the dict,
+        # and the public ``counters`` view is read-only — safe to adopt
+        # without a defensive copy.
+        return FrozenCounters._adopt(self._counters)
 
     def state_size(self) -> int:
         """Structural size of the elector's state (experiment T3)."""
         return len(self.history) + sum(
-            len(history) + 1 for history in self.counters
+            len(history) + 1 for history in self._counters
         )
 
 

@@ -26,7 +26,17 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--full", action="store_true", help="full parameter grids")
     parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan grid experiments out over N worker processes "
+        "(identical output to a serial run)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     ids = [identifier.upper() for identifier in args.ids] or sorted(EXPERIMENTS)
     unknown = [identifier for identifier in ids if identifier not in EXPERIMENTS]
@@ -34,7 +44,9 @@ def main(argv=None) -> int:
         parser.error(f"unknown experiment ids: {', '.join(unknown)}")
 
     for identifier in ids:
-        table = run_experiment(identifier, quick=not args.full, seed=args.seed)
+        table = run_experiment(
+            identifier, quick=not args.full, seed=args.seed, jobs=args.jobs
+        )
         print(table.render())
         print()
     return 0

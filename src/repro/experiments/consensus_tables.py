@@ -20,16 +20,24 @@ EXPERIMENTS.md discusses it.
 
 Expected shapes: latency linear in the stabilization point, constant
 in ``n`` and in the number of crashes.
+
+Each grid is expressed as a list of self-contained cells executed by a
+module-level cell function (one cell = one table row), so
+:func:`~repro.experiments.common.run_cells` can fan the grid out over
+worker processes (``jobs=N``) without changing a digit of the output:
+every cell derives its seeds from its own parameters and the runs use
+the scheduler's aggregate trace mode (equivalence-tested against full
+traces).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.analysis.tables import Table
 from repro.core.es_consensus import ESConsensus
 from repro.core.ess_consensus import ESSConsensus
-from repro.experiments.common import aggregate_latency, sample_consensus
+from repro.experiments.common import aggregate_latency, run_cells, sample_consensus
 from repro.giraf.adversary import CrashSchedule
 from repro.giraf.blockade import BlockadeEnvironment
 
@@ -47,7 +55,30 @@ def _blockade(release: int, mode: str, n: int, crash_schedule=None) -> BlockadeE
     return environment
 
 
-def run_t1(quick: bool = True, seed: int = 0) -> Table:
+def _t1_cell(cell) -> tuple:
+    """One T1 row: (n, crash fraction, gst) aggregated over repeats."""
+    n, fraction, gst, repeats, seed = cell
+    samples = []
+    for rep in range(repeats):
+        run_seed = seed + 1000 * rep
+        crashes = CrashSchedule.fraction(
+            n, fraction, seed=run_seed, latest_round=max(2, gst),
+            protect={0},
+        )
+        samples.append(
+            sample_consensus(
+                ESConsensus,
+                carrier_proposals(n),
+                _blockade(gst, "es", n, crashes),
+                crash_schedule=crashes,
+                max_rounds=gst + 60,
+                trace_mode="aggregate",
+            )
+        )
+    return (n, fraction, gst) + aggregate_latency(samples)
+
+
+def run_t1(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
     """T1: Algorithm 2 latency across n × crash fraction × GST."""
     ns = [4, 10] if quick else [4, 8, 16, 32]
     fractions = [0.0, 0.5] if quick else [0.0, 0.25, 0.5]
@@ -65,31 +96,40 @@ def run_t1(quick: bool = True, seed: int = 0) -> Table:
             "adversary, so crashed configurations may decide early",
         ],
     )
-    for n in ns:
-        for fraction in fractions:
-            for gst in gsts:
-                samples = []
-                for rep in range(repeats):
-                    run_seed = seed + 1000 * rep
-                    crashes = CrashSchedule.fraction(
-                        n, fraction, seed=run_seed, latest_round=max(2, gst),
-                        protect={0},
-                    )
-                    samples.append(
-                        sample_consensus(
-                            ESConsensus,
-                            carrier_proposals(n),
-                            _blockade(gst, "es", n, crashes),
-                            crash_schedule=crashes,
-                            max_rounds=gst + 60,
-                        )
-                    )
-                latency, term, safe, deliveries = aggregate_latency(samples)
-                table.add_row(n, fraction, gst, latency, term, safe, deliveries)
+    cells = [
+        (n, fraction, gst, repeats, seed)
+        for n in ns
+        for fraction in fractions
+        for gst in gsts
+    ]
+    for row in run_cells(_t1_cell, cells, jobs=jobs):
+        table.add_row(*row)
     return table
 
 
-def run_t2(quick: bool = True, seed: int = 0) -> Table:
+def _t2_cell(cell) -> tuple:
+    """One T2 row: (n, stabilization round) aggregated over repeats."""
+    n, stab, repeats, seed = cell
+    samples = []
+    for rep in range(repeats):
+        run_seed = seed + 1000 * rep
+        crashes = CrashSchedule.fraction(
+            n, 0.25, seed=run_seed, latest_round=max(2, stab), protect={0}
+        )
+        samples.append(
+            sample_consensus(
+                ESSConsensus,
+                carrier_proposals(n),
+                _blockade(stab, "ess", n, crashes),
+                crash_schedule=crashes,
+                max_rounds=stab + 150,
+                trace_mode="aggregate",
+            )
+        )
+    return (n, stab) + aggregate_latency(samples)
+
+
+def run_t2(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
     """T2: Algorithm 3 latency across n × stabilization round."""
     ns = [4, 10] if quick else [4, 8, 16, 32]
     stabs = [2, 12] if quick else [2, 8, 16, 32]
@@ -105,50 +145,43 @@ def run_t2(quick: bool = True, seed: int = 0) -> Table:
             "defeats the blockade (Lemma 6) — see EXPERIMENTS.md",
         ],
     )
-    for n in ns:
-        for stab in stabs:
-            samples = []
-            for rep in range(repeats):
-                run_seed = seed + 1000 * rep
-                crashes = CrashSchedule.fraction(
-                    n, 0.25, seed=run_seed, latest_round=max(2, stab), protect={0}
-                )
-                samples.append(
-                    sample_consensus(
-                        ESSConsensus,
-                        carrier_proposals(n),
-                        _blockade(stab, "ess", n, crashes),
-                        crash_schedule=crashes,
-                        max_rounds=stab + 150,
-                    )
-                )
-            latency, term, safe, deliveries = aggregate_latency(samples)
-            table.add_row(n, stab, latency, term, safe, deliveries)
+    cells = [(n, stab, repeats, seed) for n in ns for stab in stabs]
+    for row in run_cells(_t2_cell, cells, jobs=jobs):
+        table.add_row(*row)
     return table
 
 
+_SERIES_FACTORIES: dict = {
+    "es": ESConsensus,
+    "ess": ESSConsensus,
+}
+
+
+def _series_cell(cell) -> list:
+    """One latency-series point: blockade released at ``point``."""
+    mode, point, n, max_extra = cell
+    sample = sample_consensus(
+        _SERIES_FACTORIES[mode],
+        carrier_proposals(n),
+        _blockade(point, mode, n),
+        max_rounds=point + max_extra,
+        trace_mode="aggregate",
+    )
+    return [point, sample.last_decision_round if sample.terminated else None]
+
+
 def _latency_series(
-    factory: Callable,
     mode: str,
     points: List[int],
     n: int,
     max_extra: int,
+    jobs: Optional[int] = None,
 ) -> List[List[object]]:
-    rows: List[List[object]] = []
-    for point in points:
-        sample = sample_consensus(
-            factory,
-            carrier_proposals(n),
-            _blockade(point, mode, n),
-            max_rounds=point + max_extra,
-        )
-        rows.append(
-            [point, sample.last_decision_round if sample.terminated else None]
-        )
-    return rows
+    cells = [(mode, point, n, max_extra) for point in points]
+    return run_cells(_series_cell, cells, jobs=jobs)
 
 
-def run_f1(quick: bool = True, seed: int = 0) -> Table:
+def run_f1(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
     """F1: ES latency as a function of GST (fixed n)."""
     n = 8
     points = [1, 8, 16, 32] if quick else [1, 4, 8, 16, 32, 64, 128]
@@ -159,12 +192,12 @@ def run_f1(quick: bool = True, seed: int = 0) -> Table:
         headers=["gst", "rounds-to-decide"],
         notes=["expected: decide ≈ GST + 2 (deterministic blockade)"],
     )
-    for row in _latency_series(ESConsensus, "es", points, n, 60):
+    for row in _latency_series("es", points, n, 60, jobs=jobs):
         table.add_row(*row)
     return table
 
 
-def run_f2(quick: bool = True, seed: int = 0) -> Table:
+def run_f2(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
     """F2: ESS latency as a function of the stabilization round."""
     n = 8
     points = [1, 8, 16, 32] if quick else [1, 4, 8, 16, 32, 64, 128]
@@ -183,6 +216,6 @@ def run_f2(quick: bool = True, seed: int = 0) -> Table:
             "algorithm winning, not the adversary",
         ],
     )
-    for row in _latency_series(ESSConsensus, "ess", points, n, 150):
+    for row in _latency_series("ess", points, n, 150, jobs=jobs):
         table.add_row(*row)
     return table

@@ -7,7 +7,8 @@ returns its :class:`~repro.analysis.tables.Table`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.tables import Table
 from repro.experiments.ablations import run_a1, run_a2, run_a3
@@ -40,15 +41,32 @@ EXPERIMENTS: Dict[str, Runner] = {
 }
 
 
-def run_experiment(experiment_id: str, *, quick: bool = True, seed: int = 0) -> Table:
-    """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``)."""
+def run_experiment(
+    experiment_id: str,
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> Table:
+    """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``).
+
+    ``jobs`` fans grid experiments out over worker processes; runners
+    whose workload is not cell-parallel simply ignore it.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    return EXPERIMENTS[key](quick=quick, seed=seed)
+    runner = EXPERIMENTS[key]
+    kwargs = {"quick": quick, "seed": seed}
+    if jobs is not None and "jobs" in inspect.signature(runner).parameters:
+        kwargs["jobs"] = jobs
+    return runner(**kwargs)
 
 
-def run_all(*, quick: bool = True, seed: int = 0) -> List[Table]:
+def run_all(*, quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> List[Table]:
     """Run the whole suite in ID order."""
-    return [EXPERIMENTS[key](quick=quick, seed=seed) for key in sorted(EXPERIMENTS)]
+    return [
+        run_experiment(key, quick=quick, seed=seed, jobs=jobs)
+        for key in sorted(EXPERIMENTS)
+    ]

@@ -22,7 +22,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence
 
-from repro._rng import derive_rng
+from repro._rng import derive_randint, derive_randrange
 from repro.errors import ProtocolMisuse
 
 __all__ = [
@@ -188,8 +188,8 @@ class RandomSource(SourceSchedule):
         self._seed = seed
 
     def pick(self, round_no: int, candidates: Sequence[int]) -> int:
-        rng = derive_rng("source", self._seed, round_no)
-        return candidates[rng.randrange(len(candidates))]
+        index = derive_randrange(len(candidates), "source", self._seed, round_no)
+        return candidates[index]
 
 
 class FlappingSource(SourceSchedule):
@@ -251,8 +251,9 @@ class UniformDelay(DelayPolicy):
         self._seed = seed
 
     def delay(self, round_no: int, sender: int, receiver: int) -> int:
-        rng = derive_rng("delay", self._seed, round_no, sender, receiver)
-        return rng.randint(self._lo, self._hi)
+        return derive_randint(
+            self._lo, self._hi, "delay", self._seed, round_no, sender, receiver
+        )
 
 
 class ConstantDelay(DelayPolicy):

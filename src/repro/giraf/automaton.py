@@ -173,6 +173,18 @@ class GirafProcess:
             return
         self._slots.setdefault(envelope.round_no, set()).update(envelope.payload)
 
+    def receive_values(self, round_no: int, values: FrozenSet[Hashable]) -> None:
+        """Merge several envelopes' worth of round-``round_no`` payloads.
+
+        Payload merging is an idempotent set union, so delivering the
+        union of ``k`` envelopes equals delivering them one by one —
+        schedulers batch a round's obligatory broadcasts through this
+        to apply one merge per receiver instead of one per link.
+        """
+        if self.crashed or self.halted:
+            return
+        self._slots.setdefault(round_no, set()).update(values)
+
     def crash(self) -> None:
         """Crash the process (it never recovers)."""
         self.crashed = True

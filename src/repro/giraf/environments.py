@@ -35,7 +35,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Sequence
 
-from repro._rng import derive_rng
+from repro._rng import derive_rng, derive_uniform
 from repro.giraf.adversary import (
     DelayPolicy,
     RandomSource,
@@ -95,8 +95,8 @@ class BernoulliLinks(LinkPolicy):
         self._seed = seed
 
     def timely(self, round_no: int, sender: int, receiver: int) -> bool:
-        rng = derive_rng("link", self._seed, round_no, sender, receiver)
-        return rng.random() < self._p
+        # Memoized single draw — same value as a fresh derived stream.
+        return derive_uniform("link", self._seed, round_no, sender, receiver) < self._p
 
 
 @dataclass(frozen=True)

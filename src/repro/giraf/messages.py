@@ -65,7 +65,16 @@ def payload_size(obj: object) -> int:
     Used by the metrics layer to quantify the growth of Algorithm 3's
     histories and counter maps (experiment T3) without depending on any
     particular wire encoding.
+
+    Objects may implement ``__payload_size__(recurse)`` to answer
+    directly (and typically cache): interned histories and frozen
+    counter maps use this so repeated measurements of shared structure
+    cost O(1) instead of re-walking every atom.  Implementations must
+    return exactly what the structural recursion would.
     """
+    sizer = getattr(obj, "__payload_size__", None)
+    if sizer is not None:
+        return sizer(payload_size)
     if isinstance(obj, (tuple, list, frozenset, set)):
         return 1 + sum(payload_size(item) for item in obj)
     if isinstance(obj, Mapping):

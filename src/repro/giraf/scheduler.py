@@ -37,7 +37,7 @@ from repro.errors import SimulationError
 from repro.giraf.adversary import NEVER_DELIVERED, CrashSchedule
 from repro.giraf.automaton import GirafAlgorithm, GirafProcess
 from repro.giraf.environments import Environment
-from repro.giraf.messages import Envelope
+from repro.giraf.messages import Envelope, payload_size
 from repro.giraf.traces import (
     CrashEvent,
     DecisionEvent,
@@ -95,6 +95,14 @@ class LockStepScheduler:
        the environment's delay.
 
     ``max_rounds`` bounds the number of ticks.
+
+    ``trace_mode`` selects the trace's fidelity.  ``"full"`` (default)
+    records every send and delivery as an event object — required by
+    the ground-truth environment checkers.  ``"aggregate"`` keeps only
+    running counters (plus per-round payload statistics when
+    ``payload_stats=True``), skipping event construction entirely; the
+    metrics an experiment table consumes are identical in both modes
+    (equivalence-tested), at a fraction of the allocation cost.
     """
 
     def __init__(
@@ -106,11 +114,15 @@ class LockStepScheduler:
         max_rounds: int = 200,
         stop_when: Optional[StopPredicate] = None,
         record_snapshots: bool = False,
+        trace_mode: str = "full",
+        payload_stats: bool = False,
     ):
         if not algorithms:
             raise SimulationError("need at least one process")
         if max_rounds < 1:
             raise SimulationError("max_rounds must be >= 1")
+        if trace_mode not in ("full", "aggregate"):
+            raise SimulationError(f"unknown trace_mode {trace_mode!r}")
         self._algorithms = list(algorithms)
         self._environment = environment
         self._crashes = crash_schedule or CrashSchedule.none()
@@ -118,9 +130,12 @@ class LockStepScheduler:
         self._max_rounds = max_rounds
         self._stop_when = stop_when
         self._record_snapshots = record_snapshots
+        self._aggregate = trace_mode == "aggregate"
+        self._payload_stats = payload_stats and self._aggregate
         self.processes = [
             GirafProcess(pid, algorithm) for pid, algorithm in enumerate(self._algorithms)
         ]
+        self._correct = self._crashes.correct_set(len(self._algorithms))
 
         self._trace: Optional[RunTrace] = None
         self._tick = 0
@@ -134,7 +149,12 @@ class LockStepScheduler:
         """The trace being built (created lazily on first access)."""
         if self._trace is None:
             n = len(self.processes)
-            self._trace = RunTrace(n=n, correct=self._crashes.correct_set(n))
+            self._trace = RunTrace(
+                n=n,
+                correct=self._correct,
+                aggregate=self._aggregate,
+                payload_stats=self._payload_stats,
+            )
             _initial_values(self._trace, self._algorithms)
         return self._trace
 
@@ -179,6 +199,9 @@ class LockStepScheduler:
             timely = not proc.has_computed(envelope.round_no)
             if proc.active:
                 proc.receive(envelope)
+            if self._aggregate:
+                trace.agg_deliveries += 1
+                continue
             trace.deliveries.append(
                 DeliveryEvent(
                     sender=sender,
@@ -229,14 +252,20 @@ class LockStepScheduler:
                     halted_recorded.add(proc.pid)
                 continue
             trace.record_round_entry(proc.pid, envelope.round_no, float(tick))
-            trace.sends.append(
-                SendEvent(
-                    pid=proc.pid,
-                    round_no=envelope.round_no,
-                    time=float(tick),
-                    payload=envelope.payload,
+            if self._aggregate:
+                trace.record_send_aggregate(
+                    envelope.round_no,
+                    payload_size(envelope.payload) if self._payload_stats else None,
                 )
-            )
+            else:
+                trace.sends.append(
+                    SendEvent(
+                        pid=proc.pid,
+                        round_no=envelope.round_no,
+                        time=float(tick),
+                        payload=envelope.payload,
+                    )
+                )
             envelopes[proc.pid] = envelope
         return envelopes
 
@@ -249,22 +278,71 @@ class LockStepScheduler:
     ) -> None:
         if not envelopes:
             return
-        correct_senders = sorted(
-            pid for pid in envelopes if pid in trace.correct
-        )
-        candidates = correct_senders or sorted(envelopes)
+        # Processes fire in pid order, so the envelope dict's keys are
+        # already sorted — no per-tick re-sort needed.
+        correct_senders = [pid for pid in envelopes if pid in self._correct]
+        candidates = correct_senders or list(envelopes)
         plan = self._environment.plan_round(tick, candidates)
         if plan.source is not None:
             trace.declared_sources[tick] = plan.source
 
+        aggregate = self._aggregate
         receivers = [proc for proc in self.processes if proc.active]
+
+        # Batch the round's obligatory broadcasts: payload merging is an
+        # idempotent set union (and lock-step envelopes share one round
+        # number), so one merged update per receiver replaces one
+        # ``receive`` per link.  Event recording below is unchanged.
+        obligatory_envelopes = [
+            envelopes[sender] for sender in envelopes if sender in plan.obligatory
+        ]
+        if obligatory_envelopes:
+            if len(obligatory_envelopes) == 1:
+                merged_values = obligatory_envelopes[0].payload
+            else:
+                merged_values = frozenset().union(
+                    *(envelope.payload for envelope in obligatory_envelopes)
+                )
+            round_no = obligatory_envelopes[0].round_no
+            for proc in receivers:
+                # A receiver's own payload may ride in the union; its
+                # slot already contains it, so the merge is a no-op there.
+                proc.receive_values(round_no, merged_values)
+
+        if aggregate:
+            # Obligatory links: count deliveries arithmetically (the
+            # state was applied above; crashed receivers are already
+            # filtered, so no event objects exist to construct).
+            receiver_ids = {proc.pid for proc in receivers}
+            for sender in envelopes:
+                if sender in plan.obligatory:
+                    trace.agg_deliveries += len(receivers) - (
+                        1 if sender in receiver_ids else 0
+                    )
+
         for sender, envelope in envelopes.items():
             obligatory = sender in plan.obligatory
+            if obligatory and aggregate:
+                continue
             for proc in receivers:
                 if proc.pid == sender:
                     continue
-                if obligatory or self._environment.extra_timely(tick, sender, proc.pid):
+                if obligatory:
+                    trace.deliveries.append(
+                        DeliveryEvent(
+                            sender=sender,
+                            receiver=proc.pid,
+                            round_no=envelope.round_no,
+                            sent_time=float(tick),
+                            delivered_time=float(tick),
+                            timely=True,
+                        )
+                    )
+                elif self._environment.extra_timely(tick, sender, proc.pid):
                     proc.receive(envelope)
+                    if aggregate:
+                        trace.agg_deliveries += 1
+                        continue
                     trace.deliveries.append(
                         DeliveryEvent(
                             sender=sender,

@@ -16,6 +16,16 @@ A trace records, per event:
 * crashes, halts, and decisions,
 * the source the environment *declared* for each round (debugging aid —
   checkers recompute sources from deliveries and never trust this).
+
+**Aggregate mode** (``aggregate=True``, produced by schedulers run with
+``trace_mode="aggregate"``) is the fast path for experiments that only
+consume headline numbers: instead of materializing O(n²·rounds)
+:class:`SendEvent`/:class:`DeliveryEvent` objects, the trace keeps
+running counters (and, optionally, per-round payload-size statistics
+accumulated at send time).  ``send_count()``, ``message_count()`` and
+the metrics layer answer identically in both modes — equivalence tests
+pin that — but the per-event lists stay empty, so the ground-truth
+environment checkers require full mode.
 """
 
 from __future__ import annotations
@@ -88,11 +98,24 @@ class RunTrace:
             schedule; processes the run ended before crashing still
             count as faulty if a crash was scheduled within the run).
         rounds_executed: highest round any process entered.
+        aggregate: True when the producing scheduler ran in aggregate
+            mode — per-event lists are empty and counts live in the
+            ``agg_*`` fields instead.
     """
 
     n: int
     correct: FrozenSet[int]
     rounds_executed: int = 0
+    aggregate: bool = False
+    agg_sends: int = 0
+    agg_deliveries: int = 0
+    #: True when the producing scheduler collected per-round payload
+    #: statistics (``payload_stats=True``); consumers use this to
+    #: distinguish "no stats collected" from "no sends happened".
+    payload_stats: bool = False
+    # round -> [sends, payload-atoms total, payload-atoms max]; only
+    # populated when the scheduler was asked to collect payload stats.
+    agg_payload: Dict[int, List[float]] = field(default_factory=dict)
     sends: List[SendEvent] = field(default_factory=list)
     deliveries: List[DeliveryEvent] = field(default_factory=list)
     crashes: List[CrashEvent] = field(default_factory=list)
@@ -123,6 +146,21 @@ class RunTrace:
     ) -> None:
         if snapshot is not None:
             self.snapshots.setdefault(pid, {})[round_no] = dict(snapshot)
+
+    def record_send_aggregate(
+        self, round_no: int, payload_atoms: Optional[int] = None
+    ) -> None:
+        """Count one send (aggregate mode), optionally with its size."""
+        self.agg_sends += 1
+        if payload_atoms is not None:
+            stats = self.agg_payload.get(round_no)
+            if stats is None:
+                self.agg_payload[round_no] = [1, payload_atoms, payload_atoms]
+            else:
+                stats[0] += 1
+                stats[1] += payload_atoms
+                if payload_atoms > stats[2]:
+                    stats[2] = payload_atoms
 
     # ------------------------------------------------------------------
     # queries (used by checkers, metrics, experiments)
@@ -192,9 +230,13 @@ class RunTrace:
 
     def message_count(self) -> int:
         """Total number of point-to-point deliveries in the run."""
+        if self.aggregate:
+            return self.agg_deliveries
         return len(self.deliveries)
 
     def send_count(self) -> int:
+        if self.aggregate:
+            return self.agg_sends
         return len(self.sends)
 
     def max_round_of(self, pid: int) -> int:
@@ -219,7 +261,7 @@ class RunTrace:
         decided = sorted((e.pid, e.value, e.round_no) for e in self.decisions)
         return (
             f"RunTrace(n={self.n}, correct={sorted(self.correct)}, "
-            f"rounds={self.rounds_executed}, sends={len(self.sends)}, "
-            f"deliveries={len(self.deliveries)}, crashes={len(self.crashes)}, "
+            f"rounds={self.rounds_executed}, sends={self.send_count()}, "
+            f"deliveries={self.message_count()}, crashes={len(self.crashes)}, "
             f"decisions={decided})"
         )

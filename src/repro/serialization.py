@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Tuple
 
 from repro.core.counters import FrozenCounters
 from repro.core.ess_consensus import EssMessage
+from repro.core.history import HistoryNode
 from repro.core.pseudo_leader import HeartbeatMessage
 from repro.baselines.known_ids import IdMessage
 from repro.errors import ReproError
@@ -76,6 +77,11 @@ def encode_value(value: Any) -> Any:
         return value
     if isinstance(value, Bottom):
         return {"__t": "bottom"}
+    if isinstance(value, HistoryNode):
+        # Interned histories serialize as their element tuple; nodes
+        # compare equal to tuples, so round-tripped traces still
+        # compare equal to the originals.
+        value = value.as_tuple()
     if isinstance(value, tuple):
         return {"__t": "tuple", "v": [encode_value(item) for item in value]}
     if isinstance(value, frozenset):
@@ -143,6 +149,14 @@ def trace_to_dict(trace: RunTrace) -> Dict[str, Any]:
         "n": trace.n,
         "correct": sorted(trace.correct),
         "rounds_executed": trace.rounds_executed,
+        "aggregate": trace.aggregate,
+        "agg_sends": trace.agg_sends,
+        "agg_deliveries": trace.agg_deliveries,
+        "payload_stats": trace.payload_stats,
+        "agg_payload": {
+            str(round_no): list(stats)
+            for round_no, stats in trace.agg_payload.items()
+        },
         "sends": [
             [s.pid, s.round_no, s.time, encode_value(s.payload)] for s in trace.sends
         ],
@@ -184,6 +198,15 @@ def trace_from_dict(blob: Dict[str, Any]) -> RunTrace:
     """Rebuild a :class:`RunTrace` from :func:`trace_to_dict` output."""
     trace = RunTrace(n=blob["n"], correct=frozenset(blob["correct"]))
     trace.rounds_executed = blob["rounds_executed"]
+    # .get defaults keep archives from before aggregate mode loadable.
+    trace.aggregate = blob.get("aggregate", False)
+    trace.agg_sends = blob.get("agg_sends", 0)
+    trace.agg_deliveries = blob.get("agg_deliveries", 0)
+    trace.payload_stats = blob.get("payload_stats", False)
+    trace.agg_payload = {
+        int(round_no): list(stats)
+        for round_no, stats in blob.get("agg_payload", {}).items()
+    }
     for pid, round_no, time, payload in blob["sends"]:
         trace.sends.append(SendEvent(pid, round_no, time, decode_value(payload)))
     for sender, receiver, round_no, sent, delivered, timely in blob["deliveries"]:

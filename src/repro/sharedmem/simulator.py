@@ -26,6 +26,10 @@ __all__ = ["TaskHandle", "SharedMemorySimulator"]
 #: A process program: yields Invoke primitives, receives their results.
 Program = Generator[Invoke, object, object]
 
+#: Sentinel distinguishing "no primitive result pending" from a pending
+#: result that happens to be ``None``.
+_NO_RESULT = object()
+
 
 @dataclass
 class TaskHandle:
@@ -39,6 +43,10 @@ class TaskHandle:
     end_step: Optional[int] = None
     result: object = None
     crashed: bool = False
+    #: result of the task's last executed primitive, to be sent into
+    #: the generator at its next step (``_NO_RESULT`` when the next
+    #: step is the generator's first).
+    pending_result: object = _NO_RESULT
 
     @property
     def done(self) -> bool:
@@ -77,30 +85,40 @@ class SharedMemorySimulator:
 
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Advance one primitive of one task; False when idle."""
+        """Advance one primitive of one task; False when idle.
+
+        Retirement swaps the finished task with the last runnable (O(1)
+        instead of a list scan).  That reorders ``_runnable``, so the
+        interleaving a given seed produces differs from the pre-swap-pop
+        versions of this simulator — schedules are still deterministic
+        per seed and drawn from the same adversary distribution, but
+        seeds are not replay-compatible across that boundary.
+        """
         if not self._runnable:
             return False
         self.step_count += 1
         rng = derive_rng("sm-sched", self._seed, self.step_count)
-        task = self._runnable[rng.randrange(len(self._runnable))]
+        index = rng.randrange(len(self._runnable))
+        task = self._runnable[index]
         if task.start_step is None:
             task.start_step = self.step_count
+        pending = task.pending_result
+        task.pending_result = _NO_RESULT
         try:
-            if not hasattr(task, "_pending_result"):
-                invoke = task.program.send(None)
-            else:
-                invoke = task.program.send(task._pending_result)  # type: ignore[attr-defined]
-                del task._pending_result  # type: ignore[attr-defined]
+            invoke = task.program.send(None if pending is _NO_RESULT else pending)
         except StopIteration as stop:
             task.result = stop.value
             task.end_step = self.step_count
-            self._runnable.remove(task)
+            # O(1) retirement: overwrite with the last runnable and pop.
+            last = self._runnable.pop()
+            if last is not task:
+                self._runnable[index] = last
             return True
         if not isinstance(invoke, Invoke):
             raise SimulationError(f"task {task.label} yielded {invoke!r}, not Invoke")
         method = getattr(invoke.target, invoke.method)
         result = method(*invoke.args, pid=task.pid, step=self.step_count)
-        task._pending_result = result  # type: ignore[attr-defined]
+        task.pending_result = result
         return True
 
     def run_until_quiet(self, *, max_steps: int = 100_000) -> None:

@@ -68,7 +68,24 @@ def payload_growth(trace: RunTrace) -> List[Tuple[int, int, float]]:
     The structural size counts atoms in the envelope payload (values,
     history elements, counter entries) — a wire-encoding-independent
     proxy for message length.
+
+    Aggregate traces (``trace_mode="aggregate"`` with payload stats)
+    answer from the statistics accumulated at send time — the same
+    numbers, without the per-event storage.  An aggregate trace whose
+    scheduler was *not* asked to collect them cannot answer at all, so
+    that is an error rather than a silently empty series.
     """
+    if trace.aggregate:
+        if not trace.payload_stats:
+            raise ValueError(
+                "this aggregate trace carries no payload statistics; run the "
+                "scheduler with payload_stats=True (or trace_mode='full') "
+                "before asking for payload growth"
+            )
+        return [
+            (round_no, int(stats[2]), stats[1] / stats[0])
+            for round_no, stats in sorted(trace.agg_payload.items())
+        ]
     by_round: Dict[int, List[int]] = {}
     for send in trace.sends:
         by_round.setdefault(send.round_no, []).append(payload_size(send.payload))
