@@ -19,8 +19,10 @@ from repro.core.es_consensus import ESConsensus
 from repro.core.history import intern_history
 from repro.giraf.environments import EventualSynchronyEnvironment
 from repro.giraf.messages import payload_size
-from repro.giraf.scheduler import LockStepScheduler
+from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
 from repro.sim.runner import stop_when_all_correct_decided
+from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.sharding import ShardedWeakSetCluster
 
 
 def _counter_workload(depth: int, fanout: int, *, interned: bool = True):
@@ -119,3 +121,59 @@ def test_bench_lockstep_round_throughput_full_trace(benchmark):
     """Checker-grade full event traces (the seed's only mode)."""
     trace = benchmark(_run_lockstep, "full")
     assert trace.decided_pids()
+
+
+def _run_drifting(trace_mode: str):
+    scheduler = DriftingScheduler(
+        [ESConsensus(v) for v in range(12)],
+        EventualSynchronyEnvironment(gst=1),
+        max_rounds=40,
+        stop_when=stop_when_all_correct_decided,
+        trace_mode=trace_mode,
+    )
+    return scheduler.run()
+
+
+def test_bench_drifting_round_throughput(benchmark):
+    """Drifting scheduler on the runtime kernel, aggregate sink."""
+    trace = benchmark(_run_drifting, "aggregate")
+    assert trace.decided_pids()
+
+
+def test_bench_drifting_round_throughput_full_trace(benchmark):
+    """Drifting scheduler, checker-grade full event traces."""
+    trace = benchmark(_run_drifting, "full")
+    assert trace.decided_pids()
+
+
+def _weakset_add_wave(shards: int):
+    """A wave of adds across every process, riding batched delivery."""
+    if shards == 1:
+        cluster = MSWeakSetCluster(8, max_total_rounds=200)
+    else:
+        cluster = ShardedWeakSetCluster(8, shards=shards, max_total_rounds=200)
+    records = []
+    for batch in range(3):
+        records += [
+            cluster.handle(pid).add_async(f"w{pid}-{batch}") for pid in range(8)
+        ]
+        # one add per process may be in flight; drain the batch before
+        # launching the next wave
+        while not cluster.exhausted and any(
+            record.end is None for record in records
+        ):
+            cluster.advance(1)
+    assert all(record.end is not None for record in records)
+    return records
+
+
+def test_bench_weakset_cluster_adds(benchmark):
+    """24 concurrent adds on one 8-process Algorithm-4 cluster."""
+    records = benchmark(_weakset_add_wave, 1)
+    assert all(record.end is not None for record in records)
+
+
+def test_bench_weakset_sharded_adds(benchmark):
+    """The same wave over 4 value-partitioned shard clusters."""
+    records = benchmark(_weakset_add_wave, 4)
+    assert all(record.end is not None for record in records)

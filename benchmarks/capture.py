@@ -133,6 +133,19 @@ def main(argv=None) -> int:
     full_now = micro.get("test_bench_lockstep_round_throughput_full_trace")
     if fast and full_now:
         speedups["lockstep_aggregate_vs_full_trace_now"] = round(full_now / fast, 2)
+    # Runtime-kernel additions (this PR): the drifting scheduler's
+    # aggregate sink against its own full-trace twin, and the weak-set
+    # cluster's add wave against the same wave over 4 shard clusters
+    # (the sharded ratio is a scale knob, not a speedup — 4 shards do
+    # 4× the scheduler work for ¼ the per-shard value population).
+    fast = micro.get("test_bench_drifting_round_throughput")
+    full_now = micro.get("test_bench_drifting_round_throughput_full_trace")
+    if fast and full_now:
+        speedups["drifting_aggregate_vs_full_trace"] = round(full_now / fast, 2)
+    single = micro.get("test_bench_weakset_cluster_adds")
+    sharded = micro.get("test_bench_weakset_sharded_adds")
+    if single and sharded:
+        speedups["weakset_sharded4_vs_single_cost"] = round(sharded / single, 2)
     if speedups:
         snapshot["speedups"] = speedups
 

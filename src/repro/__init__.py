@@ -32,8 +32,10 @@ from repro.giraf import (
     check_ess,
     check_ms,
 )
+from repro.runtime import RuntimeKernel, TraceSink
 from repro.sim import run_consensus, run_es_consensus, run_ess_consensus
 from repro.values import BOTTOM, Bottom
+from repro.weakset import MSWeakSetCluster, ShardedWeakSetCluster
 
 __version__ = "1.0.0"
 
@@ -49,9 +51,13 @@ __all__ = [
     "EventuallyStableSourceEnvironment",
     "GirafAlgorithm",
     "LockStepScheduler",
+    "MSWeakSetCluster",
     "MovingSourceEnvironment",
     "PseudoLeaderElector",
     "RunTrace",
+    "RuntimeKernel",
+    "ShardedWeakSetCluster",
+    "TraceSink",
     "assert_consensus",
     "check_consensus",
     "check_es",

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro._rng import derive_rng, derive_uniform
 from repro.giraf.adversary import (
@@ -66,6 +66,25 @@ class LinkPolicy(ABC):
     def timely(self, round_no: int, sender: int, receiver: int) -> bool:
         """Deterministic in ``(round_no, sender, receiver)`` and the seed."""
 
+    def timely_block(
+        self, round_no: int, senders: Sequence[int], receivers: Sequence[int]
+    ) -> Dict[int, List[bool]]:
+        """Vectorized form: one boolean row per sender over ``receivers``.
+
+        Must answer exactly what per-link :meth:`timely` calls would
+        (self-links are reported ``False``; schedulers never deliver
+        them).  The default falls back to the scalar method so custom
+        policies stay correct with no extra work; the shipped policies
+        override it to answer a whole round without per-link dispatch.
+        """
+        return {
+            sender: [
+                receiver != sender and self.timely(round_no, sender, receiver)
+                for receiver in receivers
+            ]
+            for sender in senders
+        }
+
 
 class SilentLinks(LinkPolicy):
     """Nothing beyond the environment's obligations is timely.
@@ -77,12 +96,26 @@ class SilentLinks(LinkPolicy):
     def timely(self, round_no: int, sender: int, receiver: int) -> bool:
         return False
 
+    def timely_block(
+        self, round_no: int, senders: Sequence[int], receivers: Sequence[int]
+    ) -> Dict[int, List[bool]]:
+        row = [False] * len(receivers)  # shared: rows are read-only
+        return {sender: row for sender in senders}
+
 
 class AllTimelyLinks(LinkPolicy):
     """Every link is timely (a fully synchronous run prefix)."""
 
     def timely(self, round_no: int, sender: int, receiver: int) -> bool:
         return True
+
+    def timely_block(
+        self, round_no: int, senders: Sequence[int], receivers: Sequence[int]
+    ) -> Dict[int, List[bool]]:
+        return {
+            sender: [receiver != sender for receiver in receivers]
+            for sender in senders
+        }
 
 
 class BernoulliLinks(LinkPolicy):
@@ -97,6 +130,19 @@ class BernoulliLinks(LinkPolicy):
     def timely(self, round_no: int, sender: int, receiver: int) -> bool:
         # Memoized single draw — same value as a fresh derived stream.
         return derive_uniform("link", self._seed, round_no, sender, receiver) < self._p
+
+    def timely_block(
+        self, round_no: int, senders: Sequence[int], receivers: Sequence[int]
+    ) -> Dict[int, List[bool]]:
+        p, seed = self._p, self._seed
+        return {
+            sender: [
+                receiver != sender
+                and derive_uniform("link", seed, round_no, sender, receiver) < p
+                for receiver in receivers
+            ]
+            for sender in senders
+        }
 
 
 @dataclass(frozen=True)
@@ -148,6 +194,34 @@ class Environment(ABC):
         """Whether a non-obligatory link happens to be timely."""
         return self.link_policy.timely(round_no, sender, receiver)
 
+    def plan_round_links(
+        self, round_no: int, senders: Sequence[int], receivers: Sequence[int]
+    ) -> Dict[int, List[bool]]:
+        """Vectorized timeliness plan: one call per round, not per link.
+
+        Returns ``{sender: row}`` where ``row[i]`` says whether the
+        link to ``receivers[i]`` happens to be timely (self-links are
+        ``False``).  Answers are exactly what per-link
+        :meth:`extra_timely` calls would produce — equivalence-tested —
+        so schedulers may use either path interchangeably.
+
+        Environments that override :meth:`extra_timely` (e.g. the
+        blockade adversary) are routed through the per-link fallback
+        automatically; stock environments delegate to the link policy's
+        :meth:`LinkPolicy.timely_block`, which the shipped policies
+        answer without per-link Python dispatch.
+        """
+        if type(self).extra_timely is not Environment.extra_timely:
+            return {
+                sender: [
+                    receiver != sender
+                    and self.extra_timely(round_no, sender, receiver)
+                    for receiver in receivers
+                ]
+                for sender in senders
+            }
+        return self.link_policy.timely_block(round_no, senders, receivers)
+
     def delay_ticks(self, round_no: int, sender: int, receiver: int) -> int:
         """Lateness (in ticks) for a delivery that is not timely."""
         return self.delay_policy.delay(round_no, sender, receiver)
@@ -165,6 +239,28 @@ class Environment(ABC):
     def late_latency(self, round_no: int, sender: int, receiver: int) -> float:
         """Continuous-time latency for a non-timely delivery."""
         return float(self.delay_ticks(round_no, sender, receiver))
+
+    def timely_latencies(
+        self, round_no: int, sender: int, receivers: Sequence[int]
+    ) -> List[float]:
+        """Vectorized :meth:`timely_latency`: one call per broadcast.
+
+        The default reproduces the scalar draws exactly (latencies are
+        keyed per link, not per call), so overriding either form keeps
+        the other consistent as long as the override stays per-link
+        deterministic.
+        """
+        return [
+            self.timely_latency(round_no, sender, receiver) for receiver in receivers
+        ]
+
+    def late_latencies(
+        self, round_no: int, sender: int, receivers: Sequence[int]
+    ) -> List[float]:
+        """Vectorized :meth:`late_latency`: one call per broadcast."""
+        return [
+            self.late_latency(round_no, sender, receiver) for receiver in receivers
+        ]
 
 
 class MovingSourceEnvironment(Environment):

@@ -1,6 +1,10 @@
 """Schedulers: drive GIRAF automata through an environment.
 
-Two schedulers are provided.
+Two schedulers are provided; both are thin *ordering* layers over the
+shared :class:`~repro.runtime.kernel.RuntimeKernel` (process pool,
+crash/halt lifecycle, delivery queues, pluggable trace sinks), so every
+kernel fast path — aggregate traces, batched late flushes, vectorized
+link planning — applies to both.
 
 :class:`LockStepScheduler`
     All processes fire their ``end-of-round`` together at integer
@@ -20,64 +24,29 @@ Two schedulers are provided.
     environment simply schedules ``end-of-round`` after the relevant
     ``receive`` actions — the environment controls both).
 
-Both produce the same :class:`~repro.giraf.traces.RunTrace` format, and
-both compute every delivery's *timely* flag from ground truth (did it
-land before the receiver's ``compute(k, ·)``?) so the checkers in
+Both produce the same :class:`~repro.giraf.traces.RunTrace` format,
+both accept ``trace_mode="aggregate"`` for the counter-only fast path,
+and both compute every delivery's *timely* flag from ground truth (did
+it land before the receiver's ``compute(k, ·)``?) so the checkers in
 :mod:`repro.giraf.checkers` validate the schedulers as much as the
 algorithms.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.errors import SimulationError
 from repro.giraf.adversary import NEVER_DELIVERED, CrashSchedule
 from repro.giraf.automaton import GirafAlgorithm, GirafProcess
 from repro.giraf.environments import Environment
-from repro.giraf.messages import Envelope, payload_size
-from repro.giraf.traces import (
-    CrashEvent,
-    DecisionEvent,
-    DeliveryEvent,
-    HaltEvent,
-    RunTrace,
-    SendEvent,
-)
+from repro.giraf.messages import Envelope
+from repro.giraf.traces import RunTrace
+from repro.runtime.kernel import RuntimeKernel, StopPredicate
 
 __all__ = ["LockStepScheduler", "DriftingScheduler"]
 
-StopPredicate = Callable[[RunTrace], bool]
-
-
-def _poll_decision(
-    trace: RunTrace, proc: GirafProcess, recorded: Set[int], time: float
-) -> None:
-    """Record a decision if the algorithm exposes one (duck-typed)."""
-    if proc.pid in recorded:
-        return
-    decision = getattr(proc.algorithm, "decision", None)
-    if decision is None:
-        return
-    round_no = getattr(proc.algorithm, "decision_round", None)
-    trace.decisions.append(
-        DecisionEvent(
-            pid=proc.pid,
-            value=decision,
-            round_no=round_no if round_no is not None else proc.round,
-            time=time,
-        )
-    )
-    recorded.add(proc.pid)
-
-
-def _initial_values(trace: RunTrace, algorithms: Sequence[GirafAlgorithm]) -> None:
-    for pid, algorithm in enumerate(algorithms):
-        value = getattr(algorithm, "initial_value", None)
-        if value is not None:
-            trace.initial_values[pid] = value
+RoundHook = Callable[[int], None]
 
 
 class LockStepScheduler:
@@ -85,14 +54,16 @@ class LockStepScheduler:
 
     Tick ``t`` (``t = 1, 2, …``):
 
-    1. flush late deliveries due at ``t``;
+    1. flush late deliveries due at ``t`` (batched: one merged set
+       union per receiver and round slot);
     2. apply before-send crashes scheduled for round ``t``;
     3. every active process fires its ``end-of-round`` (entering round
        ``t`` and executing ``compute(t-1, ·)`` for ``t ≥ 2``);
     4. apply after-send crashes scheduled for round ``t``;
-    5. ask the environment for the round plan and deliver: obligatory
-       (and lucky extra) links within the tick, the rest queued with
-       the environment's delay.
+    5. ask the environment for the round plan — one ``plan_round`` call
+       plus one vectorized ``plan_round_links`` call — and deliver:
+       obligatory (and lucky extra) links within the tick, the rest
+       queued with the environment's delay.
 
     ``max_rounds`` bounds the number of ticks.
 
@@ -103,6 +74,11 @@ class LockStepScheduler:
     ``payload_stats=True``), skipping event construction entirely; the
     metrics an experiment table consumes are identical in both modes
     (equivalence-tested), at a fraction of the allocation cost.
+
+    ``on_round`` is an optional hook called with the tick number right
+    before the tick's end-of-rounds fire — the injection point drivers
+    (the weak-set facades) use to issue application operations so they
+    ride in that round's envelopes.
     """
 
     def __init__(
@@ -116,47 +92,33 @@ class LockStepScheduler:
         record_snapshots: bool = False,
         trace_mode: str = "full",
         payload_stats: bool = False,
+        on_round: Optional[RoundHook] = None,
     ):
-        if not algorithms:
-            raise SimulationError("need at least one process")
-        if max_rounds < 1:
-            raise SimulationError("max_rounds must be >= 1")
-        if trace_mode not in ("full", "aggregate"):
-            raise SimulationError(f"unknown trace_mode {trace_mode!r}")
-        self._algorithms = list(algorithms)
+        self._kernel = RuntimeKernel(
+            algorithms,
+            environment,
+            crash_schedule,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            record_snapshots=record_snapshots,
+            trace_mode=trace_mode,
+            payload_stats=payload_stats,
+        )
         self._environment = environment
-        self._crashes = crash_schedule or CrashSchedule.none()
-        self._crashes.validate(len(self._algorithms))
-        self._max_rounds = max_rounds
-        self._stop_when = stop_when
         self._record_snapshots = record_snapshots
-        self._aggregate = trace_mode == "aggregate"
-        self._payload_stats = payload_stats and self._aggregate
-        self.processes = [
-            GirafProcess(pid, algorithm) for pid, algorithm in enumerate(self._algorithms)
-        ]
-        self._correct = self._crashes.correct_set(len(self._algorithms))
-
-        self._trace: Optional[RunTrace] = None
+        self._on_round = on_round
+        self.processes = self._kernel.processes
         self._tick = 0
-        self._decided: Set[int] = set()
-        self._halted_recorded: Set[int] = set()
-        # due tick -> list of (receiver, envelope, sender, sent_tick)
-        self._pending: Dict[int, List[Tuple[int, Envelope, int, int]]] = {}
 
     @property
     def trace(self) -> RunTrace:
         """The trace being built (created lazily on first access)."""
-        if self._trace is None:
-            n = len(self.processes)
-            self._trace = RunTrace(
-                n=n,
-                correct=self._correct,
-                aggregate=self._aggregate,
-                payload_stats=self._payload_stats,
-            )
-            _initial_values(self._trace, self._algorithms)
-        return self._trace
+        return self._kernel.trace
+
+    @property
+    def now(self) -> float:
+        """The current tick as simulated time."""
+        return float(self._tick)
 
     def step(self) -> bool:
         """Advance one tick; return False once the run is over.
@@ -164,21 +126,22 @@ class LockStepScheduler:
         Exposed so synchronous facades (e.g. the weak-set cluster) can
         interleave application operations with round advancement.
         """
-        if self._tick >= self._max_rounds:
+        kernel = self._kernel
+        if self._tick >= kernel.max_rounds:
             return False
-        trace = self.trace
+        trace = kernel.trace
         self._tick += 1
         tick = self._tick
-        self._flush_late(trace, self._pending, tick)
-        self._apply_crashes(trace, tick, before_send=True)
+        self._flush_late(trace, tick)
+        kernel.apply_scheduled_crashes(tick, float(tick), before_send=True)
 
-        envelopes = self._fire_round(trace, tick, self._decided, self._halted_recorded)
-        self._apply_crashes(trace, tick, before_send=False)
-        self._deliver(trace, self._pending, tick, envelopes)
+        envelopes = self._fire_round(trace, tick)
+        kernel.apply_scheduled_crashes(tick, float(tick), before_send=False)
+        self._deliver(trace, tick, envelopes)
 
-        if not any(proc.active for proc in self.processes):
+        if not kernel.any_active():
             return False
-        if self._stop_when is not None and self._stop_when(trace):
+        if kernel.stop_requested():
             return False
         return True
 
@@ -188,51 +151,43 @@ class LockStepScheduler:
         return self.trace
 
     # ------------------------------------------------------------------
-    def _flush_late(
-        self,
-        trace: RunTrace,
-        pending: Dict[int, List[Tuple[int, Envelope, int, int]]],
-        tick: int,
-    ) -> None:
-        for receiver, envelope, sender, sent_tick in pending.pop(tick, ()):
-            proc = self.processes[receiver]
+    def _flush_late(self, trace: RunTrace, tick: int) -> None:
+        kernel = self._kernel
+        due = kernel.due_deliveries(tick)
+        if not due:
+            return
+        sink = kernel.sink
+        processes = self.processes
+        # Batched application: several late envelopes landing in the
+        # same (receiver, round) slot this tick merge into one set
+        # union.  The per-link events below are unchanged — the timely
+        # flag reads ``has_computed``, which no receive can move.
+        merged: Dict[tuple, set] = {}
+        for receiver, envelope, sender, sent_tick in due:
+            proc = processes[receiver]
             timely = not proc.has_computed(envelope.round_no)
             if proc.active:
-                proc.receive(envelope)
-            if self._aggregate:
-                trace.agg_deliveries += 1
-                continue
-            trace.deliveries.append(
-                DeliveryEvent(
-                    sender=sender,
-                    receiver=receiver,
-                    round_no=envelope.round_no,
-                    sent_time=float(sent_tick),
-                    delivered_time=float(tick),
-                    timely=timely and proc.active,
-                )
+                slot = merged.get((receiver, envelope.round_no))
+                if slot is None:
+                    merged[(receiver, envelope.round_no)] = set(envelope.payload)
+                else:
+                    slot |= envelope.payload
+            sink.delivery(
+                sender,
+                receiver,
+                envelope.round_no,
+                float(sent_tick),
+                float(tick),
+                timely and proc.active,
             )
+        for (receiver, round_no), values in merged.items():
+            processes[receiver].receive_values(round_no, values)
 
-    def _apply_crashes(self, trace: RunTrace, tick: int, *, before_send: bool) -> None:
-        for proc in self.processes:
-            if proc.crashed or proc.halted:
-                continue
-            plan = self._crashes.plan_for(proc.pid)
-            if plan is not None and plan.round_no == tick and plan.before_send == before_send:
-                proc.crash()
-                trace.crashes.append(
-                    CrashEvent(
-                        pid=proc.pid, round_no=tick, time=float(tick), before_send=before_send
-                    )
-                )
-
-    def _fire_round(
-        self,
-        trace: RunTrace,
-        tick: int,
-        decided: Set[int],
-        halted_recorded: Set[int],
-    ) -> Dict[int, Envelope]:
+    def _fire_round(self, trace: RunTrace, tick: int) -> Dict[int, Envelope]:
+        kernel = self._kernel
+        sink = kernel.sink
+        if self._on_round is not None:
+            self._on_round(tick)
         envelopes: Dict[int, Envelope] = {}
         for proc in self.processes:
             if not proc.active:
@@ -242,51 +197,35 @@ class LockStepScheduler:
                 trace.record_compute(proc.pid, tick - 1, float(tick))
                 if self._record_snapshots:
                     trace.record_snapshot(proc.pid, tick - 1, proc.algorithm.snapshot())
-            _poll_decision(trace, proc, decided, float(tick))
+            kernel.poll_decision(proc, float(tick))
             if envelope is None:
                 # the algorithm halted during compute (decide; halt)
-                if proc.pid not in halted_recorded:
-                    trace.halts.append(
-                        HaltEvent(pid=proc.pid, round_no=proc.round, time=float(tick))
-                    )
-                    halted_recorded.add(proc.pid)
+                kernel.record_halt(proc, proc.round, float(tick))
                 continue
             trace.record_round_entry(proc.pid, envelope.round_no, float(tick))
-            if self._aggregate:
-                trace.record_send_aggregate(
-                    envelope.round_no,
-                    payload_size(envelope.payload) if self._payload_stats else None,
-                )
-            else:
-                trace.sends.append(
-                    SendEvent(
-                        pid=proc.pid,
-                        round_no=envelope.round_no,
-                        time=float(tick),
-                        payload=envelope.payload,
-                    )
-                )
+            sink.send(proc.pid, envelope.round_no, float(tick), envelope.payload)
             envelopes[proc.pid] = envelope
         return envelopes
 
     def _deliver(
         self,
         trace: RunTrace,
-        pending: Dict[int, List[Tuple[int, Envelope, int, int]]],
         tick: int,
         envelopes: Dict[int, Envelope],
     ) -> None:
         if not envelopes:
             return
+        kernel = self._kernel
+        sink = kernel.sink
         # Processes fire in pid order, so the envelope dict's keys are
         # already sorted — no per-tick re-sort needed.
-        correct_senders = [pid for pid in envelopes if pid in self._correct]
+        correct_senders = [pid for pid in envelopes if pid in kernel.correct]
         candidates = correct_senders or list(envelopes)
         plan = self._environment.plan_round(tick, candidates)
         if plan.source is not None:
             trace.declared_sources[tick] = plan.source
 
-        aggregate = self._aggregate
+        wants_events = sink.wants_events
         receivers = [proc for proc in self.processes if proc.active]
 
         # Batch the round's obligatory broadcasts: payload merging is an
@@ -309,57 +248,58 @@ class LockStepScheduler:
                 # slot already contains it, so the merge is a no-op there.
                 proc.receive_values(round_no, merged_values)
 
-        if aggregate:
+        if not wants_events:
             # Obligatory links: count deliveries arithmetically (the
             # state was applied above; crashed receivers are already
             # filtered, so no event objects exist to construct).
             receiver_ids = {proc.pid for proc in receivers}
             for sender in envelopes:
                 if sender in plan.obligatory:
-                    trace.agg_deliveries += len(receivers) - (
-                        1 if sender in receiver_ids else 0
+                    sink.bulk_deliveries(
+                        len(receivers) - (1 if sender in receiver_ids else 0)
                     )
+
+        # One vectorized environment call covers every non-obligatory
+        # link of the round (replacing O(n²) ``extra_timely`` calls).
+        extra_senders = [pid for pid in envelopes if pid not in plan.obligatory]
+        link_rows: Dict[int, List[bool]] = {}
+        if extra_senders and receivers:
+            link_rows = self._environment.plan_round_links(
+                tick, extra_senders, [proc.pid for proc in receivers]
+            )
 
         for sender, envelope in envelopes.items():
             obligatory = sender in plan.obligatory
-            if obligatory and aggregate:
+            if obligatory and not wants_events:
                 continue
-            for proc in receivers:
+            row = None if obligatory else link_rows.get(sender)
+            for index, proc in enumerate(receivers):
                 if proc.pid == sender:
                     continue
                 if obligatory:
-                    trace.deliveries.append(
-                        DeliveryEvent(
-                            sender=sender,
-                            receiver=proc.pid,
-                            round_no=envelope.round_no,
-                            sent_time=float(tick),
-                            delivered_time=float(tick),
-                            timely=True,
-                        )
+                    sink.delivery(
+                        sender,
+                        proc.pid,
+                        envelope.round_no,
+                        float(tick),
+                        float(tick),
+                        True,
                     )
-                elif self._environment.extra_timely(tick, sender, proc.pid):
+                elif row is not None and row[index]:
                     proc.receive(envelope)
-                    if aggregate:
-                        trace.agg_deliveries += 1
-                        continue
-                    trace.deliveries.append(
-                        DeliveryEvent(
-                            sender=sender,
-                            receiver=proc.pid,
-                            round_no=envelope.round_no,
-                            sent_time=float(tick),
-                            delivered_time=float(tick),
-                            timely=True,
-                        )
+                    sink.delivery(
+                        sender,
+                        proc.pid,
+                        envelope.round_no,
+                        float(tick),
+                        float(tick),
+                        True,
                     )
                 else:
                     delay = self._environment.delay_ticks(tick, sender, proc.pid)
                     due = tick + delay
-                    if due <= self._max_rounds and delay < NEVER_DELIVERED:
-                        pending.setdefault(due, []).append(
-                            (proc.pid, envelope, sender, tick)
-                        )
+                    if due <= kernel.max_rounds and delay < NEVER_DELIVERED:
+                        kernel.queue_delivery(due, proc.pid, envelope, sender, tick)
 
 
 class _Gate:
@@ -388,6 +328,18 @@ class DriftingScheduler:
     obligatory sender halts or crashes before sending that round (the
     replacement is an active correct process that has not passed the
     round yet; see DESIGN.md §4 on halting).
+
+    Link timeliness is planned **once per round** through the
+    environment's vectorized ``plan_round_links`` (the per-round matrix
+    is cached, since link policies are deterministic per link), and the
+    per-broadcast latencies come from the vectorized
+    ``timely_latencies``/``late_latencies`` — the values are identical
+    to per-link calls, without the per-link Python dispatch.
+
+    ``trace_mode="aggregate"`` (with optional ``payload_stats``) runs
+    the same counter-only fast path as the lock-step scheduler: no
+    ``SendEvent``/``DeliveryEvent`` objects, identical metrics
+    (equivalence-tested in ``tests/runtime``).
     """
 
     def __init__(
@@ -401,18 +353,23 @@ class DriftingScheduler:
         max_rounds: int = 200,
         stop_when: Optional[StopPredicate] = None,
         record_snapshots: bool = False,
+        trace_mode: str = "full",
+        payload_stats: bool = False,
     ):
-        if not algorithms:
-            raise SimulationError("need at least one process")
-        n = len(algorithms)
-        self._algorithms = list(algorithms)
+        self._kernel = RuntimeKernel(
+            algorithms,
+            environment,
+            crash_schedule,
+            max_rounds=max_rounds,
+            stop_when=stop_when,
+            record_snapshots=record_snapshots,
+            trace_mode=trace_mode,
+            payload_stats=payload_stats,
+        )
         self._environment = environment
-        self._crashes = crash_schedule or CrashSchedule.none()
-        self._crashes.validate(n)
-        self._max_rounds = max_rounds
-        self._stop_when = stop_when
         self._record_snapshots = record_snapshots
-        self.processes = [GirafProcess(pid, alg) for pid, alg in enumerate(algorithms)]
+        self.processes = self._kernel.processes
+        n = len(self.processes)
         if periods is None:
             periods = [1.0 + 0.13 * pid for pid in range(n)]
         if phases is None:
@@ -424,18 +381,24 @@ class DriftingScheduler:
         self._periods = list(periods)
         self._phases = list(phases)
 
+    @property
+    def trace(self) -> RunTrace:
+        """The trace being built (created lazily on first access)."""
+        return self._kernel.trace
+
     # ------------------------------------------------------------------
     def run(self) -> RunTrace:
+        kernel = self._kernel
+        trace = kernel.trace
+        sink = kernel.sink
         n = len(self.processes)
-        trace = RunTrace(n=n, correct=self._crashes.correct_set(n))
-        _initial_values(trace, self._algorithms)
-        decided: Set[int] = set()
-        seq = itertools.count()
-        # heap of (time, seq, kind, data); kinds: "eor" / "deliver"
-        heap: List[Tuple[float, int, str, tuple]] = []
+        all_pids = list(range(n))
         # round -> set of obligatory sender pids (mutable, re-plannable)
         obligations: Dict[int, Set[int]] = {}
         declared: Dict[int, int] = {}
+        # round -> vectorized link-timeliness matrix (deterministic per
+        # link, so planning the whole round once is exact)
+        link_matrices: Dict[int, Dict[int, List[bool]]] = {}
         # pid -> _Gate when the process is parked waiting for obligations
         waiting: Dict[int, _Gate] = {}
         # pid -> rounds for which each obligatory envelope has arrived
@@ -469,6 +432,24 @@ class DriftingScheduler:
                 declared[round_no] = plan.source
                 trace.declared_sources.setdefault(round_no, plan.source)
             return obligations[round_no]
+
+        def link_row(round_no: int, sender: int) -> List[bool]:
+            matrix = link_matrices.get(round_no)
+            if matrix is None:
+                matrix = self._environment.plan_round_links(
+                    round_no, all_pids, all_pids
+                )
+                link_matrices[round_no] = matrix
+                # A round's matrix is dead once every process that can
+                # still broadcast has passed it; evict so long-horizon
+                # (especially aggregate) runs stay bounded.
+                horizon = min(
+                    (proc.round for proc in self.processes if proc.active),
+                    default=round_no,
+                )
+                for stale in [k for k in link_matrices if k < horizon]:
+                    del link_matrices[stale]
+            return matrix[sender]
 
         def gate_satisfied(pid: int, round_no: int) -> bool:
             if round_no < 1:
@@ -506,45 +487,55 @@ class DriftingScheduler:
                     when = nominal_time(pid, invocation)
                     if now is not None and when < now:
                         when = now
-                    heapq.heappush(
-                        heap, (when, next(seq), "eor", (pid, invocation))
-                    )
+                    kernel.schedule(when, "eor", (pid, invocation))
 
         def broadcast(proc: GirafProcess, envelope: Envelope, now: float) -> None:
             round_no = envelope.round_no
             needed = plan_obligations(round_no)
             obligatory = proc.pid in needed
-            for other in self.processes:
-                if other.pid == proc.pid:
-                    continue
-                if obligatory or self._environment.extra_timely(
-                    round_no, proc.pid, other.pid
-                ):
-                    latency = self._environment.timely_latency(
-                        round_no, proc.pid, other.pid
-                    )
-                else:
-                    latency = self._environment.late_latency(
-                        round_no, proc.pid, other.pid
-                    )
+            receivers = [
+                other.pid for other in self.processes if other.pid != proc.pid
+            ]
+            if obligatory:
+                timely_targets, late_targets = receivers, []
+            else:
+                row = link_row(round_no, proc.pid)
+                timely_targets, late_targets = [], []
+                for other_pid in receivers:
+                    if row[other_pid]:
+                        timely_targets.append(other_pid)
+                    else:
+                        late_targets.append(other_pid)
+            latencies = dict(
+                zip(
+                    timely_targets,
+                    self._environment.timely_latencies(
+                        round_no, proc.pid, timely_targets
+                    ),
+                )
+            )
+            latencies.update(
+                zip(
+                    late_targets,
+                    self._environment.late_latencies(round_no, proc.pid, late_targets),
+                )
+            )
+            for other_pid in receivers:
+                latency = latencies[other_pid]
                 if latency >= NEVER_DELIVERED:
                     continue
-                heapq.heappush(
-                    heap,
-                    (
-                        now + latency,
-                        next(seq),
-                        "deliver",
-                        (proc.pid, other.pid, envelope, now),
-                    ),
+                kernel.schedule(
+                    now + latency,
+                    "deliver",
+                    (proc.pid, other_pid, envelope, now),
                 )
 
         # seed the first end-of-round of every process
         for pid in range(n):
-            heapq.heappush(heap, (nominal_time(pid, 1), next(seq), "eor", (pid, 1)))
+            kernel.schedule(nominal_time(pid, 1), "eor", (pid, 1))
 
-        while heap and not stopped:
-            now, _, kind, data = heapq.heappop(heap)
+        while kernel.has_events() and not stopped:
+            now, kind, data = kernel.next_event()
             if kind == "deliver":
                 sender, receiver, envelope, sent_time = data
                 proc = self.processes[receiver]
@@ -554,15 +545,8 @@ class DriftingScheduler:
                     received_from_obligatory[receiver].setdefault(
                         envelope.round_no, set()
                     ).add(sender)
-                trace.deliveries.append(
-                    DeliveryEvent(
-                        sender=sender,
-                        receiver=receiver,
-                        round_no=envelope.round_no,
-                        sent_time=sent_time,
-                        delivered_time=now,
-                        timely=timely,
-                    )
+                sink.delivery(
+                    sender, receiver, envelope.round_no, sent_time, now, timely
                 )
                 release_waiters(now)
                 continue
@@ -571,19 +555,16 @@ class DriftingScheduler:
             proc = self.processes[pid]
             if not proc.active or proc.round != invocation - 1:
                 continue
-            if invocation > self._max_rounds:
+            if invocation > kernel.max_rounds:
                 continue
 
-            crash_plan = self._crashes.plan_for(pid)
+            crash_plan = kernel.crashes.plan_for(pid)
             if (
                 crash_plan is not None
                 and crash_plan.round_no == invocation
                 and crash_plan.before_send
             ):
-                proc.crash()
-                trace.crashes.append(
-                    CrashEvent(pid=pid, round_no=invocation, time=now, before_send=True)
-                )
+                kernel.crash(proc, invocation, now, before_send=True)
                 replan_after_exit(pid, now)
                 continue
 
@@ -600,46 +581,28 @@ class DriftingScheduler:
                 trace.record_compute(pid, computing, now)
                 if self._record_snapshots:
                     trace.record_snapshot(pid, computing, proc.algorithm.snapshot())
-            _poll_decision(trace, proc, decided, now)
+            kernel.poll_decision(proc, now)
             if envelope is None:
-                trace.halts.append(HaltEvent(pid=pid, round_no=proc.round, time=now))
+                kernel.record_halt(proc, proc.round, now)
                 replan_after_exit(pid, now)
             else:
                 trace.record_round_entry(pid, envelope.round_no, now)
-                trace.sends.append(
-                    SendEvent(
-                        pid=pid,
-                        round_no=envelope.round_no,
-                        time=now,
-                        payload=envelope.payload,
-                    )
-                )
+                sink.send(pid, envelope.round_no, now, envelope.payload)
                 broadcast(proc, envelope, now)
                 if (
                     crash_plan is not None
                     and crash_plan.round_no == invocation
                     and not crash_plan.before_send
                 ):
-                    proc.crash()
-                    trace.crashes.append(
-                        CrashEvent(
-                            pid=pid, round_no=invocation, time=now, before_send=False
-                        )
-                    )
+                    kernel.crash(proc, invocation, now, before_send=False)
                     replan_after_exit(pid, now)
                 else:
-                    heapq.heappush(
-                        heap,
-                        (
-                            nominal_time(pid, invocation + 1),
-                            next(seq),
-                            "eor",
-                            (pid, invocation + 1),
-                        ),
+                    kernel.schedule(
+                        nominal_time(pid, invocation + 1), "eor", (pid, invocation + 1)
                     )
 
-            if self._stop_when is not None and self._stop_when(trace):
+            if kernel.stop_requested():
                 stopped = True
-            if not any(p.active for p in self.processes):
+            if not kernel.any_active():
                 stopped = True
         return trace

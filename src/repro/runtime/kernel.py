@@ -1,0 +1,221 @@
+"""The runtime kernel: one event core shared by every run engine.
+
+Before this module existed the repo materialized runs through three
+disjoint engines — ``LockStepScheduler``, ``DriftingScheduler`` and the
+weak-set cluster — each re-implementing process construction, crash and
+halt bookkeeping, decision polling, delivery queues, and trace
+recording.  The kernel extracts that shared machinery once:
+
+* the **process pool** (:class:`~repro.giraf.automaton.GirafProcess`
+  shells, correct set, adversary validation);
+* the **trace** plus its pluggable :class:`~repro.runtime.sinks.TraceSink`
+  (full events or aggregate counters — see :mod:`repro.runtime.sinks`);
+* the **crash/halt lifecycle** (scheduled-crash application, once-only
+  halt recording, decision polling);
+* the **delivery queues**: a tick-indexed late-delivery map for
+  lock-step engines and a continuous-time event heap for event-driven
+  ones.
+
+Schedulers stay in charge of *ordering* — when rounds fire, how
+deliveries interleave — and delegate everything else here, so a fast
+path added to the kernel (aggregate sinks, batched flushes) reaches
+every engine at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.giraf.adversary import CrashSchedule
+from repro.giraf.automaton import GirafAlgorithm, GirafProcess
+from repro.giraf.environments import Environment
+from repro.giraf.messages import Envelope
+from repro.giraf.traces import CrashEvent, DecisionEvent, HaltEvent, RunTrace
+from repro.runtime.sinks import AggregateTraceSink, FullTraceSink, TraceSink
+
+__all__ = ["RuntimeKernel", "StopPredicate"]
+
+StopPredicate = Callable[[RunTrace], bool]
+
+#: queued late delivery: (receiver, envelope, sender, sent_tick)
+QueuedDelivery = Tuple[int, Envelope, int, int]
+
+
+class RuntimeKernel:
+    """Shared state and lifecycle of one simulated run.
+
+    One kernel backs one run of one engine.  Construction performs the
+    validation every engine previously duplicated (non-empty process
+    set, positive horizon, known trace mode, adversary consistency) and
+    builds the process shells; the trace and its sink are created
+    lazily on first access so engines can expose a ``trace`` property
+    with the same semantics the pre-kernel schedulers had.
+    """
+
+    def __init__(
+        self,
+        algorithms: Sequence[GirafAlgorithm],
+        environment: Environment,
+        crash_schedule: Optional[CrashSchedule] = None,
+        *,
+        max_rounds: int = 200,
+        stop_when: Optional[StopPredicate] = None,
+        record_snapshots: bool = False,
+        trace_mode: str = "full",
+        payload_stats: bool = False,
+    ):
+        if not algorithms:
+            raise SimulationError("need at least one process")
+        if max_rounds < 1:
+            raise SimulationError("max_rounds must be >= 1")
+        if trace_mode not in ("full", "aggregate"):
+            raise SimulationError(f"unknown trace_mode {trace_mode!r}")
+        self.algorithms = list(algorithms)
+        self.environment = environment
+        self.crashes = crash_schedule or CrashSchedule.none()
+        self.crashes.validate(len(self.algorithms))
+        self.max_rounds = max_rounds
+        self.stop_when = stop_when
+        self.record_snapshots = record_snapshots
+        self.aggregate = trace_mode == "aggregate"
+        self.payload_stats = payload_stats and self.aggregate
+        self.processes = [
+            GirafProcess(pid, algorithm)
+            for pid, algorithm in enumerate(self.algorithms)
+        ]
+        self.correct = self.crashes.correct_set(len(self.algorithms))
+
+        self._trace: Optional[RunTrace] = None
+        self._sink: Optional[TraceSink] = None
+        self._decided: Set[int] = set()
+        self._halted_recorded: Set[int] = set()
+        # due tick -> queued late deliveries (lock-step engines)
+        self._pending: Dict[int, List[QueuedDelivery]] = {}
+        # continuous-time event heap (event-driven engines)
+        self._heap: List[Tuple[float, int, str, tuple]] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    # trace + sink
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> RunTrace:
+        """The trace being built (created lazily on first access)."""
+        if self._trace is None:
+            self._trace = RunTrace(
+                n=len(self.processes),
+                correct=self.correct,
+                aggregate=self.aggregate,
+                payload_stats=self.payload_stats,
+            )
+            for pid, algorithm in enumerate(self.algorithms):
+                value = getattr(algorithm, "initial_value", None)
+                if value is not None:
+                    self._trace.initial_values[pid] = value
+        return self._trace
+
+    @property
+    def sink(self) -> TraceSink:
+        """The run's trace sink (full or aggregate, per ``trace_mode``)."""
+        if self._sink is None:
+            trace = self.trace
+            self._sink = (
+                AggregateTraceSink(trace) if self.aggregate else FullTraceSink(trace)
+            )
+        return self._sink
+
+    # ------------------------------------------------------------------
+    # crash / halt / decision lifecycle
+    # ------------------------------------------------------------------
+    def poll_decision(self, proc: GirafProcess, time: float) -> None:
+        """Record a decision if the algorithm exposes one (duck-typed)."""
+        if proc.pid in self._decided:
+            return
+        decision = getattr(proc.algorithm, "decision", None)
+        if decision is None:
+            return
+        round_no = getattr(proc.algorithm, "decision_round", None)
+        self.trace.decisions.append(
+            DecisionEvent(
+                pid=proc.pid,
+                value=decision,
+                round_no=round_no if round_no is not None else proc.round,
+                time=time,
+            )
+        )
+        self._decided.add(proc.pid)
+
+    def crash(
+        self, proc: GirafProcess, round_no: int, time: float, *, before_send: bool
+    ) -> None:
+        """Crash ``proc`` and record the event."""
+        proc.crash()
+        self.trace.crashes.append(
+            CrashEvent(
+                pid=proc.pid, round_no=round_no, time=time, before_send=before_send
+            )
+        )
+
+    def apply_scheduled_crashes(
+        self, round_no: int, time: float, *, before_send: bool
+    ) -> None:
+        """Apply every crash the adversary scheduled for this phase."""
+        for proc in self.processes:
+            if proc.crashed or proc.halted:
+                continue
+            plan = self.crashes.plan_for(proc.pid)
+            if (
+                plan is not None
+                and plan.round_no == round_no
+                and plan.before_send == before_send
+            ):
+                self.crash(proc, round_no, time, before_send=before_send)
+
+    def record_halt(self, proc: GirafProcess, round_no: int, time: float) -> None:
+        """Record a halt exactly once per process."""
+        if proc.pid in self._halted_recorded:
+            return
+        self.trace.halts.append(HaltEvent(pid=proc.pid, round_no=round_no, time=time))
+        self._halted_recorded.add(proc.pid)
+
+    def any_active(self) -> bool:
+        """True while at least one process still takes steps."""
+        return any(proc.active for proc in self.processes)
+
+    def stop_requested(self) -> bool:
+        """True when the engine's early-exit predicate fires."""
+        return self.stop_when is not None and self.stop_when(self.trace)
+
+    # ------------------------------------------------------------------
+    # delivery queues
+    # ------------------------------------------------------------------
+    def queue_delivery(
+        self, due_tick: int, receiver: int, envelope: Envelope, sender: int, sent_tick: int
+    ) -> None:
+        """Queue a late delivery for a lock-step engine's future tick."""
+        self._pending.setdefault(due_tick, []).append(
+            (receiver, envelope, sender, sent_tick)
+        )
+
+    def due_deliveries(self, tick: int) -> Sequence[QueuedDelivery]:
+        """Pop (and return) the deliveries due at ``tick``."""
+        return self._pending.pop(tick, ())
+
+    # ------------------------------------------------------------------
+    # event heap
+    # ------------------------------------------------------------------
+    def schedule(self, time: float, kind: str, data: tuple) -> None:
+        """Push a continuous-time event; FIFO among equal times."""
+        heapq.heappush(self._heap, (time, next(self._seq), kind, data))
+
+    def next_event(self) -> Tuple[float, str, tuple]:
+        """Pop the earliest event as ``(time, kind, data)``."""
+        time, _, kind, data = heapq.heappop(self._heap)
+        return time, kind, data
+
+    def has_events(self) -> bool:
+        """True while the event heap is non-empty."""
+        return bool(self._heap)

@@ -12,7 +12,12 @@ algorithm messages via :func:`register_codec`.
 
 Round-trip guarantee: ``trace_from_json(trace_to_json(t))`` reproduces
 every event, with payload objects comparing equal to the originals —
-property-tested in ``tests/test_serialization.py``.
+property-tested in ``tests/test_serialization.py``.  Aggregate traces
+(``trace_mode="aggregate"`` from either scheduler — the drifting
+scheduler's carry continuous-time counters and per-round payload
+statistics too) round-trip through the same ``agg_*`` fields; archives
+written before aggregate mode existed still load via the ``.get``
+defaults in :func:`trace_from_dict`.
 """
 
 from __future__ import annotations

@@ -62,6 +62,7 @@ def run_consensus(
     stop_early: bool = True,
     periods: Optional[Sequence[float]] = None,
     phases: Optional[Sequence[float]] = None,
+    trace_mode: str = "full",
 ) -> ConsensusRun:
     """Run one consensus instance and package trace + verdict + metrics.
 
@@ -72,6 +73,10 @@ def run_consensus(
         scheduler: ``"lockstep"`` or ``"drifting"``.
         stabilization_round: reference point for the latency metric
             (GST for ES, the stable round for ESS).
+        trace_mode: ``"full"`` (checker-grade events) or
+            ``"aggregate"`` (counter-only fast path; the returned
+            metrics are identical — equivalence-tested — but the
+            safety report degrades to count-based checks only).
     """
     algorithms = [factory(value) for value in proposals]
     stop = stop_when_all_correct_decided if stop_early else None
@@ -83,6 +88,7 @@ def run_consensus(
             max_rounds=max_rounds,
             stop_when=stop,
             record_snapshots=record_snapshots,
+            trace_mode=trace_mode,
         )
     elif scheduler == "drifting":
         driver = DriftingScheduler(
@@ -94,6 +100,7 @@ def run_consensus(
             record_snapshots=record_snapshots,
             periods=periods,
             phases=phases,
+            trace_mode=trace_mode,
         )
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -115,6 +122,7 @@ def run_es_consensus(
     seed: int = 0,
     scheduler: str = "lockstep",
     record_snapshots: bool = False,
+    trace_mode: str = "full",
     **algorithm_kwargs,
 ) -> ConsensusRun:
     """Algorithm 2 under a seeded ES environment."""
@@ -130,6 +138,7 @@ def run_es_consensus(
         scheduler=scheduler,
         record_snapshots=record_snapshots,
         stabilization_round=gst,
+        trace_mode=trace_mode,
     )
 
 
@@ -143,6 +152,7 @@ def run_ess_consensus(
     seed: int = 0,
     scheduler: str = "lockstep",
     record_snapshots: bool = False,
+    trace_mode: str = "full",
     **algorithm_kwargs,
 ) -> ConsensusRun:
     """Algorithm 3 under a seeded ESS environment.
@@ -164,4 +174,5 @@ def run_ess_consensus(
         scheduler=scheduler,
         record_snapshots=record_snapshots,
         stabilization_round=stabilization_round,
+        trace_mode=trace_mode,
     )

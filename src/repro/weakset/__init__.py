@@ -4,6 +4,8 @@
   history checker;
 * :mod:`~repro.weakset.ms_weakset` — Algorithm 4 (weak-set in MS);
 * :mod:`~repro.weakset.cluster` — synchronous facade over Algorithm 4;
+* :mod:`~repro.weakset.sharding` — value-partitioned scale-out across
+  K shard clusters behind the same handle API;
 * :mod:`~repro.weakset.ms_emulation` — Algorithm 5 (MS from weak-set);
 * :mod:`~repro.weakset.register_adapter` — Proposition 1 (regular
   register from weak-set);
@@ -26,6 +28,11 @@ from repro.weakset.ms_weakset import (
     run_ms_weakset,
 )
 from repro.weakset.register_adapter import RegisterEntry, WeakSetRegister
+from repro.weakset.sharding import (
+    ShardedWeakSetCluster,
+    ShardedWeakSetHandle,
+    shard_of,
+)
 from repro.weakset.spec import (
     AddRecord,
     GetRecord,
@@ -49,6 +56,8 @@ __all__ = [
     "OpScript",
     "RegisterBackedMSEmulation",
     "RegisterEntry",
+    "ShardedWeakSetCluster",
+    "ShardedWeakSetHandle",
     "WeakSet",
     "WeakSetHandle",
     "WeakSetReport",
@@ -56,5 +65,6 @@ __all__ = [
     "WeakSetRunResult",
     "check_weakset",
     "run_ms_weakset",
+    "shard_of",
     "uniform_completion_delay",
 ]

@@ -4,16 +4,27 @@ Tests and the register adapter want to *use* the MS weak-set the way
 the paper's pseudo-code does — call ``add`` and have it return when
 done — without writing a scheduler loop every time.
 :class:`MSWeakSetCluster` owns ``n`` :class:`MSWeakSetAlgorithm`
-processes plus a lock-step scheduler and exposes per-process
-:class:`WeakSetHandle` objects whose ``add`` advances simulated rounds
-until the add is written (the paper's line-11 wait) and whose ``get``
-is instantaneous.
+processes plus a runtime-kernel-backed lock-step scheduler and exposes
+per-process :class:`WeakSetHandle` objects whose ``add`` advances
+simulated rounds until the add is written (the paper's line-11 wait)
+and whose ``get`` is instantaneous.
 
-The facade serializes one *blocking* operation at a time (the calling
-test is a single thread of control), but rounds keep running for every
-process while an add is in flight, so background propagation and
-crash interleavings still happen.  For genuinely concurrent workloads
-use :func:`repro.weakset.ms_weakset.run_ms_weakset` with a script.
+Two operation styles are supported:
+
+* ``add`` — the paper's blocking call: advances rounds until written;
+* ``begin_add`` / ``add_async`` — start an add and let it complete in
+  the background while the caller keeps issuing operations or calling
+  :meth:`MSWeakSetCluster.advance`; completion is visible on the
+  returned :class:`~repro.weakset.spec.AddRecord` (``end`` set).
+
+In-flight adds are tracked in a list retired by swap-pop — O(1) per
+completion, the same pattern the shared-memory simulator uses for its
+runnable tasks — so ``advance`` never re-scans satisfied adds.
+
+For genuinely scripted concurrent workloads use
+:func:`repro.weakset.ms_weakset.run_ms_weakset`; for value-partitioned
+scale-out across several clusters see
+:class:`repro.weakset.sharding.ShardedWeakSetCluster`.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ from repro.giraf.adversary import CrashSchedule
 from repro.giraf.environments import Environment, MovingSourceEnvironment
 from repro.giraf.scheduler import LockStepScheduler
 from repro.giraf.traces import RunTrace
-from repro.weakset.ms_weakset import MSWeakSetAlgorithm
+from repro.weakset.ms_weakset import MSWeakSetAlgorithm, _retire
 from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
 
 __all__ = ["MSWeakSetCluster", "WeakSetHandle"]
@@ -42,6 +53,15 @@ class WeakSetHandle(WeakSet):
         """Algorithm 4's ``add``: returns once the value is written."""
         self._cluster._blocking_add(self.pid, value)
 
+    def add_async(self, value: Hashable) -> AddRecord:
+        """Start an add without blocking; completes as rounds advance.
+
+        The returned record's ``end`` is stamped by
+        :meth:`MSWeakSetCluster.advance` (or any blocking operation
+        that advances rounds) once the value is written.
+        """
+        return self._cluster.begin_add(self.pid, value)
+
     def get(self) -> FrozenSet[Hashable]:
         """Algorithm 4's ``get``: the local ``PROPOSED``, instantly."""
         return self._cluster._instant_get(self.pid)
@@ -57,6 +77,7 @@ class MSWeakSetCluster:
         environment: Optional[Environment] = None,
         crash_schedule: Optional[CrashSchedule] = None,
         max_total_rounds: int = 10_000,
+        trace_mode: str = "full",
     ):
         self.algorithms = [MSWeakSetAlgorithm() for _ in range(n)]
         self._scheduler = LockStepScheduler(
@@ -64,14 +85,17 @@ class MSWeakSetCluster:
             environment or MovingSourceEnvironment(),
             crash_schedule,
             max_rounds=max_total_rounds,
+            trace_mode=trace_mode,
         )
         self.log = OpLog()
         self._exhausted = False
+        #: in-flight adds, retired by swap-pop as they complete
+        self._in_flight: List[AddRecord] = []
 
     # -- facade plumbing -------------------------------------------------
     @property
     def now(self) -> float:
-        return float(self._scheduler._tick)
+        return self._scheduler.now
 
     def handle(self, pid: int) -> WeakSetHandle:
         if not 0 <= pid < len(self.algorithms):
@@ -84,16 +108,30 @@ class MSWeakSetCluster:
     def advance(self, rounds: int = 1) -> None:
         """Let the cluster run ``rounds`` ticks with no client activity."""
         for _ in range(rounds):
-            if not self._scheduler.step():
-                self._exhausted = True
+            if not self.step():
                 break
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the scheduler ran out of rounds."""
+        return self._exhausted
+
+    def step(self) -> bool:
+        """Advance one tick and retire completed in-flight adds."""
+        if not self._scheduler.step():
+            self._exhausted = True
+        _retire(
+            self._in_flight, self.algorithms, self._scheduler.processes, self.now
+        )
+        return not self._exhausted
 
     @property
     def trace(self) -> RunTrace:
         return self._scheduler.trace
 
     # -- operations ------------------------------------------------------
-    def _blocking_add(self, pid: int, value: Hashable) -> None:
+    def begin_add(self, pid: int, value: Hashable) -> AddRecord:
+        """Start an add on ``pid``; it completes as rounds advance."""
         algorithm = self.algorithms[pid]
         process = self._scheduler.processes[pid]
         if process.crashed:
@@ -101,12 +139,16 @@ class MSWeakSetCluster:
         algorithm.begin_add(value)
         record = AddRecord(pid=pid, value=value, start=self.now)
         self.log.adds.append(record)
-        while algorithm.blocked:
+        self._in_flight.append(record)
+        return record
+
+    def _blocking_add(self, pid: int, value: Hashable) -> None:
+        record = self.begin_add(pid, value)
+        process = self._scheduler.processes[pid]
+        while record.end is None:
             if process.crashed or self._exhausted:
                 return  # the add never completes (record.end stays None)
-            if not self._scheduler.step():
-                self._exhausted = True
-        record.end = self.now
+            self.step()
 
     def _instant_get(self, pid: int) -> FrozenSet[Hashable]:
         algorithm = self.algorithms[pid]

@@ -36,7 +36,17 @@ as the blocking API implies; callers queue further adds.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, FrozenSet, Hashable, List, Mapping, Optional, Tuple
+from typing import (
+    Deque,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ProtocolMisuse
 from repro.giraf.adversary import CrashSchedule
@@ -146,28 +156,15 @@ def run_ms_weakset(
     algorithms = [MSWeakSetAlgorithm() for _ in range(n)]
     environment = environment or MovingSourceEnvironment()
     log = OpLog()
-    in_flight: Dict[int, AddRecord] = {}
+    # in-flight adds, retired by swap-pop (O(1), order-free — see
+    # ``_retire``); ``current`` is the per-pid membership index.
+    in_flight: List[AddRecord] = []
+    current: Dict[int, AddRecord] = {}
     queues: Dict[int, Deque[Hashable]] = {pid: deque() for pid in range(n)}
 
-    scheduler = LockStepScheduler(
-        algorithms,
-        environment,
-        crash_schedule,
-        max_rounds=max_rounds,
-    )
-    processes = scheduler.processes
-
-    original_fire = scheduler._fire_round
-
-    def fire_with_ops(trace, tick, decided, halted_recorded):
+    def issue_ops(tick: int) -> None:
         # complete adds whose block cleared at the *previous* compute
-        for pid, record in list(in_flight.items()):
-            algorithm = algorithms[pid]
-            if processes[pid].crashed:
-                del in_flight[pid]
-            elif not algorithm.blocked:
-                record.end = float(tick - 1)
-                del in_flight[pid]
+        _retire(in_flight, algorithms, processes, float(tick - 1), current=current)
         # issue this tick's scripted ops, then drain queues
         for op in script.get(tick, ()):
             if op[0] == "add":
@@ -187,23 +184,68 @@ def run_ms_weakset(
             else:
                 raise ProtocolMisuse(f"unknown op {op!r}")
         for pid, queue in queues.items():
-            if queue and pid not in in_flight and not processes[pid].crashed:
+            if queue and pid not in current and not processes[pid].crashed:
                 value = queue.popleft()
                 algorithms[pid].begin_add(value)
                 record = AddRecord(pid=pid, value=value, start=float(tick))
-                in_flight[pid] = record
+                in_flight.append(record)
+                current[pid] = record
                 log.adds.append(record)
-        return original_fire(trace, tick, decided, halted_recorded)
 
-    scheduler._fire_round = fire_with_ops  # type: ignore[method-assign]
+    scheduler = LockStepScheduler(
+        algorithms,
+        environment,
+        crash_schedule,
+        max_rounds=max_rounds,
+        on_round=issue_ops,
+    )
+    processes = scheduler.processes
     trace = scheduler.run()
 
     # Adds whose block cleared on the final tick: conservatively record
     # completion at the end of the run (never earlier than the truth, so
     # no spurious visibility obligations).  Adds still blocked stay
     # incomplete (end=None).
-    for pid, record in in_flight.items():
-        if not algorithms[pid].blocked and not processes[pid].crashed:
+    for record in in_flight:
+        if not algorithms[record.pid].blocked and not processes[record.pid].crashed:
             record.end = float(trace.rounds_executed)
     report = check_weakset(log)
     return WeakSetRunResult(trace, log, report)
+
+
+def _retire(
+    in_flight: List[AddRecord],
+    algorithms: Sequence[MSWeakSetAlgorithm],
+    processes: Sequence[object],
+    completion_time: float,
+    *,
+    current: Optional[Dict[int, AddRecord]] = None,
+) -> None:
+    """Retire finished in-flight adds by swap-pop.
+
+    A completed (unblocked) add gets its end stamped; a crashed
+    process's add is dropped with ``end`` left ``None``.  Retirement
+    overwrites the finished slot with the list's last element and pops
+    — O(1) per retirement instead of rebuilding the list, the same
+    pattern :class:`repro.sharedmem.simulator.SharedMemorySimulator`
+    uses for its runnable tasks.  ``current``, when given, is the
+    per-pid membership index to keep in sync (the scripted driver uses
+    it to serialize one add per process); the cluster facade passes
+    none.  Shared by :func:`run_ms_weakset` and
+    :class:`repro.weakset.cluster.MSWeakSetCluster`.
+    """
+    index = 0
+    while index < len(in_flight):
+        record = in_flight[index]
+        if processes[record.pid].crashed:
+            pass  # drop: the add never completes
+        elif not algorithms[record.pid].blocked:
+            record.end = completion_time
+        else:
+            index += 1
+            continue
+        if current is not None:
+            del current[record.pid]
+        last = in_flight.pop()
+        if last is not record:
+            in_flight[index] = last

@@ -1,0 +1,179 @@
+"""Value-partitioned weak-set scale-out: K shard clusters, one API.
+
+A weak-set's operations are embarrassingly partitionable by value:
+``add(v)`` only needs to reach the processes holding ``v``'s shard, and
+``get`` is the union of the shards' local ``PROPOSED`` sets (set union
+is exactly the weak-set's merge, so the union of K weak-sets is a
+weak-set).  :class:`ShardedWeakSetCluster` exploits that: it owns ``K``
+independent :class:`~repro.weakset.cluster.MSWeakSetCluster` shards —
+each a full Algorithm-4 group with its own MS environment — and routes
+every value to a deterministic shard.  Per-round broadcast traffic per
+shard stays the size of *that shard's* value population instead of the
+whole set, which is the multi-machine story: each shard group can live
+on its own machine, and clients fan ``get`` out and union.
+
+The facade exposes the same :class:`~repro.weakset.spec.WeakSet` handle
+API as a single cluster, and all shards advance in lock-step (one tick
+each per :meth:`ShardedWeakSetCluster.advance` step) so their clocks
+agree.  With ``shards=1`` the facade is a transparent wrapper: it
+drives the single shard through exactly the step sequence a plain
+:class:`MSWeakSetCluster` would take, reproducing its trace
+byte-for-byte (pinned in ``tests/weakset/test_sharded_cluster.py``).
+
+Routing derives from the value's ``repr`` through the same SHA-512
+derivation every seeded policy uses — never Python's salted ``hash`` —
+so it is stable across processes and runs for any value whose ``repr``
+is content-based (strings, numbers, tuples, frozensets of these: the
+payloads the library trades in, and the same property the repo's
+seeded policies already assume).  Values with identity-based reprs
+(e.g. a class using the ``object`` default) would route by memory
+address; give such types a content ``__repr__`` before sharding them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, List, Optional
+
+from repro._rng import derive_randrange
+from repro.errors import SimulationError
+from repro.giraf.adversary import CrashSchedule
+from repro.giraf.environments import Environment, MovingSourceEnvironment
+from repro.giraf.traces import RunTrace
+from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
+
+__all__ = ["ShardedWeakSetCluster", "ShardedWeakSetHandle", "shard_of"]
+
+#: builds the environment for one shard (shard index -> environment)
+EnvironmentFactory = Callable[[int], Environment]
+
+
+def shard_of(value: Hashable, shards: int) -> int:
+    """The shard a value lives on.
+
+    Deterministic for content-``repr`` values (see the module
+    docstring); derived via SHA-512, never the salted builtin ``hash``.
+    """
+    if shards <= 1:
+        return 0
+    return derive_randrange(shards, "weakset-shard", value)
+
+
+class ShardedWeakSetHandle(WeakSet):
+    """One process's view of the sharded weak-set (union of shards)."""
+
+    def __init__(self, cluster: "ShardedWeakSetCluster", pid: int):
+        self._cluster = cluster
+        self.pid = pid
+
+    def add(self, value: Hashable) -> None:
+        """Blocking add: returns once the owning shard wrote the value."""
+        self._cluster._blocking_add(self.pid, value)
+
+    def add_async(self, value: Hashable) -> AddRecord:
+        """Start an add on the owning shard; completes as rounds advance."""
+        return self._cluster.begin_add(self.pid, value)
+
+    def get(self) -> FrozenSet[Hashable]:
+        """The union of every shard's local ``PROPOSED``, instantly."""
+        return self._cluster._instant_get(self.pid)
+
+
+class ShardedWeakSetCluster:
+    """``K`` independent MS weak-set groups behind one handle API."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        shards: int = 1,
+        environment_factory: Optional[EnvironmentFactory] = None,
+        crash_schedule: Optional[CrashSchedule] = None,
+        max_total_rounds: int = 10_000,
+        trace_mode: str = "full",
+    ):
+        if shards < 1:
+            raise SimulationError("need at least one shard")
+        make_environment = environment_factory or (
+            lambda shard_index: MovingSourceEnvironment()
+        )
+        self.shards: List[MSWeakSetCluster] = [
+            MSWeakSetCluster(
+                n,
+                environment=make_environment(shard_index),
+                crash_schedule=crash_schedule,
+                max_total_rounds=max_total_rounds,
+                trace_mode=trace_mode,
+            )
+            for shard_index in range(shards)
+        ]
+        self.log = OpLog()
+
+    # -- facade plumbing -------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The shared clock (all shards advance in lock-step)."""
+        return self.shards[0].now
+
+    @property
+    def exhausted(self) -> bool:
+        """True once any shard ran out of rounds."""
+        return any(shard._exhausted for shard in self.shards)
+
+    def handle(self, pid: int) -> ShardedWeakSetHandle:
+        if not 0 <= pid < len(self.shards[0].algorithms):
+            raise SimulationError(f"no process {pid}")
+        return ShardedWeakSetHandle(self, pid)
+
+    def handles(self) -> List[ShardedWeakSetHandle]:
+        return [self.handle(pid) for pid in range(len(self.shards[0].algorithms))]
+
+    def shard_for(self, value: Hashable) -> MSWeakSetCluster:
+        """The shard cluster owning ``value``."""
+        return self.shards[shard_of(value, len(self.shards))]
+
+    def traces(self) -> List[RunTrace]:
+        """Per-shard run traces (index = shard)."""
+        return [shard.trace for shard in self.shards]
+
+    def advance(self, rounds: int = 1) -> None:
+        """Run every shard ``rounds`` ticks (clocks stay aligned)."""
+        for _ in range(rounds):
+            if not self.step():
+                break
+
+    def step(self) -> bool:
+        """Advance every shard one tick; False once any shard is done."""
+        alive = True
+        for shard in self.shards:
+            if not shard.step():
+                alive = False
+        return alive
+
+    # -- operations ------------------------------------------------------
+    def begin_add(self, pid: int, value: Hashable) -> AddRecord:
+        """Start an add on the owning shard; shared-clock record."""
+        record = self.shard_for(value).begin_add(pid, value)
+        self.log.adds.append(record)
+        return record
+
+    def _blocking_add(self, pid: int, value: Hashable) -> None:
+        record = self.begin_add(pid, value)
+        owner = self.shard_for(value)
+        process = owner._scheduler.processes[pid]
+        while record.end is None:
+            if process.crashed or self.exhausted:
+                return  # the add never completes (record.end stays None)
+            self.step()
+
+    def _instant_get(self, pid: int) -> FrozenSet[Hashable]:
+        merged: set = set()
+        for shard in self.shards:
+            if shard._scheduler.processes[pid].crashed:
+                raise SimulationError(f"get on crashed process {pid}")
+            merged |= shard.algorithms[pid].get_now()
+        result = frozenset(merged)
+        self.log.gets.append(
+            GetRecord(pid=pid, start=self.now, end=self.now, result=result)
+        )
+        return result

@@ -102,3 +102,47 @@ class TestLinkPolicies:
         assert all(
             env.delay_ticks(k, 0, 1) >= 2 for k in range(1, 30)
         )
+
+
+class TestVectorizedLinkPolicies:
+    """``timely_block`` must answer exactly what per-link calls would."""
+
+    SENDERS = [0, 2]
+    RECEIVERS = [0, 1, 2, 3]
+
+    def _expected(self, policy, round_no):
+        return {
+            sender: [
+                receiver != sender and policy.timely(round_no, sender, receiver)
+                for receiver in self.RECEIVERS
+            ]
+            for sender in self.SENDERS
+        }
+
+    @pytest.mark.parametrize(
+        "policy",
+        [SilentLinks(), AllTimelyLinks(), BernoulliLinks(0.4, seed=9)],
+        ids=["silent", "all-timely", "bernoulli"],
+    )
+    def test_block_matches_scalar(self, policy):
+        for round_no in range(1, 12):
+            assert policy.timely_block(
+                round_no, self.SENDERS, self.RECEIVERS
+            ) == self._expected(policy, round_no)
+
+    def test_default_block_falls_back_to_scalar(self):
+        from repro.giraf.environments import LinkPolicy
+
+        class EveryThirdRound(LinkPolicy):
+            def timely(self, round_no, sender, receiver):
+                return round_no % 3 == 0
+
+        policy = EveryThirdRound()
+        assert policy.timely_block(3, [0], [0, 1, 2]) == {0: [False, True, True]}
+        assert policy.timely_block(2, [0], [1]) == {0: [False]}
+
+    def test_environment_plan_round_links_diagonal_is_false(self):
+        env = MovingSourceEnvironment(link_policy=AllTimelyLinks())
+        rows = env.plan_round_links(1, [0, 1], [0, 1, 2])
+        assert rows[0] == [False, True, True]
+        assert rows[1] == [True, False, True]

@@ -1,0 +1,167 @@
+"""The sharded weak-set cluster: K=1 transparency and K>1 semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.giraf.adversary import CrashPlan, CrashSchedule, RoundRobinSource
+from repro.giraf.environments import MovingSourceEnvironment
+from repro.serialization import trace_to_json
+from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.sharding import ShardedWeakSetCluster, shard_of
+from repro.weakset.spec import check_weakset
+
+
+def _drive(cluster):
+    """One fixed operation workload against any cluster facade."""
+    handles = cluster.handles()
+    handles[0].add("alpha")
+    handles[2].get()
+    handles[1].add("beta")
+    cluster.advance(4)
+    handles[2].add("gamma")
+    return [frozenset(handle.get()) for handle in handles]
+
+
+class TestShardOfRouting:
+    def test_single_shard_routes_everything_to_zero(self):
+        assert all(shard_of(value, 1) == 0 for value in ["a", ("b", 1), 7])
+
+    def test_routing_is_deterministic_and_in_range(self):
+        for shards in (2, 3, 8):
+            for value in ["a", "b", ("tuple", 4), 99]:
+                shard = shard_of(value, shards)
+                assert 0 <= shard < shards
+                assert shard_of(value, shards) == shard
+
+    def test_values_spread_across_shards(self):
+        shards = {shard_of(f"value-{i}", 4) for i in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+
+class TestSingleShardTransparency:
+    def test_k1_trace_is_byte_identical_to_plain_cluster(self):
+        plain = MSWeakSetCluster(3)
+        sharded = ShardedWeakSetCluster(3, shards=1)
+        plain_views = _drive(plain)
+        sharded_views = _drive(sharded)
+        assert sharded_views == plain_views
+        assert trace_to_json(sharded.traces()[0]) == trace_to_json(plain.trace)
+
+    def test_k1_trace_identical_under_crashes(self):
+        crashes = CrashSchedule({2: CrashPlan(2, before_send=True)})
+
+        def build(cls):
+            if cls is MSWeakSetCluster:
+                return cls(4, crash_schedule=crashes)
+            return cls(4, shards=1, crash_schedule=crashes)
+
+        plain, sharded = build(MSWeakSetCluster), build(ShardedWeakSetCluster)
+        plain.handles()[0].add("x")
+        sharded.handles()[0].add("x")
+        plain.advance(3)
+        sharded.advance(3)
+        assert trace_to_json(sharded.traces()[0]) == trace_to_json(plain.trace)
+
+    def test_k1_log_matches_plain_cluster(self):
+        plain = MSWeakSetCluster(3)
+        sharded = ShardedWeakSetCluster(3, shards=1)
+        _drive(plain)
+        _drive(sharded)
+        plain_adds = [(r.pid, r.value, r.start, r.end) for r in plain.log.adds]
+        sharded_adds = [(r.pid, r.value, r.start, r.end) for r in sharded.log.adds]
+        assert sharded_adds == plain_adds
+
+
+class TestMultiShardSemantics:
+    def test_adds_land_on_their_shard_and_get_unions(self):
+        cluster = ShardedWeakSetCluster(3, shards=3)
+        values = [f"value-{i}" for i in range(6)]
+        for index, value in enumerate(values):
+            cluster.handle(index % 3).add(value)
+        cluster.advance(3)
+        for handle in cluster.handles():
+            assert handle.get() >= frozenset(values)
+        for value in values:
+            owner = cluster.shard_for(value)
+            assert value in owner.algorithms[0].get_now()
+            for shard in cluster.shards:
+                if shard is not owner:
+                    assert value not in shard.algorithms[0].get_now()
+
+    def test_oplog_satisfies_weakset_spec(self):
+        cluster = ShardedWeakSetCluster(4, shards=2)
+        handles = cluster.handles()
+        handles[0].add("a")
+        handles[2].get()
+        handles[1].add("b")
+        cluster.advance(5)
+        handles[3].add("c")
+        for handle in handles:
+            handle.get()
+        assert check_weakset(cluster.log).ok
+
+    def test_async_adds_complete_via_advance(self):
+        cluster = ShardedWeakSetCluster(3, shards=2)
+        records = [
+            cluster.handle(pid).add_async(f"bg-{pid}") for pid in range(3)
+        ]
+        assert all(record.end is None for record in records)
+        cluster.advance(6)
+        assert all(record.end is not None for record in records)
+        assert check_weakset(cluster.log).ok
+
+    def test_per_shard_environments(self):
+        cluster = ShardedWeakSetCluster(
+            3,
+            shards=2,
+            environment_factory=lambda shard: MovingSourceEnvironment(
+                source_schedule=RoundRobinSource()
+            ),
+        )
+        cluster.handle(0).add("v")
+        cluster.advance(2)
+        assert all("v" in handle.get() for handle in cluster.handles())
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ShardedWeakSetCluster(2, shards=0)
+        with pytest.raises(SimulationError):
+            ShardedWeakSetCluster(2).handle(5)
+
+    def test_crashed_process_rejected_across_shards(self):
+        cluster = ShardedWeakSetCluster(
+            3, shards=2, crash_schedule=CrashSchedule({1: CrashPlan(1)})
+        )
+        cluster.advance(2)
+        with pytest.raises(SimulationError):
+            cluster.handle(1).get()
+        with pytest.raises(SimulationError):
+            cluster.handle(1).add("x")
+
+
+class TestClusterAsyncAdds:
+    """The plain cluster's new non-blocking adds (kernel port ride-along)."""
+
+    def test_add_async_completes_and_stamps_end(self):
+        cluster = MSWeakSetCluster(3)
+        record = cluster.handle(0).add_async("x")
+        assert record.end is None
+        cluster.advance(5)
+        assert record.end is not None
+        for handle in cluster.handles():
+            assert "x" in handle.get()
+
+    def test_concurrent_adds_from_different_pids(self):
+        cluster = MSWeakSetCluster(4)
+        records = [cluster.handle(pid).add_async(f"v{pid}") for pid in range(4)]
+        cluster.advance(8)
+        assert all(record.end is not None for record in records)
+        assert check_weakset(cluster.log).ok
+
+    def test_crashed_adder_leaves_record_incomplete(self):
+        cluster = MSWeakSetCluster(
+            3, crash_schedule=CrashSchedule({0: CrashPlan(2, before_send=True)})
+        )
+        record = cluster.handle(0).add_async("doomed")
+        cluster.advance(6)
+        assert record.end is None
