@@ -1,15 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench experiments experiments-full
+.PHONY: test bench docs experiments experiments-full
 
 test:
 	$(PYTHON) -m pytest -q
 
-# Capture the performance trajectory (micro benches + T1/F1 quick +
+# Capture the performance trajectory (micro benches + T1/F1/C1 quick +
 # T3 full) into BENCH_micro.json.  See PERFORMANCE.md.
 bench:
 	$(PYTHON) benchmarks/capture.py
+
+# Doctest the documented API surface and link-check every *.md.
+docs:
+	$(PYTHON) scripts/check_docs.py
 
 experiments:
 	$(PYTHON) -m repro.experiments

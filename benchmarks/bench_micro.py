@@ -177,3 +177,35 @@ def test_bench_weakset_sharded_adds(benchmark):
     """The same wave over 4 value-partitioned shard clusters."""
     records = benchmark(_weakset_add_wave, 4)
     assert all(record.end is not None for record in records)
+
+
+def _churn(backend: str):
+    """The churn workload's quick shape on a given shard backend."""
+    from repro.sim.runner import run_churn_workload
+
+    return run_churn_workload(
+        n=4,
+        shards=2,
+        total_adds=12,
+        adds_per_round=2,
+        pattern="random",
+        backend=backend,
+        seed=0,
+    )
+
+
+def test_bench_churn_workload_serial(benchmark):
+    """Churn add stream over 2 shard groups, serial backend."""
+    run = benchmark(_churn, "serial")
+    assert run.completed == 12
+
+
+def test_bench_churn_workload_multiprocess(benchmark):
+    """The same stream with one worker process per shard.
+
+    Includes worker start-up/tear-down per iteration, so this is the
+    end-to-end cost of the process seam, not just the steady state;
+    pedantic mode bounds the number of spawns.
+    """
+    run = benchmark.pedantic(_churn, args=("multiprocess",), rounds=3, iterations=1)
+    assert run.completed == 12

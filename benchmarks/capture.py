@@ -82,6 +82,7 @@ def run_experiments() -> dict[str, float]:
         ("T1_quick", "T1", True),
         ("F1_quick", "F1", True),
         ("T3_full", "T3", False),
+        ("C1_quick", "C1", True),
     ]:
         start = time.perf_counter()
         run_experiment(experiment_id, quick=quick, seed=0)
@@ -146,6 +147,15 @@ def main(argv=None) -> int:
     sharded = micro.get("test_bench_weakset_sharded_adds")
     if single and sharded:
         speedups["weakset_sharded4_vs_single_cost"] = round(sharded / single, 2)
+    # Shard-backend cost (this PR): the same churn stream on the serial
+    # backend vs one worker process per shard.  A ratio > 1 means the
+    # process seam costs more than it buys on this box (expected on a
+    # single core — the workers serialize); multi-core hosts are where
+    # the multiprocess backend pays off.
+    serial = micro.get("test_bench_churn_workload_serial")
+    multiproc = micro.get("test_bench_churn_workload_multiprocess")
+    if serial and multiproc:
+        speedups["churn_multiprocess_vs_serial_cost"] = round(multiproc / serial, 2)
     if speedups:
         snapshot["speedups"] = speedups
 

@@ -33,9 +33,14 @@ from repro.giraf import (
     check_ms,
 )
 from repro.runtime import RuntimeKernel, TraceSink
-from repro.sim import run_consensus, run_es_consensus, run_ess_consensus
+from repro.sim import (
+    run_churn_workload,
+    run_consensus,
+    run_es_consensus,
+    run_ess_consensus,
+)
 from repro.values import BOTTOM, Bottom
-from repro.weakset import MSWeakSetCluster, ShardedWeakSetCluster
+from repro.weakset import MSWeakSetCluster, ShardBackend, ShardedWeakSetCluster
 
 __version__ = "1.0.0"
 
@@ -56,6 +61,7 @@ __all__ = [
     "PseudoLeaderElector",
     "RunTrace",
     "RuntimeKernel",
+    "ShardBackend",
     "ShardedWeakSetCluster",
     "TraceSink",
     "assert_consensus",
@@ -63,6 +69,7 @@ __all__ = [
     "check_es",
     "check_ess",
     "check_ms",
+    "run_churn_workload",
     "run_consensus",
     "run_es_consensus",
     "run_ess_consensus",

@@ -34,6 +34,14 @@ def main(argv=None) -> int:
         help="fan grid experiments out over N worker processes "
         "(identical output to a serial run)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "multiprocess"],
+        default=None,
+        help="shard-execution backend for the churn family (C1): "
+        "multiprocess runs each shard group in its own worker process "
+        "(identical tables — the shard worlds replay exactly)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -45,7 +53,11 @@ def main(argv=None) -> int:
 
     for identifier in ids:
         table = run_experiment(
-            identifier, quick=not args.full, seed=args.seed, jobs=args.jobs
+            identifier,
+            quick=not args.full,
+            seed=args.seed,
+            jobs=args.jobs,
+            backend=args.backend,
         )
         print(table.render())
         print()

@@ -1,0 +1,132 @@
+"""Experiments C1, C2: the churn/throughput workload family.
+
+Beyond the paper's tables: the sharded weak-set makes a sustained
+add-stream workload natural, and these experiments characterize it.
+
+* **C1** — add-latency distributions under churn.  A stream of adds is
+  driven across K shard groups while the per-round source moves
+  according to a configurable churn pattern; the table reports the
+  p50/p95/p99 of the add latency (rounds from ``add`` to written,
+  Theorem 3's finite wait) and the sustained throughput, per
+  ``pattern × shards``.
+* **C2** — shard-backend equivalence and cost.  The same workload run
+  on the serial backend and on the multiprocess backend (one worker
+  process per shard); the latency columns are byte-identical by
+  construction — the table demonstrates it — and the wall-clock column
+  shows what the extra processes cost (or buy, on multi-core hosts).
+
+Both scale far beyond their table grids: the driver
+(:func:`repro.sim.runner.run_churn_workload`) accepts arbitrarily long
+add streams (memory is tens of bytes per add; per-round cost grows
+with each shard's accumulated value population, so shard count is the
+lever for long streams) and the ``backend="multiprocess"`` switch
+moves each shard world onto its own core.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import Table
+from repro.sim.runner import run_churn_workload
+from repro.sim.workloads import CHURN_PATTERNS
+
+__all__ = ["run_c1", "run_c2"]
+
+
+def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
+    """C1: add-latency percentiles and throughput per churn pattern."""
+    patterns = ["random", "round-robin", "flapping"] if quick else list(CHURN_PATTERNS)
+    shard_counts = [1, 2] if quick else [1, 2, 4, 8]
+    n = 4 if quick else 6
+    total_adds = 18 if quick else 240
+    adds_per_round = 2 if quick else 4
+
+    table = Table(
+        experiment_id="C1",
+        title="Churn workload: add-latency distribution across shards",
+        headers=[
+            "pattern", "shards", "adds", "completed",
+            "p50", "p95", "p99", "adds/round",
+        ],
+        notes=[
+            "latency = rounds from add() to written (Theorem 3: always "
+            "finite); percentiles are nearest-rank over completed adds",
+            f"backend={backend}; results are backend-invariant for a "
+            "fixed seed (pinned in tests/weakset/test_shard_backends.py)",
+        ],
+    )
+    for pattern in patterns:
+        for shards in shard_counts:
+            run = run_churn_workload(
+                n=n,
+                shards=shards,
+                total_adds=total_adds,
+                adds_per_round=adds_per_round,
+                pattern=pattern,
+                backend=backend,
+                seed=seed,
+            )
+            table.add_row(
+                pattern,
+                shards,
+                run.issued,
+                run.completed,
+                run.percentile_latency(50),
+                run.percentile_latency(95),
+                run.percentile_latency(99),
+                run.throughput,
+            )
+    return table
+
+
+def run_c2(quick: bool = True, seed: int = 0) -> Table:
+    """C2: serial vs multiprocess shard backend on one fixed workload."""
+    n = 3 if quick else 6
+    shards = 2 if quick else 4
+    total_adds = 10 if quick else 160
+    adds_per_round = 2 if quick else 4
+
+    table = Table(
+        experiment_id="C2",
+        title="Shard backends: serial vs multiprocess on one workload",
+        headers=[
+            "backend", "shards", "completed",
+            "p50", "p95", "p99", "wall-s", "matches-serial",
+        ],
+        notes=[
+            "the latency columns must match row-for-row: the multiprocess "
+            "backend replays the exact serial shard worlds (SHA-512-seeded "
+            "streams are process-independent)",
+            "wall-s is this machine's cost of the worker processes and "
+            "per-round message passing; on multi-core hosts the shard "
+            "worlds step concurrently",
+        ],
+    )
+    reference = None
+    for backend in ("serial", "multiprocess"):
+        start = time.perf_counter()
+        run = run_churn_workload(
+            n=n,
+            shards=shards,
+            total_adds=total_adds,
+            adds_per_round=adds_per_round,
+            pattern="random",
+            backend=backend,
+            seed=seed,
+        )
+        wall = time.perf_counter() - start
+        summary = (run.completed, run.latencies)
+        if reference is None:
+            reference = summary
+        table.add_row(
+            backend,
+            shards,
+            run.completed,
+            run.percentile_latency(50),
+            run.percentile_latency(95),
+            run.percentile_latency(99),
+            wall,
+            summary == reference,
+        )
+    return table

@@ -13,6 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis.tables import Table
 from repro.experiments.ablations import run_a1, run_a2, run_a3
 from repro.experiments.baseline_table import run_t7
+from repro.experiments.churn_tables import run_c1, run_c2
 from repro.experiments.consensus_tables import run_f1, run_f2, run_t1, run_t2
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
@@ -38,6 +39,8 @@ EXPERIMENTS: Dict[str, Runner] = {
     "A1": run_a1,
     "A2": run_a2,
     "A3": run_a3,
+    "C1": run_c1,
+    "C2": run_c2,
 }
 
 
@@ -47,26 +50,39 @@ def run_experiment(
     quick: bool = True,
     seed: int = 0,
     jobs: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> Table:
     """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``).
 
     ``jobs`` fans grid experiments out over worker processes; runners
-    whose workload is not cell-parallel simply ignore it.
+    whose workload is not cell-parallel simply ignore it.  ``backend``
+    selects the shard-execution backend (``"serial"`` or
+    ``"multiprocess"``) for the churn family; runners without a
+    backend knob ignore it.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
     runner = EXPERIMENTS[key]
+    parameters = inspect.signature(runner).parameters
     kwargs = {"quick": quick, "seed": seed}
-    if jobs is not None and "jobs" in inspect.signature(runner).parameters:
+    if jobs is not None and "jobs" in parameters:
         kwargs["jobs"] = jobs
+    if backend is not None and "backend" in parameters:
+        kwargs["backend"] = backend
     return runner(**kwargs)
 
 
-def run_all(*, quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> List[Table]:
+def run_all(
+    *,
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> List[Table]:
     """Run the whole suite in ID order."""
     return [
-        run_experiment(key, quick=quick, seed=seed, jobs=jobs)
+        run_experiment(key, quick=quick, seed=seed, jobs=jobs, backend=backend)
         for key in sorted(EXPERIMENTS)
     ]

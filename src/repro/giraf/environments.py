@@ -76,6 +76,21 @@ class LinkPolicy(ABC):
         them).  The default falls back to the scalar method so custom
         policies stay correct with no extra work; the shipped policies
         override it to answer a whole round without per-link dispatch.
+
+        Args:
+            round_no: the round being planned.
+            senders: pids broadcasting this round.
+            receivers: pids eligible to receive (row order).
+
+        Returns:
+            ``{sender: row}`` with ``row[i]`` the timeliness of the
+            link to ``receivers[i]``.
+
+        Example:
+            >>> SilentLinks().timely_block(3, [0, 1], [0, 1, 2])
+            {0: [False, False, False], 1: [False, False, False]}
+            >>> AllTimelyLinks().timely_block(3, [0], [0, 1, 2])
+            {0: [False, True, True]}
         """
         return {
             sender: [
@@ -199,17 +214,31 @@ class Environment(ABC):
     ) -> Dict[int, List[bool]]:
         """Vectorized timeliness plan: one call per round, not per link.
 
-        Returns ``{sender: row}`` where ``row[i]`` says whether the
-        link to ``receivers[i]`` happens to be timely (self-links are
-        ``False``).  Answers are exactly what per-link
-        :meth:`extra_timely` calls would produce — equivalence-tested —
-        so schedulers may use either path interchangeably.
-
         Environments that override :meth:`extra_timely` (e.g. the
         blockade adversary) are routed through the per-link fallback
         automatically; stock environments delegate to the link policy's
         :meth:`LinkPolicy.timely_block`, which the shipped policies
         answer without per-link Python dispatch.
+
+        Args:
+            round_no: the round being planned.
+            senders: pids broadcasting this round.
+            receivers: pids eligible to receive (row order).
+
+        Returns:
+            ``{sender: row}`` where ``row[i]`` says whether the link to
+            ``receivers[i]`` happens to be timely (self-links are
+            ``False``).  Answers are exactly what per-link
+            :meth:`extra_timely` calls would produce —
+            equivalence-tested — so schedulers may use either path
+            interchangeably.
+
+        Example (the default link policy is the stingy
+        :class:`SilentLinks`, so nothing extra is timely):
+
+            >>> env = MovingSourceEnvironment()
+            >>> env.plan_round_links(2, [0, 1], [0, 1, 2])
+            {0: [False, False, False], 1: [False, False, False]}
         """
         if type(self).extra_timely is not Environment.extra_timely:
             return {
@@ -249,6 +278,21 @@ class Environment(ABC):
         keyed per link, not per call), so overriding either form keeps
         the other consistent as long as the override stays per-link
         deterministic.
+
+        Args:
+            round_no: the round of the broadcast.
+            sender: the broadcasting pid.
+            receivers: target pids, in row order.
+
+        Returns:
+            One latency per receiver, identical to per-link
+            :meth:`timely_latency` calls.
+
+        Example:
+            >>> env = MovingSourceEnvironment()
+            >>> row = env.timely_latencies(1, 0, [1, 2])
+            >>> row == [env.timely_latency(1, 0, r) for r in (1, 2)]
+            True
         """
         return [
             self.timely_latency(round_no, sender, receiver) for receiver in receivers
@@ -257,7 +301,11 @@ class Environment(ABC):
     def late_latencies(
         self, round_no: int, sender: int, receivers: Sequence[int]
     ) -> List[float]:
-        """Vectorized :meth:`late_latency`: one call per broadcast."""
+        """Vectorized :meth:`late_latency`: one call per broadcast.
+
+        Args/returns mirror :meth:`timely_latencies`, drawing from the
+        delay policy instead of the timely-latency stream.
+        """
         return [
             self.late_latency(round_no, sender, receiver) for receiver in receivers
         ]

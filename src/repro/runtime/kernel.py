@@ -53,6 +53,38 @@ class RuntimeKernel:
     builds the process shells; the trace and its sink are created
     lazily on first access so engines can expose a ``trace`` property
     with the same semantics the pre-kernel schedulers had.
+
+    Args:
+        algorithms: one :class:`~repro.giraf.automaton.GirafAlgorithm`
+            per process (pid = index).
+        environment: the MS/ES/ESS environment the engine consults.
+        crash_schedule: adversary crash plan (default: failure-free).
+        max_rounds: round horizon for the run.
+        stop_when: optional early-exit predicate over the trace.
+        record_snapshots: forward per-round algorithm snapshots into
+            the trace.
+        trace_mode: ``"full"`` (event objects, checker-grade) or
+            ``"aggregate"`` (running counters only).
+        payload_stats: collect per-round payload-size statistics
+            (aggregate mode only).
+
+    Example — a kernel owns the process pool and the event plumbing;
+    schedulers only decide ordering:
+
+        >>> from repro.giraf.environments import MovingSourceEnvironment
+        >>> from repro.weakset.ms_weakset import MSWeakSetAlgorithm
+        >>> kernel = RuntimeKernel(
+        ...     [MSWeakSetAlgorithm() for _ in range(3)],
+        ...     MovingSourceEnvironment(),
+        ... )
+        >>> len(kernel.processes), sorted(kernel.correct)
+        (3, [0, 1, 2])
+        >>> kernel.schedule(0.5, "eor", (0, 1))
+        >>> kernel.next_event()
+        (0.5, 'eor', (0, 1))
+        >>> kernel.queue_delivery(4, receiver=1, envelope=None, sender=0, sent_tick=2)
+        >>> kernel.due_deliveries(4)
+        [(1, None, 0, 2)]
     """
 
     def __init__(

@@ -86,7 +86,18 @@ class TraceSink(ABC):
 
 
 class FullTraceSink(TraceSink):
-    """Checker-grade recording: one event object per send/delivery."""
+    """Checker-grade recording: one event object per send/delivery.
+
+    Example — every call materializes an event on the trace:
+
+        >>> from repro.giraf.traces import RunTrace
+        >>> trace = RunTrace(n=2, correct=frozenset({0, 1}))
+        >>> sink = FullTraceSink(trace)
+        >>> sink.send(0, 1, 1.0, frozenset({"v"}))
+        >>> sink.delivery(0, 1, 1, 1.0, 1.0, True)
+        >>> (len(trace.sends), trace.deliveries[0].timely)
+        (1, True)
+    """
 
     wants_events = True
     __slots__ = ()
@@ -125,6 +136,16 @@ class AggregateTraceSink(TraceSink):
     When the trace was created with ``payload_stats=True``, each send
     additionally folds its structural payload size into the per-round
     statistics that :func:`repro.sim.metrics.payload_growth` consumes.
+
+    Example — counts move, no event objects exist:
+
+        >>> from repro.giraf.traces import RunTrace
+        >>> trace = RunTrace(n=2, correct=frozenset({0, 1}), aggregate=True)
+        >>> sink = AggregateTraceSink(trace)
+        >>> sink.send(0, 1, 1.0, frozenset({"v"}))
+        >>> sink.bulk_deliveries(3)
+        >>> (trace.agg_sends, trace.agg_deliveries, trace.sends)
+        (1, 3, [])
     """
 
     wants_events = False

@@ -90,7 +90,16 @@ def encode_value(value: Any) -> Any:
     if isinstance(value, tuple):
         return {"__t": "tuple", "v": [encode_value(item) for item in value]}
     if isinstance(value, frozenset):
-        return {"__t": "fset", "v": [encode_value(item) for item in value]}
+        # Canonical element order (content-based, like every derivation
+        # in this repo): raw iteration order is a function of the hash
+        # salt *and* the set's construction history, so two semantically
+        # equal sets — e.g. one built in-process and its pickle
+        # round-trip from a shard worker — may iterate differently.
+        # Sorting by repr makes equal sets serialize byte-identically.
+        return {
+            "__t": "fset",
+            "v": sorted((encode_value(item) for item in value), key=repr),
+        }
     for tag, (cls, encode, _decode) in _CODECS.items():
         if isinstance(value, cls):
             return {"__t": tag, "v": encode(value)}

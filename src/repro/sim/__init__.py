@@ -7,13 +7,17 @@ from repro.sim.metrics import (
     payload_growth,
 )
 from repro.sim.runner import (
+    ChurnRun,
     ConsensusRun,
+    run_churn_workload,
     run_consensus,
     run_es_consensus,
     run_ess_consensus,
     stop_when_all_correct_decided,
 )
 from repro.sim.workloads import (
+    CHURN_PATTERNS,
+    ChurnEnvironments,
     binary_proposals,
     clustered_proposals,
     distinct_proposals,
@@ -22,6 +26,9 @@ from repro.sim.workloads import (
 )
 
 __all__ = [
+    "CHURN_PATTERNS",
+    "ChurnEnvironments",
+    "ChurnRun",
     "ConsensusMetrics",
     "ConsensusRun",
     "binary_proposals",
@@ -31,6 +38,7 @@ __all__ = [
     "identical_proposals",
     "mean_payload_by_round",
     "payload_growth",
+    "run_churn_workload",
     "run_consensus",
     "run_es_consensus",
     "run_ess_consensus",

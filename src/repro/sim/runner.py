@@ -3,13 +3,27 @@
 These wrap scheduler + environment + adversary assembly so tests,
 examples, and the experiment harness never repeat the plumbing.  Every
 knob is an explicit keyword with a reproducible default.
+
+Two driver families live here:
+
+* the **consensus** drivers (:func:`run_consensus` and the
+  :func:`run_es_consensus` / :func:`run_ess_consensus` shortcuts) —
+  one configured consensus instance, packaged with its checker verdict
+  and metrics;
+* the **churn/throughput** driver (:func:`run_churn_workload`) — a
+  stream of weak-set adds across a :class:`ShardedWeakSetCluster`
+  under a configurable source-movement pattern, reporting add-latency
+  percentiles and throughput.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Hashable, Optional, Sequence
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.analysis.stats import percentile
 from repro.core.checkers import ConsensusReport, check_consensus
 from repro.core.es_consensus import ESConsensus
 from repro.core.ess_consensus import ESSConsensus
@@ -22,9 +36,13 @@ from repro.giraf.environments import (
 from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
 from repro.giraf.traces import RunTrace
 from repro.sim.metrics import ConsensusMetrics, consensus_metrics
+from repro.sim.workloads import ChurnEnvironments
+from repro.weakset.spec import AddRecord
 
 __all__ = [
+    "ChurnRun",
     "ConsensusRun",
+    "run_churn_workload",
     "run_consensus",
     "run_es_consensus",
     "run_ess_consensus",
@@ -176,3 +194,171 @@ def run_ess_consensus(
         stabilization_round=stabilization_round,
         trace_mode=trace_mode,
     )
+
+
+# ----------------------------------------------------------------------
+# churn/throughput workload over the sharded weak-set
+# ----------------------------------------------------------------------
+@dataclass
+class ChurnRun:
+    """Everything one churn/throughput workload run produced.
+
+    Attributes:
+        issued: adds started (equals the requested ``total_adds``
+            unless the round horizon ran out first).
+        completed: adds whose value was written within the run.
+        rounds: simulated rounds the workload consumed.
+        latencies: per-completed-add latency in rounds
+            (``record.end - record.start``), in issue order (adds may
+            complete out of issue order across shards).
+        pattern/shards/backend: the configuration that produced this run.
+    """
+
+    issued: int
+    completed: int
+    rounds: int
+    latencies: List[float] = field(default_factory=list)
+    pattern: str = "random"
+    shards: int = 1
+    backend: str = "serial"
+
+    def percentile_latency(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile of the completed-add latencies.
+
+        ``q`` is in ``[0, 100]``; returns ``None`` when nothing
+        completed (the experiment tables render that as a dash).
+        """
+        return percentile(self.latencies, q)
+
+    @property
+    def throughput(self) -> Optional[float]:
+        """Completed adds per simulated round (``None`` before any round)."""
+        return self.completed / self.rounds if self.rounds else None
+
+
+def run_churn_workload(
+    *,
+    n: int = 4,
+    shards: int = 2,
+    total_adds: int = 24,
+    adds_per_round: int = 2,
+    pattern: str = "random",
+    backend: str = "serial",
+    seed: int = 0,
+    trace_mode: str = "aggregate",
+    max_total_rounds: Optional[int] = None,
+) -> ChurnRun:
+    """Drive a stream of weak-set adds across shards and measure latency.
+
+    Each simulated round issues up to ``adds_per_round`` new async adds
+    (values round-robin over the ``n`` client processes, routed to
+    shards by value hash), then advances every shard world one tick;
+    after the stream is exhausted the run drains until every in-flight
+    add completed or the horizon ran out.  An add whose ``(process,
+    owning shard)`` pair still has one in flight is deferred to a later
+    round — Algorithm 4 admits one blocked add per process per shard —
+    so the issue order is deterministic and backend-independent.
+
+    Args:
+        n: client processes per shard group.
+        shards: value-partitioned shard groups.
+        total_adds: adds to issue over the whole run.  Memory scales
+            gently (the driver retains one small operation record plus
+            one latency float per add; the backend holds O(in-flight)
+            control state), but wall-clock does not: Algorithm 4
+            broadcasts each shard's whole accumulated ``PROPOSED`` set
+            every round, so per-round cost grows with the values a
+            shard has absorbed — sharding (splitting the population K
+            ways) is what keeps long streams tractable.
+        adds_per_round: target issue rate (the offered load).
+        pattern: source-movement churn pattern, one of
+            :data:`repro.sim.workloads.CHURN_PATTERNS`.
+        backend: ``"serial"`` or ``"multiprocess"`` — forwarded to
+            :class:`~repro.weakset.sharding.ShardedWeakSetCluster`.
+            Results are backend-invariant for a fixed seed.
+        seed: base seed for the per-shard environments.
+        trace_mode: per-shard trace fidelity; the default
+            ``"aggregate"`` skips per-event allocation (the workload
+            only consumes operation records, not trace events).
+        max_total_rounds: round horizon; defaults to a generous bound
+            derived from the workload size.
+
+    Returns:
+        A :class:`ChurnRun` with latency percentiles and throughput.
+
+    Example:
+        >>> run = run_churn_workload(n=3, shards=2, total_adds=4,
+        ...                          adds_per_round=2, seed=1)
+        >>> run.issued, run.completed
+        (4, 4)
+        >>> run.percentile_latency(50) is not None
+        True
+    """
+    from repro.weakset.sharding import ShardedWeakSetCluster
+
+    if total_adds < 0:
+        raise ValueError("total_adds must be >= 0")
+    if adds_per_round < 1:
+        raise ValueError("adds_per_round must be >= 1")
+    if max_total_rounds is None:
+        # every add needs a handful of rounds to be written; budget a
+        # drain tail on top of the issue phase
+        max_total_rounds = 40 + 8 * (total_adds // adds_per_round + total_adds)
+    cluster = ShardedWeakSetCluster(
+        n,
+        shards=shards,
+        environment_factory=ChurnEnvironments(pattern=pattern, seed=seed),
+        max_total_rounds=max_total_rounds,
+        trace_mode=trace_mode,
+        backend=backend,
+    )
+    try:
+        # Per-(pid, owning shard) pending queues plus a ready-heap keyed
+        # by arrival index: each round issues the earliest-queued adds
+        # whose slot is free (Algorithm 4 admits one blocked add per
+        # process per shard).  The heap holds exactly the free slots
+        # with pending work, so a round costs O(issued·log + busy)
+        # regardless of how much of the stream is still queued — a
+        # saturated run never rescans the backlog.
+        pending: Dict[Tuple[int, int], deque] = {}
+        for index in range(total_adds):
+            value, pid = f"churn-{seed}-{index}", index % n
+            key = (pid, cluster.shard_index_for(value))
+            pending.setdefault(key, deque()).append((index, value, pid))
+        ready = [(items[0][0], key) for key, items in pending.items()]
+        heapq.heapify(ready)
+        busy: Dict[Tuple[int, int], AddRecord] = {}
+        records: List[AddRecord] = []
+        remaining = total_adds
+        rounds = 0
+        while remaining or busy:
+            if cluster.exhausted or rounds >= max_total_rounds:
+                break
+            for _ in range(min(adds_per_round, len(ready))):
+                _, key = heapq.heappop(ready)
+                _, value, pid = pending[key].popleft()
+                busy[key] = cluster.handle(pid).add_async(value)
+                records.append(busy[key])
+                remaining -= 1
+            cluster.advance(1)
+            rounds += 1
+            for key, record in list(busy.items()):
+                if record.end is not None:
+                    del busy[key]
+                    items = pending[key]
+                    if items:
+                        heapq.heappush(ready, (items[0][0], key))
+        latencies = [
+            record.end - record.start for record in records if record.end is not None
+        ]
+        return ChurnRun(
+            issued=len(records),
+            completed=len(latencies),
+            rounds=rounds,
+            latencies=latencies,
+            pattern=pattern,
+            shards=shards,
+            backend=backend,
+        )
+    finally:
+        cluster.close()

@@ -1,4 +1,4 @@
-"""Workload generation: proposal distributions and crash patterns.
+"""Workload generation: proposal distributions, crash and churn patterns.
 
 The paper's motivating setting is a wireless sensor network of
 anonymous nodes trying to agree on a value (a reading, a configuration
@@ -6,12 +6,31 @@ epoch, …).  The generators here produce the proposal vectors the
 experiment suite sweeps over; crash patterns live in
 :class:`~repro.giraf.adversary.CrashSchedule` and are composed by the
 runner.
+
+:class:`ChurnEnvironments` is the churn/throughput workload's
+environment factory: one seeded MS environment per weak-set shard,
+with the per-round *source movement* pattern — how violently the
+source churns between processes — selected by name.  It is a plain
+picklable callable so the multiprocess shard backend can rebuild the
+same environments inside worker processes.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Hashable, List, Sequence
+
+from repro._rng import derive_randint
+from repro.giraf.adversary import (
+    FixedSource,
+    FlappingSource,
+    RandomSource,
+    RoundRobinSource,
+    SourceSchedule,
+    UniformDelay,
+)
+from repro.giraf.environments import Environment, MovingSourceEnvironment
 
 __all__ = [
     "distinct_proposals",
@@ -19,6 +38,8 @@ __all__ = [
     "identical_proposals",
     "clustered_proposals",
     "sensor_readings",
+    "ChurnEnvironments",
+    "CHURN_PATTERNS",
 ]
 
 
@@ -65,3 +86,78 @@ def sensor_readings(n: int, *, lo: int = 180, hi: int = 240, seed: int = 0) -> L
 def spread(values: Sequence[Hashable]) -> int:
     """Number of distinct proposals (a difficulty proxy for tables)."""
     return len(set(values))
+
+
+# ----------------------------------------------------------------------
+# churn: source-movement patterns for the sharded weak-set workload
+# ----------------------------------------------------------------------
+def _random_source(seed: int) -> SourceSchedule:
+    return RandomSource(seed)
+
+
+def _round_robin_source(seed: int) -> SourceSchedule:
+    return RoundRobinSource()
+
+
+def _flapping_source(seed: int) -> SourceSchedule:
+    return FlappingSource(1)
+
+
+def _fixed_source(seed: int) -> SourceSchedule:
+    return FixedSource(0)
+
+
+#: churn pattern name -> seeded source-schedule factory.  ``"random"``
+#: is uniform per-round churn, ``"round-robin"`` cycles deterministically,
+#: ``"flapping"`` oscillates between the extreme candidates every round
+#: (the worst-case movement separating MS from ESS), ``"fixed"`` pins
+#: the source (no churn — the throughput best case).
+CHURN_PATTERNS = {
+    "random": _random_source,
+    "round-robin": _round_robin_source,
+    "flapping": _flapping_source,
+    "fixed": _fixed_source,
+}
+
+
+@dataclass(frozen=True)
+class ChurnEnvironments:
+    """Per-shard MS environment factory for the churn workload.
+
+    Calling the instance with a shard index returns that shard's
+    environment: a :class:`~repro.giraf.environments.MovingSourceEnvironment`
+    whose source schedule follows ``pattern`` and whose delay policy is
+    seeded per shard — every stream derives from ``(seed, shard_index)``
+    through SHA-512, so the same factory builds bit-identical
+    environments in any process (what the multiprocess shard backend
+    relies on).
+
+    Args:
+        pattern: one of :data:`CHURN_PATTERNS`
+            (``random``/``round-robin``/``flapping``/``fixed``).
+        seed: base seed; shards derive their own streams from it.
+
+    Example:
+        >>> factory = ChurnEnvironments(pattern="round-robin", seed=3)
+        >>> factory(0).name
+        'MS'
+        >>> factory(1).source_schedule.pick(5, [0, 1, 2])
+        2
+    """
+
+    pattern: str = "random"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pattern not in CHURN_PATTERNS:
+            known = ", ".join(sorted(CHURN_PATTERNS))
+            raise ValueError(f"unknown churn pattern {self.pattern!r}; known: {known}")
+
+    def __call__(self, shard_index: int) -> Environment:
+        shard_seed = derive_randint(
+            0, 2**31 - 1, "churn-env", self.seed, shard_index
+        )
+        return MovingSourceEnvironment(
+            source_schedule=CHURN_PATTERNS[self.pattern](shard_seed),
+            delay_policy=UniformDelay(2, 5, seed=shard_seed + 1),
+        )

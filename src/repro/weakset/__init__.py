@@ -29,6 +29,9 @@ from repro.weakset.ms_weakset import (
 )
 from repro.weakset.register_adapter import RegisterEntry, WeakSetRegister
 from repro.weakset.sharding import (
+    MultiprocessBackend,
+    SerialBackend,
+    ShardBackend,
     ShardedWeakSetCluster,
     ShardedWeakSetHandle,
     shard_of,
@@ -52,10 +55,13 @@ __all__ = [
     "MSEmulation",
     "MSWeakSetAlgorithm",
     "MSWeakSetCluster",
+    "MultiprocessBackend",
     "OpLog",
     "OpScript",
     "RegisterBackedMSEmulation",
     "RegisterEntry",
+    "SerialBackend",
+    "ShardBackend",
     "ShardedWeakSetCluster",
     "ShardedWeakSetHandle",
     "WeakSet",

@@ -1,4 +1,4 @@
-"""Value-partitioned weak-set scale-out: K shard clusters, one API.
+"""Value-partitioned weak-set scale-out: K shard worlds, one API.
 
 A weak-set's operations are embarrassingly partitionable by value:
 ``add(v)`` only needs to reach the processes holding ``v``'s shard, and
@@ -11,6 +11,22 @@ every value to a deterministic shard.  Per-round broadcast traffic per
 shard stays the size of *that shard's* value population instead of the
 whole set, which is the multi-machine story: each shard group can live
 on its own machine, and clients fan ``get`` out and union.
+
+Execution of the K shard worlds goes through a pluggable
+:class:`ShardBackend` seam:
+
+* :class:`SerialBackend` (default) runs every shard in-process, in
+  shard order, exactly as the pre-seam facade did — its traces are
+  byte-for-byte those of the historical implementation;
+* :class:`MultiprocessBackend` runs each shard's lock-step world in its
+  own worker process, exchanging one batched message per shard per
+  round (queued adds ride with the ``step``; completions, crash sets
+  and the clock ride back).  Because every per-shard decision in the
+  simulator derives from SHA-512-seeded streams — never from process
+  state, object ids, or Python's salted ``hash`` — the worker replays
+  the exact serial shard world: for a fixed seed the two backends
+  produce **byte-identical** shard traces (pinned in
+  ``tests/weakset/test_shard_backends.py``).
 
 The facade exposes the same :class:`~repro.weakset.spec.WeakSet` handle
 API as a single cluster, and all shards advance in lock-step (one tick
@@ -32,33 +48,519 @@ address; give such types a content ``__repr__`` before sharding them.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Hashable, List, Optional
+import multiprocessing
+import multiprocessing.connection
+import itertools
+import traceback
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro._rng import derive_randrange
-from repro.errors import SimulationError
+from repro.errors import ProtocolMisuse, SimulationError
 from repro.giraf.adversary import CrashSchedule
 from repro.giraf.environments import Environment, MovingSourceEnvironment
 from repro.giraf.traces import RunTrace
 from repro.weakset.cluster import MSWeakSetCluster
 from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
 
-__all__ = ["ShardedWeakSetCluster", "ShardedWeakSetHandle", "shard_of"]
+__all__ = [
+    "ShardedWeakSetCluster",
+    "ShardedWeakSetHandle",
+    "ShardBackend",
+    "SerialBackend",
+    "MultiprocessBackend",
+    "shard_of",
+]
 
 #: builds the environment for one shard (shard index -> environment)
 EnvironmentFactory = Callable[[int], Environment]
+
+#: one queued cross-process add: (token, pid, value)
+QueuedAdd = Tuple[int, int, Hashable]
+
+
+def _default_environment(shard_index: int) -> Environment:
+    """Default per-shard environment (module-level, hence picklable)."""
+    return MovingSourceEnvironment()
 
 
 def shard_of(value: Hashable, shards: int) -> int:
     """The shard a value lives on.
 
     Deterministic for content-``repr`` values (see the module
-    docstring); derived via SHA-512, never the salted builtin ``hash``.
+    docstring); derived via SHA-512, never the salted builtin ``hash``,
+    so the same value routes identically in every process — which is
+    what lets :class:`MultiprocessBackend` route adds parent-side.
+
+    Args:
+        value: the value being added or looked up.
+        shards: the total shard count (``>= 1``).
+
+    Returns:
+        The owning shard index in ``range(shards)``.
+
+    Example:
+        >>> shard_of("alpha", 1)
+        0
+        >>> 0 <= shard_of("alpha", 4) < 4
+        True
+        >>> shard_of("alpha", 4) == shard_of("alpha", 4)
+        True
     """
     if shards <= 1:
         return 0
     return derive_randrange(shards, "weakset-shard", value)
 
 
+# ----------------------------------------------------------------------
+# the backend seam
+# ----------------------------------------------------------------------
+class ShardBackend(ABC):
+    """Executes the K shard worlds behind :class:`ShardedWeakSetCluster`.
+
+    The facade owns routing, the operation log, and the blocking-add
+    loop; the backend owns *where the shard clusters live and step*.
+    Implementations must preserve the serial shard semantics exactly:
+    a shard is an :class:`~repro.weakset.cluster.MSWeakSetCluster` that
+    receives the same ``begin_add``/``step`` sequence it would receive
+    in-process (equivalence is pinned in
+    ``tests/weakset/test_shard_backends.py``).
+
+    Attributes:
+        num_shards: how many shard worlds the backend drives.
+        n: process count inside every shard world.
+    """
+
+    num_shards: int
+    n: int
+
+    @property
+    @abstractmethod
+    def now(self) -> float:
+        """The shared lock-step clock (all shards advance together)."""
+
+    @property
+    @abstractmethod
+    def exhausted(self) -> bool:
+        """True once any shard world ran out of rounds."""
+
+    @abstractmethod
+    def begin_add(self, shard_index: int, pid: int, value: Hashable) -> AddRecord:
+        """Start an add of ``value`` by ``pid`` on shard ``shard_index``.
+
+        Returns an :class:`~repro.weakset.spec.AddRecord` whose ``end``
+        the backend stamps once the shard world reports the value
+        written.  Raises :class:`~repro.errors.SimulationError` for a
+        crashed ``pid`` and :class:`~repro.errors.ProtocolMisuse` while
+        a previous add by ``pid`` on the same shard is still blocked —
+        the same errors, at the same call, as a plain cluster.
+        """
+
+    @abstractmethod
+    def step(self) -> bool:
+        """Advance every shard one tick; False once any shard is done."""
+
+    @abstractmethod
+    def crashed(self, shard_index: int, pid: int) -> bool:
+        """Whether ``pid`` has crashed in shard ``shard_index``'s world."""
+
+    @abstractmethod
+    def local_views(self, pid: int) -> List[Tuple[bool, FrozenSet[Hashable]]]:
+        """Per-shard ``(crashed, local PROPOSED)`` pairs for one ``get``.
+
+        Returned in shard order; the facade raises on the first crashed
+        entry and unions the rest, mirroring the serial shard loop.
+        """
+
+    @abstractmethod
+    def traces(self) -> List[RunTrace]:
+        """Per-shard run traces (index = shard).
+
+        The serial backend returns the live trace objects; the
+        multiprocess backend returns point-in-time snapshots fetched
+        from the workers.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, pipes)."""
+
+    def __enter__(self) -> "ShardBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialBackend(ShardBackend):
+    """All shard worlds in this process, stepped in shard order.
+
+    This is the historical execution mode extracted behind the seam;
+    the step sequence each shard sees — and therefore every shard
+    trace — is byte-for-byte what the pre-seam facade produced.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        shards: int,
+        environment_factory: EnvironmentFactory,
+        crash_schedule: Optional[CrashSchedule],
+        max_total_rounds: int,
+        trace_mode: str,
+    ):
+        self.num_shards = shards
+        self.n = n
+        self.clusters: List[MSWeakSetCluster] = [
+            MSWeakSetCluster(
+                n,
+                environment=environment_factory(shard_index),
+                crash_schedule=crash_schedule,
+                max_total_rounds=max_total_rounds,
+                trace_mode=trace_mode,
+            )
+            for shard_index in range(shards)
+        ]
+
+    @property
+    def now(self) -> float:
+        return self.clusters[0].now
+
+    @property
+    def exhausted(self) -> bool:
+        return any(cluster.exhausted for cluster in self.clusters)
+
+    def begin_add(self, shard_index: int, pid: int, value: Hashable) -> AddRecord:
+        return self.clusters[shard_index].begin_add(pid, value)
+
+    def step(self) -> bool:
+        alive = True
+        for cluster in self.clusters:
+            if not cluster.step():
+                alive = False
+        return alive
+
+    def crashed(self, shard_index: int, pid: int) -> bool:
+        return self.clusters[shard_index]._scheduler.processes[pid].crashed
+
+    def local_views(self, pid: int) -> List[Tuple[bool, FrozenSet[Hashable]]]:
+        return [
+            (
+                cluster._scheduler.processes[pid].crashed,
+                cluster.algorithms[pid].get_now(),
+            )
+            for cluster in self.clusters
+        ]
+
+    def traces(self) -> List[RunTrace]:
+        return [cluster.trace for cluster in self.clusters]
+
+
+# ----------------------------------------------------------------------
+# the multiprocess backend
+# ----------------------------------------------------------------------
+def _shard_worker(
+    conn: "multiprocessing.connection.Connection",
+    n: int,
+    shard_index: int,
+    environment_factory: EnvironmentFactory,
+    crash_schedule: Optional[CrashSchedule],
+    max_total_rounds: int,
+    trace_mode: str,
+) -> None:
+    """One worker process = one shard's lock-step world.
+
+    Speaks a tiny request/reply protocol over ``conn``; every request
+    batches the adds queued since the last exchange, so a round costs
+    one message pair per shard no matter how many adds rode in it.
+    """
+    try:
+        cluster = MSWeakSetCluster(
+            n,
+            environment=environment_factory(shard_index),
+            crash_schedule=crash_schedule,
+            max_total_rounds=max_total_rounds,
+            trace_mode=trace_mode,
+        )
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    records: Dict[int, AddRecord] = {}
+
+    def apply_adds(adds: List[QueuedAdd]) -> None:
+        for token, pid, value in adds:
+            records[token] = cluster.begin_add(pid, value)
+
+    def crashed_set() -> FrozenSet[int]:
+        return frozenset(
+            pid
+            for pid, proc in enumerate(cluster._scheduler.processes)
+            if proc.crashed
+        )
+
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            break
+        try:
+            if command == "round":
+                apply_adds(payload)
+                alive = cluster.step()
+                completions = [
+                    (token, record.end)
+                    for token, record in records.items()
+                    if record.end is not None
+                ]
+                for token, _ in completions:
+                    del records[token]
+                conn.send(
+                    ("ok", (alive, completions, crashed_set(), cluster.now))
+                )
+            elif command == "peek":
+                pid, adds = payload
+                apply_adds(adds)
+                conn.send(
+                    (
+                        "ok",
+                        (
+                            cluster._scheduler.processes[pid].crashed,
+                            cluster.algorithms[pid].get_now(),
+                        ),
+                    )
+                )
+            elif command == "trace":
+                conn.send(("ok", cluster.trace))
+            elif command == "stop":
+                conn.send(("ok", None))
+                break
+            else:  # pragma: no cover - protocol misuse is a parent bug
+                conn.send(("error", f"unknown command {command!r}"))
+        except BaseException:
+            conn.send(("error", traceback.format_exc()))
+            break
+    conn.close()
+
+
+class MultiprocessBackend(ShardBackend):
+    """One worker process per shard, batched per-round message passing.
+
+    The parent mirrors exactly the shard state the facade consults
+    between steps — the shared clock, per-shard crash sets, shard
+    exhaustion, and which adds are still in flight — so handle
+    operations stay local; cross-process traffic is **one request/reply
+    pair per shard per round** ("round" carries the adds queued since
+    the last tick, the reply carries completions, the crash set and the
+    clock) plus one pair per shard per ``get`` ("peek").
+
+    Determinism: a worker constructs its shard world from the same
+    picklable ingredients the serial backend uses (``n``, the
+    environment factory applied to the shard index, the crash schedule,
+    horizon, trace mode), and every random decision inside derives from
+    SHA-512 streams stable across processes — so for a fixed seed the
+    shard traces are byte-identical to :class:`SerialBackend`'s.
+
+    Start method: ``fork`` where available (environment factories may
+    close over anything), ``spawn`` otherwise — under ``spawn`` the
+    factory and crash schedule must be picklable, so prefer
+    module-level factory functions or dataclass-style callables such as
+    :class:`repro.sim.workloads.ChurnEnvironments`.
+
+    Workers are real OS processes: call :meth:`close` (or use the
+    owning cluster as a context manager) when done.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        shards: int,
+        environment_factory: EnvironmentFactory,
+        crash_schedule: Optional[CrashSchedule],
+        max_total_rounds: int,
+        trace_mode: str,
+        start_method: Optional[str] = None,
+    ):
+        self.num_shards = shards
+        self.n = n
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._tokens = itertools.count()
+        self._now = 0.0
+        self._shard_exhausted = [False] * shards
+        self._crashed: List[FrozenSet[int]] = [frozenset()] * shards
+        self._pending: List[List[QueuedAdd]] = [[] for _ in range(shards)]
+        self._records: Dict[int, AddRecord] = {}
+        self._in_flight: Dict[Tuple[int, int], AddRecord] = {}
+        self._closed = False
+        self._failed = False
+        self._conns = []
+        self._workers = []
+        try:
+            for shard_index in range(shards):
+                parent_conn, child_conn = context.Pipe()
+                worker = context.Process(
+                    target=_shard_worker,
+                    args=(
+                        child_conn,
+                        n,
+                        shard_index,
+                        environment_factory,
+                        crash_schedule,
+                        max_total_rounds,
+                        trace_mode,
+                    ),
+                    daemon=True,
+                )
+                worker.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._workers.append(worker)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- plumbing --------------------------------------------------------
+    def _send(self, shard_index: int, message: Tuple[str, object]) -> None:
+        try:
+            self._conns[shard_index].send(message)
+        except (OSError, ValueError):
+            self._failed = True
+            raise SimulationError(
+                f"shard {shard_index} worker is gone (pipe closed)"
+            ) from None
+
+    def _recv(self, shard_index: int) -> object:
+        try:
+            status, payload = self._conns[shard_index].recv()
+        except (EOFError, OSError):
+            self._failed = True
+            raise SimulationError(
+                f"shard {shard_index} worker exited unexpectedly"
+            ) from None
+        if status != "ok":
+            # A worker error leaves sibling replies unread and the
+            # round half-applied; poison the backend so later calls
+            # cannot consume stale replies.
+            self._failed = True
+            raise SimulationError(
+                f"shard {shard_index} worker failed:\n{payload}"
+            )
+        return payload
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SimulationError("backend already closed")
+        if self._failed:
+            raise SimulationError(
+                "backend failed (a shard worker died mid-round); "
+                "construct a fresh cluster"
+            )
+
+    # -- ShardBackend ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def exhausted(self) -> bool:
+        return any(self._shard_exhausted)
+
+    def begin_add(self, shard_index: int, pid: int, value: Hashable) -> AddRecord:
+        self._ensure_open()
+        # The serial shard's checks, mirrored parent-side so a bad add
+        # fails fast instead of poisoning a worker mid-round (the pid
+        # guard doubles the facade's, for direct backend users).
+        if not 0 <= pid < self.n:
+            raise SimulationError(f"no process {pid}")
+        if pid in self._crashed[shard_index]:
+            raise SimulationError(f"add on crashed process {pid}")
+        in_flight = self._in_flight.get((shard_index, pid))
+        if in_flight is not None and in_flight.end is None:
+            raise ProtocolMisuse("add while a previous add is still blocked")
+        token = next(self._tokens)
+        record = AddRecord(pid=pid, value=value, start=self._now)
+        self._records[token] = record
+        self._in_flight[(shard_index, pid)] = record
+        self._pending[shard_index].append((token, pid, value))
+        return record
+
+    def step(self) -> bool:
+        self._ensure_open()
+        for shard_index in range(self.num_shards):
+            self._send(shard_index, ("round", self._pending[shard_index]))
+            self._pending[shard_index] = []
+        alive = True
+        for shard_index in range(self.num_shards):
+            shard_alive, completions, crashed, now = self._recv(shard_index)
+            for token, end in completions:
+                self._records.pop(token).end = end
+            self._crashed[shard_index] = crashed
+            self._now = now if shard_index == 0 else self._now
+            if not shard_alive:
+                self._shard_exhausted[shard_index] = True
+                alive = False
+        return alive
+
+    def crashed(self, shard_index: int, pid: int) -> bool:
+        return pid in self._crashed[shard_index]
+
+    def local_views(self, pid: int) -> List[Tuple[bool, FrozenSet[Hashable]]]:
+        self._ensure_open()
+        for shard_index in range(self.num_shards):
+            self._send(shard_index, ("peek", (pid, self._pending[shard_index])))
+            self._pending[shard_index] = []
+        return [self._recv(shard_index) for shard_index in range(self.num_shards)]
+
+    def traces(self) -> List[RunTrace]:
+        self._ensure_open()
+        for shard_index in range(self.num_shards):
+            self._send(shard_index, ("trace", None))
+        return [self._recv(shard_index) for shard_index in range(self.num_shards)]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop", None))
+            except (OSError, ValueError):
+                pass
+        for conn in self._conns:
+            try:
+                # drain the "stop" ack (or an in-flight error)
+                if conn.poll(1.0):
+                    conn.recv()
+            except (OSError, EOFError):
+                pass
+            conn.close()
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.terminate()
+                worker.join(timeout=2.0)
+
+    def __del__(self) -> None:  # pragma: no cover - defensive
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: backend name -> constructor; the facade resolves ``backend=`` here.
+BACKENDS = {
+    "serial": SerialBackend,
+    "multiprocess": MultiprocessBackend,
+}
+
+
+# ----------------------------------------------------------------------
+# the facade
+# ----------------------------------------------------------------------
 class ShardedWeakSetHandle(WeakSet):
     """One process's view of the sharded weak-set (union of shards)."""
 
@@ -80,7 +582,44 @@ class ShardedWeakSetHandle(WeakSet):
 
 
 class ShardedWeakSetCluster:
-    """``K`` independent MS weak-set groups behind one handle API."""
+    """``K`` independent MS weak-set groups behind one handle API.
+
+    Args:
+        n: processes per shard group.
+        shards: number of value-partitioned shard groups.
+        environment_factory: per-shard environment builder
+            (shard index -> :class:`~repro.giraf.environments.Environment`);
+            defaults to a fresh MS environment per shard.  Must be
+            picklable for the multiprocess backend under ``spawn``.
+        crash_schedule: shared adversary crash schedule (every shard
+            world applies the same one, so crash state agrees across
+            shards).
+        max_total_rounds: per-shard round horizon.
+        trace_mode: ``"full"`` or ``"aggregate"``, forwarded to every
+            shard's scheduler.
+        backend: ``"serial"`` (in-process, the default) or
+            ``"multiprocess"`` (one worker process per shard — see
+            :class:`MultiprocessBackend`); alternatively a constructed
+            :class:`ShardBackend` instance, which must have been built
+            for the same ``n`` and ``shards`` (checked) and supplies
+            its own environments/crash schedule/horizon/trace mode
+            (the facade's remaining arguments are not used then).
+        start_method: optional ``multiprocessing`` start method for the
+            multiprocess backend (default: ``fork`` when available).
+
+    Example:
+        >>> cluster = ShardedWeakSetCluster(3, shards=2)
+        >>> cluster.handle(0).add("job-7")
+        >>> sorted(cluster.handle(1).get())
+        ['job-7']
+
+        The multiprocess backend is a drop-in swap (close it when done):
+
+        >>> with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as mp:
+        ...     mp.handle(0).add("job-7")
+        ...     sorted(mp.handle(1).get())
+        ['job-7']
+    """
 
     def __init__(
         self,
@@ -91,50 +630,101 @@ class ShardedWeakSetCluster:
         crash_schedule: Optional[CrashSchedule] = None,
         max_total_rounds: int = 10_000,
         trace_mode: str = "full",
+        backend: object = "serial",
+        start_method: Optional[str] = None,
     ):
         if shards < 1:
             raise SimulationError("need at least one shard")
-        make_environment = environment_factory or (
-            lambda shard_index: MovingSourceEnvironment()
-        )
-        self.shards: List[MSWeakSetCluster] = [
-            MSWeakSetCluster(
+        make_environment = environment_factory or _default_environment
+        if isinstance(backend, ShardBackend):
+            # A constructed backend brings its own world configuration;
+            # reject silent conflicts with the facade's arguments (the
+            # remaining construction knobs live inside the backend and
+            # cannot be cross-checked — they are simply not used here).
+            if backend.n != n or backend.num_shards != shards:
+                raise SimulationError(
+                    f"backend was built for n={backend.n}, "
+                    f"shards={backend.num_shards}; the facade was asked for "
+                    f"n={n}, shards={shards}"
+                )
+            self._backend = backend
+        else:
+            try:
+                backend_cls = BACKENDS[backend]
+            except (KeyError, TypeError):
+                known = ", ".join(sorted(BACKENDS))
+                raise SimulationError(
+                    f"unknown backend {backend!r}; known: {known}"
+                ) from None
+            kwargs = {}
+            if backend_cls is MultiprocessBackend:
+                kwargs["start_method"] = start_method
+            self._backend = backend_cls(
                 n,
-                environment=make_environment(shard_index),
+                shards=shards,
+                environment_factory=make_environment,
                 crash_schedule=crash_schedule,
                 max_total_rounds=max_total_rounds,
                 trace_mode=trace_mode,
+                **kwargs,
             )
-            for shard_index in range(shards)
-        ]
+        self._n = self._backend.n
         self.log = OpLog()
 
     # -- facade plumbing -------------------------------------------------
     @property
+    def backend(self) -> ShardBackend:
+        """The executing :class:`ShardBackend`."""
+        return self._backend
+
+    @property
+    def num_shards(self) -> int:
+        """How many shard groups partition the value space."""
+        return self._backend.num_shards
+
+    @property
+    def shards(self) -> List[MSWeakSetCluster]:
+        """The in-process shard clusters (serial backend only).
+
+        The multiprocess backend's shard worlds live in worker
+        processes; use :meth:`traces` / the handle API instead.
+        """
+        if isinstance(self._backend, SerialBackend):
+            return self._backend.clusters
+        raise SimulationError(
+            "in-process shard clusters are only available on the serial "
+            "backend; use traces() or the handle API"
+        )
+
+    @property
     def now(self) -> float:
         """The shared clock (all shards advance in lock-step)."""
-        return self.shards[0].now
+        return self._backend.now
 
     @property
     def exhausted(self) -> bool:
         """True once any shard ran out of rounds."""
-        return any(shard._exhausted for shard in self.shards)
+        return self._backend.exhausted
 
     def handle(self, pid: int) -> ShardedWeakSetHandle:
-        if not 0 <= pid < len(self.shards[0].algorithms):
+        if not 0 <= pid < self._n:
             raise SimulationError(f"no process {pid}")
         return ShardedWeakSetHandle(self, pid)
 
     def handles(self) -> List[ShardedWeakSetHandle]:
-        return [self.handle(pid) for pid in range(len(self.shards[0].algorithms))]
+        return [self.handle(pid) for pid in range(self._n)]
+
+    def shard_index_for(self, value: Hashable) -> int:
+        """The shard index owning ``value`` (any backend)."""
+        return shard_of(value, self.num_shards)
 
     def shard_for(self, value: Hashable) -> MSWeakSetCluster:
-        """The shard cluster owning ``value``."""
-        return self.shards[shard_of(value, len(self.shards))]
+        """The in-process shard cluster owning ``value`` (serial only)."""
+        return self.shards[self.shard_index_for(value)]
 
     def traces(self) -> List[RunTrace]:
         """Per-shard run traces (index = shard)."""
-        return [shard.trace for shard in self.shards]
+        return self._backend.traces()
 
     def advance(self, rounds: int = 1) -> None:
         """Run every shard ``rounds`` ticks (clocks stay aligned)."""
@@ -144,34 +734,41 @@ class ShardedWeakSetCluster:
 
     def step(self) -> bool:
         """Advance every shard one tick; False once any shard is done."""
-        alive = True
-        for shard in self.shards:
-            if not shard.step():
-                alive = False
-        return alive
+        return self._backend.step()
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for the serial backend)."""
+        self._backend.close()
+
+    def __enter__(self) -> "ShardedWeakSetCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- operations ------------------------------------------------------
     def begin_add(self, pid: int, value: Hashable) -> AddRecord:
         """Start an add on the owning shard; shared-clock record."""
-        record = self.shard_for(value).begin_add(pid, value)
+        if not 0 <= pid < self._n:
+            raise SimulationError(f"no process {pid}")
+        record = self._backend.begin_add(self.shard_index_for(value), pid, value)
         self.log.adds.append(record)
         return record
 
     def _blocking_add(self, pid: int, value: Hashable) -> None:
         record = self.begin_add(pid, value)
-        owner = self.shard_for(value)
-        process = owner._scheduler.processes[pid]
+        shard_index = self.shard_index_for(value)
         while record.end is None:
-            if process.crashed or self.exhausted:
+            if self._backend.crashed(shard_index, pid) or self.exhausted:
                 return  # the add never completes (record.end stays None)
             self.step()
 
     def _instant_get(self, pid: int) -> FrozenSet[Hashable]:
         merged: set = set()
-        for shard in self.shards:
-            if shard._scheduler.processes[pid].crashed:
+        for crashed, proposed in self._backend.local_views(pid):
+            if crashed:
                 raise SimulationError(f"get on crashed process {pid}")
-            merged |= shard.algorithms[pid].get_now()
+            merged |= proposed
         result = frozenset(merged)
         self.log.gets.append(
             GetRecord(pid=pid, start=self.now, end=self.now, result=result)

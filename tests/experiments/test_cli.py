@@ -29,3 +29,14 @@ class TestCli:
     def test_seed_flag_accepted(self, capsys):
         assert main(["T6", "--seed", "3"]) == 0
         assert "[T6]" in capsys.readouterr().out
+
+    def test_backend_flag_runs_churn_family(self, capsys):
+        assert main(["C1", "--backend", "multiprocess"]) == 0
+        out = capsys.readouterr().out
+        assert "[C1]" in out
+        assert "backend=multiprocess" in out
+
+    def test_backend_flag_validated(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["C1", "--backend", "gpu"])
+        assert excinfo.value.code == 2

@@ -9,6 +9,7 @@ import pytest
 
 from repro.analysis.tables import Table
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.churn_tables import run_c1, run_c2
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
 from repro.experiments.state_growth import run_t3
@@ -20,7 +21,19 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "T5", "T6", "T7",
             "F1", "F2", "F3", "F4", "A1", "A2", "A3",
+            "C1", "C2",
         }
+
+    def test_churn_family_registered_and_dispatches(self):
+        table = run_experiment("C1")
+        assert isinstance(table, Table)
+        assert table.experiment_id == "C1"
+
+    def test_backend_kwarg_reaches_churn_runners_only(self):
+        table = run_experiment("C1", backend="serial")
+        assert "backend=serial" in " ".join(table.notes)
+        # runners without a backend knob must not receive (and choke on) it
+        assert isinstance(run_experiment("T6", backend="serial"), Table)
 
     def test_unknown_id_rejected(self):
         with pytest.raises(KeyError):
@@ -63,6 +76,22 @@ class TestHeadlineClaims:
         naive = table.column("leaders (naive)")
         assert real[-1] < real[0]
         assert naive[-1] == naive[0]
+
+    def test_c1_every_row_completes_all_adds(self):
+        table = run_c1(quick=True)
+        assert table.column("adds") == table.column("completed")
+        for p50, p95, p99 in zip(
+            table.column("p50"), table.column("p95"), table.column("p99")
+        ):
+            assert 1 <= p50 <= p95 <= p99
+
+    def test_c2_multiprocess_matches_serial(self):
+        table = run_c2(quick=True)
+        assert table.column("backend") == ["serial", "multiprocess"]
+        assert all(table.column("matches-serial"))
+        assert len(set(map(tuple, (
+            (row[2], row[3], row[4], row[5]) for row in table.rows
+        )))) == 1
 
     def test_f4_registers_read_back_last_write(self):
         table = run_f4(quick=True)

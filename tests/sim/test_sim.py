@@ -5,7 +5,7 @@ import pytest
 from repro._rng import derive_randint, derive_rng, derive_uniform
 from repro.giraf.traces import RunTrace, SendEvent
 from repro.sim.metrics import consensus_metrics, mean_payload_by_round, payload_growth
-from repro.sim.runner import run_consensus, run_es_consensus
+from repro.sim.runner import run_churn_workload, run_consensus, run_es_consensus
 from repro.sim.workloads import (
     binary_proposals,
     clustered_proposals,
@@ -101,3 +101,70 @@ class TestRunner:
     def test_stop_early_toggle(self):
         slow = run_es_consensus([1, 2], gst=1, max_rounds=30)
         assert slow.trace.rounds_executed < 30
+
+    def test_trace_mode_passthrough_lockstep(self):
+        """runner -> scheduler trace_mode plumbing (PR 2 ride-along)."""
+        full = run_es_consensus([1, 2, 3], gst=1, trace_mode="full")
+        aggregate = run_es_consensus([1, 2, 3], gst=1, trace_mode="aggregate")
+        assert not full.trace.aggregate
+        assert aggregate.trace.aggregate
+        assert not aggregate.trace.sends and not aggregate.trace.deliveries
+        # the headline numbers must agree across modes
+        assert aggregate.trace.send_count() == full.trace.send_count()
+        assert aggregate.trace.message_count() == full.trace.message_count()
+        assert aggregate.metrics.decided_fraction == full.metrics.decided_fraction
+
+    def test_trace_mode_passthrough_drifting(self):
+        full = run_es_consensus(
+            [1, 2, 3], gst=1, scheduler="drifting", trace_mode="full"
+        )
+        aggregate = run_es_consensus(
+            [1, 2, 3], gst=1, scheduler="drifting", trace_mode="aggregate"
+        )
+        assert not full.trace.aggregate
+        assert aggregate.trace.aggregate
+        assert aggregate.trace.send_count() == full.trace.send_count()
+        assert aggregate.trace.message_count() == full.trace.message_count()
+
+
+class TestChurnWorkload:
+    def test_all_adds_complete_and_latencies_positive(self):
+        run = run_churn_workload(
+            n=3, shards=2, total_adds=8, adds_per_round=2, seed=3
+        )
+        assert run.issued == run.completed == 8
+        assert len(run.latencies) == 8
+        assert all(latency >= 1 for latency in run.latencies)
+        assert run.throughput > 0
+
+    def test_percentiles_ordered(self):
+        run = run_churn_workload(n=3, shards=2, total_adds=12, seed=1)
+        p50 = run.percentile_latency(50)
+        p95 = run.percentile_latency(95)
+        p99 = run.percentile_latency(99)
+        assert p50 <= p95 <= p99
+
+    def test_deterministic_given_seed(self):
+        runs = [
+            run_churn_workload(n=3, shards=2, total_adds=6, seed=4)
+            for _ in range(2)
+        ]
+        assert runs[0].latencies == runs[1].latencies
+
+    def test_patterns_validated(self):
+        with pytest.raises(ValueError):
+            run_churn_workload(pattern="tornado")
+        with pytest.raises(ValueError):
+            run_churn_workload(adds_per_round=0)
+
+    def test_empty_workload(self):
+        run = run_churn_workload(total_adds=0)
+        assert run.issued == run.completed == run.rounds == 0
+        assert run.percentile_latency(50) is None
+        assert run.throughput is None
+
+    def test_fixed_pattern_runs(self):
+        run = run_churn_workload(
+            n=3, shards=1, total_adds=6, pattern="fixed", seed=0
+        )
+        assert run.completed == 6

@@ -1,0 +1,37 @@
+"""Documentation stays true: doctests pass, markdown links resolve.
+
+Runs the same checks as the CI ``docs`` job (``make docs`` /
+``scripts/check_docs.py``) so doc rot fails tier-1 locally, not just
+in CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "scripts" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def test_doctest_modules_pass():
+    assert check_docs.run_doctests() == []
+
+
+def test_markdown_links_resolve():
+    assert check_docs.check_markdown_links() == []
+
+
+def test_main_exit_code_and_summary(capsys):
+    assert check_docs.main() == 0
+    assert "docs ok" in capsys.readouterr().out

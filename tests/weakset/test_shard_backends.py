@@ -1,0 +1,239 @@
+"""The shard-execution backends: serial == multiprocess, pinned.
+
+The acceptance bar for the backend seam: for a fixed seed, the
+multiprocess backend (one worker process per shard) must produce a
+byte-identical final weak-set trace to the serial backend — same shard
+worlds, same step sequence, same SHA-512-derived decisions.
+"""
+
+import pytest
+
+from repro.errors import ProtocolMisuse, SimulationError
+from repro.giraf.adversary import CrashPlan, CrashSchedule
+from repro.serialization import trace_to_json
+from repro.sim.runner import run_churn_workload
+from repro.sim.workloads import ChurnEnvironments
+from repro.weakset.sharding import (
+    MultiprocessBackend,
+    SerialBackend,
+    ShardedWeakSetCluster,
+)
+from repro.weakset.spec import check_weakset
+
+
+def _drive(cluster):
+    """A fixed mixed workload: blocking and async adds, gets, crashes."""
+    handles = cluster.handles()
+    handles[0].add("alpha")
+    handles[2].get()
+    records = [handles[pid].add_async(f"bg-{pid}") for pid in (1, 3)]
+    cluster.advance(5)
+    handles[1].add("beta")
+    views = [frozenset(handle.get()) for handle in handles]
+    adds = [(r.pid, r.value, r.start, r.end) for r in cluster.log.adds]
+    return views, adds, [r.end for r in records]
+
+
+def _snapshot(cluster):
+    return [trace_to_json(trace) for trace in cluster.traces()]
+
+
+class TestBackendEquivalence:
+    def test_traces_byte_identical_for_fixed_seed(self):
+        """The pinned acceptance test: serial == multiproc, byte for byte."""
+        def build(backend):
+            return ShardedWeakSetCluster(
+                4,
+                shards=3,
+                environment_factory=ChurnEnvironments(pattern="random", seed=7),
+                backend=backend,
+            )
+
+        serial = build("serial")
+        serial_result = _drive(serial)
+        serial_traces = _snapshot(serial)
+        with build("multiprocess") as multiproc:
+            multiproc_result = _drive(multiproc)
+            multiproc_traces = _snapshot(multiproc)
+        assert multiproc_result == serial_result
+        assert multiproc_traces == serial_traces
+
+    def test_equivalence_under_crashes(self):
+        crashes = CrashSchedule({2: CrashPlan(3, before_send=True)})
+
+        def build(backend):
+            return ShardedWeakSetCluster(
+                4, shards=2, crash_schedule=crashes, backend=backend
+            )
+
+        serial = build("serial")
+        doomed_serial = serial.handle(2).add_async("doomed")
+        serial.handle(0).add("ok")
+        serial.advance(4)
+        with build("multiprocess") as multiproc:
+            doomed_multiproc = multiproc.handle(2).add_async("doomed")
+            multiproc.handle(0).add("ok")
+            multiproc.advance(4)
+            assert _snapshot(multiproc) == _snapshot(serial)
+            assert doomed_multiproc.end is None and doomed_serial.end is None
+            with pytest.raises(SimulationError):
+                multiproc.handle(2).get()
+            with pytest.raises(SimulationError):
+                multiproc.handle(2).add("x")
+
+    def test_churn_workload_backend_invariant(self):
+        runs = [
+            run_churn_workload(
+                n=3, shards=2, total_adds=10, adds_per_round=2,
+                pattern="round-robin", backend=backend, seed=5,
+            )
+            for backend in ("serial", "multiprocess")
+        ]
+        assert runs[0].latencies == runs[1].latencies
+        assert runs[0].completed == runs[1].completed == 10
+        assert runs[0].rounds == runs[1].rounds
+
+
+class TestMultiprocessSemantics:
+    def test_spec_holds_and_log_matches(self):
+        with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as cluster:
+            handles = cluster.handles()
+            handles[0].add("a")
+            handles[2].get()
+            handles[1].add("b")
+            cluster.advance(4)
+            for handle in handles:
+                handle.get()
+            assert check_weakset(cluster.log).ok
+
+    def test_add_visible_in_own_get_before_any_step(self):
+        """begin_add's immediate PROPOSED insert survives the batching."""
+        with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as cluster:
+            record = cluster.handle(1).add_async("instant")
+            assert record.end is None
+            assert "instant" in cluster.handle(1).get()
+
+    def test_double_add_same_pid_rejected_like_serial(self):
+        serial = ShardedWeakSetCluster(3, shards=1)
+        serial.handle(0).add_async("v1")
+        with pytest.raises(ProtocolMisuse):
+            serial.handle(0).add_async("v2")
+        with ShardedWeakSetCluster(3, shards=1, backend="multiprocess") as cluster:
+            cluster.handle(0).add_async("v1")
+            with pytest.raises(ProtocolMisuse):
+                cluster.handle(0).add_async("v2")
+
+    def test_exhaustion_mirrors(self):
+        with ShardedWeakSetCluster(
+            2, shards=2, max_total_rounds=3, backend="multiprocess"
+        ) as cluster:
+            assert not cluster.exhausted
+            cluster.advance(10)
+            assert cluster.exhausted
+            assert cluster.now == 3.0
+
+    def test_shards_property_serial_only(self):
+        assert len(ShardedWeakSetCluster(2, shards=2).shards) == 2
+        with ShardedWeakSetCluster(2, shards=2, backend="multiprocess") as cluster:
+            with pytest.raises(SimulationError):
+                cluster.shards
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardedWeakSetCluster(2, backend="gpu")
+
+    def test_out_of_range_pid_rejected_before_reaching_workers(self):
+        with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as cluster:
+            with pytest.raises(SimulationError):
+                cluster.begin_add(7, "v")
+            # the workers were never poisoned: the cluster still runs
+            cluster.handle(0).add("fine")
+            assert "fine" in cluster.handle(1).get()
+
+    def test_dead_worker_poisons_backend_with_clean_errors(self):
+        cluster = ShardedWeakSetCluster(3, shards=2, backend="multiprocess")
+        try:
+            cluster.advance(1)
+            worker = cluster.backend._workers[0]
+            worker.terminate()
+            worker.join(timeout=5.0)
+            with pytest.raises(SimulationError):
+                cluster.advance(1)
+            # every later call fails the same way — no raw pipe errors,
+            # no stale replies consumed
+            with pytest.raises(SimulationError):
+                cluster.step()
+            with pytest.raises(SimulationError):
+                cluster.handle(0).get()
+        finally:
+            cluster.close()
+
+    def test_mismatched_backend_instance_rejected(self):
+        backend = SerialBackend(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=1),
+            crash_schedule=None,
+            max_total_rounds=100,
+            trace_mode="full",
+        )
+        with pytest.raises(SimulationError):
+            ShardedWeakSetCluster(5, shards=2, backend=backend)
+        with pytest.raises(SimulationError):
+            ShardedWeakSetCluster(3, shards=3, backend=backend)
+
+    def test_close_is_idempotent_and_blocks_further_use(self):
+        cluster = ShardedWeakSetCluster(2, shards=2, backend="multiprocess")
+        cluster.handle(0).add("x")
+        cluster.close()
+        cluster.close()
+        with pytest.raises(SimulationError):
+            cluster.step()
+
+    def test_constructed_backend_instance_accepted(self):
+        backend = SerialBackend(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=1),
+            crash_schedule=None,
+            max_total_rounds=100,
+            trace_mode="full",
+        )
+        cluster = ShardedWeakSetCluster(3, shards=2, backend=backend)
+        assert cluster.backend is backend
+        cluster.handle(0).add("v")
+        assert "v" in cluster.handle(1).get()
+
+
+class TestBackendClasses:
+    def test_multiprocess_backend_direct(self):
+        backend = MultiprocessBackend(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=2),
+            crash_schedule=None,
+            max_total_rounds=50,
+            trace_mode="full",
+        )
+        try:
+            record = backend.begin_add(0, 1, "direct")
+            assert record.start == 0.0
+            while record.end is None and backend.step():
+                pass
+            assert record.end is not None
+            views = backend.local_views(0)
+            assert len(views) == 2
+            assert any("direct" in proposed for _, proposed in views)
+        finally:
+            backend.close()
+
+    def test_serial_backend_traces_are_live(self):
+        backend = SerialBackend(
+            2,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=0),
+            crash_schedule=None,
+            max_total_rounds=50,
+            trace_mode="full",
+        )
+        assert backend.traces()[0] is backend.clusters[0].trace
