@@ -1,15 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench docs experiments experiments-full
+.PHONY: test bench bench-shard docs experiments experiments-full
 
 test:
 	$(PYTHON) -m pytest -q
 
-# Capture the performance trajectory (micro benches + T1/F1/C1 quick +
-# T3 full) into BENCH_micro.json.  See PERFORMANCE.md.
+# Capture the performance trajectory (micro benches + T1/F1/C1/C3
+# quick + T3 full) into BENCH_micro.json.  See PERFORMANCE.md.
 bench:
 	$(PYTHON) benchmarks/capture.py
+
+# Just the shard-execution benches: the churn quick shape on the
+# serial / multiprocess / socket backends plus the overlapped vs
+# lock-step harvest pair.  See PERFORMANCE.md §5.
+bench-shard:
+	$(PYTHON) -m pytest benchmarks/bench_micro.py -q -k "churn or harvest"
 
 # Doctest the documented API surface and link-check every *.md.
 docs:

@@ -21,8 +21,9 @@ from repro.giraf.environments import EventualSynchronyEnvironment
 from repro.giraf.messages import payload_size
 from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
 from repro.sim.runner import stop_when_all_correct_decided
+from repro.sim.workloads import ChurnEnvironments
 from repro.weakset.cluster import MSWeakSetCluster
-from repro.weakset.sharding import ShardedWeakSetCluster
+from repro.weakset.sharding import MultiprocessBackend, ShardedWeakSetCluster
 
 
 def _counter_workload(depth: int, fanout: int, *, interned: bool = True):
@@ -209,3 +210,58 @@ def test_bench_churn_workload_multiprocess(benchmark):
     """
     run = benchmark.pedantic(_churn, args=("multiprocess",), rounds=3, iterations=1)
     assert run.completed == 12
+
+
+def test_bench_churn_workload_socket(benchmark):
+    """The same stream again over loopback TCP (socket backend).
+
+    Like the multiprocess twin this includes spawning the workers and
+    the TCP accept/handshake per iteration — the end-to-end cost of
+    the wire, which is what a multi-machine deployment pays once plus
+    the per-round frame traffic.
+    """
+    run = benchmark.pedantic(_churn, args=("socket",), rounds=3, iterations=1)
+    assert run.completed == 12
+
+
+def _steady_multiprocess_cluster(overlap: bool) -> ShardedWeakSetCluster:
+    """A 4-shard multiprocess cluster at steady state (adds landed)."""
+    backend = MultiprocessBackend(
+        4,
+        shards=4,
+        environment_factory=ChurnEnvironments(seed=0),
+        crash_schedule=None,
+        max_total_rounds=1_000_000,
+        trace_mode="aggregate",
+        overlap=overlap,
+    )
+    cluster = ShardedWeakSetCluster(4, shards=4, backend=backend)
+    for pid in range(4):
+        cluster.handle(pid).add_async(f"seed-{pid}")
+    cluster.advance(10)
+    return cluster
+
+
+def test_bench_shard_harvest_overlapped(benchmark):
+    """25 protocol round trips × 4 shard workers, selector harvest.
+
+    Workers are spawned once outside the measurement; what is timed is
+    the steady per-round exchange — send-all, then harvest completions
+    as they arrive.  On a single core the two harvests are near parity
+    (workers serialize anyway); multi-core is where overlap hides a
+    slow shard behind its siblings.
+    """
+    cluster = _steady_multiprocess_cluster(overlap=True)
+    try:
+        benchmark.pedantic(cluster.advance, args=(25,), rounds=5, iterations=1)
+    finally:
+        cluster.close()
+
+
+def test_bench_shard_harvest_lockstep(benchmark):
+    """The same 25 round trips harvested in fixed shard order."""
+    cluster = _steady_multiprocess_cluster(overlap=False)
+    try:
+        benchmark.pedantic(cluster.advance, args=(25,), rounds=5, iterations=1)
+    finally:
+        cluster.close()

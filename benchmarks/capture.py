@@ -83,6 +83,7 @@ def run_experiments() -> dict[str, float]:
         ("F1_quick", "F1", True),
         ("T3_full", "T3", False),
         ("C1_quick", "C1", True),
+        ("C3_quick", "C3", True),
     ]:
         start = time.perf_counter()
         run_experiment(experiment_id, quick=quick, seed=0)
@@ -156,6 +157,22 @@ def main(argv=None) -> int:
     multiproc = micro.get("test_bench_churn_workload_multiprocess")
     if serial and multiproc:
         speedups["churn_multiprocess_vs_serial_cost"] = round(multiproc / serial, 2)
+    # Transport split (PR 4): the socket backend's end-to-end cost on
+    # the same stream (spawn + TCP handshake included, like the
+    # multiprocess twin), and the steady-state harvest comparison —
+    # overlapped (selector) vs lock-step (fixed order) reply
+    # collection over the same 4 pipe workers.  Ratios ≈ 1 on this
+    # single-core box; the overlap pays off when shards genuinely
+    # compute concurrently.
+    sock = micro.get("test_bench_churn_workload_socket")
+    if serial and sock:
+        speedups["churn_socket_vs_serial_cost"] = round(sock / serial, 2)
+    overlapped = micro.get("test_bench_shard_harvest_overlapped")
+    lockstep = micro.get("test_bench_shard_harvest_lockstep")
+    if overlapped and lockstep:
+        speedups["shard_harvest_lockstep_vs_overlapped"] = round(
+            lockstep / overlapped, 2
+        )
     if speedups:
         snapshot["speedups"] = speedups
 

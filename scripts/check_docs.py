@@ -34,6 +34,8 @@ DOCTEST_MODULES = [
     "repro.runtime.kernel",
     "repro.runtime.sinks",
     "repro.giraf.environments",
+    "repro.weakset.protocol",
+    "repro.weakset.transport",
     "repro.weakset.sharding",
     "repro.sim.runner",
     "repro.sim.workloads",

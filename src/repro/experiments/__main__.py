@@ -3,14 +3,42 @@
 With no IDs, runs the entire suite.  ``--full`` uses the full
 parameter grids (slower); the default is the quick grid the benchmarks
 use.
+
+The churn family's shard execution is selectable with ``--backend``;
+``--backend socket`` additionally supports a **multi-machine** split:
+
+* parent (runs the experiment)::
+
+      python -m repro.experiments C1 --backend socket --listen 0.0.0.0:7000
+
+* each worker machine (serves shard worlds until the parent is done)::
+
+      python -m repro.experiments --connect PARENT_HOST:7000
+
+Without ``--listen``, ``--backend socket`` spawns loopback workers on
+this machine — same wire protocol, one box.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Tuple
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _parse_address(text: str) -> Tuple[str, int]:
+    """argparse adapter over the weakset layer's one address syntax."""
+    from repro.errors import SimulationError
+    from repro.weakset.sharding import parse_address
+
+    try:
+        return parse_address(text)
+    except SimulationError:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        ) from None
 
 
 def main(argv=None) -> int:
@@ -36,15 +64,50 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["serial", "multiprocess"],
+        choices=["serial", "inproc", "multiprocess", "socket"],
         default=None,
-        help="shard-execution backend for the churn family (C1): "
-        "multiprocess runs each shard group in its own worker process "
-        "(identical tables — the shard worlds replay exactly)",
+        help="shard-execution backend for the churn family (C1/C3): "
+        "multiprocess runs each shard group in its own worker process, "
+        "socket runs it behind loopback TCP (identical tables — the "
+        "shard worlds replay exactly); combine socket with --listen "
+        "for external workers",
+    )
+    parser.add_argument(
+        "--listen",
+        type=_parse_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="with --backend socket: bind the shard listener here and "
+        "wait for external workers (started with --connect on their "
+        "machines) instead of spawning loopback workers",
+    )
+    parser.add_argument(
+        "--connect",
+        type=_parse_address,
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a shard worker instead: serve shard worlds for the "
+        "experiment parent listening at HOST:PORT until it is done "
+        "(no IDs; see --listen)",
     )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.connect is not None:
+        if args.ids or args.listen is not None or args.backend is not None:
+            parser.error("--connect runs a bare worker; drop IDs/--listen/--backend")
+        from repro.weakset.sharding import run_socket_worker
+
+        served = run_socket_worker(args.connect)
+        host, port = args.connect
+        print(f"served {served} shard world(s) for {host}:{port}")
+        return 0
+    backend = args.backend
+    if args.listen is not None:
+        if backend != "socket":
+            parser.error("--listen requires --backend socket")
+        host, port = args.listen
+        backend = f"socket:{host}:{port}"
 
     ids = [identifier.upper() for identifier in args.ids] or sorted(EXPERIMENTS)
     unknown = [identifier for identifier in ids if identifier not in EXPERIMENTS]
@@ -57,7 +120,7 @@ def main(argv=None) -> int:
             quick=not args.full,
             seed=args.seed,
             jobs=args.jobs,
-            backend=args.backend,
+            backend=backend,
         )
         print(table.render())
         print()

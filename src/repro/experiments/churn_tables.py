@@ -1,4 +1,4 @@
-"""Experiments C1, C2: the churn/throughput workload family.
+"""Experiments C1–C3: the churn/throughput workload family.
 
 Beyond the paper's tables: the sharded weak-set makes a sustained
 add-stream workload natural, and these experiments characterize it.
@@ -10,17 +10,25 @@ add-stream workload natural, and these experiments characterize it.
   Theorem 3's finite wait) and the sustained throughput, per
   ``pattern × shards``.
 * **C2** — shard-backend equivalence and cost.  The same workload run
-  on the serial backend and on the multiprocess backend (one worker
-  process per shard); the latency columns are byte-identical by
-  construction — the table demonstrates it — and the wall-clock column
-  shows what the extra processes cost (or buy, on multi-core hosts).
+  on the serial backend, the multiprocess (pipe) backend, and the
+  socket (loopback TCP) backend; the latency columns are
+  byte-identical by construction — the table demonstrates it — and
+  the wall-clock column shows what the extra processes and the wire
+  cost (or buy, on multi-core and multi-machine hosts).
+* **C3** — crash churn on top of source churn.  The same add stream
+  while the adversary crashes a fraction of the processes mid-run:
+  queued adds on crashed processes are skipped, in-flight ones are
+  abandoned, and the table shows how much of the offered load still
+  lands (Algorithm 4 tolerates ``n - 1`` crashes; the surviving
+  processes' adds keep completing).
 
-Both scale far beyond their table grids: the driver
+All three scale far beyond their table grids: the driver
 (:func:`repro.sim.runner.run_churn_workload`) accepts arbitrarily long
 add streams (memory is tens of bytes per add; per-round cost grows
 with each shard's accumulated value population, so shard count is the
-lever for long streams) and the ``backend="multiprocess"`` switch
-moves each shard world onto its own core.
+lever for long streams) and the backend switch moves each shard world
+onto its own core (``multiprocess``) or machine (``socket`` — see
+``--listen``/``--connect`` in the CLI).
 """
 
 from __future__ import annotations
@@ -28,10 +36,11 @@ from __future__ import annotations
 import time
 
 from repro.analysis.tables import Table
+from repro.giraf.adversary import CrashSchedule
 from repro.sim.runner import run_churn_workload
 from repro.sim.workloads import CHURN_PATTERNS
 
-__all__ = ["run_c1", "run_c2"]
+__all__ = ["run_c1", "run_c2", "run_c3"]
 
 
 def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
@@ -81,7 +90,7 @@ def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
 
 
 def run_c2(quick: bool = True, seed: int = 0) -> Table:
-    """C2: serial vs multiprocess shard backend on one fixed workload."""
+    """C2: serial vs multiprocess vs socket backend on one workload."""
     n = 3 if quick else 6
     shards = 2 if quick else 4
     total_adds = 10 if quick else 160
@@ -89,22 +98,22 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
 
     table = Table(
         experiment_id="C2",
-        title="Shard backends: serial vs multiprocess on one workload",
+        title="Shard backends: serial vs multiprocess vs socket",
         headers=[
             "backend", "shards", "completed",
             "p50", "p95", "p99", "wall-s", "matches-serial",
         ],
         notes=[
-            "the latency columns must match row-for-row: the multiprocess "
-            "backend replays the exact serial shard worlds (SHA-512-seeded "
+            "the latency columns must match row-for-row: the transport "
+            "backends replay the exact serial shard worlds (SHA-512-seeded "
             "streams are process-independent)",
             "wall-s is this machine's cost of the worker processes and "
-            "per-round message passing; on multi-core hosts the shard "
-            "worlds step concurrently",
+            "per-round message passing (loopback TCP for the socket row); "
+            "on multi-core hosts the shard worlds step concurrently",
         ],
     )
     reference = None
-    for backend in ("serial", "multiprocess"):
+    for backend in ("serial", "multiprocess", "socket"):
         start = time.perf_counter()
         run = run_churn_workload(
             n=n,
@@ -129,4 +138,56 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
             wall,
             summary == reference,
         )
+    return table
+
+
+def run_c3(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
+    """C3: crash churn (process failures) on top of source churn."""
+    patterns = ["random", "flapping"] if quick else list(CHURN_PATTERNS)
+    fractions = [0.25, 0.5] if quick else [0.25, 0.5, 0.75]
+    n = 4 if quick else 6
+    shards = 2 if quick else 4
+    total_adds = 18 if quick else 160
+    adds_per_round = 2 if quick else 4
+
+    table = Table(
+        experiment_id="C3",
+        title="Crash churn: add stream under process failures",
+        headers=[
+            "pattern", "crash-frac", "crashed", "issued", "completed",
+            "skipped", "p50", "p95", "adds/round",
+        ],
+        notes=[
+            "the adversary crashes floor(frac*n) processes in rounds 1-10; "
+            "queued adds on crashed processes are skipped, in-flight ones "
+            "abandoned — surviving processes' adds keep completing "
+            "(Algorithm 4 tolerates n-1 crashes)",
+            f"backend={backend}; results are backend-invariant for a "
+            "fixed seed (pinned in tests/weakset/test_shard_backends.py)",
+        ],
+    )
+    for pattern in patterns:
+        for fraction in fractions:
+            crashes = CrashSchedule.fraction(n, fraction, seed=seed)
+            run = run_churn_workload(
+                n=n,
+                shards=shards,
+                total_adds=total_adds,
+                adds_per_round=adds_per_round,
+                pattern=pattern,
+                backend=backend,
+                seed=seed,
+                crash_schedule=crashes,
+            )
+            table.add_row(
+                pattern,
+                f"{fraction:.2f}",
+                len(crashes),
+                run.issued,
+                run.completed,
+                run.skipped,
+                run.percentile_latency(50),
+                run.percentile_latency(95),
+                run.throughput,
+            )
     return table

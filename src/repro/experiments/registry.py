@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis.tables import Table
 from repro.experiments.ablations import run_a1, run_a2, run_a3
 from repro.experiments.baseline_table import run_t7
-from repro.experiments.churn_tables import run_c1, run_c2
+from repro.experiments.churn_tables import run_c1, run_c2, run_c3
 from repro.experiments.consensus_tables import run_f1, run_f2, run_t1, run_t2
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
@@ -41,6 +41,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "A3": run_a3,
     "C1": run_c1,
     "C2": run_c2,
+    "C3": run_c3,
 }
 
 
@@ -56,9 +57,9 @@ def run_experiment(
 
     ``jobs`` fans grid experiments out over worker processes; runners
     whose workload is not cell-parallel simply ignore it.  ``backend``
-    selects the shard-execution backend (``"serial"`` or
-    ``"multiprocess"``) for the churn family; runners without a
-    backend knob ignore it.
+    selects the shard-execution backend (``"serial"``,
+    ``"multiprocess"``, ``"socket"``, or ``"socket:HOST:PORT"``) for
+    the churn family; runners without a backend knob ignore it.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:

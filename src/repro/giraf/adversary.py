@@ -237,6 +237,30 @@ class DelayPolicy(ABC):
     def delay(self, round_no: int, sender: int, receiver: int) -> int:
         """Extra ticks before the delivery (``>= 2``)."""
 
+    def delay_row(
+        self, round_no: int, sender: int, receivers: Sequence[int]
+    ) -> list:
+        """Vectorized form: one broadcast's late delays in one call.
+
+        Must answer exactly what per-link :meth:`delay` calls would —
+        the draws stay *keyed* per link by design (that is what keeps
+        either path byte-identical, equivalence-tested in
+        ``tests/giraf``), so the win is collapsing the per-link
+        environment→policy call chain into one row call, not batching
+        the RNG itself.  The default falls back to the scalar method
+        so custom policies stay correct with no extra work; the
+        shipped policies override it with a single inline loop.
+
+        Args:
+            round_no: the round of the broadcast.
+            sender: the broadcasting pid.
+            receivers: the late targets, in row order.
+
+        Returns:
+            One delay (ticks, ``>= 2``) per receiver.
+        """
+        return [self.delay(round_no, sender, receiver) for receiver in receivers]
+
 
 class UniformDelay(DelayPolicy):
     """Uniform delay in ``[lo, hi]`` ticks, seeded and per-link."""
@@ -255,6 +279,15 @@ class UniformDelay(DelayPolicy):
             self._lo, self._hi, "delay", self._seed, round_no, sender, receiver
         )
 
+    def delay_row(
+        self, round_no: int, sender: int, receivers: Sequence[int]
+    ) -> list:
+        lo, hi, seed = self._lo, self._hi, self._seed
+        return [
+            derive_randint(lo, hi, "delay", seed, round_no, sender, receiver)
+            for receiver in receivers
+        ]
+
 
 class ConstantDelay(DelayPolicy):
     """Every late message is exactly ``ticks`` late.
@@ -270,3 +303,8 @@ class ConstantDelay(DelayPolicy):
 
     def delay(self, round_no: int, sender: int, receiver: int) -> int:
         return self._ticks
+
+    def delay_row(
+        self, round_no: int, sender: int, receivers: Sequence[int]
+    ) -> list:
+        return [self._ticks] * len(receivers)

@@ -255,6 +255,42 @@ class Environment(ABC):
         """Lateness (in ticks) for a delivery that is not timely."""
         return self.delay_policy.delay(round_no, sender, receiver)
 
+    def delay_ticks_row(
+        self, round_no: int, sender: int, receivers: Sequence[int]
+    ) -> List[int]:
+        """Vectorized :meth:`delay_ticks`: one call per late broadcast.
+
+        Environments that override :meth:`delay_ticks` itself are
+        routed through the per-link fallback automatically; stock
+        environments delegate to the delay policy's
+        :meth:`~repro.giraf.adversary.DelayPolicy.delay_row`, so a
+        broadcast's late links cost one call through the
+        environment/policy layers instead of one per link.  The draws
+        stay keyed per link, so the values are exactly what per-link
+        :meth:`delay_ticks` calls would produce (equivalence-tested) —
+        the lock-step scheduler's late path may use either form.
+
+        Args:
+            round_no: the round of the broadcast.
+            sender: the broadcasting pid.
+            receivers: the late targets, in row order.
+
+        Returns:
+            One delay (ticks) per receiver.
+
+        Example:
+            >>> env = MovingSourceEnvironment()
+            >>> row = env.delay_ticks_row(3, 0, [1, 2])
+            >>> row == [env.delay_ticks(3, 0, r) for r in (1, 2)]
+            True
+        """
+        if type(self).delay_ticks is not Environment.delay_ticks:
+            return [
+                self.delay_ticks(round_no, sender, receiver)
+                for receiver in receivers
+            ]
+        return self.delay_policy.delay_row(round_no, sender, receivers)
+
     # -- drifting-scheduler latencies ------------------------------------
     def timely_latency(self, round_no: int, sender: int, receiver: int) -> float:
         """Continuous-time latency for an obligatory (timely) delivery.
@@ -304,8 +340,21 @@ class Environment(ABC):
         """Vectorized :meth:`late_latency`: one call per broadcast.
 
         Args/returns mirror :meth:`timely_latencies`, drawing from the
-        delay policy instead of the timely-latency stream.
+        delay policy instead of the timely-latency stream.  When
+        neither :meth:`late_latency` nor :meth:`delay_ticks` is
+        overridden, the whole row comes straight from the delay
+        policy's :meth:`~repro.giraf.adversary.DelayPolicy.delay_row`
+        (identical values, no per-link dispatch); overriding either
+        scalar routes through the per-link fallback automatically.
         """
+        if (
+            type(self).late_latency is Environment.late_latency
+            and type(self).delay_ticks is Environment.delay_ticks
+        ):
+            return [
+                float(delay)
+                for delay in self.delay_policy.delay_row(round_no, sender, receivers)
+            ]
         return [
             self.late_latency(round_no, sender, receiver) for receiver in receivers
         ]

@@ -273,6 +273,7 @@ class LockStepScheduler:
             if obligatory and not wants_events:
                 continue
             row = None if obligatory else link_rows.get(sender)
+            late: List[int] = []
             for index, proc in enumerate(receivers):
                 if proc.pid == sender:
                     continue
@@ -296,10 +297,13 @@ class LockStepScheduler:
                         True,
                     )
                 else:
-                    delay = self._environment.delay_ticks(tick, sender, proc.pid)
-                    due = tick + delay
-                    if due <= kernel.max_rounds and delay < NEVER_DELIVERED:
-                        kernel.queue_delivery(due, proc.pid, envelope, sender, tick)
+                    late.append(proc.pid)
+            if late:
+                # One vectorized delay row per broadcast (identical
+                # values to per-link draws — the row stays keyed per
+                # link), consumed row-wise by the kernel's late queue.
+                delays = self._environment.delay_ticks_row(tick, sender, late)
+                kernel.queue_delivery_row(tick, envelope, sender, late, delays)
 
 
 class _Gate:

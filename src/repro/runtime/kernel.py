@@ -29,7 +29,7 @@ import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SimulationError
-from repro.giraf.adversary import CrashSchedule
+from repro.giraf.adversary import NEVER_DELIVERED, CrashSchedule
 from repro.giraf.automaton import GirafAlgorithm, GirafProcess
 from repro.giraf.environments import Environment
 from repro.giraf.messages import Envelope
@@ -231,6 +231,33 @@ class RuntimeKernel:
         self._pending.setdefault(due_tick, []).append(
             (receiver, envelope, sender, sent_tick)
         )
+
+    def queue_delivery_row(
+        self,
+        tick: int,
+        envelope: Envelope,
+        sender: int,
+        receivers: Sequence[int],
+        delays: Sequence[int],
+    ) -> None:
+        """Queue one broadcast's late deliveries from a delay row.
+
+        The row-wise twin of :meth:`queue_delivery`: ``delays[i]``
+        ticks for ``receivers[i]``, with the same admission filtering
+        the lock-step scheduler previously applied per link — entries
+        due past the horizon or carrying the never-delivered sentinel
+        are dropped (reliability only promises *eventual* delivery,
+        which a finite run prefix cannot refute).  Queue order follows
+        row order, so schedules are identical to per-link queuing.
+        """
+        pending = self._pending
+        max_rounds = self.max_rounds
+        for receiver, delay in zip(receivers, delays):
+            due = tick + delay
+            if due <= max_rounds and delay < NEVER_DELIVERED:
+                pending.setdefault(due, []).append(
+                    (receiver, envelope, sender, tick)
+                )
 
     def due_deliveries(self, tick: int) -> Sequence[QueuedDelivery]:
         """Pop (and return) the deliveries due at ``tick``."""

@@ -205,8 +205,13 @@ class ChurnRun:
 
     Attributes:
         issued: adds started (equals the requested ``total_adds``
-            unless the round horizon ran out first).
+            unless the round horizon ran out first or processes
+            crashed out from under their queued adds).
         completed: adds whose value was written within the run.
+        skipped: adds never issued because their process had already
+            crashed in the owning shard (crash-churn runs only; an add
+            issued *before* the crash counts in ``issued`` and simply
+            never completes).
         rounds: simulated rounds the workload consumed.
         latencies: per-completed-add latency in rounds
             (``record.end - record.start``), in issue order (adds may
@@ -221,6 +226,7 @@ class ChurnRun:
     pattern: str = "random"
     shards: int = 1
     backend: str = "serial"
+    skipped: int = 0
 
     def percentile_latency(self, q: float) -> Optional[float]:
         """Nearest-rank percentile of the completed-add latencies.
@@ -247,6 +253,7 @@ def run_churn_workload(
     seed: int = 0,
     trace_mode: str = "aggregate",
     max_total_rounds: Optional[int] = None,
+    crash_schedule: Optional[CrashSchedule] = None,
 ) -> ChurnRun:
     """Drive a stream of weak-set adds across shards and measure latency.
 
@@ -273,7 +280,8 @@ def run_churn_workload(
         adds_per_round: target issue rate (the offered load).
         pattern: source-movement churn pattern, one of
             :data:`repro.sim.workloads.CHURN_PATTERNS`.
-        backend: ``"serial"`` or ``"multiprocess"`` — forwarded to
+        backend: ``"serial"``, ``"inproc"``, ``"multiprocess"``,
+            ``"socket"``, or ``"socket:HOST:PORT"`` — forwarded to
             :class:`~repro.weakset.sharding.ShardedWeakSetCluster`.
             Results are backend-invariant for a fixed seed.
         seed: base seed for the per-shard environments.
@@ -282,6 +290,13 @@ def run_churn_workload(
             only consumes operation records, not trace events).
         max_total_rounds: round horizon; defaults to a generous bound
             derived from the workload size.
+        crash_schedule: optional *process churn* on top of the source
+            churn — every shard world applies the same adversary crash
+            plan.  Queued adds whose process has crashed in the owning
+            shard are skipped (counted in :attr:`ChurnRun.skipped`);
+            adds already in flight when their process crashes are
+            abandoned (issued, never completed) instead of stalling
+            the drain loop.
 
     Returns:
         A :class:`ChurnRun` with latency percentiles and throughput.
@@ -308,6 +323,7 @@ def run_churn_workload(
         n,
         shards=shards,
         environment_factory=ChurnEnvironments(pattern=pattern, seed=seed),
+        crash_schedule=crash_schedule,
         max_total_rounds=max_total_rounds,
         trace_mode=trace_mode,
         backend=backend,
@@ -330,16 +346,34 @@ def run_churn_workload(
         busy: Dict[Tuple[int, int], AddRecord] = {}
         records: List[AddRecord] = []
         remaining = total_adds
+        skipped = 0
         rounds = 0
+
+        def drop_slot(key: Tuple[int, int]) -> None:
+            """Abandon a crashed slot's queue (its pid cannot add again)."""
+            nonlocal remaining, skipped
+            dropped = len(pending[key])
+            pending[key].clear()
+            skipped += dropped
+            remaining -= dropped
+
         while remaining or busy:
             if cluster.exhausted or rounds >= max_total_rounds:
                 break
-            for _ in range(min(adds_per_round, len(ready))):
+            issued_now = 0
+            while issued_now < adds_per_round and ready:
                 _, key = heapq.heappop(ready)
-                _, value, pid = pending[key].popleft()
+                pid, owning_shard = key
+                if crash_schedule is not None and cluster.backend.crashed(
+                    owning_shard, pid
+                ):
+                    drop_slot(key)
+                    continue
+                _, value, _pid = pending[key].popleft()
                 busy[key] = cluster.handle(pid).add_async(value)
                 records.append(busy[key])
                 remaining -= 1
+                issued_now += 1
             cluster.advance(1)
             rounds += 1
             for key, record in list(busy.items()):
@@ -348,6 +382,14 @@ def run_churn_workload(
                     items = pending[key]
                     if items:
                         heapq.heappush(ready, (items[0][0], key))
+                elif crash_schedule is not None and cluster.backend.crashed(
+                    key[1], key[0]
+                ):
+                    # The process died with the add in flight: it will
+                    # never be written — abandon it (and its queue) so
+                    # the drain loop does not spin to the horizon.
+                    del busy[key]
+                    drop_slot(key)
         latencies = [
             record.end - record.start for record in records if record.end is not None
         ]
@@ -359,6 +401,7 @@ def run_churn_workload(
             pattern=pattern,
             shards=shards,
             backend=backend,
+            skipped=skipped,
         )
     finally:
         cluster.close()

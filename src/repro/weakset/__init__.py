@@ -29,12 +29,18 @@ from repro.weakset.ms_weakset import (
 )
 from repro.weakset.register_adapter import RegisterEntry, WeakSetRegister
 from repro.weakset.sharding import (
+    InProcBackend,
     MultiprocessBackend,
     SerialBackend,
     ShardBackend,
+    ShardServer,
     ShardedWeakSetCluster,
     ShardedWeakSetHandle,
+    SocketBackend,
+    TransportBackend,
+    run_socket_worker,
     shard_of,
+    spawn_socket_workers,
 )
 from repro.weakset.spec import (
     AddRecord,
@@ -51,6 +57,7 @@ __all__ = [
     "FiniteUniverseWeakSet",
     "GetRecord",
     "IdealWeakSet",
+    "InProcBackend",
     "KnownParticipantsWeakSet",
     "MSEmulation",
     "MSWeakSetAlgorithm",
@@ -62,8 +69,11 @@ __all__ = [
     "RegisterEntry",
     "SerialBackend",
     "ShardBackend",
+    "ShardServer",
     "ShardedWeakSetCluster",
     "ShardedWeakSetHandle",
+    "SocketBackend",
+    "TransportBackend",
     "WeakSet",
     "WeakSetHandle",
     "WeakSetReport",
@@ -71,6 +81,8 @@ __all__ = [
     "WeakSetRunResult",
     "check_weakset",
     "run_ms_weakset",
+    "run_socket_worker",
     "shard_of",
+    "spawn_socket_workers",
     "uniform_completion_delay",
 ]

@@ -1,0 +1,377 @@
+"""The shard cluster's wire protocol: message types + binary codec.
+
+The sharded weak-set's parent/worker conversation consists of exactly
+**four round-trip message types**, one dataclass pair each:
+
+========  ==============================  ==============================
+exchange  request                         reply
+========  ==============================  ==============================
+round     :class:`RoundRequest` — the     :class:`RoundReply` — shard
+          adds queued since the last      liveness, completed adds,
+          tick ride with the step         the crash set and the clock
+peek      :class:`PeekRequest` — one      :class:`PeekReply` — the
+          process's ``get`` (plus any     process's crash flag and its
+          queued adds, so ordering is     local ``PROPOSED`` set
+          preserved)
+trace     :class:`TraceRequest`           :class:`TraceReply` — a
+                                          point-in-time run trace
+stop      :class:`StopRequest`            :class:`StopReply`
+========  ==============================  ==============================
+
+plus :class:`ErrorReply` (a worker-side failure, valid in any reply
+position) and the one-time bootstrap pair :class:`HelloRequest` /
+:class:`ConfigReply` that the socket transport uses to hand a
+connecting worker its shard assignment.
+
+Messages travel as **versioned, length-prefixed binary frames**::
+
+    frame  := header body
+    header := version:uint8  length:uint32 (big-endian)
+    body   := canonical JSON (sorted keys, no whitespace), UTF-8
+
+Field values are encoded through the repo's canonical tagged codec
+(:func:`repro.serialization.encode_value`), which is what makes frames
+process- and machine-independent: frozensets serialize in content
+order, histories as their element tuples, and every decision the
+payloads captured was SHA-512-derived to begin with.  Round-trip
+identity (``decode(encode(m)) == m``) is property-tested in
+``tests/weakset/test_protocol.py``.
+
+The codec consequently trades in the same value universe as
+:mod:`repro.serialization`: ints, floats, strings, ``⊥``, tuples,
+frozensets, and any type registered via
+:func:`repro.serialization.register_codec`.  (The pre-PR-4 pipe
+backend pickled whole Python objects; the explicit codec is what lets
+the same four messages cross a TCP socket to another machine.)
+
+The one deliberate exception is :class:`ConfigReply.world`: a shard
+world's configuration includes an arbitrary environment-factory
+callable, so it crosses as pickled bytes — the same trust model as
+``multiprocessing`` itself.  Only connect socket workers to parents
+you trust (loopback, or a network you control).
+
+Example — a frame is a few dozen bytes and round-trips exactly:
+
+    >>> request = RoundRequest(adds=((0, 2, "alpha"),))
+    >>> frame = encode_message(request)
+    >>> frame[:1] == bytes([PROTOCOL_VERSION])
+    True
+    >>> decode_message(frame) == request
+    True
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.giraf.adversary import CrashSchedule
+from repro.giraf.traces import RunTrace
+from repro.serialization import (
+    SerializationError,
+    decode_value,
+    encode_value,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "HEADER_SIZE",
+    "ProtocolError",
+    "QueuedAdd",
+    "WorldConfig",
+    "RoundRequest",
+    "RoundReply",
+    "PeekRequest",
+    "PeekReply",
+    "TraceRequest",
+    "TraceReply",
+    "StopRequest",
+    "StopReply",
+    "ErrorReply",
+    "HelloRequest",
+    "ConfigReply",
+    "encode_message",
+    "decode_message",
+    "decode_header",
+    "decode_body",
+]
+
+#: wire version; bumped on any frame- or message-shape change.  A
+#: parent and worker must agree exactly — the header check fails fast
+#: instead of mis-decoding.
+PROTOCOL_VERSION = 1
+
+_HEADER = struct.Struct(">BI")
+
+#: bytes of frame header: 1 version byte + 4 length bytes, big-endian.
+HEADER_SIZE = _HEADER.size
+
+#: sanity bound on one frame's body; a header announcing more than
+#: this is treated as corruption, not as a request for 4 GiB of RAM.
+_MAX_BODY_BYTES = 1 << 30
+
+
+class ProtocolError(ReproError):
+    """A frame could not be encoded or decoded."""
+
+
+#: one queued cross-process add: (token, pid, value)
+QueuedAdd = Tuple[int, int, Hashable]
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Everything needed to build one shard's lock-step world.
+
+    Picklable (under ``spawn`` the environment factory and crash
+    schedule must be picklable, exactly as for the pipe backend); the
+    socket bootstrap ships it inside :class:`ConfigReply`.
+    """
+
+    n: int
+    environment_factory: Callable[[int], object]
+    crash_schedule: Optional[CrashSchedule]
+    max_total_rounds: int
+    trace_mode: str
+
+
+# ----------------------------------------------------------------------
+# the four round-trip message types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RoundRequest:
+    """Advance the shard world one tick; queued adds ride along."""
+
+    adds: Tuple[QueuedAdd, ...] = ()
+
+
+@dataclass(frozen=True)
+class RoundReply:
+    """One tick's outcome: liveness, completions, crash set, clock."""
+
+    alive: bool
+    completions: Tuple[Tuple[int, float], ...]
+    crashed: FrozenSet[int]
+    now: float
+
+
+@dataclass(frozen=True)
+class PeekRequest:
+    """One process's instant ``get`` (queued adds flush first)."""
+
+    pid: int
+    adds: Tuple[QueuedAdd, ...] = ()
+
+
+@dataclass(frozen=True)
+class PeekReply:
+    """The peeked process's crash flag and local ``PROPOSED`` set."""
+
+    crashed: bool
+    proposed: FrozenSet[Hashable]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """Fetch a point-in-time snapshot of the shard's run trace."""
+
+
+@dataclass(frozen=True)
+class TraceReply:
+    """The shard's run trace, rebuilt parent-side from canonical JSON."""
+
+    trace: RunTrace = field(compare=False)
+
+    def __eq__(self, other: object) -> bool:
+        # RunTrace carries mutable event lists and no structural __eq__;
+        # two replies are equal when their canonical encodings are.
+        if not isinstance(other, TraceReply):
+            return NotImplemented
+        return trace_to_dict(self.trace) == trace_to_dict(other.trace)
+
+
+@dataclass(frozen=True)
+class StopRequest:
+    """Shut the worker down (the reply is its good-bye)."""
+
+
+@dataclass(frozen=True)
+class StopReply:
+    """Acknowledges a :class:`StopRequest`; the worker exits after."""
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A worker-side failure (traceback text), valid anywhere a reply is."""
+
+    message: str
+
+
+# ----------------------------------------------------------------------
+# bootstrap (socket transport only)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HelloRequest:
+    """A connecting worker announcing itself; the frame header carries
+    the protocol version, so the hello itself is empty."""
+
+
+@dataclass(frozen=True)
+class ConfigReply:
+    """The parent's answer to a hello: shard assignment + world config.
+
+    ``world`` is a pickled :class:`WorldConfig` (see the module
+    docstring for the trust model).
+    """
+
+    shard_index: int
+    world: bytes
+
+
+# ----------------------------------------------------------------------
+# codec registry
+# ----------------------------------------------------------------------
+def _encode_adds(adds: Tuple[QueuedAdd, ...]) -> list:
+    return [[token, pid, encode_value(value)] for token, pid, value in adds]
+
+
+def _decode_adds(blob: list) -> Tuple[QueuedAdd, ...]:
+    return tuple((token, pid, decode_value(value)) for token, pid, value in blob)
+
+
+_MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {
+    "round_req": (
+        RoundRequest,
+        lambda m: {"adds": _encode_adds(m.adds)},
+        lambda v: RoundRequest(adds=_decode_adds(v["adds"])),
+    ),
+    "round_rep": (
+        RoundReply,
+        lambda m: {
+            "alive": m.alive,
+            "completions": [[token, end] for token, end in m.completions],
+            "crashed": sorted(m.crashed),
+            "now": m.now,
+        },
+        lambda v: RoundReply(
+            alive=v["alive"],
+            completions=tuple((token, end) for token, end in v["completions"]),
+            crashed=frozenset(v["crashed"]),
+            now=v["now"],
+        ),
+    ),
+    "peek_req": (
+        PeekRequest,
+        lambda m: {"pid": m.pid, "adds": _encode_adds(m.adds)},
+        lambda v: PeekRequest(pid=v["pid"], adds=_decode_adds(v["adds"])),
+    ),
+    "peek_rep": (
+        PeekReply,
+        lambda m: {"crashed": m.crashed, "proposed": encode_value(m.proposed)},
+        lambda v: PeekReply(crashed=v["crashed"], proposed=decode_value(v["proposed"])),
+    ),
+    "trace_req": (TraceRequest, lambda m: {}, lambda v: TraceRequest()),
+    "trace_rep": (
+        TraceReply,
+        lambda m: {"trace": trace_to_dict(m.trace)},
+        lambda v: TraceReply(trace=trace_from_dict(v["trace"])),
+    ),
+    "stop_req": (StopRequest, lambda m: {}, lambda v: StopRequest()),
+    "stop_rep": (StopReply, lambda m: {}, lambda v: StopReply()),
+    "error": (
+        ErrorReply,
+        lambda m: {"message": m.message},
+        lambda v: ErrorReply(message=v["message"]),
+    ),
+    "hello": (HelloRequest, lambda m: {}, lambda v: HelloRequest()),
+    "config": (
+        ConfigReply,
+        lambda m: {
+            "shard_index": m.shard_index,
+            "world": base64.b64encode(m.world).decode("ascii"),
+        },
+        lambda v: ConfigReply(
+            shard_index=v["shard_index"],
+            world=base64.b64decode(v["world"]),
+        ),
+    ),
+}
+
+_TAG_BY_TYPE = {cls: tag for tag, (cls, _e, _d) in _MESSAGE_CODECS.items()}
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_message(message: object) -> bytes:
+    """One protocol message -> one versioned, length-prefixed frame."""
+    tag = _TAG_BY_TYPE.get(type(message))
+    if tag is None:
+        raise ProtocolError(f"not a protocol message: {type(message).__name__}")
+    _cls, encode, _decode = _MESSAGE_CODECS[tag]
+    try:
+        payload = encode(message)
+    except SerializationError as error:
+        raise ProtocolError(
+            f"{tag!r} payload cannot cross the wire: {error} "
+            "(register a codec via repro.serialization.register_codec)"
+        ) from None
+    body = json.dumps(
+        {"t": tag, "v": payload},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > _MAX_BODY_BYTES:  # pragma: no cover - 1 GiB of adds
+        raise ProtocolError(f"frame body too large ({len(body)} bytes)")
+    return _HEADER.pack(PROTOCOL_VERSION, len(body)) + body
+
+
+def decode_header(header: bytes) -> int:
+    """Validate a frame header; return the body length that follows."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"truncated header ({len(header)} bytes)")
+    version, length = _HEADER.unpack(header)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    if length > _MAX_BODY_BYTES:
+        raise ProtocolError(f"frame announces implausible body ({length} bytes)")
+    return length
+
+
+def decode_body(body: bytes) -> object:
+    """Invert :func:`encode_message`'s body (header already consumed)."""
+    try:
+        blob = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame body: {error}") from None
+    if not isinstance(blob, dict) or "t" not in blob or "v" not in blob:
+        raise ProtocolError(f"malformed frame body: {blob!r}")
+    tag = blob["t"]
+    codec = _MESSAGE_CODECS.get(tag)
+    if codec is None:
+        raise ProtocolError(f"unknown message tag {tag!r}")
+    _cls, _encode, decode = codec
+    try:
+        return decode(blob["v"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed {tag!r} payload: {error}") from None
+
+
+def decode_message(frame: bytes) -> object:
+    """Decode one complete frame (header + body) back to its message."""
+    length = decode_header(frame[:HEADER_SIZE])
+    body = frame[HEADER_SIZE:]
+    if len(body) != length:
+        raise ProtocolError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    return decode_body(body)

@@ -13,20 +13,32 @@ whole set, which is the multi-machine story: each shard group can live
 on its own machine, and clients fan ``get`` out and union.
 
 Execution of the K shard worlds goes through a pluggable
-:class:`ShardBackend` seam:
+:class:`ShardBackend` seam, built since PR 4 as an explicit
+three-layer stack:
 
-* :class:`SerialBackend` (default) runs every shard in-process, in
-  shard order, exactly as the pre-seam facade did — its traces are
-  byte-for-byte those of the historical implementation;
-* :class:`MultiprocessBackend` runs each shard's lock-step world in its
-  own worker process, exchanging one batched message per shard per
-  round (queued adds ride with the ``step``; completions, crash sets
-  and the clock ride back).  Because every per-shard decision in the
-  simulator derives from SHA-512-seeded streams — never from process
-  state, object ids, or Python's salted ``hash`` — the worker replays
-  the exact serial shard world: for a fixed seed the two backends
-  produce **byte-identical** shard traces (pinned in
-  ``tests/weakset/test_shard_backends.py``).
+* the **wire protocol** (:mod:`repro.weakset.protocol`) — the four
+  round-trip message types (round / peek / trace / stop) as frozen
+  dataclasses with a versioned, length-prefixed binary codec;
+* the **transports** (:mod:`repro.weakset.transport`) — where a shard
+  world lives: in this process (:class:`~repro.weakset.transport.InProcTransport`),
+  behind a ``multiprocessing`` pipe, or across a TCP socket — plus the
+  overlapped ``exchange_all`` round loop that issues every shard's
+  request first and harvests replies as they arrive (order-canonical,
+  so traces stay byte-identical);
+* the **backends** (this module) — :class:`SerialBackend` (the
+  historical in-process mode, no protocol involved, byte-for-byte),
+  and the :class:`TransportBackend` compositions
+  :class:`InProcBackend`, :class:`MultiprocessBackend` (one worker
+  process per shard over pipes) and :class:`SocketBackend` (workers
+  over TCP — loopback-spawned for CI, or remote via
+  :func:`run_socket_worker` / ``python -m repro.experiments
+  --connect HOST:PORT``).
+
+Because every per-shard decision in the simulator derives from
+SHA-512-seeded streams — never from process state, object ids, or
+Python's salted ``hash`` — a worker replays the exact serial shard
+world: for a fixed seed **all backends produce byte-identical shard
+traces** (pinned in ``tests/weakset/test_shard_backends.py``).
 
 The facade exposes the same :class:`~repro.weakset.spec.WeakSet` handle
 API as a single cluster, and all shards advance in lock-step (one tick
@@ -44,13 +56,19 @@ payloads the library trades in, and the same property the repo's
 seeded policies already assume).  Values with identity-based reprs
 (e.g. a class using the ``object`` default) would route by memory
 address; give such types a content ``__repr__`` before sharding them.
+Transport-executed backends additionally require values the canonical
+codec can carry (the :mod:`repro.serialization` universe) — register a
+codec for custom payload types before sharding them across processes.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import multiprocessing.connection
 import itertools
+import multiprocessing
+import pickle
+import selectors
+import socket
+import time
 import traceback
 from abc import ABC, abstractmethod
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
@@ -61,22 +79,52 @@ from repro.giraf.adversary import CrashSchedule
 from repro.giraf.environments import Environment, MovingSourceEnvironment
 from repro.giraf.traces import RunTrace
 from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.protocol import (
+    ConfigReply,
+    ErrorReply,
+    HelloRequest,
+    PeekReply,
+    PeekRequest,
+    ProtocolError,
+    QueuedAdd,
+    RoundReply,
+    RoundRequest,
+    StopReply,
+    StopRequest,
+    TraceReply,
+    TraceRequest,
+    WorldConfig,
+)
 from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
+from repro.weakset.transport import (
+    InProcTransport,
+    PipeTransport,
+    SocketTransport,
+    Transport,
+    TransportError,
+    exchange_all,
+    serve_requests,
+)
 
 __all__ = [
     "ShardedWeakSetCluster",
     "ShardedWeakSetHandle",
     "ShardBackend",
     "SerialBackend",
+    "TransportBackend",
+    "InProcBackend",
     "MultiprocessBackend",
+    "SocketBackend",
+    "ShardServer",
+    "spawn_socket_workers",
+    "run_socket_worker",
+    "parse_address",
+    "parse_backend_spec",
     "shard_of",
 ]
 
 #: builds the environment for one shard (shard index -> environment)
 EnvironmentFactory = Callable[[int], Environment]
-
-#: one queued cross-process add: (token, pid, value)
-QueuedAdd = Tuple[int, int, Hashable]
 
 
 def _default_environment(shard_index: int) -> Environment:
@@ -90,7 +138,7 @@ def shard_of(value: Hashable, shards: int) -> int:
     Deterministic for content-``repr`` values (see the module
     docstring); derived via SHA-512, never the salted builtin ``hash``,
     so the same value routes identically in every process — which is
-    what lets :class:`MultiprocessBackend` route adds parent-side.
+    what lets the transport backends route adds parent-side.
 
     Args:
         value: the value being added or looked up.
@@ -176,13 +224,13 @@ class ShardBackend(ABC):
     def traces(self) -> List[RunTrace]:
         """Per-shard run traces (index = shard).
 
-        The serial backend returns the live trace objects; the
-        multiprocess backend returns point-in-time snapshots fetched
-        from the workers.
+        The serial backend returns the live trace objects; transport
+        backends return point-in-time snapshots fetched from the
+        workers.
         """
 
     def close(self) -> None:
-        """Release backend resources (worker processes, pipes)."""
+        """Release backend resources (worker processes, channels)."""
 
     def __enter__(self) -> "ShardBackend":
         return self
@@ -196,7 +244,9 @@ class SerialBackend(ShardBackend):
 
     This is the historical execution mode extracted behind the seam;
     the step sequence each shard sees — and therefore every shard
-    trace — is byte-for-byte what the pre-seam facade produced.
+    trace — is byte-for-byte what the pre-seam facade produced.  No
+    protocol or transport is involved (compare :class:`InProcBackend`,
+    which runs the same worlds behind the full wire stack).
     """
 
     def __init__(
@@ -257,118 +307,257 @@ class SerialBackend(ShardBackend):
 
 
 # ----------------------------------------------------------------------
-# the multiprocess backend
+# the worker side: one shard world behind the wire protocol
 # ----------------------------------------------------------------------
-def _shard_worker(
-    conn: "multiprocessing.connection.Connection",
-    n: int,
-    shard_index: int,
-    environment_factory: EnvironmentFactory,
-    crash_schedule: Optional[CrashSchedule],
-    max_total_rounds: int,
-    trace_mode: str,
-) -> None:
-    """One worker process = one shard's lock-step world.
+class ShardServer:
+    """One shard's lock-step world, answering protocol requests.
 
-    Speaks a tiny request/reply protocol over ``conn``; every request
-    batches the adds queued since the last exchange, so a round costs
-    one message pair per shard no matter how many adds rode in it.
+    The worker half of every transport backend: owns the shard's
+    :class:`~repro.weakset.cluster.MSWeakSetCluster` plus the
+    token -> :class:`~repro.weakset.spec.AddRecord` map for in-flight
+    adds, and maps each request type to the same cluster calls the
+    serial backend makes — which is why workers replay serial worlds
+    exactly.
+
+    Example (driving the protocol without any transport):
+
+        >>> from repro.weakset.protocol import RoundRequest, PeekRequest
+        >>> config = WorldConfig(3, _default_environment, None, 100, "full")
+        >>> server = ShardServer(config, shard_index=0)
+        >>> reply = server.handle(RoundRequest(adds=((0, 1, "job-7"),)))
+        >>> reply.alive, reply.now
+        (True, 1.0)
+        >>> "job-7" in server.handle(PeekRequest(pid=1)).proposed
+        True
     """
-    try:
-        cluster = MSWeakSetCluster(
-            n,
-            environment=environment_factory(shard_index),
-            crash_schedule=crash_schedule,
-            max_total_rounds=max_total_rounds,
-            trace_mode=trace_mode,
+
+    def __init__(self, config: WorldConfig, shard_index: int):
+        self.cluster = MSWeakSetCluster(
+            config.n,
+            environment=config.environment_factory(shard_index),
+            crash_schedule=config.crash_schedule,
+            max_total_rounds=config.max_total_rounds,
+            trace_mode=config.trace_mode,
         )
-    except BaseException:
-        conn.send(("error", traceback.format_exc()))
-        conn.close()
-        return
-    records: Dict[int, AddRecord] = {}
+        self._records: Dict[int, AddRecord] = {}
 
-    def apply_adds(adds: List[QueuedAdd]) -> None:
+    def _apply_adds(self, adds: Tuple[QueuedAdd, ...]) -> None:
         for token, pid, value in adds:
-            records[token] = cluster.begin_add(pid, value)
+            self._records[token] = self.cluster.begin_add(pid, value)
 
-    def crashed_set() -> FrozenSet[int]:
+    def _crashed_set(self) -> FrozenSet[int]:
         return frozenset(
             pid
-            for pid, proc in enumerate(cluster._scheduler.processes)
+            for pid, proc in enumerate(self.cluster._scheduler.processes)
             if proc.crashed
         )
 
-    while True:
+    def handle(self, request: object) -> object:
+        """Answer one request; raises on protocol misuse (the serve
+        loop converts that into an :class:`~repro.weakset.protocol.ErrorReply`)."""
+        if isinstance(request, RoundRequest):
+            self._apply_adds(request.adds)
+            alive = self.cluster.step()
+            completions = tuple(
+                (token, record.end)
+                for token, record in self._records.items()
+                if record.end is not None
+            )
+            for token, _end in completions:
+                del self._records[token]
+            return RoundReply(
+                alive=alive,
+                completions=completions,
+                crashed=self._crashed_set(),
+                now=self.cluster.now,
+            )
+        if isinstance(request, PeekRequest):
+            self._apply_adds(request.adds)
+            return PeekReply(
+                crashed=self.cluster._scheduler.processes[request.pid].crashed,
+                proposed=self.cluster.algorithms[request.pid].get_now(),
+            )
+        if isinstance(request, TraceRequest):
+            return TraceReply(trace=self.cluster.trace)
+        if isinstance(request, StopRequest):
+            # serve_requests intercepts stops before they reach a
+            # handler; InProcTransport dispatches here directly, so
+            # answer the shutdown handshake rather than treating a
+            # clean close as protocol misuse.
+            return StopReply()
+        raise ProtocolMisuse(f"unexpected request {type(request).__name__}")
+
+
+def _pipe_worker(connection, shard_index: int, config: WorldConfig) -> None:
+    """Worker process entry point for the pipe (multiprocess) backend."""
+    transport = PipeTransport(connection)
+    try:
+        server = ShardServer(config, shard_index)
+    except BaseException:
         try:
-            command, payload = conn.recv()
-        except EOFError:
-            break
+            transport.send(ErrorReply(traceback.format_exc()))
+        except TransportError:
+            pass
+        transport.close()
+        return
+    serve_requests(transport, server.handle)
+    transport.close()
+
+
+def serve_shard_over_socket(
+    address: Tuple[str, int],
+    *,
+    connect_retries: int = 50,
+    retry_delay: float = 0.1,
+) -> bool:
+    """Connect to a shard parent at ``address`` and serve one world.
+
+    Retries the connection for up to ``connect_retries * retry_delay``
+    seconds (the parent may not be listening yet), performs the
+    hello/config bootstrap, then serves protocol requests until the
+    parent sends stop or goes away.
+
+    Returns:
+        True when a parent was reached (a world was served, or at
+        least attempted — a parent that accepted the connection but
+        closed without sending a config, e.g. because its shards were
+        already staffed, also counts: the worker should go around and
+        offer itself again); False when no parent accepted within the
+        retry window — the signal for :func:`run_socket_worker` to
+        exit its loop.
+    """
+    sock: Optional[socket.socket] = None
+    for _attempt in range(connect_retries):
         try:
-            if command == "round":
-                apply_adds(payload)
-                alive = cluster.step()
-                completions = [
-                    (token, record.end)
-                    for token, record in records.items()
-                    if record.end is not None
-                ]
-                for token, _ in completions:
-                    del records[token]
-                conn.send(
-                    ("ok", (alive, completions, crashed_set(), cluster.now))
-                )
-            elif command == "peek":
-                pid, adds = payload
-                apply_adds(adds)
-                conn.send(
-                    (
-                        "ok",
-                        (
-                            cluster._scheduler.processes[pid].crashed,
-                            cluster.algorithms[pid].get_now(),
-                        ),
-                    )
-                )
-            elif command == "trace":
-                conn.send(("ok", cluster.trace))
-            elif command == "stop":
-                conn.send(("ok", None))
-                break
-            else:  # pragma: no cover - protocol misuse is a parent bug
-                conn.send(("error", f"unknown command {command!r}"))
-        except BaseException:
-            conn.send(("error", traceback.format_exc()))
+            sock = socket.create_connection(address, timeout=10.0)
             break
-    conn.close()
+        except OSError:
+            time.sleep(retry_delay)
+    if sock is None:
+        return False
+    sock.settimeout(None)
+    transport = SocketTransport(sock)
+    try:
+        transport.send(HelloRequest())
+        config_reply = transport.recv()
+    except (TransportError, ProtocolError):
+        transport.close()
+        return True
+    if not isinstance(config_reply, ConfigReply):
+        transport.close()
+        return True
+    try:
+        config = pickle.loads(config_reply.world)
+        server = ShardServer(config, config_reply.shard_index)
+    except BaseException:
+        try:
+            transport.send(ErrorReply(traceback.format_exc()))
+        except TransportError:
+            pass
+        transport.close()
+        return True
+    serve_requests(transport, server.handle)
+    transport.close()
+    return True
 
 
-class MultiprocessBackend(ShardBackend):
-    """One worker process per shard, batched per-round message passing.
+def run_socket_worker(
+    address: Tuple[str, int],
+    *,
+    connect_retries: int = 50,
+    retry_delay: float = 0.1,
+) -> int:
+    """Serve shard worlds for parents at ``address`` until none remain.
 
-    The parent mirrors exactly the shard state the facade consults
-    between steps — the shared clock, per-shard crash sets, shard
-    exhaustion, and which adds are still in flight — so handle
-    operations stay local; cross-process traffic is **one request/reply
-    pair per shard per round** ("round" carries the adds queued since
-    the last tick, the reply carries completions, the crash set and the
-    clock) plus one pair per shard per ``get`` ("peek").
+    The remote half of ``--backend socket --listen``: run this (or
+    ``python -m repro.experiments --connect HOST:PORT``) on each worker
+    machine; every time a :class:`SocketBackend` binds the address the
+    worker connects, serves one shard world to completion, then loops
+    back to wait for the next (an experiment run constructs one
+    backend per workload cell).  Exits once no parent accepts a
+    connection within the retry window.
 
-    Determinism: a worker constructs its shard world from the same
-    picklable ingredients the serial backend uses (``n``, the
-    environment factory applied to the shard index, the crash schedule,
-    horizon, trace mode), and every random decision inside derives from
-    SHA-512 streams stable across processes — so for a fixed seed the
-    shard traces are byte-identical to :class:`SerialBackend`'s.
+    Returns:
+        How many parent connections were served (one per shard world,
+        plus any handshakes that ended without an assignment).
+    """
+    served = 0
+    while serve_shard_over_socket(
+        address, connect_retries=connect_retries, retry_delay=retry_delay
+    ):
+        served += 1
+    return served
 
-    Start method: ``fork`` where available (environment factories may
-    close over anything), ``spawn`` otherwise — under ``spawn`` the
-    factory and crash schedule must be picklable, so prefer
-    module-level factory functions or dataclass-style callables such as
-    :class:`repro.sim.workloads.ChurnEnvironments`.
 
-    Workers are real OS processes: call :meth:`close` (or use the
-    owning cluster as a context manager) when done.
+def _socket_worker_main(address: Tuple[str, int]) -> None:
+    """Spawned-process entry point: serve exactly one world."""
+    serve_shard_over_socket(address)
+
+
+def _resolve_start_method(start_method: Optional[str]) -> str:
+    if start_method is not None:
+        return start_method
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def spawn_socket_workers(
+    address: Tuple[str, int],
+    count: int,
+    *,
+    start_method: Optional[str] = None,
+) -> List:
+    """Spawn ``count`` local worker processes serving shards at ``address``.
+
+    The loopback deployment (what ``backend="socket"`` does by default,
+    and what CI exercises): same wire protocol, same TCP transport,
+    all on one box.  Each worker serves exactly one world and exits.
+    """
+    context = multiprocessing.get_context(_resolve_start_method(start_method))
+    workers = []
+    for _ in range(count):
+        worker = context.Process(
+            target=_socket_worker_main, args=(address,), daemon=True
+        )
+        worker.start()
+        workers.append(worker)
+    return workers
+
+
+# ----------------------------------------------------------------------
+# the parent side: protocol + transport + overlapped driver
+# ----------------------------------------------------------------------
+class TransportBackend(ShardBackend):
+    """Shard execution composed from protocol + transports + driver.
+
+    This is the shared parent-side driver every non-serial backend is a
+    thin composition of: it mirrors exactly the shard state the facade
+    consults between steps — the shared clock, per-shard crash sets,
+    shard exhaustion, and which adds are still in flight — so handle
+    operations stay local, and cross-channel traffic is **one
+    request/reply pair per shard per round** (a
+    :class:`~repro.weakset.protocol.RoundRequest` carries the adds
+    queued since the last tick; the reply carries completions, the
+    crash set and the clock) plus one pair per shard per ``get``.
+
+    Each exchange is **overlapped**: all shard requests are issued
+    first, then replies are harvested as they arrive through a
+    selector (:func:`repro.weakset.transport.exchange_all`) rather
+    than in fixed shard order — a slow worker no longer serializes the
+    harvest behind a fast one.  Replies are *processed* in canonical
+    shard order regardless of arrival, so traces stay byte-identical
+    for a fixed seed (``overlap=False`` forces the lock-step harvest;
+    the benchmarks compare the two).
+
+    Subclasses implement :meth:`_start` to create one
+    :class:`~repro.weakset.transport.Transport` per shard (and any
+    worker processes backing them).
+
+    Failure model: a vanished worker or a worker-side error poisons
+    the backend — the current round is half-applied and sibling
+    replies may be unread, so every later call raises
+    :class:`~repro.errors.SimulationError` instead of consuming stale
+    state; :meth:`close` still reaps every worker.
     """
 
     def __init__(
@@ -380,14 +569,18 @@ class MultiprocessBackend(ShardBackend):
         crash_schedule: Optional[CrashSchedule],
         max_total_rounds: int,
         trace_mode: str,
-        start_method: Optional[str] = None,
+        overlap: bool = True,
     ):
         self.num_shards = shards
         self.n = n
-        if start_method is None:
-            methods = multiprocessing.get_all_start_methods()
-            start_method = "fork" if "fork" in methods else "spawn"
-        context = multiprocessing.get_context(start_method)
+        self._config = WorldConfig(
+            n=n,
+            environment_factory=environment_factory,
+            crash_schedule=crash_schedule,
+            max_total_rounds=max_total_rounds,
+            trace_mode=trace_mode,
+        )
+        self._overlap = overlap
         self._tokens = itertools.count()
         self._now = 0.0
         self._shard_exhausted = [False] * shards
@@ -397,59 +590,56 @@ class MultiprocessBackend(ShardBackend):
         self._in_flight: Dict[Tuple[int, int], AddRecord] = {}
         self._closed = False
         self._failed = False
-        self._conns = []
-        self._workers = []
+        self._transports: List[Transport] = []
+        self._workers: List = []
+        self._selector: Optional[selectors.BaseSelector] = None
         try:
-            for shard_index in range(shards):
-                parent_conn, child_conn = context.Pipe()
-                worker = context.Process(
-                    target=_shard_worker,
-                    args=(
-                        child_conn,
-                        n,
-                        shard_index,
-                        environment_factory,
-                        crash_schedule,
-                        max_total_rounds,
-                        trace_mode,
-                    ),
-                    daemon=True,
-                )
-                worker.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._workers.append(worker)
+            self._start()
+            if (
+                overlap
+                and len(self._transports) > 1
+                and all(t.fileno() is not None for t in self._transports)
+            ):
+                # One long-lived selector with every shard registered:
+                # the per-round harvest is then a single poll instead
+                # of a register/unregister cycle (exactly one reply
+                # per shard is ever in flight).
+                self._selector = selectors.DefaultSelector()
+                for index, transport in enumerate(self._transports):
+                    self._selector.register(
+                        transport.fileno(), selectors.EVENT_READ, index
+                    )
         except BaseException:
             self.close()
             raise
 
-    # -- plumbing --------------------------------------------------------
-    def _send(self, shard_index: int, message: Tuple[str, object]) -> None:
-        try:
-            self._conns[shard_index].send(message)
-        except (OSError, ValueError):
-            self._failed = True
-            raise SimulationError(
-                f"shard {shard_index} worker is gone (pipe closed)"
-            ) from None
+    @abstractmethod
+    def _start(self) -> None:
+        """Create one transport per shard (and any backing workers)."""
 
-    def _recv(self, shard_index: int) -> object:
+    # -- plumbing --------------------------------------------------------
+    def _exchange(self, requests: List[object]) -> List[object]:
+        """One overlapped round trip; replies in canonical shard order."""
         try:
-            status, payload = self._conns[shard_index].recv()
-        except (EOFError, OSError):
-            self._failed = True
-            raise SimulationError(
-                f"shard {shard_index} worker exited unexpectedly"
-            ) from None
-        if status != "ok":
-            # A worker error leaves sibling replies unread and the
-            # round half-applied; poison the backend so later calls
-            # cannot consume stale replies.
-            self._failed = True
-            raise SimulationError(
-                f"shard {shard_index} worker failed:\n{payload}"
+            replies = exchange_all(
+                self._transports,
+                requests,
+                overlap=self._overlap,
+                selector=self._selector,
             )
-        return payload
+        except TransportError as error:
+            # A worker died mid-round: sibling replies may be unread
+            # and the round half-applied; poison the backend so later
+            # calls cannot consume stale state.
+            self._failed = True
+            raise SimulationError(f"shard worker failed mid-round: {error}") from None
+        for shard_index, reply in enumerate(replies):
+            if isinstance(reply, ErrorReply):
+                self._failed = True
+                raise SimulationError(
+                    f"shard {shard_index} worker failed:\n{reply.message}"
+                )
+        return replies
 
     def _ensure_open(self) -> None:
         if self._closed:
@@ -459,6 +649,11 @@ class MultiprocessBackend(ShardBackend):
                 "backend failed (a shard worker died mid-round); "
                 "construct a fresh cluster"
             )
+
+    def _take_pending(self) -> List[Tuple[QueuedAdd, ...]]:
+        batches = [tuple(batch) for batch in self._pending]
+        self._pending = [[] for _ in range(self.num_shards)]
+        return batches
 
     # -- ShardBackend ----------------------------------------------------
     @property
@@ -490,17 +685,16 @@ class MultiprocessBackend(ShardBackend):
 
     def step(self) -> bool:
         self._ensure_open()
-        for shard_index in range(self.num_shards):
-            self._send(shard_index, ("round", self._pending[shard_index]))
-            self._pending[shard_index] = []
+        requests = [RoundRequest(adds=batch) for batch in self._take_pending()]
+        replies = self._exchange(requests)
         alive = True
-        for shard_index in range(self.num_shards):
-            shard_alive, completions, crashed, now = self._recv(shard_index)
-            for token, end in completions:
+        for shard_index, reply in enumerate(replies):
+            for token, end in reply.completions:
                 self._records.pop(token).end = end
-            self._crashed[shard_index] = crashed
-            self._now = now if shard_index == 0 else self._now
-            if not shard_alive:
+            self._crashed[shard_index] = reply.crashed
+            if shard_index == 0:
+                self._now = reply.now
+            if not reply.alive:
                 self._shard_exhausted[shard_index] = True
                 alive = False
         return alive
@@ -510,34 +704,41 @@ class MultiprocessBackend(ShardBackend):
 
     def local_views(self, pid: int) -> List[Tuple[bool, FrozenSet[Hashable]]]:
         self._ensure_open()
-        for shard_index in range(self.num_shards):
-            self._send(shard_index, ("peek", (pid, self._pending[shard_index])))
-            self._pending[shard_index] = []
-        return [self._recv(shard_index) for shard_index in range(self.num_shards)]
+        requests = [
+            PeekRequest(pid=pid, adds=batch) for batch in self._take_pending()
+        ]
+        replies = self._exchange(requests)
+        return [(reply.crashed, reply.proposed) for reply in replies]
 
     def traces(self) -> List[RunTrace]:
         self._ensure_open()
-        for shard_index in range(self.num_shards):
-            self._send(shard_index, ("trace", None))
-        return [self._recv(shard_index) for shard_index in range(self.num_shards)]
+        replies = self._exchange([TraceRequest() for _ in self._transports])
+        return [reply.trace for reply in replies]
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        for conn in self._conns:
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        for transport in self._transports:
             try:
-                conn.send(("stop", None))
-            except (OSError, ValueError):
+                transport.send(StopRequest())
+            except TransportError:
                 pass
-        for conn in self._conns:
+        for transport in self._transports:
             try:
-                # drain the "stop" ack (or an in-flight error)
-                if conn.poll(1.0):
-                    conn.recv()
-            except (OSError, EOFError):
+                # drain the stop ack (or an in-flight error)
+                if transport.poll(1.0):
+                    transport.recv()
+            except (TransportError, ProtocolError):
                 pass
-            conn.close()
+            transport.close()
+        self._reap()
+
+    def _reap(self) -> None:
+        """Release anything beyond the transports (workers, listeners)."""
         for worker in self._workers:
             worker.join(timeout=2.0)
             if worker.is_alive():  # pragma: no cover - defensive
@@ -551,11 +752,248 @@ class MultiprocessBackend(ShardBackend):
             pass
 
 
+class InProcBackend(TransportBackend):
+    """Every shard world in this process, behind the full wire stack.
+
+    Functionally the serial backend (same worlds, same step sequence,
+    byte-identical traces) but every operation round-trips the binary
+    codec through :class:`~repro.weakset.transport.InProcTransport` —
+    the cheapest way to exercise the protocol end-to-end, and a
+    drop-in check that a workload's values survive the wire before
+    pointing it at real processes or machines.
+    """
+
+    def _start(self) -> None:
+        for shard_index in range(self.num_shards):
+            server = ShardServer(self._config, shard_index)
+            self._transports.append(InProcTransport(server.handle))
+
+
+class MultiprocessBackend(TransportBackend):
+    """One worker process per shard, pipes carrying protocol frames.
+
+    The composition: :func:`_pipe_worker` serves a
+    :class:`ShardServer` over a
+    :class:`~repro.weakset.transport.PipeTransport`; this class spawns
+    the workers and drives them through the shared overlapped
+    :class:`TransportBackend` loop.
+
+    Determinism: a worker constructs its shard world from the same
+    picklable ingredients the serial backend uses (``n``, the
+    environment factory applied to the shard index, the crash schedule,
+    horizon, trace mode), and every random decision inside derives from
+    SHA-512 streams stable across processes — so for a fixed seed the
+    shard traces are byte-identical to :class:`SerialBackend`'s.
+
+    Start method: ``fork`` where available (environment factories may
+    close over anything), ``spawn`` otherwise — under ``spawn`` the
+    factory and crash schedule must be picklable, so prefer
+    module-level factory functions or dataclass-style callables such as
+    :class:`repro.sim.workloads.ChurnEnvironments`.
+
+    Workers are real OS processes: call :meth:`close` (or use the
+    owning cluster as a context manager) when done.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        shards: int,
+        environment_factory: EnvironmentFactory,
+        crash_schedule: Optional[CrashSchedule],
+        max_total_rounds: int,
+        trace_mode: str,
+        start_method: Optional[str] = None,
+        overlap: bool = True,
+    ):
+        self._context = multiprocessing.get_context(
+            _resolve_start_method(start_method)
+        )
+        super().__init__(
+            n,
+            shards=shards,
+            environment_factory=environment_factory,
+            crash_schedule=crash_schedule,
+            max_total_rounds=max_total_rounds,
+            trace_mode=trace_mode,
+            overlap=overlap,
+        )
+
+    def _start(self) -> None:
+        for shard_index in range(self.num_shards):
+            parent_conn, child_conn = self._context.Pipe()
+            worker = self._context.Process(
+                target=_pipe_worker,
+                args=(child_conn, shard_index, self._config),
+                daemon=True,
+            )
+            worker.start()
+            child_conn.close()
+            self._transports.append(PipeTransport(parent_conn))
+            self._workers.append(worker)
+
+
+class SocketBackend(TransportBackend):
+    """Shard workers over TCP: the multi-machine composition.
+
+    By default (``listen=None``) the backend binds an ephemeral
+    loopback port and spawns its own local workers
+    (:func:`spawn_socket_workers`) — the CI-testable single-box mode,
+    wire-identical to a real deployment.  With ``listen=(host, port)``
+    it binds there and waits for ``shards`` **external** workers to
+    connect (run :func:`run_socket_worker` — or ``python -m
+    repro.experiments --connect HOST:PORT`` — on each worker machine);
+    shard indices are assigned in accept order, any worker can serve
+    any shard.
+
+    Bootstrap: each accepted worker sends a
+    :class:`~repro.weakset.protocol.HelloRequest` (the frame header
+    version-checks the peer) and receives its shard assignment plus
+    the pickled world configuration — see the protocol module's trust
+    note — after which the conversation is exactly the four round-trip
+    message types every backend speaks.
+
+    Attributes:
+        address: the bound ``(host, port)`` once constructed.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        shards: int,
+        environment_factory: EnvironmentFactory,
+        crash_schedule: Optional[CrashSchedule],
+        max_total_rounds: int,
+        trace_mode: str,
+        listen: Optional[Tuple[str, int]] = None,
+        start_method: Optional[str] = None,
+        accept_timeout: float = 30.0,
+        overlap: bool = True,
+    ):
+        self._listen = listen
+        self._start_method = start_method
+        self._accept_timeout = accept_timeout
+        self._listener: Optional[socket.socket] = None
+        self.address: Optional[Tuple[str, int]] = None
+        super().__init__(
+            n,
+            shards=shards,
+            environment_factory=environment_factory,
+            crash_schedule=crash_schedule,
+            max_total_rounds=max_total_rounds,
+            trace_mode=trace_mode,
+            overlap=overlap,
+        )
+
+    def _start(self) -> None:
+        address = self._listen if self._listen is not None else ("127.0.0.1", 0)
+        try:
+            self._listener = socket.create_server(address)
+        except OSError as error:
+            raise SimulationError(
+                f"cannot listen on {address[0]}:{address[1]}: {error}"
+            ) from None
+        self.address = self._listener.getsockname()[:2]
+        if self._listen is None:
+            self._workers = spawn_socket_workers(
+                self.address, self.num_shards, start_method=self._start_method
+            )
+        self._listener.settimeout(self._accept_timeout)
+        world = pickle.dumps(self._config)
+        for shard_index in range(self.num_shards):
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                raise SimulationError(
+                    f"worker for shard {shard_index} did not connect within "
+                    f"{self._accept_timeout:.0f}s (listening on "
+                    f"{self.address[0]}:{self.address[1]})"
+                ) from None
+            sock.settimeout(self._accept_timeout)
+            transport = SocketTransport(sock)
+            self._transports.append(transport)  # reaped by close() either way
+            try:
+                hello = transport.recv()
+            except (TransportError, ProtocolError) as error:
+                raise SimulationError(
+                    f"worker for shard {shard_index} failed the handshake: {error}"
+                ) from None
+            if not isinstance(hello, HelloRequest):
+                raise SimulationError(
+                    f"worker for shard {shard_index} opened with "
+                    f"{type(hello).__name__}, expected HelloRequest"
+                )
+            try:
+                transport.send(ConfigReply(shard_index=shard_index, world=world))
+            except TransportError as error:
+                raise SimulationError(
+                    f"worker for shard {shard_index} vanished during the "
+                    f"handshake: {error}"
+                ) from None
+            sock.settimeout(None)
+
+    def _reap(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        super()._reap()
+
+
 #: backend name -> constructor; the facade resolves ``backend=`` here.
 BACKENDS = {
     "serial": SerialBackend,
+    "inproc": InProcBackend,
     "multiprocess": MultiprocessBackend,
+    "socket": SocketBackend,
 }
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    """Parse ``"HOST:PORT"`` into an address tuple.
+
+    The one address syntax shared by the backend spec, the CLI's
+    ``--listen``/``--connect`` flags, and :func:`run_socket_worker`
+    callers.
+
+    Example:
+        >>> parse_address("0.0.0.0:7000")
+        ('0.0.0.0', 7000)
+    """
+    host, _sep, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SimulationError(f"bad address {text!r}; expected HOST:PORT")
+    return host, int(port)
+
+
+def parse_backend_spec(spec: str) -> Tuple[str, Dict[str, object]]:
+    """Split a backend spec string into ``(name, constructor options)``.
+
+    ``"socket:HOST:PORT"`` selects the socket backend bound to an
+    explicit listen address (external workers); every other name takes
+    no options.
+
+    Example:
+        >>> parse_backend_spec("multiprocess")
+        ('multiprocess', {})
+        >>> parse_backend_spec("socket:0.0.0.0:7000")
+        ('socket', {'listen': ('0.0.0.0', 7000)})
+    """
+    name, _sep, rest = spec.partition(":")
+    if not rest:
+        return name, {}
+    if name != "socket":
+        raise SimulationError(
+            f"backend {name!r} takes no options (got {spec!r})"
+        )
+    try:
+        listen = parse_address(rest)
+    except SimulationError:
+        raise SimulationError(
+            f"bad socket backend spec {spec!r}; expected socket:HOST:PORT"
+        ) from None
+    return name, {"listen": listen}
 
 
 # ----------------------------------------------------------------------
@@ -590,22 +1028,27 @@ class ShardedWeakSetCluster:
         environment_factory: per-shard environment builder
             (shard index -> :class:`~repro.giraf.environments.Environment`);
             defaults to a fresh MS environment per shard.  Must be
-            picklable for the multiprocess backend under ``spawn``.
+            picklable for the multiprocess and socket backends.
         crash_schedule: shared adversary crash schedule (every shard
             world applies the same one, so crash state agrees across
             shards).
         max_total_rounds: per-shard round horizon.
         trace_mode: ``"full"`` or ``"aggregate"``, forwarded to every
             shard's scheduler.
-        backend: ``"serial"`` (in-process, the default) or
-            ``"multiprocess"`` (one worker process per shard — see
-            :class:`MultiprocessBackend`); alternatively a constructed
-            :class:`ShardBackend` instance, which must have been built
-            for the same ``n`` and ``shards`` (checked) and supplies
-            its own environments/crash schedule/horizon/trace mode
-            (the facade's remaining arguments are not used then).
+        backend: ``"serial"`` (in-process, the default), ``"inproc"``
+            (in-process behind the full wire protocol),
+            ``"multiprocess"`` (one worker process per shard over
+            pipes), ``"socket"`` (workers over loopback TCP, spawned
+            automatically), or ``"socket:HOST:PORT"`` (bind there and
+            wait for external workers — see :func:`run_socket_worker`);
+            alternatively a constructed :class:`ShardBackend` instance,
+            which must have been built for the same ``n`` and
+            ``shards`` (checked) and supplies its own
+            environments/crash schedule/horizon/trace mode (the
+            facade's remaining arguments are not used then).
         start_method: optional ``multiprocessing`` start method for the
-            multiprocess backend (default: ``fork`` when available).
+            multiprocess/socket backends (default: ``fork`` when
+            available).
 
     Example:
         >>> cluster = ShardedWeakSetCluster(3, shards=2)
@@ -613,7 +1056,7 @@ class ShardedWeakSetCluster:
         >>> sorted(cluster.handle(1).get())
         ['job-7']
 
-        The multiprocess backend is a drop-in swap (close it when done):
+        The transport backends are drop-in swaps (close them when done):
 
         >>> with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as mp:
         ...     mp.handle(0).add("job-7")
@@ -649,15 +1092,18 @@ class ShardedWeakSetCluster:
                 )
             self._backend = backend
         else:
+            kwargs: Dict[str, object] = {}
+            name = backend
+            if isinstance(backend, str):
+                name, kwargs = parse_backend_spec(backend)
             try:
-                backend_cls = BACKENDS[backend]
+                backend_cls = BACKENDS[name]
             except (KeyError, TypeError):
                 known = ", ".join(sorted(BACKENDS))
                 raise SimulationError(
                     f"unknown backend {backend!r}; known: {known}"
                 ) from None
-            kwargs = {}
-            if backend_cls is MultiprocessBackend:
+            if backend_cls in (MultiprocessBackend, SocketBackend):
                 kwargs["start_method"] = start_method
             self._backend = backend_cls(
                 n,
@@ -686,8 +1132,8 @@ class ShardedWeakSetCluster:
     def shards(self) -> List[MSWeakSetCluster]:
         """The in-process shard clusters (serial backend only).
 
-        The multiprocess backend's shard worlds live in worker
-        processes; use :meth:`traces` / the handle API instead.
+        Transport backends' shard worlds live behind their channels;
+        use :meth:`traces` / the handle API instead.
         """
         if isinstance(self._backend, SerialBackend):
             return self._backend.clusters

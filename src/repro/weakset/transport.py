@@ -1,0 +1,354 @@
+"""Transports: move protocol frames between driver and shard workers.
+
+:mod:`repro.weakset.protocol` defines *what* crosses the wire; this
+module is *how*.  A :class:`Transport` is one bidirectional frame
+channel to one shard worker, and three implementations cover the three
+places a shard world can live:
+
+* :class:`InProcTransport` — the worker is an object in this process;
+  frames still round-trip through the binary codec (so the protocol is
+  exercised end-to-end) but no OS channel is involved.  The cheapest
+  way to test the stack, and the ``backend="inproc"`` execution mode.
+* :class:`PipeTransport` — a ``multiprocessing`` pipe to a forked or
+  spawned worker process on this machine (the pipe backend's channel,
+  extracted from the pre-PR-4 ``MultiprocessBackend`` internals).
+* :class:`SocketTransport` — a TCP stream, so the worker can live on
+  another machine entirely.  Frames are already length-prefixed, so
+  the stream needs no extra delimiting.
+
+:func:`exchange_all` is the **overlapped round loop**: it issues every
+shard's request first, then harvests replies *as they arrive* through
+a ``selectors`` poll instead of a fixed iteration order — a slow shard
+no longer serializes the harvest behind a fast one.  Results are
+returned **order-canonically** (reply ``i`` belongs to transport ``i``
+no matter the arrival order), which is why backend traces stay
+byte-identical for a fixed seed regardless of harvest interleaving.
+
+Example — the protocol stack over an in-process echo worker:
+
+    >>> from repro.weakset.protocol import StopRequest, StopReply
+    >>> transport = InProcTransport(lambda request: StopReply())
+    >>> transport.send(StopRequest())
+    >>> transport.recv()
+    StopReply()
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import traceback
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.weakset.protocol import (
+    HEADER_SIZE,
+    ErrorReply,
+    ProtocolError,
+    StopReply,
+    StopRequest,
+    decode_body,
+    decode_header,
+    decode_message,
+    encode_message,
+)
+
+__all__ = [
+    "Transport",
+    "TransportError",
+    "InProcTransport",
+    "PipeTransport",
+    "SocketTransport",
+    "exchange_all",
+    "serve_requests",
+]
+
+
+class TransportError(ReproError):
+    """The peer is gone or the channel failed mid-frame."""
+
+
+class Transport(ABC):
+    """One bidirectional frame channel to one shard worker."""
+
+    @abstractmethod
+    def send(self, message: object) -> None:
+        """Encode and ship one message; :class:`TransportError` if the
+        peer is gone."""
+
+    @abstractmethod
+    def recv(self) -> object:
+        """Block for the next message; :class:`TransportError` on EOF."""
+
+    @abstractmethod
+    def poll(self, timeout: float = 0.0) -> bool:
+        """Whether a message is (or becomes, within ``timeout``) ready."""
+
+    def fileno(self) -> Optional[int]:
+        """A selectable file descriptor, or ``None`` (not selectable).
+
+        :func:`exchange_all` overlaps its harvest only when every
+        transport is selectable; otherwise it falls back to in-order
+        receives (which is also the deterministic lock-step mode the
+        benchmarks compare against).
+        """
+        return None
+
+    def close(self) -> None:
+        """Release the channel (idempotent)."""
+
+
+class InProcTransport(Transport):
+    """A worker living in this process, behind the full codec.
+
+    ``send`` encodes the request to frame bytes, decodes them on "the
+    other side", hands the message to ``handler`` and buffers the
+    encoded reply for ``recv`` — so every message still round-trips
+    the binary codec exactly as it would over a pipe or socket, and a
+    value the codec cannot carry fails here too (instead of only
+    failing once a real network is involved).
+    """
+
+    def __init__(self, handler: Callable[[object], object]):
+        self._handler = handler
+        self._inbox: Deque[bytes] = deque()
+        self._closed = False
+
+    def send(self, message: object) -> None:
+        if self._closed:
+            raise TransportError("transport closed")
+        request = decode_message(encode_message(message))
+        try:
+            reply = self._handler(request)
+        except BaseException:
+            reply = ErrorReply(traceback.format_exc())
+        self._inbox.append(encode_message(reply))
+
+    def recv(self) -> object:
+        if not self._inbox:
+            raise TransportError("no reply pending (send first)")
+        return decode_message(self._inbox.popleft())
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return bool(self._inbox)
+
+    def close(self) -> None:
+        self._closed = True
+        self._inbox.clear()
+
+
+class PipeTransport(Transport):
+    """Frames over a ``multiprocessing`` pipe connection."""
+
+    def __init__(self, connection):
+        self._conn = connection
+
+    def send(self, message: object) -> None:
+        try:
+            self._conn.send_bytes(encode_message(message))
+        except (OSError, ValueError):
+            raise TransportError("pipe peer is gone") from None
+
+    def recv(self) -> object:
+        try:
+            frame = self._conn.recv_bytes()
+        except (EOFError, OSError):
+            raise TransportError("pipe peer exited") from None
+        return decode_message(frame)
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        try:
+            return self._conn.poll(timeout)
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            return False
+
+    def fileno(self) -> Optional[int]:
+        try:
+            return self._conn.fileno()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            return None
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
+class SocketTransport(Transport):
+    """Frames over a connected TCP (or Unix) stream socket.
+
+    The protocol's length-prefixed framing is exactly what a byte
+    stream needs: read the fixed header, then read exactly the body it
+    announces.  ``TCP_NODELAY`` is set where applicable — every frame
+    is a complete request or reply awaited by the peer, so Nagle
+    buffering only adds latency.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # not a TCP socket (socketpair, Unix domain)
+
+    def _read_exactly(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(remaining)
+            except OSError:
+                raise TransportError("socket peer is gone") from None
+            if not chunk:
+                raise TransportError("socket closed by peer")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def send(self, message: object) -> None:
+        try:
+            self._sock.sendall(encode_message(message))
+        except OSError:
+            raise TransportError("socket peer is gone") from None
+
+    def recv(self) -> object:
+        length = decode_header(self._read_exactly(HEADER_SIZE))
+        return decode_body(self._read_exactly(length))
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        try:
+            with selectors.DefaultSelector() as selector:
+                selector.register(self._sock, selectors.EVENT_READ)
+                return bool(selector.select(timeout))
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            return False
+
+    def fileno(self) -> Optional[int]:
+        try:
+            return self._sock.fileno()
+        except OSError:  # pragma: no cover - defensive
+            return None
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # peer already gone
+        self._sock.close()
+
+
+# ----------------------------------------------------------------------
+# the overlapped exchange
+# ----------------------------------------------------------------------
+def exchange_all(
+    transports: Sequence[Transport],
+    requests: Sequence[object],
+    *,
+    overlap: bool = True,
+    selector: Optional[selectors.BaseSelector] = None,
+) -> List[object]:
+    """One request/reply round trip with every shard, overlapped.
+
+    Sends ``requests[i]`` on ``transports[i]`` for all ``i`` *first*
+    (so every worker computes concurrently), then harvests replies.
+    With ``overlap=True`` (the default) and all transports selectable,
+    replies are collected **as they arrive** via a selector; otherwise
+    they are received in index order (lock-step harvest).  Either way
+    the returned list is index-aligned with the inputs — the caller
+    processes replies in canonical shard order, so traces do not
+    depend on arrival interleaving.
+
+    ``selector`` optionally supplies a long-lived selector with every
+    transport already registered (data = its index); round-loop
+    drivers pass one so the per-exchange cost is a single poll, not a
+    register/unregister cycle (exactly one reply per transport is in
+    flight, so registrations can persist across exchanges).
+
+    Raises :class:`TransportError` (annotated with the shard index) as
+    soon as any channel fails; remaining replies are left unread — the
+    round is poisoned either way, and the owning backend fails closed.
+    """
+    if len(transports) != len(requests):
+        raise ValueError("one request per transport required")
+    for index, (transport, request) in enumerate(zip(transports, requests)):
+        try:
+            transport.send(request)
+        except TransportError as error:
+            raise TransportError(f"shard {index}: {error}") from None
+    replies: List[object] = [None] * len(transports)
+    selectable = len(transports) > 1 and all(
+        transport.fileno() is not None for transport in transports
+    )
+    if overlap and selectable:
+        own_selector = selector is None
+        if own_selector:
+            selector = selectors.DefaultSelector()
+            for index, transport in enumerate(transports):
+                selector.register(transport.fileno(), selectors.EVENT_READ, index)
+        try:
+            pending = set(range(len(transports)))
+            while pending:
+                for key, _events in selector.select():
+                    index = key.data
+                    if index not in pending:
+                        continue
+                    try:
+                        replies[index] = transports[index].recv()
+                    except TransportError as error:
+                        raise TransportError(f"shard {index}: {error}") from None
+                    pending.discard(index)
+        finally:
+            if own_selector:
+                selector.close()
+    else:
+        for index, transport in enumerate(transports):
+            try:
+                replies[index] = transport.recv()
+            except TransportError as error:
+                raise TransportError(f"shard {index}: {error}") from None
+    return replies
+
+
+# ----------------------------------------------------------------------
+# the worker-side serve loop
+# ----------------------------------------------------------------------
+def serve_requests(transport: Transport, handler: Callable[[object], object]) -> None:
+    """Serve protocol requests until stop, peer exit, or failure.
+
+    The worker half of every backend: receive a request, hand it to
+    ``handler``, send the reply.  A :class:`~repro.weakset.protocol.StopRequest`
+    is acknowledged and ends the loop; a handler exception is reported
+    as an :class:`~repro.weakset.protocol.ErrorReply` and ends the loop
+    (the world is mid-round and cannot be trusted — the parent fails
+    closed on its side); a vanished peer just ends the loop.
+    """
+    while True:
+        try:
+            request = transport.recv()
+        except (TransportError, ProtocolError):
+            break
+        if isinstance(request, StopRequest):
+            try:
+                transport.send(StopReply())
+            except TransportError:
+                pass
+            break
+        try:
+            reply = handler(request)
+        except BaseException:
+            try:
+                transport.send(ErrorReply(traceback.format_exc()))
+            except TransportError:
+                pass
+            break
+        try:
+            transport.send(reply)
+        except TransportError:
+            break

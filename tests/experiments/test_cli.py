@@ -40,3 +40,57 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["C1", "--backend", "gpu"])
         assert excinfo.value.code == 2
+
+    def test_socket_backend_runs_churn_family(self, capsys):
+        assert main(["C3", "--backend", "socket"]) == 0
+        out = capsys.readouterr().out
+        assert "[C3]" in out
+        assert "backend=socket" in out
+
+    def test_listen_requires_socket_backend(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["C1", "--backend", "multiprocess", "--listen", "0.0.0.0:7000"])
+        assert excinfo.value.code == 2
+
+    def test_listen_and_connect_addresses_validated(self):
+        for argv in (
+            ["C1", "--backend", "socket", "--listen", "nonsense"],
+            ["--connect", "7000"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+
+    def test_connect_rejects_experiment_arguments(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["C1", "--connect", "127.0.0.1:7000"])
+        assert excinfo.value.code == 2
+
+    def test_listen_connect_round_trip(self, capsys):
+        """The multi-machine split, on one box: worker threads serve
+        the shard worlds of a real --listen experiment run, looping
+        from one workload cell to the next until the parent is done."""
+        import socket
+        import threading
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        workers = [
+            threading.Thread(
+                target=main, args=([f"--connect=127.0.0.1:{port}"],), daemon=True
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        assert main(["C1", "--backend", "socket", "--listen",
+                     f"127.0.0.1:{port}"]) == 0
+        for worker in workers:
+            worker.join(timeout=30)
+        assert not any(worker.is_alive() for worker in workers)
+        out = capsys.readouterr().out
+        assert "[C1]" in out
+        assert "backend=socket:127.0.0.1" in out

@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis.tables import Table
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.churn_tables import run_c1, run_c2
+from repro.experiments.churn_tables import run_c1, run_c2, run_c3
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
 from repro.experiments.state_growth import run_t3
@@ -21,7 +21,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "T5", "T6", "T7",
             "F1", "F2", "F3", "F4", "A1", "A2", "A3",
-            "C1", "C2",
+            "C1", "C2", "C3",
         }
 
     def test_churn_family_registered_and_dispatches(self):
@@ -85,13 +85,29 @@ class TestHeadlineClaims:
         ):
             assert 1 <= p50 <= p95 <= p99
 
-    def test_c2_multiprocess_matches_serial(self):
+    def test_c2_transport_backends_match_serial(self):
         table = run_c2(quick=True)
-        assert table.column("backend") == ["serial", "multiprocess"]
+        assert table.column("backend") == ["serial", "multiprocess", "socket"]
         assert all(table.column("matches-serial"))
         assert len(set(map(tuple, (
             (row[2], row[3], row[4], row[5]) for row in table.rows
         )))) == 1
+
+    def test_c3_crashes_reduce_but_do_not_stop_the_stream(self):
+        table = run_c3(quick=True)
+        for crashed, issued, completed, skipped in zip(
+            table.column("crashed"),
+            table.column("issued"),
+            table.column("completed"),
+            table.column("skipped"),
+        ):
+            assert crashed >= 1, "the quick grid always crashes someone"
+            assert skipped >= 1, "crashed processes must shed queued adds"
+            assert completed >= 1, "survivors' adds must keep landing"
+            assert completed <= issued
+        # every cell accounts for the whole offered load
+        for issued, skipped in zip(table.column("issued"), table.column("skipped")):
+            assert issued + skipped == 18
 
     def test_f4_registers_read_back_last_write(self):
         table = run_f4(quick=True)

@@ -123,3 +123,30 @@ class TestDelayPolicies:
     def test_constant_rejects_small(self):
         with pytest.raises(ValueError):
             ConstantDelay(1)
+
+
+class TestVectorizedDelayRows:
+    RECEIVERS = [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize(
+        "policy",
+        [UniformDelay(2, 6, seed=3), UniformDelay(3, 3, seed=0), ConstantDelay(4)],
+        ids=["uniform", "uniform-degenerate", "constant"],
+    )
+    def test_row_matches_scalar(self, policy):
+        for round_no in range(1, 12):
+            for sender in range(3):
+                assert policy.delay_row(round_no, sender, self.RECEIVERS) == [
+                    policy.delay(round_no, sender, receiver)
+                    for receiver in self.RECEIVERS
+                ]
+
+    def test_default_row_falls_back_to_scalar(self):
+        from repro.giraf.adversary import DelayPolicy
+
+        class SenderSkew(DelayPolicy):
+            def delay(self, round_no, sender, receiver):
+                return 2 + sender + receiver % 3
+
+        policy = SenderSkew()
+        assert policy.delay_row(1, 2, [0, 1, 2, 3]) == [4, 5, 6, 4]

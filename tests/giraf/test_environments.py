@@ -146,3 +146,69 @@ class TestVectorizedLinkPolicies:
         rows = env.plan_round_links(1, [0, 1], [0, 1, 2])
         assert rows[0] == [False, True, True]
         assert rows[1] == [True, False, True]
+
+
+class TestVectorizedDelayRows:
+    """Environment.delay_ticks_row == per-link delay_ticks, always."""
+
+    def test_row_matches_scalar_for_stock_environments(self):
+        from repro.giraf.adversary import UniformDelay
+
+        env = MovingSourceEnvironment(delay_policy=UniformDelay(2, 9, seed=5))
+        for round_no in range(1, 10):
+            row = env.delay_ticks_row(round_no, 1, [0, 2, 3])
+            assert row == [env.delay_ticks(round_no, 1, r) for r in (0, 2, 3)]
+
+    def test_overriding_delay_ticks_routes_through_fallback(self):
+        class StretchedDelays(MovingSourceEnvironment):
+            def delay_ticks(self, round_no, sender, receiver):
+                return 2 + (round_no + sender + receiver) % 4
+
+        env = StretchedDelays()
+        row = env.delay_ticks_row(3, 1, [0, 2, 4])
+        assert row == [env.delay_ticks(3, 1, r) for r in (0, 2, 4)]
+
+    def test_late_latencies_match_scalar_paths(self):
+        env = MovingSourceEnvironment()
+        row = env.late_latencies(2, 0, [1, 2, 3])
+        assert row == [env.late_latency(2, 0, r) for r in (1, 2, 3)]
+
+        class SlowEnv(MovingSourceEnvironment):
+            def late_latency(self, round_no, sender, receiver):
+                return 100.0 + receiver
+
+        slow = SlowEnv()
+        assert slow.late_latencies(2, 0, [1, 2]) == [101.0, 102.0]
+
+
+class TestRowPathEndToEnd:
+    """A custom scalar-only delay policy (fallback path) must produce
+    byte-identical lock-step traces to the stock vectorized policy it
+    mimics — proving the scheduler's row-wise late path equals the
+    historical per-link path."""
+
+    def test_fallback_and_vectorized_policies_trace_identically(self):
+        from repro.core.es_consensus import ESConsensus
+        from repro.giraf.adversary import DelayPolicy, UniformDelay
+        from repro.giraf.scheduler import LockStepScheduler
+        from repro.serialization import trace_to_json
+
+        class ScalarOnlyUniform(DelayPolicy):
+            """Same draws as UniformDelay, but no delay_row override —
+            forces the scheduler through DelayPolicy's scalar fallback."""
+
+            def __init__(self):
+                self._inner = UniformDelay(2, 6, seed=11)
+
+            def delay(self, round_no, sender, receiver):
+                return self._inner.delay(round_no, sender, receiver)
+
+        def run(policy):
+            scheduler = LockStepScheduler(
+                [ESConsensus(v) for v in range(6)],
+                EventualSynchronyEnvironment(gst=4, delay_policy=policy),
+                max_rounds=30,
+            )
+            return trace_to_json(scheduler.run())
+
+        assert run(UniformDelay(2, 6, seed=11)) == run(ScalarOnlyUniform())

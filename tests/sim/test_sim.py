@@ -3,6 +3,7 @@
 import pytest
 
 from repro._rng import derive_randint, derive_rng, derive_uniform
+from repro.giraf.adversary import CrashPlan, CrashSchedule
 from repro.giraf.traces import RunTrace, SendEvent
 from repro.sim.metrics import consensus_metrics, mean_payload_by_round, payload_growth
 from repro.sim.runner import run_churn_workload, run_consensus, run_es_consensus
@@ -168,3 +169,53 @@ class TestChurnWorkload:
             n=3, shards=1, total_adds=6, pattern="fixed", seed=0
         )
         assert run.completed == 6
+
+
+class TestCrashChurnWorkload:
+    """Process churn (crash schedules) on top of source churn."""
+
+    def test_crash_free_schedule_changes_nothing(self):
+        baseline = run_churn_workload(n=3, shards=2, total_adds=8, seed=3)
+        with_empty = run_churn_workload(
+            n=3, shards=2, total_adds=8, seed=3,
+            crash_schedule=CrashSchedule.none(),
+        )
+        assert with_empty.latencies == baseline.latencies
+        assert with_empty.skipped == 0
+
+    def test_crashed_processes_shed_their_queued_adds(self):
+        crashes = CrashSchedule({0: CrashPlan(2, before_send=True)})
+        run = run_churn_workload(
+            n=3, shards=2, total_adds=15, adds_per_round=2, seed=0,
+            crash_schedule=crashes,
+        )
+        # pid 0 owns 5 of the 15 round-robin adds; at most a couple can
+        # land before the round-2 crash, the rest are skipped or lost
+        assert run.skipped >= 1
+        assert run.issued + run.skipped == 15
+        assert run.completed >= 8, "survivors' adds must keep completing"
+        assert run.completed <= run.issued
+
+    def test_run_terminates_even_when_every_faulty_add_is_in_flight(self):
+        crashes = CrashSchedule({pid: CrashPlan(3) for pid in (0, 1)})
+        run = run_churn_workload(
+            n=3, shards=1, total_adds=9, adds_per_round=3, seed=2,
+            crash_schedule=crashes,
+        )
+        assert run.rounds < 100, "abandoned in-flight adds must not stall"
+        assert run.issued + run.skipped == 9
+
+    def test_crash_churn_backend_invariant(self):
+        crashes = CrashSchedule({1: CrashPlan(4, before_send=False)})
+        runs = [
+            run_churn_workload(
+                n=4, shards=2, total_adds=12, adds_per_round=2,
+                pattern="flapping", backend=backend, seed=6,
+                crash_schedule=crashes,
+            )
+            for backend in ("serial", "multiprocess")
+        ]
+        assert runs[0].latencies == runs[1].latencies
+        assert runs[0].skipped == runs[1].skipped
+        assert runs[0].issued == runs[1].issued
+        assert runs[0].rounds == runs[1].rounds

@@ -1,0 +1,25 @@
+"""Weak-set test fixtures: the multiprocessing start-method matrix.
+
+The shard backends promise identical behaviour under ``fork`` and
+``spawn`` (under ``spawn`` the world config must pickle, which is easy
+to break silently on a fork-only dev box).  Process-backed tests take
+the ``start_method`` fixture so the whole module runs once per
+available method — a parametrized fixture inside the normal tier-1
+run, not a separate CI job.
+"""
+
+import multiprocessing
+
+import pytest
+
+_AVAILABLE = [
+    method
+    for method in ("fork", "spawn")
+    if method in multiprocessing.get_all_start_methods()
+]
+
+
+@pytest.fixture(params=_AVAILABLE)
+def start_method(request):
+    """Every available multiprocessing start method, one run each."""
+    return request.param

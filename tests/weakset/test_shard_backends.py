@@ -1,9 +1,14 @@
-"""The shard-execution backends: serial == multiprocess, pinned.
+"""The shard-execution backends: every backend == serial, pinned.
 
-The acceptance bar for the backend seam: for a fixed seed, the
-multiprocess backend (one worker process per shard) must produce a
-byte-identical final weak-set trace to the serial backend — same shard
-worlds, same step sequence, same SHA-512-derived decisions.
+The acceptance bar for the transport split: for a fixed seed, every
+transport backend — in-process behind the codec, one worker process
+per shard over pipes, workers over loopback TCP — must produce a
+byte-identical final weak-set trace to the serial backend: same shard
+worlds, same step sequence, same SHA-512-derived decisions, regardless
+of the overlapped harvest's arrival order.
+
+Process-backed tests take the ``start_method`` fixture (see
+``conftest.py``) so the module runs under both ``fork`` and ``spawn``.
 """
 
 import pytest
@@ -17,6 +22,8 @@ from repro.weakset.sharding import (
     MultiprocessBackend,
     SerialBackend,
     ShardedWeakSetCluster,
+    SocketBackend,
+    parse_backend_spec,
 )
 from repro.weakset.spec import check_weakset
 
@@ -39,31 +46,55 @@ def _snapshot(cluster):
 
 
 class TestBackendEquivalence:
-    def test_traces_byte_identical_for_fixed_seed(self):
-        """The pinned acceptance test: serial == multiproc, byte for byte."""
+    def test_traces_byte_identical_for_fixed_seed(self, start_method):
+        """The pinned acceptance test: every backend == serial, byte
+        for byte — including the socket backend over loopback TCP."""
         def build(backend):
             return ShardedWeakSetCluster(
                 4,
                 shards=3,
                 environment_factory=ChurnEnvironments(pattern="random", seed=7),
                 backend=backend,
+                start_method=start_method,
             )
 
         serial = build("serial")
         serial_result = _drive(serial)
         serial_traces = _snapshot(serial)
-        with build("multiprocess") as multiproc:
-            multiproc_result = _drive(multiproc)
-            multiproc_traces = _snapshot(multiproc)
-        assert multiproc_result == serial_result
-        assert multiproc_traces == serial_traces
+        for backend in ("inproc", "multiprocess", "socket"):
+            with build(backend) as cluster:
+                assert _drive(cluster) == serial_result, backend
+                assert _snapshot(cluster) == serial_traces, backend
 
-    def test_equivalence_under_crashes(self):
+    def test_overlap_and_lockstep_harvests_agree(self):
+        """Arrival order must not leak into results: the overlapped
+        selector harvest and the fixed-order harvest are identical."""
+        def build(overlap):
+            backend = MultiprocessBackend(
+                4,
+                shards=3,
+                environment_factory=ChurnEnvironments(pattern="random", seed=9),
+                crash_schedule=None,
+                max_total_rounds=10_000,
+                trace_mode="full",
+                overlap=overlap,
+            )
+            return ShardedWeakSetCluster(4, shards=3, backend=backend)
+
+        with build(True) as overlapped:
+            overlapped_result = _drive(overlapped)
+            overlapped_traces = _snapshot(overlapped)
+        with build(False) as lockstep:
+            assert _drive(lockstep) == overlapped_result
+            assert _snapshot(lockstep) == overlapped_traces
+
+    def test_equivalence_under_crashes(self, start_method):
         crashes = CrashSchedule({2: CrashPlan(3, before_send=True)})
 
         def build(backend):
             return ShardedWeakSetCluster(
-                4, shards=2, crash_schedule=crashes, backend=backend
+                4, shards=2, crash_schedule=crashes, backend=backend,
+                start_method=start_method,
             )
 
         serial = build("serial")
@@ -87,14 +118,15 @@ class TestBackendEquivalence:
                 n=3, shards=2, total_adds=10, adds_per_round=2,
                 pattern="round-robin", backend=backend, seed=5,
             )
-            for backend in ("serial", "multiprocess")
+            for backend in ("serial", "inproc", "multiprocess", "socket")
         ]
-        assert runs[0].latencies == runs[1].latencies
-        assert runs[0].completed == runs[1].completed == 10
-        assert runs[0].rounds == runs[1].rounds
+        for run in runs[1:]:
+            assert run.latencies == runs[0].latencies
+            assert run.rounds == runs[0].rounds
+        assert all(run.completed == 10 for run in runs)
 
 
-class TestMultiprocessSemantics:
+class TestTransportBackendSemantics:
     def test_spec_holds_and_log_matches(self):
         with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as cluster:
             handles = cluster.handles()
@@ -134,13 +166,24 @@ class TestMultiprocessSemantics:
 
     def test_shards_property_serial_only(self):
         assert len(ShardedWeakSetCluster(2, shards=2).shards) == 2
-        with ShardedWeakSetCluster(2, shards=2, backend="multiprocess") as cluster:
+        with ShardedWeakSetCluster(2, shards=2, backend="inproc") as cluster:
             with pytest.raises(SimulationError):
                 cluster.shards
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SimulationError):
             ShardedWeakSetCluster(2, backend="gpu")
+
+    def test_backend_spec_parsing(self):
+        assert parse_backend_spec("serial") == ("serial", {})
+        assert parse_backend_spec("socket") == ("socket", {})
+        assert parse_backend_spec("socket:10.0.0.5:7000") == (
+            "socket", {"listen": ("10.0.0.5", 7000)},
+        )
+        with pytest.raises(SimulationError):
+            parse_backend_spec("socket:7000")
+        with pytest.raises(SimulationError):
+            parse_backend_spec("multiprocess:opts")
 
     def test_out_of_range_pid_rejected_before_reaching_workers(self):
         with ShardedWeakSetCluster(3, shards=2, backend="multiprocess") as cluster:
@@ -149,24 +192,6 @@ class TestMultiprocessSemantics:
             # the workers were never poisoned: the cluster still runs
             cluster.handle(0).add("fine")
             assert "fine" in cluster.handle(1).get()
-
-    def test_dead_worker_poisons_backend_with_clean_errors(self):
-        cluster = ShardedWeakSetCluster(3, shards=2, backend="multiprocess")
-        try:
-            cluster.advance(1)
-            worker = cluster.backend._workers[0]
-            worker.terminate()
-            worker.join(timeout=5.0)
-            with pytest.raises(SimulationError):
-                cluster.advance(1)
-            # every later call fails the same way — no raw pipe errors,
-            # no stale replies consumed
-            with pytest.raises(SimulationError):
-                cluster.step()
-            with pytest.raises(SimulationError):
-                cluster.handle(0).get()
-        finally:
-            cluster.close()
 
     def test_mismatched_backend_instance_rejected(self):
         backend = SerialBackend(
@@ -205,6 +230,70 @@ class TestMultiprocessSemantics:
         assert "v" in cluster.handle(1).get()
 
 
+class TestWorkerDeathFailsClosed:
+    """Kill a worker mid-run: clean errors, everything reaped."""
+
+    def _assert_fails_closed_and_reaps(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.advance(1)
+        # every later call fails the same way — no raw pipe/socket
+        # errors, no stale replies consumed
+        with pytest.raises(SimulationError):
+            cluster.step()
+        with pytest.raises(SimulationError):
+            cluster.handle(0).get()
+        with pytest.raises(SimulationError):
+            cluster.traces()
+        cluster.close()
+        # close() reaped the surviving workers too: none left running
+        assert all(not worker.is_alive() for worker in cluster.backend._workers)
+        assert all(
+            worker.exitcode is not None for worker in cluster.backend._workers
+        )
+
+    def test_dead_pipe_worker(self, start_method):
+        cluster = ShardedWeakSetCluster(
+            3, shards=2, backend="multiprocess", start_method=start_method
+        )
+        try:
+            cluster.advance(1)
+            worker = cluster.backend._workers[0]
+            worker.terminate()
+            worker.join(timeout=5.0)
+            self._assert_fails_closed_and_reaps(cluster)
+        finally:
+            cluster.close()
+
+    def test_dead_socket_worker(self, start_method):
+        cluster = ShardedWeakSetCluster(
+            3, shards=2, backend="socket", start_method=start_method
+        )
+        try:
+            cluster.advance(1)
+            worker = cluster.backend._workers[1]
+            worker.terminate()
+            worker.join(timeout=5.0)
+            self._assert_fails_closed_and_reaps(cluster)
+        finally:
+            cluster.close()
+
+    def test_dead_worker_mid_add_stream(self):
+        """Death between exchanges (not just between advances) is also
+        clean: the queued adds never poison a surviving worker."""
+        cluster = ShardedWeakSetCluster(3, shards=2, backend="multiprocess")
+        try:
+            cluster.handle(0).add("before")
+            for worker in cluster.backend._workers:
+                worker.terminate()
+                worker.join(timeout=5.0)
+            cluster.handle(1).add_async("after")  # parent-side queue only
+            with pytest.raises(SimulationError):
+                cluster.advance(1)
+        finally:
+            cluster.close()
+        assert all(not worker.is_alive() for worker in cluster.backend._workers)
+
+
 class TestBackendClasses:
     def test_multiprocess_backend_direct(self):
         backend = MultiprocessBackend(
@@ -226,6 +315,44 @@ class TestBackendClasses:
             assert any("direct" in proposed for _, proposed in views)
         finally:
             backend.close()
+
+    def test_socket_backend_reports_bound_address(self):
+        backend = SocketBackend(
+            2,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=3),
+            crash_schedule=None,
+            max_total_rounds=50,
+            trace_mode="aggregate",
+        )
+        try:
+            host, port = backend.address
+            assert host == "127.0.0.1" and port > 0
+            assert backend.step()
+        finally:
+            backend.close()
+
+    def test_inproc_stop_handshake_is_clean(self):
+        """InProcTransport dispatches straight to ShardServer.handle
+        (no serve_requests loop to intercept stops), so the server
+        must answer the shutdown handshake itself — a clean close
+        drains StopReply, not an ErrorReply traceback."""
+        from repro.weakset.protocol import StopReply, StopRequest
+        from repro.weakset.sharding import InProcBackend
+
+        backend = InProcBackend(
+            2,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=4),
+            crash_schedule=None,
+            max_total_rounds=50,
+            trace_mode="aggregate",
+        )
+        backend.step()
+        transport = backend._transports[0]
+        transport.send(StopRequest())
+        assert transport.recv() == StopReply()
+        backend.close()
 
     def test_serial_backend_traces_are_live(self):
         backend = SerialBackend(

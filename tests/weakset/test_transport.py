@@ -1,0 +1,247 @@
+"""Transports and the overlapped exchange driver.
+
+Covers the frame channels in isolation (framing over real byte
+streams, partial reads, peer-death semantics) and ``exchange_all``'s
+contract: replies are harvested as they arrive but returned in
+canonical input order.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.weakset.protocol import (
+    ErrorReply,
+    PeekRequest,
+    RoundRequest,
+    StopReply,
+    StopRequest,
+    encode_message,
+)
+from repro.weakset.transport import (
+    InProcTransport,
+    SocketTransport,
+    TransportError,
+    exchange_all,
+    serve_requests,
+)
+
+
+def socket_pair():
+    left, right = socket.socketpair()
+    return SocketTransport(left), SocketTransport(right)
+
+
+class TestInProcTransport:
+    def test_messages_round_trip_the_codec(self):
+        seen = []
+
+        def handler(request):
+            seen.append(request)
+            return StopReply()
+
+        transport = InProcTransport(handler)
+        transport.send(RoundRequest(adds=((0, 1, "alpha"),)))
+        assert transport.recv() == StopReply()
+        # the handler received a decoded copy, not the caller's object
+        assert seen == [RoundRequest(adds=((0, 1, "alpha"),))]
+
+    def test_handler_failure_becomes_error_reply(self):
+        def handler(request):
+            raise RuntimeError("shard world exploded")
+
+        transport = InProcTransport(handler)
+        transport.send(StopRequest())
+        reply = transport.recv()
+        assert isinstance(reply, ErrorReply)
+        assert "shard world exploded" in reply.message
+
+    def test_recv_without_send_and_close(self):
+        transport = InProcTransport(lambda request: StopReply())
+        with pytest.raises(TransportError):
+            transport.recv()
+        transport.close()
+        with pytest.raises(TransportError):
+            transport.send(StopRequest())
+
+    def test_uncodable_value_fails_at_send(self):
+        from repro.weakset.protocol import ProtocolError
+
+        transport = InProcTransport(lambda request: StopReply())
+        with pytest.raises(ProtocolError):
+            transport.send(RoundRequest(adds=((0, 1, object()),)))
+
+
+class TestSocketTransport:
+    def test_round_trip_over_a_real_stream(self):
+        left, right = socket_pair()
+        try:
+            left.send(PeekRequest(pid=2, adds=((5, 0, ("x", 1)),)))
+            assert right.recv() == PeekRequest(pid=2, adds=((5, 0, ("x", 1)),))
+            right.send(StopReply())
+            assert left.recv() == StopReply()
+        finally:
+            left.close()
+            right.close()
+
+    def test_fragmented_frames_reassemble(self):
+        """A TCP stream may deliver a frame a byte at a time."""
+        raw_left, raw_right = socket.socketpair()
+        transport = SocketTransport(raw_right)
+        frame = encode_message(RoundRequest(adds=((1, 0, "frag"),)))
+        received = []
+        reader = threading.Thread(target=lambda: received.append(transport.recv()))
+        reader.start()
+        for offset in range(len(frame)):
+            raw_left.sendall(frame[offset : offset + 1])
+            time.sleep(0.001)
+        reader.join(timeout=10)
+        assert received == [RoundRequest(adds=((1, 0, "frag"),))]
+        raw_left.close()
+        transport.close()
+
+    def test_two_frames_back_to_back_stay_separate(self):
+        left, right = socket_pair()
+        try:
+            left.send(RoundRequest(adds=((0, 0, "a"),)))
+            left.send(RoundRequest(adds=((1, 1, "b"),)))
+            assert right.recv() == RoundRequest(adds=((0, 0, "a"),))
+            assert right.recv() == RoundRequest(adds=((1, 1, "b"),))
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_close_raises_transport_error(self):
+        left, right = socket_pair()
+        left.close()
+        with pytest.raises(TransportError):
+            right.recv()
+        right.close()
+
+    def test_poll_sees_pending_frames(self):
+        left, right = socket_pair()
+        try:
+            assert not right.poll(0.0)
+            left.send(StopRequest())
+            assert right.poll(1.0)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestExchangeAll:
+    def test_replies_are_order_canonical_despite_arrival_order(self):
+        """Worker 0 replies *slowest*; the overlapped harvest must
+        still hand back replies[0] = worker 0's answer."""
+        parents, servers = zip(*(socket_pair() for _ in range(3)))
+
+        def serve(index, transport):
+            request = transport.recv()
+            time.sleep(0.15 if index == 0 else 0.0)
+            transport.send(ErrorReply(f"worker-{index}:{request.pid}"))
+
+        threads = [
+            threading.Thread(target=serve, args=(index, transport))
+            for index, transport in enumerate(servers)
+        ]
+        for thread in threads:
+            thread.start()
+        replies = exchange_all(
+            list(parents),
+            [PeekRequest(pid=index) for index in range(3)],
+            overlap=True,
+        )
+        for thread in threads:
+            thread.join(timeout=10)
+        assert [reply.message for reply in replies] == [
+            "worker-0:0", "worker-1:1", "worker-2:2",
+        ]
+        for transport in (*parents, *servers):
+            transport.close()
+
+    def test_lockstep_harvest_gives_the_same_answers(self):
+        handler = lambda request: ErrorReply(f"pid={request.pid}")
+        transports = [InProcTransport(handler) for _ in range(3)]
+        replies = exchange_all(
+            transports,
+            [PeekRequest(pid=index) for index in range(3)],
+            overlap=False,
+        )
+        assert [reply.message for reply in replies] == [
+            "pid=0", "pid=1", "pid=2",
+        ]
+
+    def test_inproc_transports_fall_back_from_overlap(self):
+        """InProc channels are not selectable; overlap=True must still
+        work (sequential fallback), not crash on fileno()."""
+        transports = [InProcTransport(lambda r: StopReply()) for _ in range(2)]
+        replies = exchange_all(
+            transports, [StopRequest(), StopRequest()], overlap=True
+        )
+        assert replies == [StopReply(), StopReply()]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            exchange_all([InProcTransport(lambda r: StopReply())], [])
+
+    def test_dead_peer_is_reported_with_its_shard_index(self):
+        left0, right0 = socket_pair()
+        left1, right1 = socket_pair()
+        right1.close()  # shard 1's worker is gone
+
+        def serve0():
+            right0.recv()
+            right0.send(StopReply())
+
+        thread = threading.Thread(target=serve0)
+        thread.start()
+        with pytest.raises(TransportError, match="shard 1"):
+            exchange_all([left0, left1], [StopRequest(), StopRequest()])
+        thread.join(timeout=10)
+        for transport in (left0, right0, left1):
+            transport.close()
+
+
+class TestServeRequests:
+    def test_serves_until_stop_and_acknowledges(self):
+        replies = []
+
+        class Script:
+            def __init__(self, requests):
+                self.requests = list(requests)
+
+            def recv(self):
+                if not self.requests:
+                    raise TransportError("done")
+                return self.requests.pop(0)
+
+            def send(self, message):
+                replies.append(message)
+
+        script = Script([PeekRequest(pid=1), StopRequest(), PeekRequest(pid=9)])
+        serve_requests(script, lambda request: ErrorReply(f"pid={request.pid}"))
+        # the stop was acknowledged and nothing after it was served
+        assert replies == [ErrorReply("pid=1"), StopReply()]
+
+    def test_handler_failure_reported_and_loop_ends(self):
+        sent = []
+
+        class OneShot:
+            def __init__(self):
+                self.requests = [PeekRequest(pid=0), PeekRequest(pid=1)]
+
+            def recv(self):
+                return self.requests.pop(0)
+
+            def send(self, message):
+                sent.append(message)
+
+        def handler(request):
+            raise ValueError("world poisoned")
+
+        serve_requests(OneShot(), handler)
+        assert len(sent) == 1
+        assert isinstance(sent[0], ErrorReply)
+        assert "world poisoned" in sent[0].message
