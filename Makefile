@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-shard docs experiments experiments-full
+.PHONY: test bench bench-shard perf docs experiments experiments-full
 
 test:
 	$(PYTHON) -m pytest -q
@@ -16,6 +16,12 @@ bench:
 # lock-step harvest pair.  See PERFORMANCE.md §5.
 bench-shard:
 	$(PYTHON) -m pytest benchmarks/bench_micro.py -q -k "churn or harvest"
+
+# Perf smoke: check the recorded key speedups in BENCH_micro.json
+# against tolerant floors (same-run ratios only; --strict adds the
+# reference-machine trajectory floors).  See scripts/check_perf.py.
+perf:
+	$(PYTHON) scripts/check_perf.py
 
 # Doctest the documented API surface and link-check every *.md.
 docs:

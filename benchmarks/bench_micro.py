@@ -14,15 +14,25 @@ legacy paths honest (they remain supported and property-tested).
 ``benchmarks/capture.py`` records all of them into ``BENCH_micro.json``.
 """
 
+import random
+
 from repro.core.counters import FrozenCounters, apply_round_update
 from repro.core.es_consensus import ESConsensus
 from repro.core.history import intern_history
 from repro.giraf.environments import EventualSynchronyEnvironment
 from repro.giraf.messages import payload_size
 from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
+from repro.runtime.events import CalendarEventQueue, HeapEventQueue
 from repro.sim.runner import stop_when_all_correct_decided
 from repro.sim.workloads import ChurnEnvironments
 from repro.weakset.cluster import MSWeakSetCluster
+from repro.weakset.protocol import (
+    PeekReply,
+    RoundReply,
+    RoundRequest,
+    decode_message,
+    encode_message,
+)
 from repro.weakset.sharding import MultiprocessBackend, ShardedWeakSetCluster
 
 
@@ -147,6 +157,78 @@ def test_bench_drifting_round_throughput_full_trace(benchmark):
     assert trace.decided_pids()
 
 
+def _event_queue_churn(queue_factory, pending: int = 200_000, churn: int = 100_000):
+    """Steady-state event churn at a size where the insert cost shows.
+
+    Seeds ``pending`` in-flight events, then pops-and-reschedules
+    ``churn`` times — the drifting scheduler's delivery pattern, scaled
+    to the large ``n × rounds`` regime the calendar queue targets
+    (every heap insert pays O(log N) sift work there; calendar inserts
+    are bucket appends).
+    """
+    rng = random.Random(0)
+    queue = queue_factory()
+    now, seq = 0.0, 0
+    for _ in range(pending):
+        queue.push((now + rng.uniform(0.0, 6.0), seq, "deliver", None))
+        seq += 1
+    for _ in range(churn):
+        now = queue.pop()[0]
+        queue.push((now + rng.uniform(0.05, 6.0), seq, "deliver", None))
+        seq += 1
+    assert len(queue) == pending
+    return seq
+
+
+def test_bench_event_queue_heap(benchmark):
+    """The historical global-heap event core on the churn workload."""
+    total = benchmark.pedantic(
+        _event_queue_churn, args=(HeapEventQueue,), rounds=3, iterations=1
+    )
+    assert total == 300_000
+
+
+def test_bench_event_queue_calendar(benchmark):
+    """The calendar (bucketed) event core on the identical workload."""
+    total = benchmark.pedantic(
+        _event_queue_churn,
+        args=(lambda: CalendarEventQueue(1.0),),
+        rounds=3,
+        iterations=1,
+    )
+    assert total == 300_000
+
+
+# one shard round trip's worth of hot frames: a round request carrying
+# a burst of adds, its reply, and a peek reply hauling a PROPOSED set
+_CODEC_MESSAGES = (
+    RoundRequest(adds=tuple((t, t % 4, f"churn-0-{t}") for t in range(8))),
+    RoundReply(
+        alive=True,
+        completions=tuple((t, 3.0 + t) for t in range(8)),
+        crashed=frozenset({1, 3}),
+        now=42.0,
+    ),
+    PeekReply(crashed=False, proposed=frozenset(f"churn-0-{i}" for i in range(40))),
+)
+
+
+def _frame_codec_round_trips(codec: str, repeats: int = 200):
+    for _ in range(repeats):
+        for message in _CODEC_MESSAGES:
+            assert decode_message(encode_message(message, codec=codec)) == message
+
+
+def test_bench_frame_codec_json(benchmark):
+    """The JSON (debug/fallback) frame codec: encode + decode."""
+    benchmark(_frame_codec_round_trips, "json")
+
+
+def test_bench_frame_codec_binary(benchmark):
+    """The binary frame codec on the identical messages."""
+    benchmark(_frame_codec_round_trips, "binary")
+
+
 def _weakset_add_wave(shards: int):
     """A wave of adds across every process, riding batched delivery."""
     if shards == 1:
@@ -180,7 +262,7 @@ def test_bench_weakset_sharded_adds(benchmark):
     assert all(record.end is not None for record in records)
 
 
-def _churn(backend: str):
+def _churn(backend: str, **kwargs):
     """The churn workload's quick shape on a given shard backend."""
     from repro.sim.runner import run_churn_workload
 
@@ -192,6 +274,7 @@ def _churn(backend: str):
         pattern="random",
         backend=backend,
         seed=0,
+        **kwargs,
     )
 
 
@@ -221,6 +304,25 @@ def test_bench_churn_workload_socket(benchmark):
     the per-round frame traffic.
     """
     run = benchmark.pedantic(_churn, args=("socket",), rounds=3, iterations=1)
+    assert run.completed == 12
+
+
+def test_bench_churn_workload_socket_batched(benchmark):
+    """The socket stream again with drain rounds batched 4-per-frame.
+
+    Same workload, same results (latencies are batch-invariant); the
+    drain tail crosses the wire as one frame pair per 4 rounds.  On
+    loopback the round trips are cheap so the win is modest — the
+    batching lever is sized for high-latency links, where each saved
+    round trip is a full RTT.
+    """
+    run = benchmark.pedantic(
+        _churn,
+        args=("socket",),
+        kwargs={"round_batch": 4},
+        rounds=3,
+        iterations=1,
+    )
     assert run.completed == 12
 
 

@@ -48,6 +48,17 @@ SEED_BASELINE_US = {
     "test_bench_payload_size": 539.3,
 }
 
+#: Numbers recorded on this reference machine at the PR-4 commit, for
+#: the hot path PR 5 overhauled (the drifting event loop).  Same
+#: caveat as the seed baseline: a same-machine trajectory anchor,
+#: meaningless on other hardware — scripts/check_perf.py only
+#: enforces it under --strict.  (The spawn-dominated churn shapes are
+#: deliberately NOT anchored: their wall-clock is process start-up
+#: noise, not code.)
+PR4_RECORDED_US = {
+    "test_bench_drifting_round_throughput": 9235.074,
+}
+
 
 def run_micro() -> dict[str, float]:
     """Run bench_micro.py under pytest-benchmark; return mean µs by test."""
@@ -112,6 +123,7 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "micro_us": run_micro(),
         "seed_baseline_us": SEED_BASELINE_US,
+        "pr4_recorded_us": PR4_RECORDED_US,
     }
     if not args.skip_experiments:
         snapshot["experiments_s"] = run_experiments()
@@ -173,6 +185,29 @@ def main(argv=None) -> int:
         speedups["shard_harvest_lockstep_vs_overlapped"] = round(
             lockstep / overlapped, 2
         )
+    # Hot-loop overhaul (PR 5): the binary frame codec against the
+    # JSON codec on identical messages, the calendar event queue
+    # against the heap twin on identical churn, the round-batched
+    # socket stream against the per-round twin (all same-run ratios),
+    # and the drifting/socket trajectories against the PR-4 recordings
+    # (same-machine anchors).
+    json_codec = micro.get("test_bench_frame_codec_json")
+    binary_codec = micro.get("test_bench_frame_codec_binary")
+    if json_codec and binary_codec:
+        speedups["frame_codec_binary_vs_json"] = round(json_codec / binary_codec, 2)
+    heap_queue = micro.get("test_bench_event_queue_heap")
+    calendar_queue = micro.get("test_bench_event_queue_calendar")
+    if heap_queue and calendar_queue:
+        speedups["event_queue_calendar_vs_heap"] = round(
+            heap_queue / calendar_queue, 2
+        )
+    batched = micro.get("test_bench_churn_workload_socket_batched")
+    if sock and batched:
+        speedups["churn_socket_batched_vs_unbatched"] = round(sock / batched, 2)
+    drifting = micro.get("test_bench_drifting_round_throughput")
+    recorded = PR4_RECORDED_US.get("test_bench_drifting_round_throughput")
+    if drifting and recorded:
+        speedups["drifting_vs_pr4_recorded"] = round(recorded / drifting, 2)
     if speedups:
         snapshot["speedups"] = speedups
 

@@ -1,0 +1,125 @@
+"""Perf smoke: fail when recorded key speedups fall below their floors.
+
+``BENCH_micro.json`` is the performance trajectory; this script is the
+tripwire that keeps it honest.  It reads a snapshot (the committed one
+by default, or a freshly captured file via ``--snapshot``) and checks
+the ``speedups`` section against **tolerant floors** — far below the
+recorded ratios, so machine-to-machine jitter does not cry wolf, but
+high enough that losing a fast path outright (binary codec silently
+falling back to JSON, the aggregate sink regressing to event objects)
+fails loudly.
+
+Two classes of keys:
+
+* **same-run ratios** (checked always): both sides of the ratio are
+  measured in the same capture on the same machine — codec vs codec,
+  aggregate vs full trace.  These are stable anywhere, including CI
+  runners, so the bench-smoke job captures fresh numbers and runs this
+  script over them.
+* **trajectory ratios** (checked only with ``--strict``): current
+  numbers against values recorded on the reference machine at an
+  earlier commit (the seed, PR 4).  Meaningful only on that machine —
+  ``--strict`` is for the box that regenerates ``BENCH_micro.json``
+  before committing it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_perf.py              # committed snapshot
+    PYTHONPATH=src python scripts/check_perf.py --strict     # + trajectory floors
+    PYTHONPATH=src python scripts/check_perf.py --snapshot /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: same-run ratio floors: (key, floor, what losing it would mean)
+SAME_RUN_FLOORS = [
+    (
+        "counter_update_vs_tuple_twin",
+        3.0,
+        "the interned-history fused counter update lost to the tuple twin",
+    ),
+    (
+        "lockstep_aggregate_vs_full_trace_now",
+        2.0,
+        "the aggregate trace sink no longer skips event allocation",
+    ),
+    (
+        "frame_codec_binary_vs_json",
+        1.4,
+        "the binary frame codec lost its edge over the JSON codec",
+    ),
+    (
+        "drifting_aggregate_vs_full_trace",
+        1.0,
+        "the drifting aggregate sink costs more than full traces",
+    ),
+]
+
+#: reference-machine trajectory floors (--strict only)
+STRICT_FLOORS = [
+    (
+        "lockstep_aggregate_vs_seed_recorded",
+        2.0,
+        "lock-step throughput regressed toward the seed recording",
+    ),
+    (
+        "drifting_vs_pr4_recorded",
+        1.5,
+        "the drifting hot-loop overhaul regressed below its PR-5 bar",
+    ),
+]
+
+
+def check(snapshot_path: Path, strict: bool) -> int:
+    try:
+        snapshot = json.loads(snapshot_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"perf check: cannot read {snapshot_path}: {error}")
+        return 1
+    speedups = snapshot.get("speedups", {})
+    floors = list(SAME_RUN_FLOORS) + (list(STRICT_FLOORS) if strict else [])
+    failures = []
+    for key, floor, meaning in floors:
+        value = speedups.get(key)
+        if value is None:
+            failures.append(f"  {key}: missing from {snapshot_path.name}")
+        elif value < floor:
+            failures.append(
+                f"  {key}: {value}x is below the {floor}x floor — {meaning}"
+            )
+        else:
+            print(f"  ok {key}: {value}x (floor {floor}x)")
+    if failures:
+        print("perf check FAILED:")
+        print("\n".join(failures))
+        return 1
+    print(f"perf check ok: {len(floors)} floors hold in {snapshot_path.name}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=REPO_ROOT / "BENCH_micro.json",
+        help="snapshot to check (default: the committed BENCH_micro.json)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also enforce the reference-machine trajectory floors",
+    )
+    args = parser.parse_args(argv)
+    return check(args.snapshot, args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

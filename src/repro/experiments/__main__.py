@@ -73,6 +73,24 @@ def main(argv=None) -> int:
         "for external workers",
     )
     parser.add_argument(
+        "--frames",
+        choices=["binary", "json"],
+        default=None,
+        help="wire codec for the churn family's transport backends "
+        "(default binary: struct-packed hot messages; json is the "
+        "readable debug/fallback codec — tables are identical either "
+        "way)",
+    )
+    parser.add_argument(
+        "--round-batch",
+        type=int,
+        default=None,
+        metavar="K",
+        help="coalesce up to K lock-step rounds into one frame pair "
+        "per shard worker (default 1; pays off on high-latency links "
+        "— completed-add latencies are batch-invariant)",
+    )
+    parser.add_argument(
         "--listen",
         type=_parse_address,
         default=None,
@@ -93,9 +111,22 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.round_batch is not None and args.round_batch < 1:
+        parser.error("--round-batch must be >= 1")
     if args.connect is not None:
-        if args.ids or args.listen is not None or args.backend is not None:
-            parser.error("--connect runs a bare worker; drop IDs/--listen/--backend")
+        if (
+            args.ids
+            or args.listen is not None
+            or args.backend is not None
+            or args.frames is not None
+            or args.round_batch is not None
+        ):
+            # parent-side knobs; the worker adopts whatever the parent
+            # negotiated, so accepting them here would mislead
+            parser.error(
+                "--connect runs a bare worker; drop IDs/--listen/--backend/"
+                "--frames/--round-batch"
+            )
         from repro.weakset.sharding import run_socket_worker
 
         served = run_socket_worker(args.connect)
@@ -121,6 +152,8 @@ def main(argv=None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             backend=backend,
+            frames=args.frames,
+            round_batch=args.round_batch,
         )
         print(table.render())
         print()

@@ -43,7 +43,13 @@ from repro.sim.workloads import CHURN_PATTERNS
 __all__ = ["run_c1", "run_c2", "run_c3"]
 
 
-def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
+def run_c1(
+    quick: bool = True,
+    seed: int = 0,
+    backend: str = "serial",
+    frames: str = "binary",
+    round_batch: int = 1,
+) -> Table:
     """C1: add-latency percentiles and throughput per churn pattern."""
     patterns = ["random", "round-robin", "flapping"] if quick else list(CHURN_PATTERNS)
     shard_counts = [1, 2] if quick else [1, 2, 4, 8]
@@ -61,8 +67,9 @@ def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
         notes=[
             "latency = rounds from add() to written (Theorem 3: always "
             "finite); percentiles are nearest-rank over completed adds",
-            f"backend={backend}; results are backend-invariant for a "
-            "fixed seed (pinned in tests/weakset/test_shard_backends.py)",
+            f"backend={backend}, frames={frames}, round_batch={round_batch}; "
+            "results are backend- and codec-invariant for a fixed seed "
+            "(pinned in tests/weakset/test_shard_backends.py)",
         ],
     )
     for pattern in patterns:
@@ -75,6 +82,8 @@ def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
                 pattern=pattern,
                 backend=backend,
                 seed=seed,
+                frames=frames,
+                round_batch=round_batch,
             )
             table.add_row(
                 pattern,
@@ -90,7 +99,7 @@ def run_c1(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
 
 
 def run_c2(quick: bool = True, seed: int = 0) -> Table:
-    """C2: serial vs multiprocess vs socket backend on one workload."""
+    """C2: backend × codec × batch equivalence and cost on one workload."""
     n = 3 if quick else 6
     shards = 2 if quick else 4
     total_adds = 10 if quick else 160
@@ -98,22 +107,30 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
 
     table = Table(
         experiment_id="C2",
-        title="Shard backends: serial vs multiprocess vs socket",
+        title="Shard backends: serial vs multiprocess vs socket (codec, batch)",
         headers=[
-            "backend", "shards", "completed",
+            "backend", "frames", "batch", "shards", "completed",
             "p50", "p95", "p99", "wall-s", "matches-serial",
         ],
         notes=[
             "the latency columns must match row-for-row: the transport "
             "backends replay the exact serial shard worlds (SHA-512-seeded "
-            "streams are process-independent)",
+            "streams are process-independent), whatever the frame codec "
+            "or round batching",
             "wall-s is this machine's cost of the worker processes and "
-            "per-round message passing (loopback TCP for the socket row); "
+            "per-round message passing (loopback TCP for the socket rows); "
             "on multi-core hosts the shard worlds step concurrently",
         ],
     )
     reference = None
-    for backend in ("serial", "multiprocess", "socket"):
+    cases = [
+        ("serial", "binary", 1),
+        ("multiprocess", "binary", 1),
+        ("socket", "binary", 1),
+        ("socket", "json", 1),
+        ("socket", "binary", 4),
+    ]
+    for backend, frames, round_batch in cases:
         start = time.perf_counter()
         run = run_churn_workload(
             n=n,
@@ -123,6 +140,8 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
             pattern="random",
             backend=backend,
             seed=seed,
+            frames=frames,
+            round_batch=round_batch,
         )
         wall = time.perf_counter() - start
         summary = (run.completed, run.latencies)
@@ -130,6 +149,8 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
             reference = summary
         table.add_row(
             backend,
+            frames,
+            round_batch,
             shards,
             run.completed,
             run.percentile_latency(50),
@@ -141,7 +162,13 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
     return table
 
 
-def run_c3(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
+def run_c3(
+    quick: bool = True,
+    seed: int = 0,
+    backend: str = "serial",
+    frames: str = "binary",
+    round_batch: int = 1,
+) -> Table:
     """C3: crash churn (process failures) on top of source churn."""
     patterns = ["random", "flapping"] if quick else list(CHURN_PATTERNS)
     fractions = [0.25, 0.5] if quick else [0.25, 0.5, 0.75]
@@ -162,8 +189,9 @@ def run_c3(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
             "queued adds on crashed processes are skipped, in-flight ones "
             "abandoned — surviving processes' adds keep completing "
             "(Algorithm 4 tolerates n-1 crashes)",
-            f"backend={backend}; results are backend-invariant for a "
-            "fixed seed (pinned in tests/weakset/test_shard_backends.py)",
+            f"backend={backend}, frames={frames}, round_batch={round_batch}; "
+            "results are backend- and codec-invariant for a fixed seed "
+            "(pinned in tests/weakset/test_shard_backends.py)",
         ],
     )
     for pattern in patterns:
@@ -178,6 +206,8 @@ def run_c3(quick: bool = True, seed: int = 0, backend: str = "serial") -> Table:
                 backend=backend,
                 seed=seed,
                 crash_schedule=crashes,
+                frames=frames,
+                round_batch=round_batch,
             )
             table.add_row(
                 pattern,

@@ -52,6 +52,8 @@ def run_experiment(
     seed: int = 0,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    frames: Optional[str] = None,
+    round_batch: Optional[int] = None,
 ) -> Table:
     """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``).
 
@@ -59,7 +61,9 @@ def run_experiment(
     whose workload is not cell-parallel simply ignore it.  ``backend``
     selects the shard-execution backend (``"serial"``,
     ``"multiprocess"``, ``"socket"``, or ``"socket:HOST:PORT"``) for
-    the churn family; runners without a backend knob ignore it.
+    the churn family, ``frames`` its wire codec (``"binary"`` /
+    ``"json"``) and ``round_batch`` its frame coalescing; runners
+    without the matching knob ignore them.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -68,10 +72,14 @@ def run_experiment(
     runner = EXPERIMENTS[key]
     parameters = inspect.signature(runner).parameters
     kwargs = {"quick": quick, "seed": seed}
-    if jobs is not None and "jobs" in parameters:
-        kwargs["jobs"] = jobs
-    if backend is not None and "backend" in parameters:
-        kwargs["backend"] = backend
+    for name, value in (
+        ("jobs", jobs),
+        ("backend", backend),
+        ("frames", frames),
+        ("round_batch", round_batch),
+    ):
+        if value is not None and name in parameters:
+            kwargs[name] = value
     return runner(**kwargs)
 
 
@@ -81,9 +89,19 @@ def run_all(
     seed: int = 0,
     jobs: Optional[int] = None,
     backend: Optional[str] = None,
+    frames: Optional[str] = None,
+    round_batch: Optional[int] = None,
 ) -> List[Table]:
     """Run the whole suite in ID order."""
     return [
-        run_experiment(key, quick=quick, seed=seed, jobs=jobs, backend=backend)
+        run_experiment(
+            key,
+            quick=quick,
+            seed=seed,
+            jobs=jobs,
+            backend=backend,
+            frames=frames,
+            round_batch=round_batch,
+        )
         for key in sorted(EXPERIMENTS)
     ]

@@ -261,6 +261,16 @@ class DelayPolicy(ABC):
         """
         return [self.delay(round_no, sender, receiver) for receiver in receivers]
 
+    def delay_bounds(self) -> Optional[tuple]:
+        """The ``(lo, hi)`` tick range this policy draws from, if known.
+
+        Consumed by the runtime kernel's calendar event queue to pick
+        its bucket width (a wide late window widens the buckets).
+        Policies with no meaningful bound return ``None`` — the kernel
+        then uses the 1-tick default.
+        """
+        return None
+
 
 class UniformDelay(DelayPolicy):
     """Uniform delay in ``[lo, hi]`` ticks, seeded and per-link."""
@@ -288,6 +298,9 @@ class UniformDelay(DelayPolicy):
             for receiver in receivers
         ]
 
+    def delay_bounds(self) -> tuple:
+        return (self._lo, self._hi)
+
 
 class ConstantDelay(DelayPolicy):
     """Every late message is exactly ``ticks`` late.
@@ -308,3 +321,6 @@ class ConstantDelay(DelayPolicy):
         self, round_no: int, sender: int, receivers: Sequence[int]
     ) -> list:
         return [self._ticks] * len(receivers)
+
+    def delay_bounds(self) -> tuple:
+        return (self._ticks, self._ticks)

@@ -35,7 +35,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
-from repro._rng import derive_rng, derive_uniform
+from repro._rng import derive_uniform
 from repro.giraf.adversary import (
     DelayPolicy,
     RandomSource,
@@ -297,9 +297,12 @@ class Environment(ABC):
 
         The drifting scheduler additionally gates receivers so these
         always arrive in time; the value only shapes the interleaving.
+        Drawn through the memoized single-draw helper — bit-identical
+        to the first draw of a fresh ``derive_rng`` stream on the same
+        key (the pre-memoization implementation), at a dict probe
+        instead of an SHA-512 + Mersenne-Twister re-seed per link.
         """
-        rng = derive_rng("lat-t", round_no, sender, receiver)
-        return 0.05 + 0.4 * rng.random()
+        return 0.05 + 0.4 * derive_uniform("lat-t", round_no, sender, receiver)
 
     def late_latency(self, round_no: int, sender: int, receiver: int) -> float:
         """Continuous-time latency for a non-timely delivery."""
@@ -330,6 +333,14 @@ class Environment(ABC):
             >>> row == [env.timely_latency(1, 0, r) for r in (1, 2)]
             True
         """
+        if type(self).timely_latency is Environment.timely_latency:
+            # Inline the stock draw (memoized, keyed per link): one
+            # list build, no per-link method dispatch.  Environments
+            # overriding the scalar fall through to it below.
+            return [
+                0.05 + 0.4 * derive_uniform("lat-t", round_no, sender, receiver)
+                for receiver in receivers
+            ]
         return [
             self.timely_latency(round_no, sender, receiver) for receiver in receivers
         ]

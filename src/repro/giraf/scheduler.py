@@ -344,6 +344,12 @@ class DriftingScheduler:
     the same counter-only fast path as the lock-step scheduler: no
     ``SendEvent``/``DeliveryEvent`` objects, identical metrics
     (equivalence-tested in ``tests/runtime``).
+
+    ``event_queue`` selects the kernel's continuous-time event core:
+    ``"calendar"`` (the default bucketed queue — O(1) delivery
+    inserts) or ``"heap"`` (the historical global ``heapq``).  Both
+    drain in identical ``(time, seq)`` order, so the produced traces
+    are byte-identical (pinned in ``tests/runtime``).
     """
 
     def __init__(
@@ -359,6 +365,7 @@ class DriftingScheduler:
         record_snapshots: bool = False,
         trace_mode: str = "full",
         payload_stats: bool = False,
+        event_queue: str = "calendar",
     ):
         self._kernel = RuntimeKernel(
             algorithms,
@@ -369,6 +376,7 @@ class DriftingScheduler:
             record_snapshots=record_snapshots,
             trace_mode=trace_mode,
             payload_stats=payload_stats,
+            event_queue=event_queue,
         )
         self._environment = environment
         self._record_snapshots = record_snapshots
@@ -483,15 +491,20 @@ class DriftingScheduler:
                                 declared[round_no] = plan.source
             release_waiters(now)
 
-        def release_waiters(now: Optional[float] = None) -> None:
+        def release_waiter(pid: int, gate: _Gate, now: float) -> None:
+            """Release one parked process if its gate is now satisfied."""
+            if gate_satisfied(pid, gate.round_no):
+                del waiting[pid]
+                invocation = gate.round_no + 1
+                when = nominal_time(pid, invocation)
+                if when < now:
+                    when = now
+                kernel.schedule(when, "eor", (pid, invocation))
+
+        def release_waiters(now: float) -> None:
+            """Re-check every parked gate (obligations were re-planned)."""
             for pid, gate in list(waiting.items()):
-                if gate_satisfied(pid, gate.round_no):
-                    del waiting[pid]
-                    invocation = gate.round_no + 1
-                    when = nominal_time(pid, invocation)
-                    if now is not None and when < now:
-                        when = now
-                    kernel.schedule(when, "eor", (pid, invocation))
+                release_waiter(pid, gate, now)
 
         def broadcast(proc: GirafProcess, envelope: Envelope, now: float) -> None:
             round_no = envelope.round_no
@@ -552,7 +565,14 @@ class DriftingScheduler:
                 sink.delivery(
                     sender, receiver, envelope.round_no, sent_time, now, timely
                 )
-                release_waiters(now)
+                # Only the receiver's gate — and only for this
+                # envelope's round — can have become satisfied by this
+                # delivery; every other parked gate is untouched, so
+                # the old full scan of ``waiting`` was pure overhead
+                # (the dominant cost of large drifting runs).
+                gate = waiting.get(receiver)
+                if gate is not None and gate.round_no == envelope.round_no:
+                    release_waiter(receiver, gate, now)
                 continue
 
             pid, invocation = data

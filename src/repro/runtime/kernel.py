@@ -13,8 +13,9 @@ recording.  The kernel extracts that shared machinery once:
 * the **crash/halt lifecycle** (scheduled-crash application, once-only
   halt recording, decision polling);
 * the **delivery queues**: a tick-indexed late-delivery map for
-  lock-step engines and a continuous-time event heap for event-driven
-  ones.
+  lock-step engines and a continuous-time event queue for event-driven
+  ones (a bucketed calendar queue by default, the historical ``heapq``
+  selectable — see :mod:`repro.runtime.events`).
 
 Schedulers stay in charge of *ordering* — when rounds fire, how
 deliveries interleave — and delegate everything else here, so a fast
@@ -24,7 +25,6 @@ every engine at once.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -34,6 +34,7 @@ from repro.giraf.automaton import GirafAlgorithm, GirafProcess
 from repro.giraf.environments import Environment
 from repro.giraf.messages import Envelope
 from repro.giraf.traces import CrashEvent, DecisionEvent, HaltEvent, RunTrace
+from repro.runtime.events import CalendarEventQueue, HeapEventQueue, calendar_width
 from repro.runtime.sinks import AggregateTraceSink, FullTraceSink, TraceSink
 
 __all__ = ["RuntimeKernel", "StopPredicate"]
@@ -67,6 +68,12 @@ class RuntimeKernel:
             ``"aggregate"`` (running counters only).
         payload_stats: collect per-round payload-size statistics
             (aggregate mode only).
+        event_queue: ``"calendar"`` (bucketed timing wheel, the
+            default — O(1) inserts, bucket width derived from the
+            environment's delay bounds) or ``"heap"`` (the historical
+            global ``heapq``).  Both drain in exactly ``(time, seq)``
+            order, so traces are byte-identical either way
+            (equivalence-tested in ``tests/runtime``).
 
     Example — a kernel owns the process pool and the event plumbing;
     schedulers only decide ordering:
@@ -98,6 +105,7 @@ class RuntimeKernel:
         record_snapshots: bool = False,
         trace_mode: str = "full",
         payload_stats: bool = False,
+        event_queue: str = "calendar",
     ):
         if not algorithms:
             raise SimulationError("need at least one process")
@@ -105,6 +113,8 @@ class RuntimeKernel:
             raise SimulationError("max_rounds must be >= 1")
         if trace_mode not in ("full", "aggregate"):
             raise SimulationError(f"unknown trace_mode {trace_mode!r}")
+        if event_queue not in ("calendar", "heap"):
+            raise SimulationError(f"unknown event_queue {event_queue!r}")
         self.algorithms = list(algorithms)
         self.environment = environment
         self.crashes = crash_schedule or CrashSchedule.none()
@@ -126,8 +136,13 @@ class RuntimeKernel:
         self._halted_recorded: Set[int] = set()
         # due tick -> queued late deliveries (lock-step engines)
         self._pending: Dict[int, List[QueuedDelivery]] = {}
-        # continuous-time event heap (event-driven engines)
-        self._heap: List[Tuple[float, int, str, tuple]] = []
+        # continuous-time event queue (event-driven engines)
+        self.event_queue = event_queue
+        self._events = (
+            HeapEventQueue()
+            if event_queue == "heap"
+            else CalendarEventQueue(calendar_width(environment))
+        )
         self._seq = itertools.count()
 
     # ------------------------------------------------------------------
@@ -264,17 +279,17 @@ class RuntimeKernel:
         return self._pending.pop(tick, ())
 
     # ------------------------------------------------------------------
-    # event heap
+    # event queue
     # ------------------------------------------------------------------
     def schedule(self, time: float, kind: str, data: tuple) -> None:
         """Push a continuous-time event; FIFO among equal times."""
-        heapq.heappush(self._heap, (time, next(self._seq), kind, data))
+        self._events.push((time, next(self._seq), kind, data))
 
     def next_event(self) -> Tuple[float, str, tuple]:
         """Pop the earliest event as ``(time, kind, data)``."""
-        time, _, kind, data = heapq.heappop(self._heap)
+        time, _, kind, data = self._events.pop()
         return time, kind, data
 
     def has_events(self) -> bool:
-        """True while the event heap is non-empty."""
-        return bool(self._heap)
+        """True while the event queue is non-empty."""
+        return bool(self._events)

@@ -254,6 +254,8 @@ def run_churn_workload(
     trace_mode: str = "aggregate",
     max_total_rounds: Optional[int] = None,
     crash_schedule: Optional[CrashSchedule] = None,
+    frames: str = "binary",
+    round_batch: int = 1,
 ) -> ChurnRun:
     """Drive a stream of weak-set adds across shards and measure latency.
 
@@ -297,6 +299,16 @@ def run_churn_workload(
             adds already in flight when their process crashes are
             abandoned (issued, never completed) instead of stalling
             the drain loop.
+        frames: wire codec for the transport backends (``"binary"``,
+            the struct-packed default, or ``"json"``); ignored by the
+            serial backend.  Results are codec-invariant.
+        round_batch: coalesce up to this many lock-step rounds into
+            one frame pair per worker during the **drain** phase (after
+            the stream is exhausted — the issue loop stays per-round,
+            since issuance decisions read completions between rounds).
+            The completed-add latencies are batch-invariant (end
+            stamps are simulated time); only the drained round count
+            may overshoot by up to ``round_batch - 1``.  Default 1.
 
     Returns:
         A :class:`ChurnRun` with latency percentiles and throughput.
@@ -327,6 +339,8 @@ def run_churn_workload(
         max_total_rounds=max_total_rounds,
         trace_mode=trace_mode,
         backend=backend,
+        frames=frames,
+        round_batch=round_batch,
     )
     try:
         # Per-(pid, owning shard) pending queues plus a ready-heap keyed
@@ -374,8 +388,11 @@ def run_churn_workload(
                 records.append(busy[key])
                 remaining -= 1
                 issued_now += 1
-            cluster.advance(1)
-            rounds += 1
+            # Issue phase: strictly one round per iteration (issuance
+            # reads completions between rounds).  Drain phase (stream
+            # exhausted): coalesce rounds into round_batch-sized frames.
+            step = round_batch if not remaining and round_batch > 1 else 1
+            rounds += cluster.advance(step)
             for key, record in list(busy.items()):
                 if record.end is not None:
                     del busy[key]

@@ -1,7 +1,7 @@
-"""The shard cluster's wire protocol: message types + binary codec.
+"""The shard cluster's wire protocol: message types + dual codecs.
 
-The sharded weak-set's parent/worker conversation consists of exactly
-**four round-trip message types**, one dataclass pair each:
+The sharded weak-set's parent/worker conversation consists of a small
+closed set of **round-trip message types**, one dataclass pair each:
 
 ========  ==============================  ==============================
 exchange  request                         reply
@@ -9,6 +9,11 @@ exchange  request                         reply
 round     :class:`RoundRequest` — the     :class:`RoundReply` — shard
           adds queued since the last      liveness, completed adds,
           tick ride with the step         the crash set and the clock
+batch     :class:`StepBatchRequest` —     :class:`StepBatchReply` — the
+          advance up to ``rounds``        same fields plus how many
+          lock-step ticks in one frame    ticks actually executed
+          (queued adds apply before
+          the first tick)
 peek      :class:`PeekRequest` — one      :class:`PeekReply` — the
           process's ``get`` (plus any     process's crash flag and its
           queued adds, so ordering is     local ``PROPOSED`` set
@@ -21,28 +26,64 @@ stop      :class:`StopRequest`            :class:`StopReply`
 plus :class:`ErrorReply` (a worker-side failure, valid in any reply
 position) and the one-time bootstrap pair :class:`HelloRequest` /
 :class:`ConfigReply` that the socket transport uses to hand a
-connecting worker its shard assignment.
+connecting worker its shard assignment — and, since protocol version
+2, to negotiate the frame codec.
 
-Messages travel as **versioned, length-prefixed binary frames**::
+Messages travel as **versioned, length-prefixed frames**::
 
     frame  := header body
-    header := version:uint8  length:uint32 (big-endian)
-    body   := canonical JSON (sorted keys, no whitespace), UTF-8
+    header := version:uint8  codec:uint8  length:uint32 (big-endian)
+    body   := JSON body | binary body, per the header's codec byte
 
-Field values are encoded through the repo's canonical tagged codec
-(:func:`repro.serialization.encode_value`), which is what makes frames
-process- and machine-independent: frozensets serialize in content
-order, histories as their element tuples, and every decision the
-payloads captured was SHA-512-derived to begin with.  Round-trip
-identity (``decode(encode(m)) == m``) is property-tested in
-``tests/weakset/test_protocol.py``.
+Two codecs share the framing:
 
-The codec consequently trades in the same value universe as
-:mod:`repro.serialization`: ints, floats, strings, ``⊥``, tuples,
-frozensets, and any type registered via
-:func:`repro.serialization.register_codec`.  (The pre-PR-4 pipe
-backend pickled whole Python objects; the explicit codec is what lets
-the same four messages cross a TCP socket to another machine.)
+* ``json`` (codec byte 0) — the debug/fallback codec: canonical JSON
+  (sorted keys, no whitespace), UTF-8, field values encoded through
+  the repo's canonical tagged codec
+  (:func:`repro.serialization.encode_value`).
+* ``binary`` (codec byte 1, the default) — a struct-packed field
+  layout for the hot round-trip messages (round / batch / peek), which
+  removes the pure-Python JSON encode/decode from every socket frame::
+
+      binary body := tag:uint8 fields…
+      adds        := count:u32 [bulk:u8 …]       (absent when count=0)
+      bulk=1      := (token:u64 pid:u32)* charlen:u32* bytes:u32 utf8
+                     (all-string values, column-packed: one length
+                     array, one concatenated blob)
+      bulk=0      := (token:u64 pid:u32 value)*
+      value       := 'N'|'T'|'F' | 'I' i64 | 'D' f64 | 'S' u32 utf8
+                     | 'V' u32 decimal | 'U' u32 value* | 'X' u32 value*
+                     | 'J' u32 canonical-JSON   (tagged-codec escape)
+
+  Message layouts: tag 1 ``RoundRequest`` = adds; tag 2 ``RoundReply``
+  = alive:u8 count:u32 (token:u64 end:f64)* count:u32 crashed:u32*
+  now:f64; tag 3 ``PeekRequest`` = pid:u32 adds; tag 4 ``PeekReply`` =
+  crashed:u8 bulk:u8 count:u32 then (bulk=1) a string-set column
+  layout like the adds' or (bulk=0) ``count`` values; tag 5
+  ``StepBatchRequest`` = rounds:u32 adds; tag 6 ``StepBatchReply`` =
+  alive:u8 executed:u32 then as tag 2.  Tag 0 is the JSON escape
+  hatch: any message (trace, stop, hello, config, error) crosses as
+  its canonical JSON body behind the tag — one frame format, two
+  encodings, every message valid in both.
+
+  The ``'J'`` value escape routes anything outside the native scalar/
+  tuple/frozenset universe (``⊥``, interned histories, counter maps,
+  user types registered via
+  :func:`repro.serialization.register_codec`) through the canonical
+  tagged codec, so the binary codec carries exactly the same value
+  universe as the JSON codec — round-trip identity for **both** codecs
+  is property-tested in ``tests/weakset/test_protocol.py``.
+
+Codec negotiation: frames are self-describing (the codec byte), so
+either end can *decode* both codecs; what is negotiated is what each
+side **emits**.  A connecting worker's :class:`HelloRequest` lists the
+codecs it supports; the parent answers with its choice in
+:class:`ConfigReply.codec` (failing with a clean error when the worker
+cannot speak the codec the run requires).  A *version* mismatch fails
+faster still: the first byte of the first frame raises
+:class:`VersionMismatch`, which names both versions — see
+:func:`repro.weakset.sharding.serve_shard_over_socket` for how an
+externally-launched worker surfaces it.
 
 The one deliberate exception is :class:`ConfigReply.world`: a shard
 world's configuration includes an arbitrary environment-factory
@@ -50,13 +91,16 @@ callable, so it crosses as pickled bytes — the same trust model as
 ``multiprocessing`` itself.  Only connect socket workers to parents
 you trust (loopback, or a network you control).
 
-Example — a frame is a few dozen bytes and round-trips exactly:
+Example — a frame is a few dozen bytes and round-trips exactly, in
+either codec:
 
     >>> request = RoundRequest(adds=((0, 2, "alpha"),))
-    >>> frame = encode_message(request)
+    >>> frame = encode_message(request)                  # binary default
     >>> frame[:1] == bytes([PROTOCOL_VERSION])
     True
     >>> decode_message(frame) == request
+    True
+    >>> decode_message(encode_message(request, codec="json")) == request
     True
 """
 
@@ -66,6 +110,8 @@ import base64
 import json
 import struct
 from dataclasses import dataclass, field
+from functools import lru_cache
+from itertools import chain
 from typing import Any, Callable, Dict, FrozenSet, Hashable, Optional, Tuple
 
 from repro.errors import ReproError
@@ -82,11 +128,16 @@ from repro.serialization import (
 __all__ = [
     "PROTOCOL_VERSION",
     "HEADER_SIZE",
+    "CODECS",
+    "DEFAULT_CODEC",
     "ProtocolError",
+    "VersionMismatch",
     "QueuedAdd",
     "WorldConfig",
     "RoundRequest",
     "RoundReply",
+    "StepBatchRequest",
+    "StepBatchReply",
     "PeekRequest",
     "PeekReply",
     "TraceRequest",
@@ -104,13 +155,25 @@ __all__ = [
 
 #: wire version; bumped on any frame- or message-shape change.  A
 #: parent and worker must agree exactly — the header check fails fast
-#: instead of mis-decoding.
-PROTOCOL_VERSION = 1
+#: instead of mis-decoding.  Version 2 added the codec byte, the
+#: binary codec, and the step-batch messages.
+PROTOCOL_VERSION = 2
 
-_HEADER = struct.Struct(">BI")
+_HEADER = struct.Struct(">BBI")
 
-#: bytes of frame header: 1 version byte + 4 length bytes, big-endian.
+#: bytes of frame header: version byte + codec byte + 4 length bytes,
+#: big-endian.
 HEADER_SIZE = _HEADER.size
+
+#: frame codecs by name -> codec byte.  Frames are self-describing;
+#: the names appear in ``HelloRequest.codecs`` / ``ConfigReply.codec``
+#: and on the ``--frames`` CLI flag.
+CODECS: Dict[str, int] = {"json": 0, "binary": 1}
+_CODEC_NAMES = {code: name for name, code in CODECS.items()}
+_JSON_ID, _BINARY_ID = CODECS["json"], CODECS["binary"]
+
+#: the codec transports emit unless told otherwise.
+DEFAULT_CODEC = "binary"
 
 #: sanity bound on one frame's body; a header announcing more than
 #: this is treated as corruption, not as a request for 4 GiB of RAM.
@@ -119,6 +182,22 @@ _MAX_BODY_BYTES = 1 << 30
 
 class ProtocolError(ReproError):
     """A frame could not be encoded or decoded."""
+
+
+class VersionMismatch(ProtocolError):
+    """The peer speaks a different protocol version.
+
+    Carries both versions so bootstrap code can raise an error naming
+    them (instead of a generic decode failure).
+    """
+
+    def __init__(self, peer_version: int):
+        self.peer_version = peer_version
+        self.local_version = PROTOCOL_VERSION
+        super().__init__(
+            f"protocol version mismatch: peer speaks {peer_version}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
 
 
 #: one queued cross-process add: (token, pid, value)
@@ -142,7 +221,7 @@ class WorldConfig:
 
 
 # ----------------------------------------------------------------------
-# the four round-trip message types
+# the round-trip message types
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RoundRequest:
@@ -156,6 +235,39 @@ class RoundReply:
     """One tick's outcome: liveness, completions, crash set, clock."""
 
     alive: bool
+    completions: Tuple[Tuple[int, float], ...]
+    crashed: FrozenSet[int]
+    now: float
+
+
+@dataclass(frozen=True)
+class StepBatchRequest:
+    """Advance up to ``rounds`` lock-step ticks in one frame.
+
+    The round-batched twin of :class:`RoundRequest`: queued adds apply
+    before the **first** tick (exactly where ``rounds`` consecutive
+    single-round frames would apply them — the parent drains its queue
+    into the first frame of any run of steps), and the worker stops
+    early when its world goes dead mid-batch.  One frame pair instead
+    of ``rounds`` — the ``round_batch=K`` lever for high-latency links.
+    """
+
+    rounds: int
+    adds: Tuple[QueuedAdd, ...] = ()
+
+
+@dataclass(frozen=True)
+class StepBatchReply:
+    """A batch's outcome: :class:`RoundReply` plus the executed count.
+
+    ``completions`` carry the same simulated-time ``end`` stamps the
+    per-round replies would have reported — batching coalesces frames,
+    not simulated time — and ``executed`` says how many ticks actually
+    ran (fewer than requested only when the world went dead).
+    """
+
+    alive: bool
+    executed: int
     completions: Tuple[Tuple[int, float], ...]
     crashed: FrozenSet[int]
     now: float
@@ -218,8 +330,16 @@ class ErrorReply:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class HelloRequest:
-    """A connecting worker announcing itself; the frame header carries
-    the protocol version, so the hello itself is empty."""
+    """A connecting worker announcing itself and the codecs it speaks.
+
+    The frame header already carries the protocol version; ``codecs``
+    is the negotiation half the header cannot express — the parent
+    picks one (its configured frame codec) and answers it in
+    :class:`ConfigReply.codec`, or fails clean when the worker cannot
+    speak it.
+    """
+
+    codecs: Tuple[str, ...] = ("binary", "json")
 
 
 @dataclass(frozen=True)
@@ -227,15 +347,17 @@ class ConfigReply:
     """The parent's answer to a hello: shard assignment + world config.
 
     ``world`` is a pickled :class:`WorldConfig` (see the module
-    docstring for the trust model).
+    docstring for the trust model); ``codec`` is the frame codec the
+    negotiation settled on — both sides emit it from the next frame.
     """
 
     shard_index: int
     world: bytes
+    codec: str = DEFAULT_CODEC
 
 
 # ----------------------------------------------------------------------
-# codec registry
+# JSON codec registry
 # ----------------------------------------------------------------------
 def _encode_adds(adds: Tuple[QueuedAdd, ...]) -> list:
     return [[token, pid, encode_value(value)] for token, pid, value in adds]
@@ -266,6 +388,30 @@ _MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any
             now=v["now"],
         ),
     ),
+    "batch_req": (
+        StepBatchRequest,
+        lambda m: {"rounds": m.rounds, "adds": _encode_adds(m.adds)},
+        lambda v: StepBatchRequest(
+            rounds=v["rounds"], adds=_decode_adds(v["adds"])
+        ),
+    ),
+    "batch_rep": (
+        StepBatchReply,
+        lambda m: {
+            "alive": m.alive,
+            "executed": m.executed,
+            "completions": [[token, end] for token, end in m.completions],
+            "crashed": sorted(m.crashed),
+            "now": m.now,
+        },
+        lambda v: StepBatchReply(
+            alive=v["alive"],
+            executed=v["executed"],
+            completions=tuple((token, end) for token, end in v["completions"]),
+            crashed=frozenset(v["crashed"]),
+            now=v["now"],
+        ),
+    ),
     "peek_req": (
         PeekRequest,
         lambda m: {"pid": m.pid, "adds": _encode_adds(m.adds)},
@@ -289,16 +435,22 @@ _MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any
         lambda m: {"message": m.message},
         lambda v: ErrorReply(message=v["message"]),
     ),
-    "hello": (HelloRequest, lambda m: {}, lambda v: HelloRequest()),
+    "hello": (
+        HelloRequest,
+        lambda m: {"codecs": list(m.codecs)},
+        lambda v: HelloRequest(codecs=tuple(v["codecs"])),
+    ),
     "config": (
         ConfigReply,
         lambda m: {
             "shard_index": m.shard_index,
             "world": base64.b64encode(m.world).decode("ascii"),
+            "codec": m.codec,
         },
         lambda v: ConfigReply(
             shard_index=v["shard_index"],
             world=base64.b64decode(v["world"]),
+            codec=v["codec"],
         ),
     ),
 }
@@ -306,11 +458,7 @@ _MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any
 _TAG_BY_TYPE = {cls: tag for tag, (cls, _e, _d) in _MESSAGE_CODECS.items()}
 
 
-# ----------------------------------------------------------------------
-# framing
-# ----------------------------------------------------------------------
-def encode_message(message: object) -> bytes:
-    """One protocol message -> one versioned, length-prefixed frame."""
+def _encode_json_body(message: object) -> bytes:
     tag = _TAG_BY_TYPE.get(type(message))
     if tag is None:
         raise ProtocolError(f"not a protocol message: {type(message).__name__}")
@@ -322,33 +470,14 @@ def encode_message(message: object) -> bytes:
             f"{tag!r} payload cannot cross the wire: {error} "
             "(register a codec via repro.serialization.register_codec)"
         ) from None
-    body = json.dumps(
+    return json.dumps(
         {"t": tag, "v": payload},
         sort_keys=True,
         separators=(",", ":"),
     ).encode("utf-8")
-    if len(body) > _MAX_BODY_BYTES:  # pragma: no cover - 1 GiB of adds
-        raise ProtocolError(f"frame body too large ({len(body)} bytes)")
-    return _HEADER.pack(PROTOCOL_VERSION, len(body)) + body
 
 
-def decode_header(header: bytes) -> int:
-    """Validate a frame header; return the body length that follows."""
-    if len(header) != HEADER_SIZE:
-        raise ProtocolError(f"truncated header ({len(header)} bytes)")
-    version, length = _HEADER.unpack(header)
-    if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"protocol version mismatch: peer speaks {version}, "
-            f"this side speaks {PROTOCOL_VERSION}"
-        )
-    if length > _MAX_BODY_BYTES:
-        raise ProtocolError(f"frame announces implausible body ({length} bytes)")
-    return length
-
-
-def decode_body(body: bytes) -> object:
-    """Invert :func:`encode_message`'s body (header already consumed)."""
+def _decode_json_body(body: bytes) -> object:
     try:
         blob = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -366,12 +495,407 @@ def decode_body(body: bytes) -> object:
         raise ProtocolError(f"malformed {tag!r} payload: {error}") from None
 
 
+# ----------------------------------------------------------------------
+# binary codec: struct-packed layouts for the hot messages
+# ----------------------------------------------------------------------
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+_SIZED = struct.Struct(">cI")          # value kind byte + length/count
+_ADD_HEAD = struct.Struct(">QI")       # token, pid
+
+
+@lru_cache(maxsize=1024)
+def _repeat(fmt: str, count: int) -> struct.Struct:
+    """A cached ``Struct`` for ``count`` repetitions of ``fmt``.
+
+    Column-oriented packing: a whole completions / crash-set /
+    string-length array costs **one** C pack or unpack call instead of
+    one per element.
+    """
+    return struct.Struct(">" + fmt * count)
+
+#: value kind bytes as ints (decode compares ``body[offset]`` directly)
+_K_NONE, _K_TRUE, _K_FALSE = ord("N"), ord("T"), ord("F")
+_K_INT, _K_BIG, _K_FLOAT, _K_STR = ord("I"), ord("V"), ord("D"), ord("S")
+_K_TUPLE, _K_FSET, _K_JSON = ord("U"), ord("X"), ord("J")
+
+
+def _encode_binary_value(value: Any, out: bytearray) -> None:
+    """Append one payload value in the binary value layout.
+
+    Scalars, tuples and frozensets are native; anything else — ``⊥``,
+    interned histories, counter maps, registered user types — takes
+    the ``'J'`` escape through the canonical tagged codec, so both
+    frame codecs carry the identical value universe.
+    """
+    kind = type(value)
+    if kind is str:
+        data = value.encode("utf-8")
+        out += _SIZED.pack(b"S", len(data))
+        out += data
+    elif kind is int:
+        if -(1 << 63) <= value < (1 << 63):
+            out += b"I"
+            out += _I64.pack(value)
+        else:
+            digits = str(value).encode("ascii")
+            out += _SIZED.pack(b"V", len(digits))
+            out += digits
+    elif kind is float:
+        out += b"D"
+        out += _F64.pack(value)
+    elif value is None:
+        out += b"N"
+    elif value is True:
+        out += b"T"
+    elif value is False:
+        out += b"F"
+    elif kind is tuple:
+        out += _SIZED.pack(b"U", len(value))
+        for item in value:
+            _encode_binary_value(item, out)
+    elif kind is frozenset:
+        # Canonical (repr-sorted) element order, like the JSON codec:
+        # equal sets encode byte-identically in every process.
+        out += _SIZED.pack(b"X", len(value))
+        for item in sorted(value, key=repr):
+            _encode_binary_value(item, out)
+    else:
+        # bool/int/float/str subclasses land here too (exact types
+        # above keep the hot path to one dispatch) — the canonical
+        # codec normalizes them exactly as the JSON frames would.
+        try:
+            blob = json.dumps(
+                encode_value(value), sort_keys=True, separators=(",", ":")
+            ).encode("utf-8")
+        except SerializationError as error:
+            raise ProtocolError(
+                f"payload cannot cross the wire: {error} "
+                "(register a codec via repro.serialization.register_codec)"
+            ) from None
+        out += _SIZED.pack(b"J", len(blob))
+        out += blob
+
+
+def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
+    """Invert :func:`_encode_binary_value`; returns (value, new offset)."""
+    kind = body[offset]
+    offset += 1
+    if kind == _K_STR:
+        (length,) = _U32.unpack_from(body, offset)
+        offset += 4
+        return body[offset : offset + length].decode("utf-8"), offset + length
+    if kind == _K_INT:
+        return _I64.unpack_from(body, offset)[0], offset + 8
+    if kind == _K_FLOAT:
+        return _F64.unpack_from(body, offset)[0], offset + 8
+    if kind == _K_NONE:
+        return None, offset
+    if kind == _K_TRUE:
+        return True, offset
+    if kind == _K_FALSE:
+        return False, offset
+    if kind == _K_BIG:
+        (length,) = _U32.unpack_from(body, offset)
+        offset += 4
+        return int(body[offset : offset + length].decode("ascii")), offset + length
+    if kind == _K_TUPLE:
+        (count,) = _U32.unpack_from(body, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_binary_value(body, offset)
+            items.append(item)
+        return tuple(items), offset
+    if kind == _K_FSET:
+        (count,) = _U32.unpack_from(body, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_binary_value(body, offset)
+            items.append(item)
+        return frozenset(items), offset
+    if kind == _K_JSON:
+        (length,) = _U32.unpack_from(body, offset)
+        offset += 4
+        blob = body[offset : offset + length]
+        try:
+            return decode_value(json.loads(blob.decode("utf-8"))), offset + length
+        except (
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+            SerializationError,
+        ) as error:
+            raise ProtocolError(f"malformed escaped value: {error}") from None
+    raise ProtocolError(f"unknown binary value kind {kind!r}")
+
+
+def _pack_adds(adds: Tuple[QueuedAdd, ...], out: bytearray) -> None:
+    count = len(adds)
+    out += _U32.pack(count)
+    if not count:
+        return
+    strings = [value for _t, _p, value in adds if type(value) is str]
+    if len(strings) == count:
+        # bulk layout for the dominant case (string add values):
+        # column-packed (token, pid) heads, one *character*-length
+        # array and one concatenated blob — a handful of C calls for
+        # the whole batch, and the decoder pays ONE utf-8 decode plus
+        # a string slice per value.  Queue order is semantic and
+        # preserved (no sorting here).
+        out.append(1)
+        heads: list = []
+        for token, pid, _value in adds:
+            heads.append(token)
+            heads.append(pid)
+        blob = "".join(strings).encode("utf-8")
+        out += _repeat("QI", count).pack(*heads)
+        out += _repeat("I", count).pack(*map(len, strings))
+        out += _U32.pack(len(blob))
+        out += blob
+    else:
+        out.append(0)
+        for token, pid, value in adds:
+            out += _ADD_HEAD.pack(token, pid)
+            _encode_binary_value(value, out)
+
+
+def _unpack_adds(body: bytes, offset: int) -> Tuple[Tuple[QueuedAdd, ...], int]:
+    (count,) = _U32.unpack_from(body, offset)
+    offset += 4
+    if not count:
+        return (), offset
+    bulk = body[offset]
+    offset += 1
+    adds = []
+    if bulk:
+        heads = _repeat("QI", count).unpack_from(body, offset)
+        offset += 12 * count
+        lengths = _repeat("I", count).unpack_from(body, offset)
+        offset += 4 * count
+        (blob_size,) = _U32.unpack_from(body, offset)
+        offset += 4
+        text = body[offset : offset + blob_size].decode("utf-8")
+        offset += blob_size
+        position = 0
+        for index, length in enumerate(lengths):
+            adds.append(
+                (heads[2 * index], heads[2 * index + 1], text[position : position + length])
+            )
+            position += length
+    else:
+        head_size = _ADD_HEAD.size
+        for _ in range(count):
+            token, pid = _ADD_HEAD.unpack_from(body, offset)
+            offset += head_size
+            value, offset = _decode_binary_value(body, offset)
+            adds.append((token, pid, value))
+    return tuple(adds), offset
+
+
+def _pack_round_outcome(
+    completions: Tuple[Tuple[int, float], ...],
+    crashed: FrozenSet[int],
+    now: float,
+    out: bytearray,
+) -> None:
+    count = len(completions)
+    out += _U32.pack(count)
+    if count:
+        out += _repeat("Qd", count).pack(*chain.from_iterable(completions))
+    count = len(crashed)
+    out += _U32.pack(count)
+    if count:
+        out += _repeat("I", count).pack(*sorted(crashed))
+    out += _F64.pack(now)
+
+
+def _unpack_round_outcome(body: bytes, offset: int):
+    (count,) = _U32.unpack_from(body, offset)
+    offset += 4
+    if count:
+        flat = _repeat("Qd", count).unpack_from(body, offset)
+        offset += 16 * count
+        completions = tuple(zip(flat[0::2], flat[1::2]))
+    else:
+        completions = ()
+    (count,) = _U32.unpack_from(body, offset)
+    offset += 4
+    crashed = frozenset(_repeat("I", count).unpack_from(body, offset))
+    offset += 4 * count
+    (now,) = _F64.unpack_from(body, offset)
+    return completions, crashed, now, offset + 8
+
+
+#: binary message tags; 0 is the JSON escape for the non-hot messages.
+_B_JSON, _B_ROUND_REQ, _B_ROUND_REP, _B_PEEK_REQ, _B_PEEK_REP = 0, 1, 2, 3, 4
+_B_BATCH_REQ, _B_BATCH_REP = 5, 6
+
+
+def _encode_binary_body(message: object, out: bytearray) -> None:
+    kind = type(message)
+    if kind is RoundRequest:
+        out.append(_B_ROUND_REQ)
+        _pack_adds(message.adds, out)
+    elif kind is RoundReply:
+        out.append(_B_ROUND_REP)
+        out.append(1 if message.alive else 0)
+        _pack_round_outcome(message.completions, message.crashed, message.now, out)
+    elif kind is PeekRequest:
+        out.append(_B_PEEK_REQ)
+        out += _U32.pack(message.pid)
+        _pack_adds(message.adds, out)
+    elif kind is PeekReply:
+        out.append(_B_PEEK_REP)
+        out.append(1 if message.crashed else 0)
+        proposed = message.proposed
+        count = len(proposed)
+        strings = [item for item in proposed if type(item) is str]
+        if count and len(strings) == count:
+            # bulk layout for the dominant case (string payload sets):
+            # a character-length array + one concatenated blob — a few
+            # C calls instead of a per-item encode loop, and the
+            # decoder pays one utf-8 decode plus a slice per item.
+            # Plain string sort: canonical order only needs to be
+            # deterministic, and a set round-trips regardless.
+            out.append(1)
+            strings.sort()
+            blob = "".join(strings).encode("utf-8")
+            out += _U32.pack(count)
+            out += _repeat("I", count).pack(*map(len, strings))
+            out += _U32.pack(len(blob))
+            out += blob
+        else:
+            out.append(0)
+            out += _U32.pack(count)
+            for item in sorted(proposed, key=repr):
+                _encode_binary_value(item, out)
+    elif kind is StepBatchRequest:
+        out.append(_B_BATCH_REQ)
+        out += _U32.pack(message.rounds)
+        _pack_adds(message.adds, out)
+    elif kind is StepBatchReply:
+        out.append(_B_BATCH_REP)
+        out.append(1 if message.alive else 0)
+        out += _U32.pack(message.executed)
+        _pack_round_outcome(message.completions, message.crashed, message.now, out)
+    else:
+        # cold messages (trace/stop/error/bootstrap): JSON behind the
+        # escape tag — one frame format, no second registry to drift
+        out.append(_B_JSON)
+        out += _encode_json_body(message)
+
+
+def _decode_binary_body(body: bytes) -> object:
+    if not body:
+        raise ProtocolError("empty binary frame body")
+    tag = body[0]
+    try:
+        if tag == _B_JSON:
+            return _decode_json_body(body[1:])
+        if tag == _B_ROUND_REQ:
+            adds, _offset = _unpack_adds(body, 1)
+            return RoundRequest(adds=adds)
+        if tag == _B_ROUND_REP:
+            completions, crashed, now, _offset = _unpack_round_outcome(body, 2)
+            return RoundReply(
+                alive=bool(body[1]), completions=completions, crashed=crashed, now=now
+            )
+        if tag == _B_PEEK_REQ:
+            (pid,) = _U32.unpack_from(body, 1)
+            adds, _offset = _unpack_adds(body, 5)
+            return PeekRequest(pid=pid, adds=adds)
+        if tag == _B_PEEK_REP:
+            (count,) = _U32.unpack_from(body, 3)
+            offset = 7
+            items = []
+            if body[2]:  # bulk all-strings layout
+                lengths = _repeat("I", count).unpack_from(body, offset)
+                offset += 4 * count
+                (blob_size,) = _U32.unpack_from(body, offset)
+                offset += 4
+                text = body[offset : offset + blob_size].decode("utf-8")
+                position = 0
+                for length in lengths:
+                    items.append(text[position : position + length])
+                    position += length
+            else:
+                for _ in range(count):
+                    item, offset = _decode_binary_value(body, offset)
+                    items.append(item)
+            return PeekReply(crashed=bool(body[1]), proposed=frozenset(items))
+        if tag == _B_BATCH_REQ:
+            (rounds,) = _U32.unpack_from(body, 1)
+            adds, _offset = _unpack_adds(body, 5)
+            return StepBatchRequest(rounds=rounds, adds=adds)
+        if tag == _B_BATCH_REP:
+            (executed,) = _U32.unpack_from(body, 2)
+            completions, crashed, now, _offset = _unpack_round_outcome(body, 6)
+            return StepBatchReply(
+                alive=bool(body[1]),
+                executed=executed,
+                completions=completions,
+                crashed=crashed,
+                now=now,
+            )
+    except (struct.error, IndexError) as error:
+        raise ProtocolError(f"truncated binary frame body: {error}") from None
+    raise ProtocolError(f"unknown binary message tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_message(message: object, codec: str = DEFAULT_CODEC) -> bytes:
+    """One protocol message -> one versioned, length-prefixed frame."""
+    codec_id = CODECS.get(codec)
+    if codec_id is None:
+        known = ", ".join(sorted(CODECS))
+        raise ProtocolError(f"unknown frame codec {codec!r}; known: {known}")
+    # one buffer for header + body: the header is packed in place once
+    # the body length is known, avoiding a full-frame concat copy
+    frame = bytearray(HEADER_SIZE)
+    if codec_id == _BINARY_ID:
+        _encode_binary_body(message, frame)
+    else:
+        frame += _encode_json_body(message)
+    length = len(frame) - HEADER_SIZE
+    if length > _MAX_BODY_BYTES:  # pragma: no cover - 1 GiB of adds
+        raise ProtocolError(f"frame body too large ({length} bytes)")
+    _HEADER.pack_into(frame, 0, PROTOCOL_VERSION, codec_id, length)
+    return bytes(frame)
+
+
+def decode_header(header: bytes) -> Tuple[int, int]:
+    """Validate a frame header; return ``(codec id, body length)``."""
+    if len(header) != HEADER_SIZE:
+        raise ProtocolError(f"truncated header ({len(header)} bytes)")
+    version, codec_id, length = _HEADER.unpack(header)
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(version)
+    if codec_id not in _CODEC_NAMES:
+        raise ProtocolError(f"unknown frame codec byte {codec_id}")
+    if length > _MAX_BODY_BYTES:
+        raise ProtocolError(f"frame announces implausible body ({length} bytes)")
+    return codec_id, length
+
+
+def decode_body(body: bytes, codec_id: int = _JSON_ID) -> object:
+    """Invert a frame body (header already consumed) for its codec."""
+    if codec_id == _BINARY_ID:
+        return _decode_binary_body(body)
+    if codec_id == _JSON_ID:
+        return _decode_json_body(body)
+    raise ProtocolError(f"unknown frame codec byte {codec_id}")
+
+
 def decode_message(frame: bytes) -> object:
     """Decode one complete frame (header + body) back to its message."""
-    length = decode_header(frame[:HEADER_SIZE])
+    codec_id, length = decode_header(frame[:HEADER_SIZE])
     body = frame[HEADER_SIZE:]
     if len(body) != length:
         raise ProtocolError(
             f"frame length mismatch: header says {length}, got {len(body)}"
         )
-    return decode_body(body)
+    return decode_body(body, codec_id)

@@ -80,6 +80,8 @@ from repro.giraf.environments import Environment, MovingSourceEnvironment
 from repro.giraf.traces import RunTrace
 from repro.weakset.cluster import MSWeakSetCluster
 from repro.weakset.protocol import (
+    CODECS,
+    DEFAULT_CODEC,
     ConfigReply,
     ErrorReply,
     HelloRequest,
@@ -89,10 +91,13 @@ from repro.weakset.protocol import (
     QueuedAdd,
     RoundReply,
     RoundRequest,
+    StepBatchReply,
+    StepBatchRequest,
     StopReply,
     StopRequest,
     TraceReply,
     TraceRequest,
+    VersionMismatch,
     WorldConfig,
 )
 from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
@@ -177,10 +182,15 @@ class ShardBackend(ABC):
     Attributes:
         num_shards: how many shard worlds the backend drives.
         n: process count inside every shard world.
+        round_batch: how many lock-step ticks the facade's ``advance``
+            coalesces into one :meth:`step_batch` call (transport
+            backends turn that into **one frame pair per worker** —
+            the high-latency-link lever).  Default 1.
     """
 
     num_shards: int
     n: int
+    round_batch: int = 1
 
     @property
     @abstractmethod
@@ -207,6 +217,29 @@ class ShardBackend(ABC):
     @abstractmethod
     def step(self) -> bool:
         """Advance every shard one tick; False once any shard is done."""
+
+    def step_batch(self, rounds: int) -> Tuple[int, bool]:
+        """Advance every shard up to ``rounds`` ticks in one call.
+
+        Returns ``(executed, alive)``: how many step calls were made
+        (stopping after the first that reported a dead world — exactly
+        the sequence a loop of :meth:`step` calls would make) and the
+        last step's liveness.  The default delegates to :meth:`step`;
+        transport backends override it to coalesce the whole batch
+        into one frame pair per worker.  Queued adds apply before the
+        first tick either way, so traces are identical across batch
+        sizes (pinned in ``tests/weakset/test_shard_backends.py``).
+        """
+        if rounds < 1:
+            raise SimulationError("step_batch needs rounds >= 1")
+        executed = 0
+        alive = True
+        for _ in range(rounds):
+            alive = self.step()
+            executed += 1
+            if not alive:
+                break
+        return executed, alive
 
     @abstractmethod
     def crashed(self, shard_index: int, pid: int) -> bool:
@@ -258,7 +291,18 @@ class SerialBackend(ShardBackend):
         crash_schedule: Optional[CrashSchedule],
         max_total_rounds: int,
         trace_mode: str,
+        round_batch: int = 1,
+        frames: str = DEFAULT_CODEC,
     ):
+        # ``frames`` is accepted (and checked) for signature uniformity
+        # with the transport backends; no wire is involved here, so the
+        # codec choice has nothing to encode.
+        if frames not in CODECS:
+            known = ", ".join(sorted(CODECS))
+            raise SimulationError(f"unknown frame codec {frames!r}; known: {known}")
+        if round_batch < 1:
+            raise SimulationError("round_batch must be >= 1")
+        self.round_batch = round_batch
         self.num_shards = shards
         self.n = n
         self.clusters: List[MSWeakSetCluster] = [
@@ -352,22 +396,46 @@ class ShardServer:
             if proc.crashed
         )
 
+    def _take_completions(self) -> Tuple[Tuple[int, float], ...]:
+        completions = tuple(
+            (token, record.end)
+            for token, record in self._records.items()
+            if record.end is not None
+        )
+        for token, _end in completions:
+            del self._records[token]
+        return completions
+
     def handle(self, request: object) -> object:
         """Answer one request; raises on protocol misuse (the serve
         loop converts that into an :class:`~repro.weakset.protocol.ErrorReply`)."""
         if isinstance(request, RoundRequest):
             self._apply_adds(request.adds)
             alive = self.cluster.step()
-            completions = tuple(
-                (token, record.end)
-                for token, record in self._records.items()
-                if record.end is not None
-            )
-            for token, _end in completions:
-                del self._records[token]
             return RoundReply(
                 alive=alive,
-                completions=completions,
+                completions=self._take_completions(),
+                crashed=self._crashed_set(),
+                now=self.cluster.now,
+            )
+        if isinstance(request, StepBatchRequest):
+            if request.rounds < 1:
+                raise ProtocolMisuse("step batch needs rounds >= 1")
+            self._apply_adds(request.adds)
+            alive = True
+            executed = 0
+            # the exact step sequence `rounds` single-round requests
+            # would drive; completions keep their simulated-time end
+            # stamps, so batching coalesces frames, not time
+            for _ in range(request.rounds):
+                alive = self.cluster.step()
+                executed += 1
+                if not alive:
+                    break
+            return StepBatchReply(
+                alive=alive,
+                executed=executed,
+                completions=self._take_completions(),
                 crashed=self._crashed_set(),
                 now=self.cluster.now,
             )
@@ -388,9 +456,11 @@ class ShardServer:
         raise ProtocolMisuse(f"unexpected request {type(request).__name__}")
 
 
-def _pipe_worker(connection, shard_index: int, config: WorldConfig) -> None:
+def _pipe_worker(
+    connection, shard_index: int, config: WorldConfig, codec: str = DEFAULT_CODEC
+) -> None:
     """Worker process entry point for the pipe (multiprocess) backend."""
-    transport = PipeTransport(connection)
+    transport = PipeTransport(connection, codec)
     try:
         server = ShardServer(config, shard_index)
     except BaseException:
@@ -414,8 +484,9 @@ def serve_shard_over_socket(
 
     Retries the connection for up to ``connect_retries * retry_delay``
     seconds (the parent may not be listening yet), performs the
-    hello/config bootstrap, then serves protocol requests until the
-    parent sends stop or goes away.
+    hello/config bootstrap — announcing the codecs this worker speaks
+    and adopting the one the parent chose — then serves protocol
+    requests until the parent sends stop or goes away.
 
     Returns:
         True when a parent was reached (a world was served, or at
@@ -425,6 +496,12 @@ def serve_shard_over_socket(
         offer itself again); False when no parent accepted within the
         retry window — the signal for :func:`run_socket_worker` to
         exit its loop.
+
+    Raises:
+        SimulationError: the parent speaks a different protocol
+            version (named for both sides), or chose a frame codec
+            this worker does not speak.  Version skew cannot heal by
+            retrying, so it surfaces instead of looping.
     """
     sock: Optional[socket.socket] = None
     for _attempt in range(connect_retries):
@@ -438,14 +515,32 @@ def serve_shard_over_socket(
     sock.settimeout(None)
     transport = SocketTransport(sock)
     try:
-        transport.send(HelloRequest())
+        transport.send(HelloRequest(codecs=tuple(sorted(CODECS))))
         config_reply = transport.recv()
+    except VersionMismatch as error:
+        # An undecodable first frame used to surface as a generic
+        # decode error (and an endless re-offer loop); a version skew
+        # is permanent, so name both sides and stop.
+        transport.close()
+        raise SimulationError(
+            f"cannot serve shards for {address[0]}:{address[1]}: the parent "
+            f"speaks protocol version {error.peer_version}, this worker "
+            f"speaks {error.local_version} — upgrade the older side"
+        ) from None
     except (TransportError, ProtocolError):
         transport.close()
         return True
     if not isinstance(config_reply, ConfigReply):
         transport.close()
         return True
+    if config_reply.codec not in CODECS:
+        transport.close()
+        raise SimulationError(
+            f"cannot serve shards for {address[0]}:{address[1]}: the parent "
+            f"chose frame codec {config_reply.codec!r}, this worker speaks "
+            f"{', '.join(sorted(CODECS))}"
+        )
+    transport.codec = config_reply.codec
     try:
         config = pickle.loads(config_reply.world)
         server = ShardServer(config, config_reply.shard_index)
@@ -570,7 +665,16 @@ class TransportBackend(ShardBackend):
         max_total_rounds: int,
         trace_mode: str,
         overlap: bool = True,
+        frames: str = DEFAULT_CODEC,
+        round_batch: int = 1,
     ):
+        if frames not in CODECS:
+            known = ", ".join(sorted(CODECS))
+            raise SimulationError(f"unknown frame codec {frames!r}; known: {known}")
+        if round_batch < 1:
+            raise SimulationError("round_batch must be >= 1")
+        self.frames = frames
+        self.round_batch = round_batch
         self.num_shards = shards
         self.n = n
         self._config = WorldConfig(
@@ -686,7 +790,42 @@ class TransportBackend(ShardBackend):
     def step(self) -> bool:
         self._ensure_open()
         requests = [RoundRequest(adds=batch) for batch in self._take_pending()]
+        return self._apply_step_replies(self._exchange(requests))
+
+    def step_batch(self, rounds: int) -> Tuple[int, bool]:
+        """Advance up to ``rounds`` ticks with **one frame pair per worker**.
+
+        The round-batched exchange: queued adds ride with the batch
+        (applying before its first tick, exactly where a run of
+        single-round frames would apply them), completions come back
+        with their simulated-time end stamps, and the workers stop
+        early in lock-step when a world dies mid-batch (a divergence
+        in executed counts — impossible for the shared horizon and
+        crash schedule every shard world applies — poisons the
+        backend rather than desynchronizing the clocks).
+        """
+        if rounds < 1:
+            raise SimulationError("step_batch needs rounds >= 1")
+        if rounds == 1:
+            return 1, self.step()
+        self._ensure_open()
+        requests = [
+            StepBatchRequest(rounds=rounds, adds=batch)
+            for batch in self._take_pending()
+        ]
         replies = self._exchange(requests)
+        executed_counts = {reply.executed for reply in replies}
+        if len(executed_counts) != 1:
+            self._failed = True
+            raise SimulationError(
+                "shard worlds diverged mid-batch: executed counts "
+                f"{sorted(executed_counts)} (same horizon and crash schedule "
+                "should stop every shard at the same tick)"
+            )
+        return executed_counts.pop(), self._apply_step_replies(replies)
+
+    def _apply_step_replies(self, replies: List[object]) -> bool:
+        """Fold round/batch replies into the parent-side mirrors."""
         alive = True
         for shard_index, reply in enumerate(replies):
             for token, end in reply.completions:
@@ -766,7 +905,7 @@ class InProcBackend(TransportBackend):
     def _start(self) -> None:
         for shard_index in range(self.num_shards):
             server = ShardServer(self._config, shard_index)
-            self._transports.append(InProcTransport(server.handle))
+            self._transports.append(InProcTransport(server.handle, self.frames))
 
 
 class MultiprocessBackend(TransportBackend):
@@ -806,6 +945,8 @@ class MultiprocessBackend(TransportBackend):
         trace_mode: str,
         start_method: Optional[str] = None,
         overlap: bool = True,
+        frames: str = DEFAULT_CODEC,
+        round_batch: int = 1,
     ):
         self._context = multiprocessing.get_context(
             _resolve_start_method(start_method)
@@ -818,6 +959,8 @@ class MultiprocessBackend(TransportBackend):
             max_total_rounds=max_total_rounds,
             trace_mode=trace_mode,
             overlap=overlap,
+            frames=frames,
+            round_batch=round_batch,
         )
 
     def _start(self) -> None:
@@ -825,12 +968,12 @@ class MultiprocessBackend(TransportBackend):
             parent_conn, child_conn = self._context.Pipe()
             worker = self._context.Process(
                 target=_pipe_worker,
-                args=(child_conn, shard_index, self._config),
+                args=(child_conn, shard_index, self._config, self.frames),
                 daemon=True,
             )
             worker.start()
             child_conn.close()
-            self._transports.append(PipeTransport(parent_conn))
+            self._transports.append(PipeTransport(parent_conn, self.frames))
             self._workers.append(worker)
 
 
@@ -871,6 +1014,8 @@ class SocketBackend(TransportBackend):
         start_method: Optional[str] = None,
         accept_timeout: float = 30.0,
         overlap: bool = True,
+        frames: str = DEFAULT_CODEC,
+        round_batch: int = 1,
     ):
         self._listen = listen
         self._start_method = start_method
@@ -885,6 +1030,8 @@ class SocketBackend(TransportBackend):
             max_total_rounds=max_total_rounds,
             trace_mode=trace_mode,
             overlap=overlap,
+            frames=frames,
+            round_batch=round_batch,
         )
 
     def _start(self) -> None:
@@ -925,13 +1072,25 @@ class SocketBackend(TransportBackend):
                     f"worker for shard {shard_index} opened with "
                     f"{type(hello).__name__}, expected HelloRequest"
                 )
+            if self.frames not in hello.codecs:
+                raise SimulationError(
+                    f"worker for shard {shard_index} speaks frame codecs "
+                    f"{', '.join(hello.codecs)}; this run requires "
+                    f"{self.frames!r} (pass frames='json' or upgrade the "
+                    "worker)"
+                )
             try:
-                transport.send(ConfigReply(shard_index=shard_index, world=world))
+                transport.send(
+                    ConfigReply(
+                        shard_index=shard_index, world=world, codec=self.frames
+                    )
+                )
             except TransportError as error:
                 raise SimulationError(
                     f"worker for shard {shard_index} vanished during the "
                     f"handshake: {error}"
                 ) from None
+            transport.codec = self.frames
             sock.settimeout(None)
 
     def _reap(self) -> None:
@@ -1049,6 +1208,17 @@ class ShardedWeakSetCluster:
         start_method: optional ``multiprocessing`` start method for the
             multiprocess/socket backends (default: ``fork`` when
             available).
+        frames: frame codec for the wire-executed backends —
+            ``"binary"`` (the default struct-packed layout) or
+            ``"json"`` (the debug/fallback).  Traces are codec-
+            invariant; the serial backend accepts and ignores it (no
+            wire involved).
+        round_batch: how many lock-step ticks :meth:`advance`
+            coalesces into one backend exchange (one frame pair per
+            worker on the wire backends).  Single ``step`` calls and
+            blocking adds stay per-tick, so traces are identical
+            across batch sizes for a fixed seed (pinned in
+            ``tests/weakset/test_shard_backends.py``).  Default 1.
 
     Example:
         >>> cluster = ShardedWeakSetCluster(3, shards=2)
@@ -1075,6 +1245,8 @@ class ShardedWeakSetCluster:
         trace_mode: str = "full",
         backend: object = "serial",
         start_method: Optional[str] = None,
+        frames: str = DEFAULT_CODEC,
+        round_batch: int = 1,
     ):
         if shards < 1:
             raise SimulationError("need at least one shard")
@@ -1112,6 +1284,8 @@ class ShardedWeakSetCluster:
                 crash_schedule=crash_schedule,
                 max_total_rounds=max_total_rounds,
                 trace_mode=trace_mode,
+                frames=frames,
+                round_batch=round_batch,
                 **kwargs,
             )
         self._n = self._backend.n
@@ -1172,11 +1346,26 @@ class ShardedWeakSetCluster:
         """Per-shard run traces (index = shard)."""
         return self._backend.traces()
 
-    def advance(self, rounds: int = 1) -> None:
-        """Run every shard ``rounds`` ticks (clocks stay aligned)."""
-        for _ in range(rounds):
-            if not self.step():
+    def advance(self, rounds: int = 1) -> int:
+        """Run every shard ``rounds`` ticks (clocks stay aligned).
+
+        Ticks are issued to the backend in chunks of the backend's
+        ``round_batch`` (one frame pair per worker per chunk on the
+        wire backends) and the tick sequence is identical for every
+        batch size.  Returns how many ticks actually ran — fewer than
+        ``rounds`` once a shard world goes dead.
+        """
+        backend = self._backend
+        batch = backend.round_batch
+        executed_total = 0
+        remaining = rounds
+        while remaining > 0:
+            executed, alive = backend.step_batch(min(batch, remaining))
+            executed_total += executed
+            remaining -= executed
+            if not alive:
                 break
+        return executed_total
 
     def step(self) -> bool:
         """Advance every shard one tick; False once any shard is done."""

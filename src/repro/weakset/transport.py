@@ -44,6 +44,7 @@ from typing import Callable, Deque, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.weakset.protocol import (
+    DEFAULT_CODEC,
     HEADER_SIZE,
     ErrorReply,
     ProtocolError,
@@ -71,7 +72,17 @@ class TransportError(ReproError):
 
 
 class Transport(ABC):
-    """One bidirectional frame channel to one shard worker."""
+    """One bidirectional frame channel to one shard worker.
+
+    ``codec`` is the frame codec this side *emits* (``"binary"`` by
+    default, ``"json"`` as the debug/fallback).  Frames are
+    self-describing — the header carries a codec byte — so ``recv``
+    accepts either codec regardless; the socket bootstrap negotiates
+    what both sides emit and assigns ``codec`` accordingly.
+    """
+
+    #: the frame codec ``send`` emits (decoding is self-describing).
+    codec: str = DEFAULT_CODEC
 
     @abstractmethod
     def send(self, message: object) -> None:
@@ -111,20 +122,23 @@ class InProcTransport(Transport):
     failing once a real network is involved).
     """
 
-    def __init__(self, handler: Callable[[object], object]):
+    def __init__(
+        self, handler: Callable[[object], object], codec: str = DEFAULT_CODEC
+    ):
         self._handler = handler
+        self.codec = codec
         self._inbox: Deque[bytes] = deque()
         self._closed = False
 
     def send(self, message: object) -> None:
         if self._closed:
             raise TransportError("transport closed")
-        request = decode_message(encode_message(message))
+        request = decode_message(encode_message(message, self.codec))
         try:
             reply = self._handler(request)
         except BaseException:
             reply = ErrorReply(traceback.format_exc())
-        self._inbox.append(encode_message(reply))
+        self._inbox.append(encode_message(reply, self.codec))
 
     def recv(self) -> object:
         if not self._inbox:
@@ -142,12 +156,13 @@ class InProcTransport(Transport):
 class PipeTransport(Transport):
     """Frames over a ``multiprocessing`` pipe connection."""
 
-    def __init__(self, connection):
+    def __init__(self, connection, codec: str = DEFAULT_CODEC):
         self._conn = connection
+        self.codec = codec
 
     def send(self, message: object) -> None:
         try:
-            self._conn.send_bytes(encode_message(message))
+            self._conn.send_bytes(encode_message(message, self.codec))
         except (OSError, ValueError):
             raise TransportError("pipe peer is gone") from None
 
@@ -187,8 +202,9 @@ class SocketTransport(Transport):
     buffering only adds latency.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket, codec: str = DEFAULT_CODEC):
         self._sock = sock
+        self.codec = codec
         self._closed = False
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -211,13 +227,13 @@ class SocketTransport(Transport):
 
     def send(self, message: object) -> None:
         try:
-            self._sock.sendall(encode_message(message))
+            self._sock.sendall(encode_message(message, self.codec))
         except OSError:
             raise TransportError("socket peer is gone") from None
 
     def recv(self) -> object:
-        length = decode_header(self._read_exactly(HEADER_SIZE))
-        return decode_body(self._read_exactly(length))
+        codec_id, length = decode_header(self._read_exactly(HEADER_SIZE))
+        return decode_body(self._read_exactly(length), codec_id)
 
     def poll(self, timeout: float = 0.0) -> bool:
         try:

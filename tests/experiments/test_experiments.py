@@ -87,10 +87,16 @@ class TestHeadlineClaims:
 
     def test_c2_transport_backends_match_serial(self):
         table = run_c2(quick=True)
-        assert table.column("backend") == ["serial", "multiprocess", "socket"]
+        assert table.column("backend") == [
+            "serial", "multiprocess", "socket", "socket", "socket",
+        ]
+        # the grid covers both frame codecs and a round-batched row
+        assert "json" in table.column("frames")
+        assert 4 in table.column("batch")
         assert all(table.column("matches-serial"))
+        # completed + the three latency percentiles agree on every row
         assert len(set(map(tuple, (
-            (row[2], row[3], row[4], row[5]) for row in table.rows
+            (row[4], row[5], row[6], row[7]) for row in table.rows
         )))) == 1
 
     def test_c3_crashes_reduce_but_do_not_stop_the_stream(self):

@@ -1,18 +1,25 @@
 """The shard wire protocol: round-trip identity, framing, versioning.
 
-The acceptance bar from the transport split: the codec must round-trip
-all four round-trip message types exactly (property-tested over the
-value universe the weak set trades in), and frames must fail loudly —
-wrong version, truncation, unknown tags — instead of mis-decoding.
+The acceptance bar from the transport split (PR 4) plus the binary
+fast path (PR 5): **both** frame codecs must round-trip every message
+type exactly (property-tested over the value universe the weak set
+trades in — including unicode strings, nested frozensets, big ints and
+``⊥``), frames must fail loudly — wrong version, unknown codec byte,
+truncation, unknown tags — instead of mis-decoding, and a version
+mismatch must carry both versions so bootstrap code can name them.
 """
+
+import json
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.counters import FrozenCounters
 from repro.serialization import trace_to_json
 from repro.values import BOTTOM
 from repro.weakset.protocol import (
+    CODECS,
     HEADER_SIZE,
     PROTOCOL_VERSION,
     ConfigReply,
@@ -23,24 +30,30 @@ from repro.weakset.protocol import (
     ProtocolError,
     RoundReply,
     RoundRequest,
+    StepBatchReply,
+    StepBatchRequest,
     StopReply,
     StopRequest,
     TraceReply,
     TraceRequest,
+    VersionMismatch,
     decode_message,
     encode_message,
 )
 from repro.weakset.cluster import MSWeakSetCluster
 
+BOTH_CODECS = sorted(CODECS)
 
-def roundtrip(message):
-    return decode_message(encode_message(message))
+
+def roundtrip(message, codec):
+    return decode_message(encode_message(message, codec=codec))
 
 
 # the payload universe the weak set trades in (and the canonical codec
 # carries): scalars, ⊥, and nested tuples/frozensets of them
 scalars = st.one_of(
     st.integers(min_value=-(2**40), max_value=2**40),
+    st.integers(min_value=2**70, max_value=2**80),  # outside the i64 lane
     st.floats(allow_nan=False, allow_infinity=False),
     st.text(max_size=20),
     st.booleans(),
@@ -65,12 +78,13 @@ queued_adds = st.lists(
 ).map(tuple)
 
 
+@pytest.mark.parametrize("codec", BOTH_CODECS)
 class TestRoundTripIdentity:
     @given(adds=queued_adds)
     @settings(max_examples=60)
-    def test_round_request(self, adds):
+    def test_round_request(self, codec, adds):
         message = RoundRequest(adds=adds)
-        assert roundtrip(message) == message
+        assert roundtrip(message, codec) == message
 
     @given(
         alive=st.booleans(),
@@ -85,83 +99,179 @@ class TestRoundTripIdentity:
         now=st.floats(min_value=0, max_value=1e9, allow_nan=False),
     )
     @settings(max_examples=60)
-    def test_round_reply(self, alive, completions, crashed, now):
+    def test_round_reply(self, codec, alive, completions, crashed, now):
         message = RoundReply(
             alive=alive, completions=completions, crashed=crashed, now=now
         )
-        assert roundtrip(message) == message
+        assert roundtrip(message, codec) == message
+
+    @given(
+        rounds=st.integers(min_value=1, max_value=1000),
+        adds=queued_adds,
+        executed=st.integers(min_value=0, max_value=1000),
+        alive=st.booleans(),
+        now=st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_step_batch_pair(self, codec, rounds, adds, executed, alive, now):
+        request = StepBatchRequest(rounds=rounds, adds=adds)
+        assert roundtrip(request, codec) == request
+        reply = StepBatchReply(
+            alive=alive,
+            executed=executed,
+            completions=((7, now),),
+            crashed=frozenset({0}),
+            now=now,
+        )
+        assert roundtrip(reply, codec) == reply
 
     @given(pid=st.integers(min_value=0, max_value=63), adds=queued_adds)
     @settings(max_examples=60)
-    def test_peek_request(self, pid, adds):
+    def test_peek_request(self, codec, pid, adds):
         message = PeekRequest(pid=pid, adds=adds)
-        assert roundtrip(message) == message
+        assert roundtrip(message, codec) == message
 
     @given(
         crashed=st.booleans(),
         proposed=st.frozensets(values, max_size=6),
     )
     @settings(max_examples=60)
-    def test_peek_reply(self, crashed, proposed):
+    def test_peek_reply(self, codec, crashed, proposed):
         message = PeekReply(crashed=crashed, proposed=proposed)
-        assert roundtrip(message) == message
+        assert roundtrip(message, codec) == message
 
-    def test_trace_pair_carries_a_real_run_byte_identically(self):
+    @given(proposed=st.frozensets(st.text(max_size=12), max_size=8))
+    @settings(max_examples=60)
+    def test_peek_reply_string_sets(self, codec, proposed):
+        """The all-strings bulk lane (unicode included) is lossless."""
+        message = PeekReply(crashed=False, proposed=proposed)
+        assert roundtrip(message, codec) == message
+
+    def test_registered_codec_values_cross_both_codecs(self, codec):
+        """Payload types outside the native lanes (here a counter map)
+        ride the canonical tagged codec in both frame codecs."""
+        counters = FrozenCounters({(0, 1): 2, (0,): 1})
+        message = RoundRequest(adds=((4, 1, counters), (5, 2, "plain")))
+        assert roundtrip(message, codec) == message
+
+    def test_trace_pair_carries_a_real_run_byte_identically(self, codec):
         cluster = MSWeakSetCluster(3, max_total_rounds=40)
         cluster.handle(0).add("alpha")
         cluster.handle(1).add(("beta", frozenset({1, 2})))
-        assert roundtrip(TraceRequest()) == TraceRequest()
-        reply = roundtrip(TraceReply(trace=cluster.trace))
+        assert roundtrip(TraceRequest(), codec) == TraceRequest()
+        reply = roundtrip(TraceReply(trace=cluster.trace), codec)
         assert trace_to_json(reply.trace) == trace_to_json(cluster.trace)
         # a second hop is a fixed point (what lets traces() snapshots
         # compare byte-identically to live serial traces)
-        assert trace_to_json(roundtrip(reply).trace) == trace_to_json(cluster.trace)
+        assert trace_to_json(roundtrip(reply, codec).trace) == trace_to_json(
+            cluster.trace
+        )
 
-    def test_stop_error_and_bootstrap_messages(self):
-        assert roundtrip(StopRequest()) == StopRequest()
-        assert roundtrip(StopReply()) == StopReply()
-        assert roundtrip(ErrorReply("boom\n  trace")) == ErrorReply("boom\n  trace")
-        assert roundtrip(HelloRequest()) == HelloRequest()
-        config = ConfigReply(shard_index=3, world=b"\x00\x01pickle-bytes\xff")
-        assert roundtrip(config) == config
+    def test_stop_error_and_bootstrap_messages(self, codec):
+        assert roundtrip(StopRequest(), codec) == StopRequest()
+        assert roundtrip(StopReply(), codec) == StopReply()
+        error = ErrorReply("boom\n  ünïcode trace")
+        assert roundtrip(error, codec) == error
+        hello = HelloRequest()
+        assert roundtrip(hello, codec) == hello
+        assert set(hello.codecs) == set(CODECS)
+        json_only = HelloRequest(codecs=("json",))
+        assert roundtrip(json_only, codec) == json_only
+        config = ConfigReply(
+            shard_index=3, world=b"\x00\x01pickle-bytes\xff", codec="binary"
+        )
+        assert roundtrip(config, codec) == config
+        assert roundtrip(config, codec).codec == "binary"
+
+    def test_cross_codec_decode(self, codec):
+        """Frames are self-describing: a decoder needs no codec hint."""
+        message = RoundRequest(adds=((0, 1, "x"), (1, 2, frozenset({("y", 3)}))))
+        frame = encode_message(message, codec=codec)
+        assert decode_message(frame) == message
 
 
 class TestFraming:
-    def test_header_carries_version_and_length(self):
-        frame = encode_message(StopRequest())
-        assert frame[0] == PROTOCOL_VERSION
-        body_length = int.from_bytes(frame[1:HEADER_SIZE], "big")
-        assert len(frame) == HEADER_SIZE + body_length
+    def test_header_carries_version_codec_and_length(self):
+        for codec, codec_id in sorted(CODECS.items()):
+            frame = encode_message(StopRequest(), codec=codec)
+            assert frame[0] == PROTOCOL_VERSION
+            assert frame[1] == codec_id
+            body_length = int.from_bytes(frame[2:HEADER_SIZE], "big")
+            assert len(frame) == HEADER_SIZE + body_length
 
-    def test_version_mismatch_rejected(self):
+    def test_version_mismatch_rejected_naming_both_versions(self):
         frame = bytearray(encode_message(StopRequest()))
         frame[0] = PROTOCOL_VERSION + 1
-        with pytest.raises(ProtocolError, match="version"):
+        with pytest.raises(VersionMismatch) as excinfo:
+            decode_message(bytes(frame))
+        assert excinfo.value.peer_version == PROTOCOL_VERSION + 1
+        assert excinfo.value.local_version == PROTOCOL_VERSION
+        assert str(PROTOCOL_VERSION + 1) in str(excinfo.value)
+        assert str(PROTOCOL_VERSION) in str(excinfo.value)
+
+    def test_unknown_codec_byte_rejected(self):
+        frame = bytearray(encode_message(StopRequest()))
+        frame[1] = 250
+        with pytest.raises(ProtocolError, match="codec"):
             decode_message(bytes(frame))
 
     def test_truncated_frame_rejected(self):
-        frame = encode_message(RoundRequest(adds=((0, 1, "x"),)))
-        with pytest.raises(ProtocolError):
-            decode_message(frame[:-1])
-        with pytest.raises(ProtocolError):
-            decode_message(frame[: HEADER_SIZE - 1])
+        for codec in BOTH_CODECS:
+            frame = encode_message(RoundRequest(adds=((0, 1, "x"),)), codec=codec)
+            with pytest.raises(ProtocolError):
+                decode_message(frame[:-1])
+            with pytest.raises(ProtocolError):
+                decode_message(frame[: HEADER_SIZE - 1])
 
     def test_garbage_body_rejected(self):
-        header = bytes([PROTOCOL_VERSION]) + (3).to_bytes(4, "big")
-        with pytest.raises(ProtocolError):
-            decode_message(header + b"\xff\xfe\x00")
+        for codec_id in sorted(CODECS.values()):
+            header = bytes([PROTOCOL_VERSION, codec_id]) + (3).to_bytes(4, "big")
+            with pytest.raises(ProtocolError):
+                decode_message(header + b"\xff\xfe\x00")
 
     def test_unknown_tag_rejected(self):
         body = b'{"t":"warp","v":{}}'
-        header = bytes([PROTOCOL_VERSION]) + len(body).to_bytes(4, "big")
+        header = bytes([PROTOCOL_VERSION, CODECS["json"]]) + len(body).to_bytes(
+            4, "big"
+        )
         with pytest.raises(ProtocolError, match="unknown message tag"):
+            decode_message(header + body)
+        binary_body = bytes([0]) + body  # JSON escape behind the binary codec
+        header = bytes([PROTOCOL_VERSION, CODECS["binary"]]) + len(
+            binary_body
+        ).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="unknown message tag"):
+            decode_message(header + binary_body)
+
+    def test_unknown_binary_message_tag_rejected(self):
+        body = bytes([200])
+        header = bytes([PROTOCOL_VERSION, CODECS["binary"]]) + (1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="unknown binary message tag"):
             decode_message(header + body)
 
     def test_non_message_rejected_at_encode(self):
-        with pytest.raises(ProtocolError):
-            encode_message({"not": "a message"})
+        for codec in BOTH_CODECS:
+            with pytest.raises(ProtocolError):
+                encode_message({"not": "a message"}, codec=codec)
+
+    def test_unknown_codec_name_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="unknown frame codec"):
+            encode_message(StopRequest(), codec="carrier-pigeon")
 
     def test_implausible_length_rejected(self):
-        header = bytes([PROTOCOL_VERSION]) + (1 << 31).to_bytes(4, "big")
+        header = bytes([PROTOCOL_VERSION, CODECS["json"]]) + (1 << 31).to_bytes(
+            4, "big"
+        )
         with pytest.raises(ProtocolError, match="implausible"):
             decode_message(header + b"")
+
+    def test_json_frames_stay_readable(self):
+        """The fallback codec is the debugging story: a JSON frame's
+        body is plain canonical JSON anyone can eyeball on the wire."""
+        message = RoundRequest(
+            adds=tuple((t, t % 4, f"churn-0-{t}") for t in range(8))
+        )
+        as_json = encode_message(message, codec="json")
+        blob = json.loads(as_json[HEADER_SIZE:].decode("utf-8"))
+        assert blob["t"] == "round_req"
+        assert len(blob["v"]["adds"]) == 8

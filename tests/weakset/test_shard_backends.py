@@ -11,6 +11,10 @@ Process-backed tests take the ``start_method`` fixture (see
 ``conftest.py``) so the module runs under both ``fork`` and ``spawn``.
 """
 
+import socket
+import threading
+import time
+
 import pytest
 
 from repro.errors import ProtocolMisuse, SimulationError
@@ -18,14 +22,17 @@ from repro.giraf.adversary import CrashPlan, CrashSchedule
 from repro.serialization import trace_to_json
 from repro.sim.runner import run_churn_workload
 from repro.sim.workloads import ChurnEnvironments
+from repro.weakset.protocol import PROTOCOL_VERSION, HelloRequest
 from repro.weakset.sharding import (
     MultiprocessBackend,
     SerialBackend,
     ShardedWeakSetCluster,
     SocketBackend,
     parse_backend_spec,
+    serve_shard_over_socket,
 )
 from repro.weakset.spec import check_weakset
+from repro.weakset.transport import SocketTransport
 
 
 def _drive(cluster):
@@ -112,6 +119,39 @@ class TestBackendEquivalence:
             with pytest.raises(SimulationError):
                 multiproc.handle(2).add("x")
 
+    def test_batch_and_codec_grid_byte_identical(self):
+        """The PR-5 acceptance grid: every backend, both frame codecs,
+        round_batch ∈ {1, 4} — all byte-identical to the plain serial
+        run (codec and batching change frames, never the worlds)."""
+        def build(backend, frames="binary", round_batch=1):
+            return ShardedWeakSetCluster(
+                4,
+                shards=3,
+                environment_factory=ChurnEnvironments(pattern="random", seed=7),
+                backend=backend,
+                frames=frames,
+                round_batch=round_batch,
+            )
+
+        serial = build("serial")
+        serial_result = _drive(serial)
+        serial_traces = _snapshot(serial)
+        grid = [("serial", "binary", 4)]
+        grid += [
+            (backend, frames, round_batch)
+            for backend in ("inproc", "multiprocess", "socket")
+            for frames in ("json", "binary")
+            for round_batch in (1, 4)
+            # (binary, 1) is the default combination the main
+            # equivalence test above already pins for every backend
+            if (frames, round_batch) != ("binary", 1)
+        ]
+        for backend, frames, round_batch in grid:
+            with build(backend, frames, round_batch) as cluster:
+                label = (backend, frames, round_batch)
+                assert _drive(cluster) == serial_result, label
+                assert _snapshot(cluster) == serial_traces, label
+
     def test_churn_workload_backend_invariant(self):
         runs = [
             run_churn_workload(
@@ -124,6 +164,153 @@ class TestBackendEquivalence:
             assert run.latencies == runs[0].latencies
             assert run.rounds == runs[0].rounds
         assert all(run.completed == 10 for run in runs)
+
+    def test_churn_workload_codec_and_batch_invariant(self):
+        """--frames and --round-batch change frames, not results: the
+        completed-add latencies are identical for every combination."""
+        reference = run_churn_workload(
+            n=3, shards=2, total_adds=10, adds_per_round=2,
+            pattern="round-robin", backend="serial", seed=5,
+        )
+        for backend in ("serial", "inproc", "socket"):
+            for frames in ("json", "binary"):
+                for round_batch in (1, 4):
+                    run = run_churn_workload(
+                        n=3, shards=2, total_adds=10, adds_per_round=2,
+                        pattern="round-robin", backend=backend, seed=5,
+                        frames=frames, round_batch=round_batch,
+                    )
+                    label = (backend, frames, round_batch)
+                    assert run.latencies == reference.latencies, label
+                    assert run.completed == reference.completed, label
+
+
+class TestNegotiationAndVersioning:
+    """The bootstrap fails clean: versions and codecs are named."""
+
+    def test_worker_names_both_versions_on_mismatch(self):
+        """An externally-launched worker hitting a parent with a
+        different protocol version raises a SimulationError naming
+        both versions (not a generic decode error, not a retry loop)."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+        alien_version = PROTOCOL_VERSION + 7
+
+        def alien_parent():
+            conn, _peer = listener.accept()
+            with conn:
+                conn.recv(4096)  # the worker's hello, ignored
+                body = b'{"t":"stop_req","v":{}}'
+                conn.sendall(
+                    bytes([alien_version, 0]) + len(body).to_bytes(4, "big") + body
+                )
+                time.sleep(0.2)
+
+        thread = threading.Thread(target=alien_parent, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(SimulationError) as excinfo:
+                serve_shard_over_socket(address, connect_retries=50)
+            message = str(excinfo.value)
+            assert str(alien_version) in message
+            assert str(PROTOCOL_VERSION) in message
+            assert "version" in message
+        finally:
+            thread.join(timeout=5.0)
+            listener.close()
+
+    def test_parent_rejects_worker_without_the_required_codec(self):
+        """A worker that cannot speak the run's frame codec fails the
+        handshake with an error naming what each side speaks."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()[:2]
+        probe.close()
+
+        def json_only_worker():
+            sock = None
+            for _ in range(100):
+                try:
+                    sock = socket.create_connection(address, timeout=5.0)
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            if sock is None:
+                return
+            transport = SocketTransport(sock)
+            try:
+                transport.send(HelloRequest(codecs=("json",)))
+                transport.poll(2.0)
+            finally:
+                transport.close()
+
+        thread = threading.Thread(target=json_only_worker, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(SimulationError, match="frame codec"):
+                SocketBackend(
+                    2,
+                    shards=1,
+                    environment_factory=ChurnEnvironments(seed=0),
+                    crash_schedule=None,
+                    max_total_rounds=50,
+                    trace_mode="aggregate",
+                    listen=address,
+                    frames="binary",
+                    accept_timeout=10.0,
+                )
+        finally:
+            thread.join(timeout=5.0)
+
+    def test_bad_frames_and_round_batch_rejected(self):
+        for backend in ("serial", "inproc"):
+            with pytest.raises(SimulationError, match="frame codec"):
+                ShardedWeakSetCluster(2, shards=1, backend=backend, frames="morse")
+            with pytest.raises(SimulationError, match="round_batch"):
+                ShardedWeakSetCluster(2, shards=1, backend=backend, round_batch=0)
+
+
+class TestRoundBatching:
+    """advance() coalesces ticks without changing what happens."""
+
+    def test_advance_reports_executed_ticks(self):
+        with ShardedWeakSetCluster(
+            2, shards=2, max_total_rounds=10, backend="inproc", round_batch=4
+        ) as cluster:
+            assert cluster.advance(6) == 6
+            assert cluster.now == 6.0
+            # the horizon stops the batch mid-flight: the dead step
+            # call is counted, exactly as a loop of step() would
+            executed = cluster.advance(10)
+            assert cluster.exhausted
+            assert cluster.now == 10.0
+            assert executed == 5
+            assert cluster.advance(3) == 1  # dead world: one probe call
+
+    def test_serial_and_inproc_agree_on_batch_accounting(self):
+        serial = ShardedWeakSetCluster(
+            2, shards=2, max_total_rounds=10, round_batch=4
+        )
+        with ShardedWeakSetCluster(
+            2, shards=2, max_total_rounds=10, backend="inproc", round_batch=4
+        ) as inproc:
+            for rounds in (6, 10, 3):
+                assert serial.advance(rounds) == inproc.advance(rounds)
+                assert serial.now == inproc.now
+
+    def test_blocking_add_stays_per_tick_under_batching(self):
+        """A blocking add must return at its exact completion round;
+        batching applies to advance(), never to the blocking loop."""
+        plain = ShardedWeakSetCluster(3, shards=2)
+        plain.handle(0).add("v")
+        with ShardedWeakSetCluster(
+            3, shards=2, backend="inproc", round_batch=8
+        ) as batched:
+            batched.handle(0).add("v")
+            assert batched.now == plain.now
+            assert [r.end for r in batched.log.adds] == [
+                r.end for r in plain.log.adds
+            ]
 
 
 class TestTransportBackendSemantics:
