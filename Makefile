@@ -1,10 +1,18 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test bench bench-shard perf docs experiments experiments-full
+.PHONY: test chaos bench bench-shard perf docs experiments experiments-full
 
 test:
 	$(PYTHON) -m pytest -q
+
+# Chaos suite: the fault-injection and crash-recovery tests alone —
+# seeded FaultPlans (fixed in the test files, so every run replays the
+# same chaos) against the fail-closed and the recover=True contracts,
+# plus the C4 recovery grid as an end-to-end smoke.
+chaos:
+	$(PYTHON) -m pytest -q -m chaos tests/weakset
+	$(PYTHON) -m repro.experiments C4
 
 # Capture the performance trajectory (micro benches + T1/F1/C1/C3
 # quick + T3 full) into BENCH_micro.json.  See PERFORMANCE.md.

@@ -326,6 +326,32 @@ def test_bench_churn_workload_socket_batched(benchmark):
     assert run.completed == 12
 
 
+def test_bench_shard_recovery_time(benchmark):
+    """The multiprocess stream with one worker killed and healed mid-run.
+
+    A seeded FaultPlan kills shard 0's worker at the third driver
+    exchange; supervision (``recover=True``) respawns it and replays
+    its world from the seed streams.  The delta against the unfaulted
+    multiprocess twin is the end-to-end recovery bill: detection,
+    respawn (process start + handshake), and deterministic replay.
+    The run's results must still match the serial reference exactly.
+    """
+    from repro.weakset.faults import FaultPlan, Fault
+    from repro.weakset.supervisor import RetryPolicy
+
+    plan = FaultPlan((Fault("kill", 0, 3),))
+    policy = RetryPolicy(attempts=3, base_delay=0.01, request_timeout=30.0)
+    run = benchmark.pedantic(
+        _churn,
+        args=("multiprocess",),
+        kwargs={"recover": True, "fault_plan": plan, "retry_policy": policy},
+        rounds=3,
+        iterations=1,
+    )
+    assert run.completed == 12
+    assert run.recovery is not None and run.recovery.respawns == 1
+
+
 def _steady_multiprocess_cluster(overlap: bool) -> ShardedWeakSetCluster:
     """A 4-shard multiprocess cluster at steady state (adds landed)."""
     backend = MultiprocessBackend(

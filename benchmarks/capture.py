@@ -204,6 +204,14 @@ def main(argv=None) -> int:
     batched = micro.get("test_bench_churn_workload_socket_batched")
     if sock and batched:
         speedups["churn_socket_batched_vs_unbatched"] = round(sock / batched, 2)
+    # Self-healing (PR 6): the multiprocess stream with one worker
+    # killed and recovered mid-run against its unfaulted twin.  The
+    # ratio is the whole recovery bill — detection, respawn, replay —
+    # amortized over this short stream; longer streams amortize the
+    # same absolute cost further.
+    recovery = micro.get("test_bench_shard_recovery_time")
+    if multiproc and recovery:
+        speedups["shard_recovery_time"] = round(recovery / multiproc, 2)
     drifting = micro.get("test_bench_drifting_round_throughput")
     recorded = PR4_RECORDED_US.get("test_bench_drifting_round_throughput")
     if drifting and recorded:

@@ -41,6 +41,17 @@ def _parse_address(text: str) -> Tuple[str, int]:
         ) from None
 
 
+def _parse_fault_plan(text: str):
+    """argparse adapter over the fault-plan spec syntax."""
+    from repro.errors import SimulationError
+    from repro.weakset.faults import parse_fault_plan
+
+    try:
+        return parse_fault_plan(text)
+    except SimulationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -91,6 +102,25 @@ def main(argv=None) -> int:
         "— completed-add latencies are batch-invariant)",
     )
     parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="supervise the churn family's shard workers: a dead worker "
+        "is respawned and its world replayed deterministically instead "
+        "of failing the run (tables are identical — recovery cost shows "
+        "in C4's columns)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=_parse_fault_plan,
+        default=None,
+        metavar="SPEC",
+        help="inject scheduled transport faults into the churn family's "
+        "shard channels: comma-separated kind:shard:at[:param] entries, "
+        "e.g. 'kill:0:5,delay:1:3:0.5' (kinds: kill, reset, drop, "
+        "duplicate, delay, truncate; at = 1-based driver exchange); "
+        "combine with --recover to heal, omit it to verify fail-closed",
+    )
+    parser.add_argument(
         "--listen",
         type=_parse_address,
         default=None,
@@ -120,12 +150,14 @@ def main(argv=None) -> int:
             or args.backend is not None
             or args.frames is not None
             or args.round_batch is not None
+            or args.recover
+            or args.fault_plan is not None
         ):
             # parent-side knobs; the worker adopts whatever the parent
             # negotiated, so accepting them here would mislead
             parser.error(
                 "--connect runs a bare worker; drop IDs/--listen/--backend/"
-                "--frames/--round-batch"
+                "--frames/--round-batch/--recover/--fault-plan"
             )
         from repro.weakset.sharding import run_socket_worker
 
@@ -154,6 +186,8 @@ def main(argv=None) -> int:
             backend=backend,
             frames=args.frames,
             round_batch=args.round_batch,
+            recover=args.recover or None,
+            fault_plan=args.fault_plan,
         )
         print(table.render())
         print()

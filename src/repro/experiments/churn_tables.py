@@ -21,6 +21,15 @@ add-stream workload natural, and these experiments characterize it.
   abandoned, and the table shows how much of the offered load still
   lands (Algorithm 4 tolerates ``n - 1`` crashes; the surviving
   processes' adds keep completing).
+* **C4** — infrastructure crash recovery.  Where C3 crashes the
+  *simulated* processes, C4 kills the *shard worker processes
+  themselves* (a seeded :class:`~repro.weakset.faults.FaultPlan`) and
+  runs under worker supervision (``recover=True``): dead workers are
+  respawned and their worlds replayed from the SHA-512 seed streams.
+  The table reports the recovery cost — respawns, replayed rounds,
+  recovery wall-clock — against the crash fraction, backend, and round
+  batch, and demonstrates the headline guarantee: the recovered run's
+  results are identical to an unfaulted run of the same cell.
 
 All three scale far beyond their table grids: the driver
 (:func:`repro.sim.runner.run_churn_workload`) accepts arbitrarily long
@@ -35,12 +44,16 @@ from __future__ import annotations
 
 import time
 
+from typing import Optional
+
 from repro.analysis.tables import Table
 from repro.giraf.adversary import CrashSchedule
 from repro.sim.runner import run_churn_workload
-from repro.sim.workloads import CHURN_PATTERNS
+from repro.sim.workloads import CHURN_PATTERNS, recovery_fault_plan
+from repro.weakset.faults import FaultPlan
+from repro.weakset.supervisor import RetryPolicy
 
-__all__ = ["run_c1", "run_c2", "run_c3"]
+__all__ = ["run_c1", "run_c2", "run_c3", "run_c4"]
 
 
 def run_c1(
@@ -49,6 +62,8 @@ def run_c1(
     backend: str = "serial",
     frames: str = "binary",
     round_batch: int = 1,
+    recover: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Table:
     """C1: add-latency percentiles and throughput per churn pattern."""
     patterns = ["random", "round-robin", "flapping"] if quick else list(CHURN_PATTERNS)
@@ -84,6 +99,8 @@ def run_c1(
                 seed=seed,
                 frames=frames,
                 round_batch=round_batch,
+                recover=recover,
+                fault_plan=fault_plan,
             )
             table.add_row(
                 pattern,
@@ -168,6 +185,8 @@ def run_c3(
     backend: str = "serial",
     frames: str = "binary",
     round_batch: int = 1,
+    recover: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Table:
     """C3: crash churn (process failures) on top of source churn."""
     patterns = ["random", "flapping"] if quick else list(CHURN_PATTERNS)
@@ -208,6 +227,8 @@ def run_c3(
                 crash_schedule=crashes,
                 frames=frames,
                 round_batch=round_batch,
+                recover=recover,
+                fault_plan=fault_plan,
             )
             table.add_row(
                 pattern,
@@ -220,4 +241,104 @@ def run_c3(
                 run.percentile_latency(95),
                 run.throughput,
             )
+    return table
+
+
+def run_c4(
+    quick: bool = True,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    frames: str = "binary",
+    round_batch: Optional[int] = None,
+) -> Table:
+    """C4: worker crash recovery — cost vs. crash fraction × backend × batch.
+
+    Each cell kills a seeded fraction of the shard *worker processes*
+    mid-run (:func:`repro.sim.workloads.recovery_fault_plan`) under
+    supervision and reports what self-healing cost; the
+    ``matches-unfaulted`` column re-runs the cell without faults and
+    compares the completed-add count and every latency — deterministic
+    replay makes them identical.
+    """
+    backends = [backend] if backend else (
+        ["inproc", "multiprocess"] if quick else ["multiprocess", "socket"]
+    )
+    batches = [round_batch] if round_batch else [1, 4]
+    fractions = [0.5] if quick else [0.25, 0.5, 1.0]
+    n = 3 if quick else 6
+    shards = 2 if quick else 4
+    total_adds = 10 if quick else 120
+    adds_per_round = 2 if quick else 4
+    policy = RetryPolicy(attempts=3, base_delay=0.05, request_timeout=30.0)
+
+    table = Table(
+        experiment_id="C4",
+        title="Worker crash recovery: respawn + replay cost per backend",
+        headers=[
+            "backend", "crash-frac", "batch", "kills", "detected",
+            "respawned", "replayed", "rec-wall-s", "completed",
+            "matches-unfaulted",
+        ],
+        notes=[
+            "a seeded FaultPlan kills floor(frac*shards) shard WORKER "
+            "processes (the infrastructure, not the simulated processes) "
+            "at seeded exchanges; recover=True respawns each one and "
+            "replays its world from the SHA-512 seed streams",
+            "replayed = simulation rounds re-executed by respawned "
+            "workers; rec-wall-s = wall-clock inside recovery; "
+            "matches-unfaulted compares completed count and every add "
+            "latency against an unfaulted run of the same cell — "
+            "deterministic replay makes them identical",
+            f"frames={frames}, shards={shards}, n={n}, seed={seed}",
+        ],
+    )
+    for backend_name in backends:
+        for fraction in fractions:
+            for batch in batches:
+                # batching coalesces rounds into fewer driver exchanges,
+                # so shrink the kill window with it or the scheduled
+                # faults land past the end of the run and never fire
+                window = (2, max(3, 12 // batch))
+                plan = recovery_fault_plan(
+                    shards, fraction, seed=seed, window=window
+                )
+                run = run_churn_workload(
+                    n=n,
+                    shards=shards,
+                    total_adds=total_adds,
+                    adds_per_round=adds_per_round,
+                    pattern="random",
+                    backend=backend_name,
+                    seed=seed,
+                    frames=frames,
+                    round_batch=batch,
+                    recover=True,
+                    fault_plan=plan,
+                    retry_policy=policy,
+                )
+                clean = run_churn_workload(
+                    n=n,
+                    shards=shards,
+                    total_adds=total_adds,
+                    adds_per_round=adds_per_round,
+                    pattern="random",
+                    backend=backend_name,
+                    seed=seed,
+                    frames=frames,
+                    round_batch=batch,
+                )
+                stats = run.recovery
+                table.add_row(
+                    backend_name,
+                    f"{fraction:.2f}",
+                    batch,
+                    plan.kills,
+                    stats.detections if stats else 0,
+                    stats.respawns if stats else 0,
+                    stats.replayed_rounds if stats else 0,
+                    stats.wall_clock if stats else 0.0,
+                    run.completed,
+                    (run.completed, run.latencies)
+                    == (clean.completed, clean.latencies),
+                )
     return table

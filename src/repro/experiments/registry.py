@@ -13,7 +13,7 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis.tables import Table
 from repro.experiments.ablations import run_a1, run_a2, run_a3
 from repro.experiments.baseline_table import run_t7
-from repro.experiments.churn_tables import run_c1, run_c2, run_c3
+from repro.experiments.churn_tables import run_c1, run_c2, run_c3, run_c4
 from repro.experiments.consensus_tables import run_f1, run_f2, run_t1, run_t2
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
@@ -42,6 +42,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "C1": run_c1,
     "C2": run_c2,
     "C3": run_c3,
+    "C4": run_c4,
 }
 
 
@@ -54,6 +55,8 @@ def run_experiment(
     backend: Optional[str] = None,
     frames: Optional[str] = None,
     round_batch: Optional[int] = None,
+    recover: Optional[bool] = None,
+    fault_plan: Optional[object] = None,
 ) -> Table:
     """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``).
 
@@ -62,8 +65,10 @@ def run_experiment(
     selects the shard-execution backend (``"serial"``,
     ``"multiprocess"``, ``"socket"``, or ``"socket:HOST:PORT"``) for
     the churn family, ``frames`` its wire codec (``"binary"`` /
-    ``"json"``) and ``round_batch`` its frame coalescing; runners
-    without the matching knob ignore them.
+    ``"json"``) and ``round_batch`` its frame coalescing; ``recover``
+    turns on worker supervision and ``fault_plan`` injects a
+    :class:`~repro.weakset.faults.FaultPlan` of scheduled transport
+    faults.  Runners without the matching knob ignore them.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -77,6 +82,8 @@ def run_experiment(
         ("backend", backend),
         ("frames", frames),
         ("round_batch", round_batch),
+        ("recover", recover),
+        ("fault_plan", fault_plan),
     ):
         if value is not None and name in parameters:
             kwargs[name] = value
@@ -91,6 +98,8 @@ def run_all(
     backend: Optional[str] = None,
     frames: Optional[str] = None,
     round_batch: Optional[int] = None,
+    recover: Optional[bool] = None,
+    fault_plan: Optional[object] = None,
 ) -> List[Table]:
     """Run the whole suite in ID order."""
     return [
@@ -102,6 +111,8 @@ def run_all(
             backend=backend,
             frames=frames,
             round_batch=round_batch,
+            recover=recover,
+            fault_plan=fault_plan,
         )
         for key in sorted(EXPERIMENTS)
     ]

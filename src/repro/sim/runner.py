@@ -37,7 +37,9 @@ from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
 from repro.giraf.traces import RunTrace
 from repro.sim.metrics import ConsensusMetrics, consensus_metrics
 from repro.sim.workloads import ChurnEnvironments
+from repro.weakset.faults import FaultPlan
 from repro.weakset.spec import AddRecord
+from repro.weakset.supervisor import RetryPolicy, ShardRecoveryStats
 
 __all__ = [
     "ChurnRun",
@@ -217,6 +219,13 @@ class ChurnRun:
             (``record.end - record.start``), in issue order (adds may
             complete out of issue order across shards).
         pattern/shards/backend: the configuration that produced this run.
+        recovery: worker-supervision counters
+            (:class:`~repro.weakset.supervisor.ShardRecoveryStats`)
+            when the run was supervised (``recover=True``); ``None``
+            otherwise.  Because recovered worlds are replayed
+            deterministically, every *simulation-domain* field above is
+            identical with and without the crashes — ``recovery`` is
+            where the infrastructure cost shows.
     """
 
     issued: int
@@ -227,6 +236,7 @@ class ChurnRun:
     shards: int = 1
     backend: str = "serial"
     skipped: int = 0
+    recovery: Optional["ShardRecoveryStats"] = None
 
     def percentile_latency(self, q: float) -> Optional[float]:
         """Nearest-rank percentile of the completed-add latencies.
@@ -256,6 +266,9 @@ def run_churn_workload(
     crash_schedule: Optional[CrashSchedule] = None,
     frames: str = "binary",
     round_batch: int = 1,
+    recover: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ChurnRun:
     """Drive a stream of weak-set adds across shards and measure latency.
 
@@ -309,6 +322,17 @@ def run_churn_workload(
             The completed-add latencies are batch-invariant (end
             stamps are simulated time); only the drained round count
             may overshoot by up to ``round_batch - 1``.  Default 1.
+        recover: supervise the shard workers — dead workers are
+            respawned and replayed instead of failing the run; the
+            cost lands in :attr:`ChurnRun.recovery` (wire backends
+            only).
+        fault_plan: optional :class:`~repro.weakset.faults.FaultPlan`
+            injecting scheduled *infrastructure* faults into the shard
+            channels (distinct from ``crash_schedule``, which crashes
+            *simulated* processes).
+        retry_policy: optional
+            :class:`~repro.weakset.supervisor.RetryPolicy` shaping
+            recovery backoff and reply deadlines.
 
     Returns:
         A :class:`ChurnRun` with latency percentiles and throughput.
@@ -341,6 +365,9 @@ def run_churn_workload(
         backend=backend,
         frames=frames,
         round_batch=round_batch,
+        recover=recover,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     try:
         # Per-(pid, owning shard) pending queues plus a ready-heap keyed
@@ -419,6 +446,7 @@ def run_churn_workload(
             shards=shards,
             backend=backend,
             skipped=skipped,
+            recovery=cluster.recovery_stats,
         )
     finally:
         cluster.close()

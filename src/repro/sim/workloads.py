@@ -40,6 +40,7 @@ __all__ = [
     "sensor_readings",
     "ChurnEnvironments",
     "CHURN_PATTERNS",
+    "recovery_fault_plan",
 ]
 
 
@@ -161,3 +162,27 @@ class ChurnEnvironments:
             source_schedule=CHURN_PATTERNS[self.pattern](shard_seed),
             delay_policy=UniformDelay(2, 5, seed=shard_seed + 1),
         )
+
+
+def recovery_fault_plan(
+    shards: int,
+    crash_fraction: float,
+    *,
+    seed: int = 0,
+    window: "tuple[int, int]" = (2, 12),
+):
+    """The C4 experiment's chaos schedule: seeded worker kills.
+
+    A thin workload-side name for
+    :meth:`repro.weakset.faults.FaultPlan.kill_fraction` — a seeded
+    ``crash_fraction`` of the shard *workers* (the infrastructure, not
+    the simulated processes) is killed at exchanges drawn from
+    ``window``.  The ``(shards, crash_fraction, seed)`` triple fully
+    determines the plan, so the grid cell names one reproducible chaos
+    run.
+    """
+    from repro.weakset.faults import FaultPlan
+
+    return FaultPlan.kill_fraction(
+        shards, crash_fraction, seed=seed, window=window
+    )

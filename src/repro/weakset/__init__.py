@@ -17,6 +17,12 @@
 """
 
 from repro.weakset.cluster import MSWeakSetCluster, WeakSetHandle
+from repro.weakset.faults import (
+    Fault,
+    FaultPlan,
+    FaultyTransport,
+    parse_fault_plan,
+)
 from repro.weakset.flp_chain import RegisterBackedMSEmulation
 from repro.weakset.from_registers import FiniteUniverseWeakSet, KnownParticipantsWeakSet
 from repro.weakset.ideal import IdealWeakSet, uniform_completion_delay
@@ -50,10 +56,18 @@ from repro.weakset.spec import (
     WeakSetReport,
     check_weakset,
 )
+from repro.weakset.supervisor import (
+    RetryPolicy,
+    ShardRecoveryStats,
+    ShardSupervisor,
+)
 
 __all__ = [
     "AddRecord",
     "EmulationResult",
+    "Fault",
+    "FaultPlan",
+    "FaultyTransport",
     "FiniteUniverseWeakSet",
     "GetRecord",
     "IdealWeakSet",
@@ -67,9 +81,12 @@ __all__ = [
     "OpScript",
     "RegisterBackedMSEmulation",
     "RegisterEntry",
+    "RetryPolicy",
     "SerialBackend",
     "ShardBackend",
+    "ShardRecoveryStats",
     "ShardServer",
+    "ShardSupervisor",
     "ShardedWeakSetCluster",
     "ShardedWeakSetHandle",
     "SocketBackend",
@@ -80,6 +97,7 @@ __all__ = [
     "WeakSetRegister",
     "WeakSetRunResult",
     "check_weakset",
+    "parse_fault_plan",
     "run_ms_weakset",
     "run_socket_worker",
     "shard_of",

@@ -156,8 +156,9 @@ __all__ = [
 #: wire version; bumped on any frame- or message-shape change.  A
 #: parent and worker must agree exactly — the header check fails fast
 #: instead of mis-decoding.  Version 2 added the codec byte, the
-#: binary codec, and the step-batch messages.
-PROTOCOL_VERSION = 2
+#: binary codec, and the step-batch messages; version 3 added the
+#: ``resume_round`` field to :class:`ConfigReply` (crash recovery).
+PROTOCOL_VERSION = 3
 
 _HEADER = struct.Struct(">BBI")
 
@@ -349,11 +350,16 @@ class ConfigReply:
     ``world`` is a pickled :class:`WorldConfig` (see the module
     docstring for the trust model); ``codec`` is the frame codec the
     negotiation settled on — both sides emit it from the next frame.
+    ``resume_round`` (protocol version 3) tells a worker replacing a
+    crashed one which round clock its rebuilt world must reach: 0 for
+    a fresh start, and the supervisor's current round when the parent
+    is about to replay the dead worker's request log into it.
     """
 
     shard_index: int
     world: bytes
     codec: str = DEFAULT_CODEC
+    resume_round: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -446,11 +452,13 @@ _MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any
             "shard_index": m.shard_index,
             "world": base64.b64encode(m.world).decode("ascii"),
             "codec": m.codec,
+            "resume_round": m.resume_round,
         },
         lambda v: ConfigReply(
             shard_index=v["shard_index"],
             world=base64.b64decode(v["world"]),
             codec=v["codec"],
+            resume_round=v.get("resume_round", 0),
         ),
     ),
 }

@@ -63,7 +63,9 @@ codec for custom payload types before sharding them across processes.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
+import logging
 import multiprocessing
 import pickle
 import selectors
@@ -101,6 +103,12 @@ from repro.weakset.protocol import (
     WorldConfig,
 )
 from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
+from repro.weakset.faults import FaultPlan, FaultyTransport
+from repro.weakset.supervisor import (
+    RetryPolicy,
+    ShardRecoveryStats,
+    ShardSupervisor,
+)
 from repro.weakset.transport import (
     InProcTransport,
     PipeTransport,
@@ -127,6 +135,8 @@ __all__ = [
     "parse_backend_spec",
     "shard_of",
 ]
+
+_logger = logging.getLogger(__name__)
 
 #: builds the environment for one shard (shard index -> environment)
 EnvironmentFactory = Callable[[int], Environment]
@@ -262,6 +272,17 @@ class ShardBackend(ABC):
         workers.
         """
 
+    @property
+    def recovery_stats(self) -> Optional[ShardRecoveryStats]:
+        """Recovery counters when supervision is on, else ``None``.
+
+        Only a :class:`TransportBackend` constructed with
+        ``recover=True`` has a supervisor to count anything; every
+        other backend reports ``None`` so callers can surface the
+        stats unconditionally.
+        """
+        return None
+
     def close(self) -> None:
         """Release backend resources (worker processes, channels)."""
 
@@ -293,15 +314,26 @@ class SerialBackend(ShardBackend):
         trace_mode: str,
         round_batch: int = 1,
         frames: str = DEFAULT_CODEC,
+        recover: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         # ``frames`` is accepted (and checked) for signature uniformity
         # with the transport backends; no wire is involved here, so the
-        # codec choice has nothing to encode.
+        # codec choice has nothing to encode.  Likewise ``retry_policy``
+        # (nothing to retry); supervision and fault injection, though,
+        # are wire features a wireless backend cannot honour even
+        # vacuously — asking for them here is a configuration error.
         if frames not in CODECS:
             known = ", ".join(sorted(CODECS))
             raise SimulationError(f"unknown frame codec {frames!r}; known: {known}")
         if round_batch < 1:
             raise SimulationError("round_batch must be >= 1")
+        if recover or fault_plan:
+            raise SimulationError(
+                "the serial backend has no workers to supervise or wires "
+                "to fault; use inproc, multiprocess, or socket"
+            )
         self.round_batch = round_batch
         self.num_shards = shards
         self.n = n
@@ -375,7 +407,7 @@ class ShardServer:
         True
     """
 
-    def __init__(self, config: WorldConfig, shard_index: int):
+    def __init__(self, config: WorldConfig, shard_index: int, resume_round: int = 0):
         self.cluster = MSWeakSetCluster(
             config.n,
             environment=config.environment_factory(shard_index),
@@ -384,6 +416,12 @@ class ShardServer:
             trace_mode=config.trace_mode,
         )
         self._records: Dict[int, AddRecord] = {}
+        #: the round clock this world is expected to reach before
+        #: serving live traffic — 0 for a fresh world; the supervisor's
+        #: current round when this server replaces a crashed worker
+        #: (the parent replays the dead worker's request log to get
+        #: there, so the server itself just records the expectation).
+        self.resume_round = resume_round
 
     def _apply_adds(self, adds: Tuple[QueuedAdd, ...]) -> None:
         for token, pid, value in adds:
@@ -457,12 +495,16 @@ class ShardServer:
 
 
 def _pipe_worker(
-    connection, shard_index: int, config: WorldConfig, codec: str = DEFAULT_CODEC
+    connection,
+    shard_index: int,
+    config: WorldConfig,
+    codec: str = DEFAULT_CODEC,
+    resume_round: int = 0,
 ) -> None:
     """Worker process entry point for the pipe (multiprocess) backend."""
     transport = PipeTransport(connection, codec)
     try:
-        server = ShardServer(config, shard_index)
+        server = ShardServer(config, shard_index, resume_round)
     except BaseException:
         try:
             transport.send(ErrorReply(traceback.format_exc()))
@@ -479,14 +521,20 @@ def serve_shard_over_socket(
     *,
     connect_retries: int = 50,
     retry_delay: float = 0.1,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> bool:
     """Connect to a shard parent at ``address`` and serve one world.
 
-    Retries the connection for up to ``connect_retries * retry_delay``
-    seconds (the parent may not be listening yet), performs the
-    hello/config bootstrap — announcing the codecs this worker speaks
-    and adopting the one the parent chose — then serves protocol
-    requests until the parent sends stop or goes away.
+    Retries the connection under ``retry_policy`` (the parent may not
+    be listening yet) — by default a fixed-delay schedule of
+    ``connect_retries`` attempts ``retry_delay`` seconds apart, i.e.
+    the historical timing; pass a
+    :class:`~repro.weakset.supervisor.RetryPolicy` for exponential
+    backoff with seeded jitter instead (what a fleet of workers
+    hammering one parent wants).  Then performs the hello/config
+    bootstrap — announcing the codecs this worker speaks and adopting
+    the one the parent chose — then serves protocol requests until the
+    parent sends stop or goes away.
 
     Returns:
         True when a parent was reached (a world was served, or at
@@ -503,13 +551,21 @@ def serve_shard_over_socket(
             this worker does not speak.  Version skew cannot heal by
             retrying, so it surfaces instead of looping.
     """
+    if retry_policy is None:
+        # the historical timing: fixed-delay attempts, no jitter.
+        retry_policy = RetryPolicy(
+            attempts=connect_retries,
+            base_delay=retry_delay,
+            multiplier=1.0,
+            max_delay=retry_delay,
+        )
     sock: Optional[socket.socket] = None
-    for _attempt in range(connect_retries):
+    for delay in retry_policy.backoff("connect", address):
         try:
             sock = socket.create_connection(address, timeout=10.0)
             break
         except OSError:
-            time.sleep(retry_delay)
+            time.sleep(delay)
     if sock is None:
         return False
     sock.settimeout(None)
@@ -543,7 +599,9 @@ def serve_shard_over_socket(
     transport.codec = config_reply.codec
     try:
         config = pickle.loads(config_reply.world)
-        server = ShardServer(config, config_reply.shard_index)
+        server = ShardServer(
+            config, config_reply.shard_index, config_reply.resume_round
+        )
     except BaseException:
         try:
             transport.send(ErrorReply(traceback.format_exc()))
@@ -561,6 +619,7 @@ def run_socket_worker(
     *,
     connect_retries: int = 50,
     retry_delay: float = 0.1,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> int:
     """Serve shard worlds for parents at ``address`` until none remain.
 
@@ -575,10 +634,18 @@ def run_socket_worker(
     Returns:
         How many parent connections were served (one per shard world,
         plus any handshakes that ended without an assignment).
+
+    ``retry_policy`` shapes the per-iteration reconnect schedule (the
+    same deterministic backoff the parent-side supervisor sleeps by);
+    left ``None``, each iteration uses the historical fixed
+    ``connect_retries`` × ``retry_delay`` schedule.
     """
     served = 0
     while serve_shard_over_socket(
-        address, connect_retries=connect_retries, retry_delay=retry_delay
+        address,
+        connect_retries=connect_retries,
+        retry_delay=retry_delay,
+        retry_policy=retry_policy,
     ):
         served += 1
     return served
@@ -607,15 +674,29 @@ def spawn_socket_workers(
     The loopback deployment (what ``backend="socket"`` does by default,
     and what CI exercises): same wire protocol, same TCP transport,
     all on one box.  Each worker serves exactly one world and exits.
+
+    All-or-nothing: if worker ``k`` of ``count`` fails to start, the
+    ``k-1`` already running are terminated and reaped before the error
+    propagates — a failed spawn must not leak processes for the caller
+    (who never saw the list) to clean up.
     """
     context = multiprocessing.get_context(_resolve_start_method(start_method))
     workers = []
-    for _ in range(count):
-        worker = context.Process(
-            target=_socket_worker_main, args=(address,), daemon=True
-        )
-        worker.start()
-        workers.append(worker)
+    try:
+        for _ in range(count):
+            worker = context.Process(
+                target=_socket_worker_main, args=(address,), daemon=True
+            )
+            worker.start()
+            workers.append(worker)
+    except BaseException:
+        for worker in workers:
+            worker.terminate()
+        for worker in workers:
+            worker.join(timeout=2.0)
+            if worker.is_alive():  # pragma: no cover - defensive
+                worker.kill()
+        raise
     return workers
 
 
@@ -648,11 +729,21 @@ class TransportBackend(ShardBackend):
     :class:`~repro.weakset.transport.Transport` per shard (and any
     worker processes backing them).
 
-    Failure model: a vanished worker or a worker-side error poisons
-    the backend — the current round is half-applied and sibling
-    replies may be unread, so every later call raises
+    Failure model: by default a vanished worker or a worker-side error
+    poisons the backend — the current round is half-applied and
+    sibling replies may be unread, so every later call raises
     :class:`~repro.errors.SimulationError` instead of consuming stale
-    state; :meth:`close` still reaps every worker.
+    state; :meth:`close` still reaps every worker.  With
+    ``recover=True`` a :class:`~repro.weakset.supervisor.ShardSupervisor`
+    turns worker death into respawn + deterministic replay instead
+    (worker-side *errors* stay fail-closed — replay would repeat
+    them), and :attr:`recovery_stats` reports what that cost.
+    ``fault_plan`` wraps every transport in a
+    :class:`~repro.weakset.faults.FaultyTransport` firing the plan's
+    scheduled faults — the chaos harness the supervisor is tested
+    against.  Both knobs force the lock-step (non-overlapped) harvest:
+    deterministic per-shard detection matters more than harvest
+    overlap when channels are expected to die.
     """
 
     def __init__(
@@ -667,6 +758,9 @@ class TransportBackend(ShardBackend):
         overlap: bool = True,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        recover: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if frames not in CODECS:
             known = ", ".join(sorted(CODECS))
@@ -684,7 +778,25 @@ class TransportBackend(ShardBackend):
             max_total_rounds=max_total_rounds,
             trace_mode=trace_mode,
         )
+        if recover or fault_plan:
+            # Dying channels and a shared selector do not mix (a closed
+            # fd silently drops out of an epoll set); recovery and
+            # chaos both use the per-shard lock-step harvest, where
+            # detection is attributable and deterministic.
+            overlap = False
         self._overlap = overlap
+        self._fault_plan = fault_plan
+        self._retry_policy = retry_policy
+        # An unsupervised run with faults injected (or an explicit
+        # request deadline) must time out instead of hanging — a
+        # dropped frame otherwise blocks the harvest forever.
+        if retry_policy is not None and retry_policy.request_timeout is not None:
+            self._request_timeout: Optional[float] = retry_policy.request_timeout
+        elif fault_plan:
+            self._request_timeout = 30.0
+        else:
+            self._request_timeout = None
+        self._supervisor: Optional[ShardSupervisor] = None
         self._tokens = itertools.count()
         self._now = 0.0
         self._shard_exhausted = [False] * shards
@@ -699,6 +811,13 @@ class TransportBackend(ShardBackend):
         self._selector: Optional[selectors.BaseSelector] = None
         try:
             self._start()
+            if fault_plan:
+                self._transports = [
+                    FaultyTransport(transport, index, fault_plan)
+                    for index, transport in enumerate(self._transports)
+                ]
+            if recover:
+                self._supervisor = ShardSupervisor(self, policy=retry_policy)
             if (
                 overlap
                 and len(self._transports) > 1
@@ -721,22 +840,70 @@ class TransportBackend(ShardBackend):
     def _start(self) -> None:
         """Create one transport per shard (and any backing workers)."""
 
+    # -- supervision hooks -----------------------------------------------
+    @property
+    def recovery_stats(self) -> Optional[ShardRecoveryStats]:
+        return self._supervisor.stats if self._supervisor is not None else None
+
+    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
+        """Start a replacement worker for ``shard_index``; return its
+        raw (unwrapped) transport.
+
+        Called by the supervisor after detecting worker death; the
+        base backend has no idea how its subclass makes workers, so
+        recovery is only available where a subclass overrides this.
+        Raises :class:`~repro.errors.SimulationError` on a failed
+        attempt (the supervisor retries under its backoff policy).
+        """
+        raise SimulationError(
+            f"{type(self).__name__} cannot respawn shard workers"
+        )
+
+    def _install_transport(self, shard_index: int, raw: Transport) -> None:
+        """Adopt a respawned worker's channel at ``shard_index``.
+
+        When the slot holds a fault wrapper the *inner* channel is
+        swapped so the shard's remaining scheduled faults survive the
+        respawn; otherwise the transport is replaced outright.  (The
+        supervised path never uses the shared selector, so there is no
+        registration to fix up.)
+        """
+        current = self._transports[shard_index]
+        if isinstance(current, FaultyTransport):
+            current.replace_inner(raw)
+        else:
+            self._transports[shard_index] = raw
+
     # -- plumbing --------------------------------------------------------
     def _exchange(self, requests: List[object]) -> List[object]:
         """One overlapped round trip; replies in canonical shard order."""
-        try:
-            replies = exchange_all(
-                self._transports,
-                requests,
-                overlap=self._overlap,
-                selector=self._selector,
-            )
-        except TransportError as error:
-            # A worker died mid-round: sibling replies may be unread
-            # and the round half-applied; poison the backend so later
-            # calls cannot consume stale state.
-            self._failed = True
-            raise SimulationError(f"shard worker failed mid-round: {error}") from None
+        if self._supervisor is not None:
+            try:
+                replies = self._supervisor.exchange(requests)
+            except SimulationError:
+                # recovery itself failed: the mirrors and the worlds
+                # can no longer be trusted to agree, so fail closed
+                # exactly like the unsupervised path.
+                self._failed = True
+                raise
+        else:
+            try:
+                replies = exchange_all(
+                    self._transports,
+                    requests,
+                    overlap=self._overlap,
+                    selector=self._selector,
+                    timeout=self._request_timeout,
+                )
+            except TransportError as error:
+                # A worker died mid-round: sibling replies may be
+                # unread and the round half-applied; poison the
+                # backend so later calls cannot consume stale state.
+                self._failed = True
+                raise SimulationError(
+                    f"shard worker failed mid-round (round clock "
+                    f"{self._now:g}): {error}"
+                ) from None
         for shard_index, reply in enumerate(replies):
             if isinstance(reply, ErrorReply):
                 self._failed = True
@@ -825,11 +992,35 @@ class TransportBackend(ShardBackend):
         return executed_counts.pop(), self._apply_step_replies(replies)
 
     def _apply_step_replies(self, replies: List[object]) -> bool:
-        """Fold round/batch replies into the parent-side mirrors."""
+        """Fold round/batch replies into the parent-side mirrors.
+
+        Two integrity guards stand between the wire and the mirrors,
+        both aimed at a *stale or replayed* reply (e.g. an injected
+        duplicate frame surfacing one exchange late): a completion
+        token the parent is not waiting for, and shard clocks that
+        disagree after a lock-step tick.  Either poisons the backend —
+        a desynchronized reply stream cannot be consumed safely.
+        """
         alive = True
+        clocks = {reply.now for reply in replies}
+        if len(clocks) > 1:
+            self._failed = True
+            raise SimulationError(
+                f"shard clocks diverged after a lock-step tick: "
+                f"{sorted(clocks)} (a stale or duplicated reply is being "
+                "consumed)"
+            )
         for shard_index, reply in enumerate(replies):
             for token, end in reply.completions:
-                self._records.pop(token).end = end
+                record = self._records.pop(token, None)
+                if record is None:
+                    self._failed = True
+                    raise SimulationError(
+                        f"shard {shard_index} completed unknown add token "
+                        f"{token} (round clock {self._now:g}): a stale or "
+                        "duplicated reply is being consumed"
+                    )
+                record.end = end
             self._crashed[shard_index] = reply.crashed
             if shard_index == 0:
                 self._now = reply.now
@@ -861,28 +1052,49 @@ class TransportBackend(ShardBackend):
         if self._selector is not None:
             self._selector.close()
             self._selector = None
-        for transport in self._transports:
-            try:
-                transport.send(StopRequest())
-            except TransportError:
-                pass
-        for transport in self._transports:
-            try:
-                # drain the stop ack (or an in-flight error)
-                if transport.poll(1.0):
-                    transport.recv()
-            except (TransportError, ProtocolError):
-                pass
-            transport.close()
+        with contextlib.ExitStack() as stack:
+            for transport in self._transports:
+                # shutdown traffic is not a driver exchange: unfired
+                # scheduled faults must not fire on (or count) the
+                # stop handshake.
+                suspend = getattr(transport, "suspended", None)
+                if suspend is not None:
+                    stack.enter_context(suspend())
+            for transport in self._transports:
+                try:
+                    transport.send(StopRequest())
+                except TransportError:
+                    pass
+            for transport in self._transports:
+                try:
+                    # drain the stop ack (or an in-flight error)
+                    if transport.poll(1.0):
+                        transport.recv()
+                except (TransportError, ProtocolError):
+                    pass
+                transport.close()
         self._reap()
 
     def _reap(self) -> None:
-        """Release anything beyond the transports (workers, listeners)."""
+        """Release anything beyond the transports (workers, listeners).
+
+        Escalates rather than hangs: join politely, terminate
+        (SIGTERM) a laggard, and if it *still* holds on — a wedged
+        child blocking a whole test run — kill (SIGKILL) it and log,
+        because ``close()`` returning trumps a graceful child exit.
+        """
         for worker in self._workers:
             worker.join(timeout=2.0)
-            if worker.is_alive():  # pragma: no cover - defensive
+            if worker.is_alive():
                 worker.terminate()
                 worker.join(timeout=2.0)
+            if worker.is_alive():
+                worker.kill()
+                worker.join(timeout=2.0)
+                _logger.warning(
+                    "shard worker pid=%s ignored terminate; killed it",
+                    getattr(worker, "pid", "?"),
+                )
 
     def __del__(self) -> None:  # pragma: no cover - defensive
         try:
@@ -906,6 +1118,10 @@ class InProcBackend(TransportBackend):
         for shard_index in range(self.num_shards):
             server = ShardServer(self._config, shard_index)
             self._transports.append(InProcTransport(server.handle, self.frames))
+
+    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
+        server = ShardServer(self._config, shard_index, resume_round)
+        return InProcTransport(server.handle, self.frames)
 
 
 class MultiprocessBackend(TransportBackend):
@@ -947,6 +1163,9 @@ class MultiprocessBackend(TransportBackend):
         overlap: bool = True,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        recover: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self._context = multiprocessing.get_context(
             _resolve_start_method(start_method)
@@ -961,20 +1180,51 @@ class MultiprocessBackend(TransportBackend):
             overlap=overlap,
             frames=frames,
             round_batch=round_batch,
+            recover=recover,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
 
     def _start(self) -> None:
+        self._shard_workers: Dict[int, object] = {}
         for shard_index in range(self.num_shards):
-            parent_conn, child_conn = self._context.Pipe()
-            worker = self._context.Process(
-                target=_pipe_worker,
-                args=(child_conn, shard_index, self._config, self.frames),
-                daemon=True,
-            )
-            worker.start()
-            child_conn.close()
-            self._transports.append(PipeTransport(parent_conn, self.frames))
-            self._workers.append(worker)
+            self._transports.append(self._spawn_worker(shard_index))
+
+    def _spawn_worker(self, shard_index: int, resume_round: int = 0) -> Transport:
+        parent_conn, child_conn = self._context.Pipe()
+        worker = self._context.Process(
+            target=_pipe_worker,
+            args=(
+                child_conn,
+                shard_index,
+                self._config,
+                self.frames,
+                resume_round,
+            ),
+            daemon=True,
+        )
+        worker.start()
+        child_conn.close()
+        self._workers.append(worker)
+        self._shard_workers[shard_index] = worker
+        return PipeTransport(parent_conn, self.frames)
+
+    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
+        # The superseded worker stays in ``_workers`` for the final
+        # reap, but is terminated NOW if still running: under ``fork``,
+        # sibling workers inherit copies of its pipe's parent end, so a
+        # channel-severing fault alone never delivers the EOF that
+        # would make it exit — without this it lingers until close()'s
+        # escalation timeout.
+        old = self._shard_workers.get(shard_index)
+        if old is not None and old.is_alive():
+            old.terminate()
+        try:
+            return self._spawn_worker(shard_index, resume_round)
+        except OSError as error:  # pragma: no cover - resource exhaustion
+            raise SimulationError(
+                f"could not respawn worker for shard {shard_index}: {error}"
+            ) from None
 
 
 class SocketBackend(TransportBackend):
@@ -1016,6 +1266,9 @@ class SocketBackend(TransportBackend):
         overlap: bool = True,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        recover: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         self._listen = listen
         self._start_method = start_method
@@ -1032,6 +1285,9 @@ class SocketBackend(TransportBackend):
             overlap=overlap,
             frames=frames,
             round_batch=round_batch,
+            recover=recover,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
         )
 
     def _start(self) -> None:
@@ -1048,24 +1304,31 @@ class SocketBackend(TransportBackend):
                 self.address, self.num_shards, start_method=self._start_method
             )
         self._listener.settimeout(self._accept_timeout)
-        world = pickle.dumps(self._config)
+        self._world_blob = pickle.dumps(self._config)
         for shard_index in range(self.num_shards):
-            try:
-                sock, _peer = self._listener.accept()
-            except socket.timeout:
-                raise SimulationError(
-                    f"worker for shard {shard_index} did not connect within "
-                    f"{self._accept_timeout:.0f}s (listening on "
-                    f"{self.address[0]}:{self.address[1]})"
-                ) from None
-            sock.settimeout(self._accept_timeout)
-            transport = SocketTransport(sock)
-            self._transports.append(transport)  # reaped by close() either way
+            self._transports.append(self._accept_worker(shard_index))
+
+    def _accept_worker(self, shard_index: int, resume_round: int = 0) -> Transport:
+        """Accept one worker connection and run the hello/config
+        handshake for ``shard_index``; the transport is closed here on
+        any handshake failure (the caller never sees it)."""
+        try:
+            sock, _peer = self._listener.accept()
+        except socket.timeout:
+            raise SimulationError(
+                f"worker for shard {shard_index} did not connect within "
+                f"{self._accept_timeout:.0f}s (listening on "
+                f"{self.address[0]}:{self.address[1]})"
+            ) from None
+        sock.settimeout(self._accept_timeout)
+        transport = SocketTransport(sock)
+        try:
             try:
                 hello = transport.recv()
             except (TransportError, ProtocolError) as error:
                 raise SimulationError(
-                    f"worker for shard {shard_index} failed the handshake: {error}"
+                    f"worker for shard {shard_index} failed the handshake: "
+                    f"{error}"
                 ) from None
             if not isinstance(hello, HelloRequest):
                 raise SimulationError(
@@ -1082,7 +1345,10 @@ class SocketBackend(TransportBackend):
             try:
                 transport.send(
                     ConfigReply(
-                        shard_index=shard_index, world=world, codec=self.frames
+                        shard_index=shard_index,
+                        world=self._world_blob,
+                        codec=self.frames,
+                        resume_round=resume_round,
                     )
                 )
             except TransportError as error:
@@ -1090,8 +1356,27 @@ class SocketBackend(TransportBackend):
                     f"worker for shard {shard_index} vanished during the "
                     f"handshake: {error}"
                 ) from None
-            transport.codec = self.frames
-            sock.settimeout(None)
+        except BaseException:
+            transport.close()
+            raise
+        transport.codec = self.frames
+        sock.settimeout(None)
+        return transport
+
+    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
+        # Loopback mode spawns the replacement itself; in external mode
+        # (``listen=``) :func:`run_socket_worker`'s loop re-offers the
+        # surviving worker fleet, so the accept below is served by
+        # whichever worker connects next.
+        if self._listener is None:  # pragma: no cover - defensive
+            raise SimulationError("socket backend already closed")
+        if self._listen is None:
+            self._workers.extend(
+                spawn_socket_workers(
+                    self.address, 1, start_method=self._start_method
+                )
+            )
+        return self._accept_worker(shard_index, resume_round)
 
     def _reap(self) -> None:
         if self._listener is not None:
@@ -1219,6 +1504,20 @@ class ShardedWeakSetCluster:
             blocking adds stay per-tick, so traces are identical
             across batch sizes for a fixed seed (pinned in
             ``tests/weakset/test_shard_backends.py``).  Default 1.
+        recover: opt into worker supervision on the wire backends — a
+            dead shard worker is respawned and its world replayed
+            deterministically instead of poisoning the run (the final
+            traces are byte-identical to an uninterrupted run; see
+            :mod:`repro.weakset.supervisor`).  Default False: fail
+            closed, exactly the historical behaviour.
+        fault_plan: an optional
+            :class:`~repro.weakset.faults.FaultPlan` — every shard
+            channel is wrapped in a fault-injecting transport firing
+            the plan's scheduled faults (chaos testing; wire backends
+            only).
+        retry_policy: optional
+            :class:`~repro.weakset.supervisor.RetryPolicy` shaping
+            recovery backoff and per-request reply deadlines.
 
     Example:
         >>> cluster = ShardedWeakSetCluster(3, shards=2)
@@ -1247,6 +1546,9 @@ class ShardedWeakSetCluster:
         start_method: Optional[str] = None,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        recover: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if shards < 1:
             raise SimulationError("need at least one shard")
@@ -1261,6 +1563,12 @@ class ShardedWeakSetCluster:
                     f"backend was built for n={backend.n}, "
                     f"shards={backend.num_shards}; the facade was asked for "
                     f"n={n}, shards={shards}"
+                )
+            if recover or fault_plan or retry_policy:
+                raise SimulationError(
+                    "recover/fault_plan/retry_policy are construction-time "
+                    "backend knobs; pass them where the backend is built, "
+                    "not alongside a constructed instance"
                 )
             self._backend = backend
         else:
@@ -1286,6 +1594,9 @@ class ShardedWeakSetCluster:
                 trace_mode=trace_mode,
                 frames=frames,
                 round_batch=round_batch,
+                recover=recover,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
                 **kwargs,
             )
         self._n = self._backend.n
@@ -1325,6 +1636,11 @@ class ShardedWeakSetCluster:
     def exhausted(self) -> bool:
         """True once any shard ran out of rounds."""
         return self._backend.exhausted
+
+    @property
+    def recovery_stats(self) -> Optional[ShardRecoveryStats]:
+        """Supervision counters (``recover=True`` backends), else None."""
+        return self._backend.recovery_stats
 
     def handle(self, pid: int) -> ShardedWeakSetHandle:
         if not 0 <= pid < self._n:

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import selectors
 import socket
+import time
 import traceback
 from abc import ABC, abstractmethod
 from collections import deque
@@ -96,6 +97,16 @@ class Transport(ABC):
     @abstractmethod
     def poll(self, timeout: float = 0.0) -> bool:
         """Whether a message is (or becomes, within ``timeout``) ready."""
+
+    def send_raw(self, frame: bytes) -> None:
+        """Ship pre-encoded (possibly malformed) frame bytes verbatim.
+
+        The fault-injection hook: lets a wrapper put a truncated or
+        corrupted frame on the wire, which ``send``'s encode step never
+        would.  Channels without a byte-level wire (the in-process
+        transport) cannot carry one and refuse.
+        """
+        raise TransportError("transport cannot ship raw frames")
 
     def fileno(self) -> Optional[int]:
         """A selectable file descriptor, or ``None`` (not selectable).
@@ -166,6 +177,12 @@ class PipeTransport(Transport):
         except (OSError, ValueError):
             raise TransportError("pipe peer is gone") from None
 
+    def send_raw(self, frame: bytes) -> None:
+        try:
+            self._conn.send_bytes(frame)
+        except (OSError, ValueError):
+            raise TransportError("pipe peer is gone") from None
+
     def recv(self) -> object:
         try:
             frame = self._conn.recv_bytes()
@@ -231,6 +248,12 @@ class SocketTransport(Transport):
         except OSError:
             raise TransportError("socket peer is gone") from None
 
+    def send_raw(self, frame: bytes) -> None:
+        try:
+            self._sock.sendall(frame)
+        except OSError:
+            raise TransportError("socket peer is gone") from None
+
     def recv(self) -> object:
         codec_id, length = decode_header(self._read_exactly(HEADER_SIZE))
         return decode_body(self._read_exactly(length), codec_id)
@@ -269,6 +292,7 @@ def exchange_all(
     *,
     overlap: bool = True,
     selector: Optional[selectors.BaseSelector] = None,
+    timeout: Optional[float] = None,
 ) -> List[object]:
     """One request/reply round trip with every shard, overlapped.
 
@@ -287,12 +311,20 @@ def exchange_all(
     register/unregister cycle (exactly one reply per transport is in
     flight, so registrations can persist across exchanges).
 
+    ``timeout`` optionally bounds the whole harvest: once that many
+    seconds pass without every reply arriving, the exchange raises
+    :class:`TransportError` naming the shards still owing a reply —
+    a wedged or silent worker becomes a diagnosable error instead of a
+    hang.  ``None`` (the default) preserves the historical blocking
+    harvest.
+
     Raises :class:`TransportError` (annotated with the shard index) as
     soon as any channel fails; remaining replies are left unread — the
     round is poisoned either way, and the owning backend fails closed.
     """
     if len(transports) != len(requests):
         raise ValueError("one request per transport required")
+    deadline = None if timeout is None else time.monotonic() + timeout
     for index, (transport, request) in enumerate(zip(transports, requests)):
         try:
             transport.send(request)
@@ -311,7 +343,17 @@ def exchange_all(
         try:
             pending = set(range(len(transports)))
             while pending:
-                for key, _events in selector.select():
+                if deadline is None:
+                    ready = selector.select()
+                else:
+                    remaining = deadline - time.monotonic()
+                    ready = selector.select(max(remaining, 0.0)) if remaining > 0 else []
+                    if not ready:
+                        raise TransportError(
+                            f"shard(s) {sorted(pending)}: no reply within "
+                            f"{timeout:g}s"
+                        )
+                for key, _events in ready:
                     index = key.data
                     if index not in pending:
                         continue
@@ -325,6 +367,12 @@ def exchange_all(
                 selector.close()
     else:
         for index, transport in enumerate(transports):
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not transport.poll(remaining):
+                    raise TransportError(
+                        f"shard {index}: no reply within {timeout:g}s"
+                    )
             try:
                 replies[index] = transport.recv()
             except TransportError as error:

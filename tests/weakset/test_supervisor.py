@@ -1,0 +1,292 @@
+"""Worker supervision: recovered runs == uninterrupted runs, pinned.
+
+The acceptance bar for the self-healing layer: a cluster whose shard
+workers are killed at arbitrary exchanges — pipe and socket backends,
+``round_batch`` 1 and 4, both multiprocessing start methods — must,
+under ``recover=True``, produce **byte-identical** final traces to an
+uninterrupted serial run, with :class:`ShardRecoveryStats` reporting
+exactly what the healing cost.  Also here: the deterministic
+:class:`RetryPolicy` schedule, the knobs' rejection paths, and the
+clean error when recovery itself is impossible.
+
+Process-backed tests take the ``start_method`` fixture (see
+``conftest.py``) so the module runs under both ``fork`` and ``spawn``.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.serialization import trace_to_json
+from repro.sim.runner import run_churn_workload
+from repro.sim.workloads import ChurnEnvironments
+from repro.weakset.faults import Fault, FaultPlan, parse_fault_plan
+from repro.weakset.sharding import SerialBackend, ShardedWeakSetCluster
+from repro.weakset.supervisor import RetryPolicy, ShardSupervisor
+
+#: fast healing for tests: tight backoff, short reply deadline.
+_POLICY = RetryPolicy(attempts=3, base_delay=0.01, request_timeout=30.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert list(policy.backoff("connect")) == pytest.approx(
+            [0.1, 0.2, 0.4, 0.5]
+        )
+
+    def test_jittered_schedule_is_deterministic(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.1, jitter=0.5, seed=9)
+        first = list(policy.backoff("respawn", 2))
+        assert first == list(policy.backoff("respawn", 2))
+        assert first != list(policy.backoff("respawn", 3))
+        for base, jittered in zip(
+            RetryPolicy(attempts=5, base_delay=0.1).backoff("x"), first
+        ):
+            assert base <= jittered <= base * 1.5 + 1e-12
+
+    def test_multiplier_one_is_a_fixed_delay(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.2, multiplier=1.0)
+        assert list(policy.backoff("x")) == pytest.approx([0.2, 0.2, 0.2])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"base_delay": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": -1.0},
+            {"request_timeout": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SimulationError):
+            RetryPolicy(**kwargs)
+
+
+def _drive(cluster):
+    """A fixed mixed workload: blocking and async adds, gets."""
+    handles = cluster.handles()
+    handles[0].add("alpha")
+    records = [handles[pid].add_async(f"bg-{pid}") for pid in (1, 2)]
+    cluster.advance(6)
+    handles[1].add("beta")
+    views = [frozenset(handle.get()) for handle in handles]
+    return views, [r.end for r in records]
+
+
+def _snapshot(cluster):
+    return [trace_to_json(trace) for trace in cluster.traces()]
+
+
+def _serial_reference():
+    cluster = ShardedWeakSetCluster(
+        3, shards=2, environment_factory=ChurnEnvironments(seed=11), backend="serial"
+    )
+    return _drive(cluster), _snapshot(cluster)
+
+
+@pytest.mark.chaos
+class TestRecoveredRunsAreByteIdentical:
+    """The tentpole acceptance: kill workers mid-run, recover, compare
+    the final traces byte-for-byte against an uninterrupted run."""
+
+    def _build(self, backend, *, plan, start_method="fork", round_batch=1):
+        return ShardedWeakSetCluster(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=11),
+            backend=backend,
+            start_method=start_method,
+            round_batch=round_batch,
+            recover=True,
+            fault_plan=plan,
+            retry_policy=_POLICY,
+        )
+
+    @pytest.mark.parametrize("backend", ["multiprocess", "socket"])
+    @pytest.mark.parametrize("round_batch", [1, 4])
+    def test_injected_kill_recovers(self, start_method, backend, round_batch):
+        reference, traces = _serial_reference()
+        plan = FaultPlan((Fault("kill", 0, 2),))
+        with self._build(
+            backend, plan=plan, start_method=start_method, round_batch=round_batch
+        ) as cluster:
+            assert _drive(cluster) == reference
+            assert _snapshot(cluster) == traces
+            stats = cluster.recovery_stats
+            assert stats.detections == 1 and stats.respawns == 1
+            assert stats.recovered_shards == [0]
+            assert stats.replayed_rounds >= 1
+            assert stats.wall_clock > 0.0
+
+    def test_inproc_kill_recovers(self):
+        reference, traces = _serial_reference()
+        plan = FaultPlan((Fault("kill", 1, 3),))
+        with self._build("inproc", plan=plan) as cluster:
+            assert _drive(cluster) == reference
+            assert _snapshot(cluster) == traces
+            assert cluster.recovery_stats.recovered_shards == [1]
+
+    def test_both_shards_killed_recover(self, start_method):
+        reference, traces = _serial_reference()
+        plan = FaultPlan.kill_fraction(2, 1.0, seed=0, window=(2, 4))
+        with self._build(
+            "multiprocess", plan=plan, start_method=start_method
+        ) as cluster:
+            assert _drive(cluster) == reference
+            assert _snapshot(cluster) == traces
+            assert cluster.recovery_stats.respawns == 2
+
+    def test_socket_reset_mid_harvest_recovers(self, start_method):
+        reference, traces = _serial_reference()
+        plan = parse_fault_plan("reset:1:3")
+        with self._build(
+            "socket", plan=plan, start_method=start_method
+        ) as cluster:
+            assert _drive(cluster) == reference
+            assert _snapshot(cluster) == traces
+            assert cluster.recovery_stats.recovered_shards == [1]
+
+    def test_dropped_frame_recovers_via_reply_timeout(self):
+        reference, traces = _serial_reference()
+        plan = parse_fault_plan("drop:0:2")
+        policy = RetryPolicy(attempts=3, base_delay=0.01, request_timeout=0.5)
+        cluster = ShardedWeakSetCluster(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=11),
+            backend="multiprocess",
+            recover=True,
+            fault_plan=plan,
+            retry_policy=policy,
+        )
+        with cluster:
+            assert _drive(cluster) == reference
+            assert _snapshot(cluster) == traces
+            assert cluster.recovery_stats.detections == 1
+
+    def test_real_sigkill_recovers(self, start_method):
+        """Not an injected fault: SIGKILL the worker process itself;
+        the supervisor must detect the dead pipe and heal."""
+        reference, traces = _serial_reference()
+        cluster = ShardedWeakSetCluster(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=11),
+            backend="multiprocess",
+            start_method=start_method,
+            recover=True,
+            retry_policy=_POLICY,
+        )
+        with cluster:
+            handles = cluster.handles()
+            handles[0].add("alpha")
+            records = [handles[pid].add_async(f"bg-{pid}") for pid in (1, 2)]
+            cluster.advance(2)
+            victim = cluster.backend._workers[0]
+            victim.kill()
+            victim.join(timeout=5.0)
+            cluster.advance(4)
+            handles[1].add("beta")
+            views = [frozenset(handle.get()) for handle in handles]
+            assert (views, [r.end for r in records]) == reference
+            assert _snapshot(cluster) == traces
+            assert cluster.recovery_stats.respawns >= 1
+
+
+@pytest.mark.chaos
+class TestRecoveryLimits:
+    def test_serial_backend_has_nothing_to_supervise(self):
+        with pytest.raises(SimulationError, match="serial backend has no workers"):
+            ShardedWeakSetCluster(3, shards=2, backend="serial", recover=True)
+        with pytest.raises(SimulationError, match="serial backend"):
+            ShardedWeakSetCluster(
+                3, shards=2, backend="serial", fault_plan=parse_fault_plan("kill:0:1")
+            )
+
+    def test_constructed_instances_reject_the_knobs(self):
+        backend = SerialBackend(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=1),
+            crash_schedule=None,
+            max_total_rounds=100,
+            trace_mode="full",
+        )
+        with pytest.raises(SimulationError, match="construction-time"):
+            ShardedWeakSetCluster(3, shards=2, backend=backend, recover=True)
+
+    def test_exhausted_respawns_fail_cleanly(self):
+        policy = RetryPolicy(attempts=2, base_delay=0.0, request_timeout=1.0)
+        cluster = ShardedWeakSetCluster(
+            3,
+            shards=2,
+            backend="inproc",
+            recover=True,
+            fault_plan=FaultPlan((Fault("kill", 0, 2),)),
+            retry_policy=policy,
+        )
+
+        def refuse(shard_index, *, resume_round=0):
+            raise SimulationError("the nursery is closed")
+
+        cluster.backend._respawn = refuse
+        with pytest.raises(
+            SimulationError,
+            match=r"shard 0 worker died .* could not be recovered after "
+            r"2 respawn attempt\(s\): the nursery is closed",
+        ):
+            cluster.advance(6)
+        with pytest.raises(SimulationError):  # poisoned, like any failure
+            cluster.step()
+        cluster.close()
+
+    def test_unsupervised_backends_report_no_stats(self):
+        with ShardedWeakSetCluster(3, shards=2, backend="inproc") as cluster:
+            assert cluster.recovery_stats is None
+        serial = ShardedWeakSetCluster(3, shards=2, backend="serial")
+        assert serial.recovery_stats is None
+
+    def test_supervisor_requires_no_policy(self):
+        cluster = ShardedWeakSetCluster(3, shards=2, backend="inproc", recover=True)
+        try:
+            assert isinstance(cluster.backend._supervisor, ShardSupervisor)
+            assert cluster.recovery_stats.detections == 0
+            cluster.advance(2)  # healthy supervised exchanges work too
+        finally:
+            cluster.close()
+
+
+@pytest.mark.chaos
+class TestChurnRunSurfacesRecovery:
+    def test_recovery_stats_ride_the_churn_run(self):
+        plan = FaultPlan((Fault("kill", 0, 3),))
+        healed = run_churn_workload(
+            n=3,
+            shards=2,
+            total_adds=8,
+            adds_per_round=2,
+            pattern="random",
+            backend="multiprocess",
+            seed=0,
+            recover=True,
+            fault_plan=plan,
+            retry_policy=_POLICY,
+        )
+        clean = run_churn_workload(
+            n=3,
+            shards=2,
+            total_adds=8,
+            adds_per_round=2,
+            pattern="random",
+            backend="multiprocess",
+            seed=0,
+        )
+        assert healed.recovery is not None and healed.recovery.respawns == 1
+        assert clean.recovery is None
+        assert (healed.completed, healed.latencies) == (
+            clean.completed,
+            clean.latencies,
+        )
