@@ -14,7 +14,11 @@ legacy paths honest (they remain supported and property-tested).
 ``benchmarks/capture.py`` records all of them into ``BENCH_micro.json``.
 """
 
+import queue
 import random
+import socket
+import threading
+import time
 
 from repro.core.counters import FrozenCounters, apply_round_update
 from repro.core.es_consensus import ESConsensus
@@ -33,7 +37,12 @@ from repro.weakset.protocol import (
     decode_message,
     encode_message,
 )
-from repro.weakset.sharding import MultiprocessBackend, ShardedWeakSetCluster
+from repro.weakset.sharding import (
+    MultiprocessBackend,
+    ShardedWeakSetCluster,
+    SocketBackend,
+    spawn_socket_workers,
+)
 
 
 def _counter_workload(depth: int, fanout: int, *, interned: bool = True):
@@ -229,6 +238,44 @@ def test_bench_frame_codec_binary(benchmark):
     benchmark(_frame_codec_round_trips, "binary")
 
 
+def _nested_payload(index: int):
+    """A nested tuple/frozenset value with all-string leaves — the
+    shape the 'W' flattened layout column-packs into one lane."""
+    return (
+        (f"churn-{index}", (f"key-{index}", f"val-{index}")),
+        frozenset({(f"tag-{index}", f"src-{index}"), (f"alt-{index}", "x")}),
+    )
+
+
+# the same round-trip shape as _CODEC_MESSAGES but with every payload
+# nested two containers deep: requests hauling structured values and a
+# peek reply hauling a PROPOSED set of them
+_NESTED_MESSAGES = (
+    RoundRequest(adds=tuple((t, t % 4, _nested_payload(t)) for t in range(8))),
+    PeekReply(
+        crashed=False, proposed=frozenset(_nested_payload(i) for i in range(20))
+    ),
+)
+
+
+def _nested_codec_round_trips(codec: str, repeats: int = 200):
+    for _ in range(repeats):
+        for message in _NESTED_MESSAGES:
+            assert decode_message(encode_message(message, codec=codec)) == message
+
+
+def test_bench_frame_codec_nested_json(benchmark):
+    """Nested structured payloads through the JSON codec."""
+    benchmark(_nested_codec_round_trips, "json")
+
+
+def test_bench_frame_codec_nested_binary(benchmark):
+    """The same nested payloads through the binary codec's flattened
+    shape-prefixed layout (one shape string + one packed leaf lane
+    instead of one dispatch per node)."""
+    benchmark(_nested_codec_round_trips, "binary")
+
+
 def _weakset_add_wave(shards: int):
     """A wave of adds across every process, riding batched delivery."""
     if shards == 1:
@@ -393,3 +440,182 @@ def test_bench_shard_harvest_lockstep(benchmark):
         benchmark.pedantic(cluster.advance, args=(25,), rounds=5, iterations=1)
     finally:
         cluster.close()
+
+
+def test_bench_churn_workload_socket_mux(benchmark):
+    """The batched socket stream with both shard worlds multiplexed
+    behind ONE worker process (``worlds_per_worker=2``).
+
+    Against the ``socket_batched`` twin this halves the processes to
+    spawn and hand-shake and collapses every exchange's two frame
+    pairs into one — the whole end-to-end bill shrinks accordingly.
+    """
+    run = benchmark.pedantic(
+        _churn,
+        args=("socket",),
+        kwargs={"round_batch": 4, "worlds_per_worker": 2},
+        rounds=3,
+        iterations=1,
+    )
+    assert run.completed == 12
+
+
+class _DelayedLink:
+    """A loopback TCP proxy adding a fixed one-way delay each way.
+
+    Models a real network link in front of the shard workers, which is
+    the deployment the socket backend exists for: every byte chunk is
+    released ``delay`` seconds after it arrived, but later bytes keep
+    flowing while earlier ones are still "in flight" — so an in-flight
+    request wave genuinely overlaps the link latency exactly as it
+    would on a WAN.  Zero-latency loopback cannot show what the
+    pipelined window buys (there is nothing to hide); this link can.
+    """
+
+    def __init__(self, upstream, delay: float):
+        self.upstream = upstream
+        self.delay = delay
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.address = self.listener.getsockname()[:2]
+        self._sockets = [self.listener]
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                front, _peer = self.listener.accept()
+            except OSError:
+                return  # listener closed
+            back = None
+            for _ in range(100):
+                try:
+                    back = socket.create_connection(self.upstream, timeout=5.0)
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            if back is None:
+                front.close()
+                continue
+            for sock in (front, back):
+                # the link must only add its own delay: Nagle holding
+                # small frames behind delayed ACKs would add a 40 ms
+                # stall that isn't part of the modelled latency
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+            self._sockets += [front, back]
+            for source, sink in ((front, back), (back, front)):
+                held = queue.SimpleQueue()
+                threading.Thread(
+                    target=self._pump_in, args=(source, held), daemon=True
+                ).start()
+                threading.Thread(
+                    target=self._pump_out, args=(held, sink), daemon=True
+                ).start()
+
+    def _pump_in(self, source, held):
+        while True:
+            try:
+                data = source.recv(65536)
+            except OSError:
+                data = b""
+            held.put((time.monotonic() + self.delay, data))
+            if not data:
+                return
+
+    def _pump_out(self, held, sink):
+        while True:
+            deadline, data = held.get()
+            wait = deadline - time.monotonic()
+            if wait > 0:
+                time.sleep(wait)
+            if not data:
+                try:
+                    sink.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            try:
+                sink.sendall(data)
+            except OSError:
+                return
+
+    def close(self):
+        for sock in self._sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class _LinkedCluster:
+    """A 4-shard socket cluster whose workers sit behind a 2 ms-each-
+    way :class:`_DelayedLink`, batching 4 rounds per frame; the
+    pipelined window is the only lever between the twin benches."""
+
+    def __init__(self, window: int, delay: float = 0.002):
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        parent_address = placeholder.getsockname()[:2]
+        placeholder.close()
+        self.link = _DelayedLink(parent_address, delay)
+        self.workers = spawn_socket_workers(self.link.address, 4)
+        backend = SocketBackend(
+            4,
+            shards=4,
+            environment_factory=ChurnEnvironments(seed=0),
+            crash_schedule=None,
+            max_total_rounds=1_000_000,
+            trace_mode="aggregate",
+            round_batch=4,
+            window=window,
+            listen=parent_address,
+            accept_timeout=30.0,
+        )
+        self.cluster = ShardedWeakSetCluster(4, shards=4, backend=backend)
+        for pid in range(4):
+            self.cluster.handle(pid).add_async(f"seed-{pid}")
+        self.cluster.advance(10)
+
+    def close(self):
+        self.cluster.close()
+        for worker in self.workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.terminate()
+        self.link.close()
+
+
+def test_bench_shard_rounds_linked_unpipelined(benchmark):
+    """32 batched rounds × 4 workers across a 2 ms link, window=1.
+
+    Workers are spawned (and the link built) once outside the
+    measurement.  Strict send-then-harvest pays the full round-trip
+    latency once per batch: 8 chunks × ~4 ms RTT on top of the
+    compute.
+    """
+    linked = _LinkedCluster(window=1)
+    try:
+        benchmark.pedantic(
+            linked.cluster.advance, args=(32,), rounds=3, iterations=1
+        )
+    finally:
+        linked.close()
+
+
+def test_bench_shard_rounds_linked_pipelined(benchmark):
+    """The same 32 rounds over the same link with window=4.
+
+    Up to 4 batches are in flight per worker, so their round trips
+    overlap on the wire: the latency bill is paid roughly once per
+    window instead of once per batch, while replies stream back into
+    the persistent selector.  Traces are byte-identical to the
+    unpipelined twin — the window is pure transport shape.
+    """
+    linked = _LinkedCluster(window=4)
+    try:
+        benchmark.pedantic(
+            linked.cluster.advance, args=(32,), rounds=3, iterations=1
+        )
+    finally:
+        linked.close()

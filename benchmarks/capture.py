@@ -204,6 +204,28 @@ def main(argv=None) -> int:
     batched = micro.get("test_bench_churn_workload_socket_batched")
     if sock and batched:
         speedups["churn_socket_batched_vs_unbatched"] = round(sock / batched, 2)
+    # Pipelined driver (PR 7): same-run twins again.  The pipelined
+    # pair runs the identical steady-state batched workload across a
+    # simulated 2 ms-each-way link (benchmarks' _DelayedLink) — the
+    # deployment the window exists for; on zero-latency loopback there
+    # is no round-trip bill to hide and the window is ≈ parity.  The
+    # mux pair is end-to-end on plain loopback: one worker process
+    # hosting both shard worlds halves the spawns and the frame pairs.
+    # The nested-codec pair exercises the flattened 'W' layout on
+    # structured payloads (the plain pair's payloads are flat strings).
+    linked_serial = micro.get("test_bench_shard_rounds_linked_unpipelined")
+    linked_windowed = micro.get("test_bench_shard_rounds_linked_pipelined")
+    if linked_serial and linked_windowed:
+        speedups["churn_socket_pipelined_vs_unpipelined"] = round(
+            linked_serial / linked_windowed, 2
+        )
+    mux = micro.get("test_bench_churn_workload_socket_mux")
+    if batched and mux:
+        speedups["churn_socket_mux_vs_per_world"] = round(batched / mux, 2)
+    nested_json = micro.get("test_bench_frame_codec_nested_json")
+    nested_binary = micro.get("test_bench_frame_codec_nested_binary")
+    if nested_json and nested_binary:
+        speedups["frame_codec_nested"] = round(nested_json / nested_binary, 2)
     # Self-healing (PR 6): the multiprocess stream with one worker
     # killed and recovered mid-run against its unfaulted twin.  The
     # ratio is the whole recovery bill — detection, respawn, replay —

@@ -60,6 +60,24 @@ SAME_RUN_FLOORS = [
         1.0,
         "the drifting aggregate sink costs more than full traces",
     ),
+    (
+        "churn_socket_pipelined_vs_unpipelined",
+        1.2,
+        "the pipelined window no longer overlaps link round trips "
+        "(measured across the benches' simulated 2 ms link)",
+    ),
+    (
+        "churn_socket_mux_vs_per_world",
+        1.0,
+        "multiplexing shard worlds onto one worker stopped paying for "
+        "itself against per-world processes",
+    ),
+    (
+        "frame_codec_nested",
+        1.3,
+        "the flattened 'W' layout lost its edge over JSON on nested "
+        "payloads",
+    ),
 ]
 
 #: reference-machine trajectory floors (--strict only)

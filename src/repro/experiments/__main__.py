@@ -102,6 +102,24 @@ def main(argv=None) -> int:
         "— completed-add latencies are batch-invariant)",
     )
     parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="keep up to W round batches in flight on the churn "
+        "family's transport backends (the pipelined driver; default 1 "
+        "= strict send-then-harvest — tables are window-invariant)",
+    )
+    parser.add_argument(
+        "--worlds-per-worker",
+        type=int,
+        default=None,
+        metavar="M",
+        help="with --backend socket: host up to M shard worlds per "
+        "worker process behind one multiplexed channel (fewer frame "
+        "pairs per round — tables are identical)",
+    )
+    parser.add_argument(
         "--recover",
         action="store_true",
         help="supervise the churn family's shard workers: a dead worker "
@@ -143,6 +161,13 @@ def main(argv=None) -> int:
         parser.error("--jobs must be >= 1")
     if args.round_batch is not None and args.round_batch < 1:
         parser.error("--round-batch must be >= 1")
+    if args.window is not None and args.window < 1:
+        parser.error("--window must be >= 1")
+    if args.worlds_per_worker is not None:
+        if args.worlds_per_worker < 1:
+            parser.error("--worlds-per-worker must be >= 1")
+        if args.backend != "socket":
+            parser.error("--worlds-per-worker requires --backend socket")
     if args.connect is not None:
         if (
             args.ids
@@ -150,6 +175,8 @@ def main(argv=None) -> int:
             or args.backend is not None
             or args.frames is not None
             or args.round_batch is not None
+            or args.window is not None
+            or args.worlds_per_worker is not None
             or args.recover
             or args.fault_plan is not None
         ):
@@ -157,7 +184,8 @@ def main(argv=None) -> int:
             # negotiated, so accepting them here would mislead
             parser.error(
                 "--connect runs a bare worker; drop IDs/--listen/--backend/"
-                "--frames/--round-batch/--recover/--fault-plan"
+                "--frames/--round-batch/--window/--worlds-per-worker/"
+                "--recover/--fault-plan"
             )
         from repro.weakset.sharding import run_socket_worker
 
@@ -186,6 +214,8 @@ def main(argv=None) -> int:
             backend=backend,
             frames=args.frames,
             round_batch=args.round_batch,
+            window=args.window,
+            worlds_per_worker=args.worlds_per_worker,
             recover=args.recover or None,
             fault_plan=args.fault_plan,
         )

@@ -62,6 +62,8 @@ def run_c1(
     backend: str = "serial",
     frames: str = "binary",
     round_batch: int = 1,
+    window: int = 1,
+    worlds_per_worker: Optional[int] = None,
     recover: bool = False,
     fault_plan: Optional[FaultPlan] = None,
 ) -> Table:
@@ -99,6 +101,8 @@ def run_c1(
                 seed=seed,
                 frames=frames,
                 round_batch=round_batch,
+                window=window,
+                worlds_per_worker=worlds_per_worker,
                 recover=recover,
                 fault_plan=fault_plan,
             )
@@ -115,8 +119,24 @@ def run_c1(
     return table
 
 
-def run_c2(quick: bool = True, seed: int = 0) -> Table:
-    """C2: backend × codec × batch equivalence and cost on one workload."""
+def run_c2(
+    quick: bool = True,
+    seed: int = 0,
+    window: Optional[int] = None,
+    worlds_per_worker: Optional[int] = None,
+) -> Table:
+    """C2: backend × codec × batch × window equivalence and cost.
+
+    The grid covers the full transport surface on one workload: codec
+    (binary/json), round batching, the pipelined in-flight window, and
+    socket world multiplexing.  ``window``/``worlds_per_worker`` append
+    an extra socket row with that setting on top of the stock grid.
+    The ``pairs`` column counts request/reply frame pairs actually
+    exchanged with workers — the structural wire cost that batching
+    and multiplexing shrink (batch=4 cuts it ~4x; worlds-per-worker=2
+    halves the remainder) and that a deeper window slightly grows
+    (speculative in-flight batches past the stream's end).
+    """
     n = 3 if quick else 6
     shards = 2 if quick else 4
     total_adds = 10 if quick else 160
@@ -124,30 +144,43 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
 
     table = Table(
         experiment_id="C2",
-        title="Shard backends: serial vs multiprocess vs socket (codec, batch)",
+        title="Shard backends: serial vs multiprocess vs socket "
+        "(codec, batch, window, mux)",
         headers=[
-            "backend", "frames", "batch", "shards", "completed",
-            "p50", "p95", "p99", "wall-s", "matches-serial",
+            "backend", "frames", "batch", "win", "wpw", "completed",
+            "p50", "p95", "p99", "pairs", "wall-s", "matches-serial",
         ],
         notes=[
             "the latency columns must match row-for-row: the transport "
             "backends replay the exact serial shard worlds (SHA-512-seeded "
-            "streams are process-independent), whatever the frame codec "
-            "or round batching",
+            "streams are process-independent), whatever the frame codec, "
+            "round batching, in-flight window, or world multiplexing",
+            "pairs = request/reply frame pairs exchanged with shard "
+            "workers (0 for serial: no wire); batching divides it, "
+            "wpw>1 multiplexes worlds onto shared frames, win>1 adds a "
+            "few speculative batches past the stream's end",
             "wall-s is this machine's cost of the worker processes and "
             "per-round message passing (loopback TCP for the socket rows); "
             "on multi-core hosts the shard worlds step concurrently",
+            f"shards={shards}, n={n}, seed={seed}",
         ],
     )
     reference = None
     cases = [
-        ("serial", "binary", 1),
-        ("multiprocess", "binary", 1),
-        ("socket", "binary", 1),
-        ("socket", "json", 1),
-        ("socket", "binary", 4),
+        ("serial", "binary", 1, 1, 1),
+        ("multiprocess", "binary", 1, 1, 1),
+        ("socket", "binary", 1, 1, 1),
+        ("socket", "json", 1, 1, 1),
+        ("socket", "binary", 4, 1, 1),
+        ("socket", "binary", 4, 2, 1),
+        ("socket", "binary", 4, 4, 1),
+        ("socket", "binary", 4, 1, 2),
     ]
-    for backend, frames, round_batch in cases:
+    if window is not None:
+        cases.append(("socket", "binary", 4, window, 1))
+    if worlds_per_worker is not None:
+        cases.append(("socket", "binary", 4, window or 1, worlds_per_worker))
+    for backend, frames, round_batch, win, wpw in cases:
         start = time.perf_counter()
         run = run_churn_workload(
             n=n,
@@ -159,6 +192,8 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
             seed=seed,
             frames=frames,
             round_batch=round_batch,
+            window=win,
+            worlds_per_worker=wpw if backend == "socket" else None,
         )
         wall = time.perf_counter() - start
         summary = (run.completed, run.latencies)
@@ -168,11 +203,13 @@ def run_c2(quick: bool = True, seed: int = 0) -> Table:
             backend,
             frames,
             round_batch,
-            shards,
+            win,
+            wpw,
             run.completed,
             run.percentile_latency(50),
             run.percentile_latency(95),
             run.percentile_latency(99),
+            run.frame_pairs,
             wall,
             summary == reference,
         )
@@ -185,6 +222,8 @@ def run_c3(
     backend: str = "serial",
     frames: str = "binary",
     round_batch: int = 1,
+    window: int = 1,
+    worlds_per_worker: Optional[int] = None,
     recover: bool = False,
     fault_plan: Optional[FaultPlan] = None,
 ) -> Table:
@@ -227,6 +266,8 @@ def run_c3(
                 crash_schedule=crashes,
                 frames=frames,
                 round_batch=round_batch,
+                window=window,
+                worlds_per_worker=worlds_per_worker,
                 recover=recover,
                 fault_plan=fault_plan,
             )

@@ -55,6 +55,8 @@ def run_experiment(
     backend: Optional[str] = None,
     frames: Optional[str] = None,
     round_batch: Optional[int] = None,
+    window: Optional[int] = None,
+    worlds_per_worker: Optional[int] = None,
     recover: Optional[bool] = None,
     fault_plan: Optional[object] = None,
 ) -> Table:
@@ -65,8 +67,10 @@ def run_experiment(
     selects the shard-execution backend (``"serial"``,
     ``"multiprocess"``, ``"socket"``, or ``"socket:HOST:PORT"``) for
     the churn family, ``frames`` its wire codec (``"binary"`` /
-    ``"json"``) and ``round_batch`` its frame coalescing; ``recover``
-    turns on worker supervision and ``fault_plan`` injects a
+    ``"json"``), ``round_batch`` its frame coalescing, ``window`` its
+    in-flight pipelining depth and ``worlds_per_worker`` the socket
+    backend's world multiplexing; ``recover`` turns on worker
+    supervision and ``fault_plan`` injects a
     :class:`~repro.weakset.faults.FaultPlan` of scheduled transport
     faults.  Runners without the matching knob ignore them.
     """
@@ -82,6 +86,8 @@ def run_experiment(
         ("backend", backend),
         ("frames", frames),
         ("round_batch", round_batch),
+        ("window", window),
+        ("worlds_per_worker", worlds_per_worker),
         ("recover", recover),
         ("fault_plan", fault_plan),
     ):
@@ -98,6 +104,8 @@ def run_all(
     backend: Optional[str] = None,
     frames: Optional[str] = None,
     round_batch: Optional[int] = None,
+    window: Optional[int] = None,
+    worlds_per_worker: Optional[int] = None,
     recover: Optional[bool] = None,
     fault_plan: Optional[object] = None,
 ) -> List[Table]:
@@ -111,6 +119,8 @@ def run_all(
             backend=backend,
             frames=frames,
             round_batch=round_batch,
+            window=window,
+            worlds_per_worker=worlds_per_worker,
             recover=recover,
             fault_plan=fault_plan,
         )

@@ -226,6 +226,12 @@ class ChurnRun:
             deterministically, every *simulation-domain* field above is
             identical with and without the crashes — ``recovery`` is
             where the infrastructure cost shows.
+        exchanges/frame_pairs: structural wire-cost counters from the
+            transport backends — driver exchanges issued and
+            request/reply frame pairs they put on the wire (one pair
+            per worker channel per exchange).  Zero for the serial
+            backend (no wire).  These are what round batching and
+            world multiplexing shrink, independent of timing noise.
     """
 
     issued: int
@@ -237,6 +243,8 @@ class ChurnRun:
     backend: str = "serial"
     skipped: int = 0
     recovery: Optional["ShardRecoveryStats"] = None
+    exchanges: int = 0
+    frame_pairs: int = 0
 
     def percentile_latency(self, q: float) -> Optional[float]:
         """Nearest-rank percentile of the completed-add latencies.
@@ -266,6 +274,8 @@ def run_churn_workload(
     crash_schedule: Optional[CrashSchedule] = None,
     frames: str = "binary",
     round_batch: int = 1,
+    window: int = 1,
+    worlds_per_worker: Optional[int] = None,
     recover: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
@@ -322,6 +332,16 @@ def run_churn_workload(
             The completed-add latencies are batch-invariant (end
             stamps are simulated time); only the drained round count
             may overshoot by up to ``round_batch - 1``.  Default 1.
+        window: keep up to this many round batches in flight during
+            the drain phase (the drain step grows to
+            ``round_batch * window`` so the pipelined driver has
+            batches to overlap; see
+            :meth:`~repro.weakset.sharding.TransportBackend.advance`).
+            Results are window-invariant.  Default 1.
+        worlds_per_worker: socket backend only — host this many shard
+            worlds per worker process behind one multiplexed channel
+            (fewer frame pairs per round; see
+            :attr:`ChurnRun.frame_pairs`).
         recover: supervise the shard workers — dead workers are
             respawned and replayed instead of failing the run; the
             cost lands in :attr:`ChurnRun.recovery` (wire backends
@@ -365,6 +385,8 @@ def run_churn_workload(
         backend=backend,
         frames=frames,
         round_batch=round_batch,
+        window=window,
+        worlds_per_worker=worlds_per_worker,
         recover=recover,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
@@ -417,8 +439,11 @@ def run_churn_workload(
                 issued_now += 1
             # Issue phase: strictly one round per iteration (issuance
             # reads completions between rounds).  Drain phase (stream
-            # exhausted): coalesce rounds into round_batch-sized frames.
-            step = round_batch if not remaining and round_batch > 1 else 1
+            # exhausted): coalesce rounds into round_batch-sized frames
+            # and hand the pipelined driver enough of them to keep its
+            # window full.
+            drain_span = round_batch * window
+            step = drain_span if not remaining and drain_span > 1 else 1
             rounds += cluster.advance(step)
             for key, record in list(busy.items()):
                 if record.end is not None:
@@ -447,6 +472,8 @@ def run_churn_workload(
             backend=backend,
             skipped=skipped,
             recovery=cluster.recovery_stats,
+            exchanges=getattr(cluster.backend, "exchanges", 0),
+            frame_pairs=getattr(cluster.backend, "frame_pairs", 0),
         )
     finally:
         cluster.close()

@@ -256,8 +256,11 @@ class FaultyTransport(Transport):
         self._schedule: List[Fault] = list(plan.for_shard(shard))
         self._exchanges = 0
         self._suspended = 0
-        self._pending_reply: Optional[Fault] = None
-        self._remaining_delay = 0.0
+        # one entry per reply the channel still owes, in request order:
+        # ``[fault-or-None, remaining delay]``.  A FIFO (not a single
+        # slot) because a pipelined driver keeps several requests in
+        # flight — each armed fault stays aligned with *its* reply.
+        self._reply_faults: List[List[object]] = []
         self._dup_frames: List[bytes] = []
         self._dead = False
 
@@ -280,13 +283,12 @@ class FaultyTransport(Transport):
     def replace_inner(self, inner: Transport) -> None:
         """Swap the channel after a respawn; the schedule survives.
 
-        Any reply-side fault armed for the dead channel is cleared —
-        its frame died with the worker — but *unfired* faults remain
+        Any reply-side faults armed for the dead channel are cleared —
+        their frames died with the worker — but *unfired* faults remain
         scheduled against future driver exchanges.
         """
         self._inner = inner
-        self._pending_reply = None
-        self._remaining_delay = 0.0
+        self._reply_faults.clear()
         self._dup_frames.clear()
         self._dead = False
 
@@ -326,6 +328,7 @@ class FaultyTransport(Transport):
         fault = self._due()
         if fault is None:
             self._inner.send(message)
+            self._reply_faults.append([None, 0.0])
             return
         if fault.kind == "kill":
             self._kill_channel()
@@ -333,7 +336,7 @@ class FaultyTransport(Transport):
                 f"peer is gone (injected kill at exchange {fault.at})"
             )
         if fault.kind == "drop":
-            return  # swallowed: nothing fails until the reply deadline
+            return  # swallowed: no reply owed, nothing queued
         if fault.kind == "truncate":
             frame = encode_message(message, self.codec)
             cut = min(fault.cut, max(len(frame) - 1, 1))
@@ -342,11 +345,12 @@ class FaultyTransport(Transport):
             finally:
                 self._kill_channel()
             return
-        # reply-side faults: the request goes through intact.
+        # reply-side faults: the request goes through intact; the fault
+        # queues behind any earlier in-flight replies.
         self._inner.send(message)
-        self._pending_reply = fault
-        if fault.kind == "delay":
-            self._remaining_delay = fault.delay
+        self._reply_faults.append(
+            [fault, fault.delay if fault.kind == "delay" else 0.0]
+        )
 
     def recv(self) -> object:
         if self._suspended:
@@ -355,7 +359,8 @@ class FaultyTransport(Transport):
             raise TransportError("peer is gone (injected fault)")
         if self._dup_frames:
             return decode_message(self._dup_frames.pop(0))
-        fault, self._pending_reply = self._pending_reply, None
+        entry = self._reply_faults.pop(0) if self._reply_faults else None
+        fault = entry[0] if entry is not None else None
         if fault is None:
             return self._inner.recv()
         if fault.kind == "reset":
@@ -364,9 +369,9 @@ class FaultyTransport(Transport):
                 f"connection reset (injected at exchange {fault.at})"
             )
         if fault.kind == "delay":
-            if self._remaining_delay > 0:
-                time.sleep(self._remaining_delay)
-                self._remaining_delay = 0.0
+            if entry[1] > 0:
+                time.sleep(entry[1])
+                entry[1] = 0.0
             return self._inner.recv()
         if fault.kind == "duplicate":
             reply = self._inner.recv()
@@ -383,14 +388,15 @@ class FaultyTransport(Transport):
             return False
         if self._dup_frames:
             return True
-        fault = self._pending_reply
-        if fault is not None and fault.kind == "delay" and self._remaining_delay > 0:
+        entry = self._reply_faults[0] if self._reply_faults else None
+        fault = entry[0] if entry is not None else None
+        if fault is not None and fault.kind == "delay" and entry[1] > 0:
             # honest deadline accounting: the stall consumes poll time.
-            if timeout < self._remaining_delay:
+            if timeout < entry[1]:
                 if timeout > 0:
                     time.sleep(timeout)
-                self._remaining_delay -= max(timeout, 0.0)
+                entry[1] -= max(timeout, 0.0)
                 return False
-            time.sleep(self._remaining_delay)
-            self._remaining_delay = 0.0
+            time.sleep(entry[1])
+            entry[1] = 0.0
         return self._inner.poll(timeout)

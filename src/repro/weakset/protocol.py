@@ -53,7 +53,18 @@ Two codecs share the framing:
       bulk=0      := (token:u64 pid:u32 value)*
       value       := 'N'|'T'|'F' | 'I' i64 | 'D' f64 | 'S' u32 utf8
                      | 'V' u32 decimal | 'U' u32 value* | 'X' u32 value*
+                     | 'W' u32 shape lane                (flattened)
                      | 'J' u32 canonical-JSON   (tagged-codec escape)
+      shape       := ('U' u32 | 'X' u32 | 'L')*          (preorder)
+      lane        := 's' u32 charlen:u32* bytes:u32 utf8
+                     | 'i' u32 i64*
+
+  The ``'W'`` layout (protocol version 4) flattens a **nested**
+  tuple/frozenset whose leaves are all strings (or all i64 ints) into
+  a shape prefix plus one column-packed leaf lane — a handful of C
+  pack calls instead of one recursive encode per node.  The recursive
+  walker stays as the fallback for every other container, so the two
+  layouts carry the identical value universe.
 
   Message layouts: tag 1 ``RoundRequest`` = adds; tag 2 ``RoundReply``
   = alive:u8 count:u32 (token:u64 end:f64)* count:u32 crashed:u32*
@@ -145,6 +156,8 @@ __all__ = [
     "StopRequest",
     "StopReply",
     "ErrorReply",
+    "MuxRequest",
+    "MuxReply",
     "HelloRequest",
     "ConfigReply",
     "encode_message",
@@ -157,8 +170,12 @@ __all__ = [
 #: parent and worker must agree exactly — the header check fails fast
 #: instead of mis-decoding.  Version 2 added the codec byte, the
 #: binary codec, and the step-batch messages; version 3 added the
-#: ``resume_round`` field to :class:`ConfigReply` (crash recovery).
-PROTOCOL_VERSION = 3
+#: ``resume_round`` field to :class:`ConfigReply` (crash recovery);
+#: version 4 added the multiplexed frames (:class:`MuxRequest` /
+#: :class:`MuxReply`), ``ConfigReply.extra_shards`` (one worker
+#: hosting several shard worlds) and the flattened ``'W'``
+#: nested-container value layout.
+PROTOCOL_VERSION = 4
 
 _HEADER = struct.Struct(">BBI")
 
@@ -326,6 +343,29 @@ class ErrorReply:
     message: str
 
 
+@dataclass(frozen=True)
+class MuxRequest:
+    """One frame carrying one sub-request per world a worker hosts.
+
+    Protocol version 4: when one worker owns several shard worlds
+    (``worlds_per_worker > 1``), the parent wraps that worker's
+    per-shard requests — in the worker's canonical shard order — into
+    one multiplexed frame, collapsing the per-round frame-pair count
+    from one per *world* to one per *worker*.  ``subs`` are ordinary
+    protocol messages; the worker answers with a :class:`MuxReply`
+    whose ``subs`` align index-for-index.
+    """
+
+    subs: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class MuxReply:
+    """The per-world replies to a :class:`MuxRequest`, index-aligned."""
+
+    subs: Tuple[object, ...]
+
+
 # ----------------------------------------------------------------------
 # bootstrap (socket transport only)
 # ----------------------------------------------------------------------
@@ -354,12 +394,17 @@ class ConfigReply:
     crashed one which round clock its rebuilt world must reach: 0 for
     a fresh start, and the supervisor's current round when the parent
     is about to replay the dead worker's request log into it.
+    ``extra_shards`` (protocol version 4) lists the *additional* shard
+    worlds this worker hosts beyond ``shard_index`` — a multiplexed
+    worker serves ``(shard_index, *extra_shards)`` and answers
+    :class:`MuxRequest` frames with sub-replies in that order.
     """
 
     shard_index: int
     world: bytes
     codec: str = DEFAULT_CODEC
     resume_round: int = 0
+    extra_shards: Tuple[int, ...] = ()
 
 
 # ----------------------------------------------------------------------
@@ -453,20 +498,35 @@ _MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any
             "world": base64.b64encode(m.world).decode("ascii"),
             "codec": m.codec,
             "resume_round": m.resume_round,
+            "extra_shards": list(m.extra_shards),
         },
         lambda v: ConfigReply(
             shard_index=v["shard_index"],
             world=base64.b64decode(v["world"]),
             codec=v["codec"],
             resume_round=v.get("resume_round", 0),
+            extra_shards=tuple(v.get("extra_shards", ())),
         ),
+    ),
+    # the multiplexed frames nest ordinary tagged messages, so the JSON
+    # side is simply a list of tagged blobs
+    "mux_req": (
+        MuxRequest,
+        lambda m: {"subs": [_message_to_obj(sub) for sub in m.subs]},
+        lambda v: MuxRequest(subs=tuple(_obj_to_message(sub) for sub in v["subs"])),
+    ),
+    "mux_rep": (
+        MuxReply,
+        lambda m: {"subs": [_message_to_obj(sub) for sub in m.subs]},
+        lambda v: MuxReply(subs=tuple(_obj_to_message(sub) for sub in v["subs"])),
     ),
 }
 
 _TAG_BY_TYPE = {cls: tag for tag, (cls, _e, _d) in _MESSAGE_CODECS.items()}
 
 
-def _encode_json_body(message: object) -> bytes:
+def _message_to_obj(message: object) -> dict:
+    """One protocol message -> its tagged JSON-ready object."""
     tag = _TAG_BY_TYPE.get(type(message))
     if tag is None:
         raise ProtocolError(f"not a protocol message: {type(message).__name__}")
@@ -478,18 +538,11 @@ def _encode_json_body(message: object) -> bytes:
             f"{tag!r} payload cannot cross the wire: {error} "
             "(register a codec via repro.serialization.register_codec)"
         ) from None
-    return json.dumps(
-        {"t": tag, "v": payload},
-        sort_keys=True,
-        separators=(",", ":"),
-    ).encode("utf-8")
+    return {"t": tag, "v": payload}
 
 
-def _decode_json_body(body: bytes) -> object:
-    try:
-        blob = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ProtocolError(f"undecodable frame body: {error}") from None
+def _obj_to_message(blob: object) -> object:
+    """Invert :func:`_message_to_obj`."""
     if not isinstance(blob, dict) or "t" not in blob or "v" not in blob:
         raise ProtocolError(f"malformed frame body: {blob!r}")
     tag = blob["t"]
@@ -501,6 +554,22 @@ def _decode_json_body(body: bytes) -> object:
         return decode(blob["v"])
     except (KeyError, TypeError, ValueError) as error:
         raise ProtocolError(f"malformed {tag!r} payload: {error}") from None
+
+
+def _encode_json_body(message: object) -> bytes:
+    return json.dumps(
+        _message_to_obj(message),
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def _decode_json_body(body: bytes) -> object:
+    try:
+        blob = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame body: {error}") from None
+    return _obj_to_message(blob)
 
 
 # ----------------------------------------------------------------------
@@ -527,6 +596,93 @@ def _repeat(fmt: str, count: int) -> struct.Struct:
 _K_NONE, _K_TRUE, _K_FALSE = ord("N"), ord("T"), ord("F")
 _K_INT, _K_BIG, _K_FLOAT, _K_STR = ord("I"), ord("V"), ord("D"), ord("S")
 _K_TUPLE, _K_FSET, _K_JSON = ord("U"), ord("X"), ord("J")
+_K_FLAT, _K_LEAF = ord("W"), ord("L")
+_LANE_STR, _LANE_I64 = ord("s"), ord("i")
+
+
+def _flatten_shape(value: Any, shape: bytearray, leaves: list) -> int:
+    """Preorder shape walk for the ``'W'`` layout; returns how many
+    containers the subtree holds.  Leaves land in ``leaves`` untyped —
+    the caller checks lane eligibility afterwards and discards the
+    walk when no bulk lane fits."""
+    kind = type(value)
+    if kind is tuple:
+        shape += _SIZED.pack(b"U", len(value))
+        containers = 1
+        for item in value:
+            containers += _flatten_shape(item, shape, leaves)
+        return containers
+    if kind is frozenset:
+        # same canonical (repr-sorted) element order as the walker
+        shape += _SIZED.pack(b"X", len(value))
+        containers = 1
+        for item in sorted(value, key=repr):
+            containers += _flatten_shape(item, shape, leaves)
+        return containers
+    shape.append(_K_LEAF)
+    leaves.append(value)
+    return 0
+
+
+def _encode_flattened(value: Any, out: bytearray) -> bool:
+    """Try the flattened shape-prefixed ``'W'`` layout for a container.
+
+    Applies to *nested* tuples/frozensets (two or more containers)
+    whose leaves all fit one bulk lane — all ``str``, or all i64-range
+    ``int``.  The shape crosses as one preorder token string and the
+    leaves as one column-packed lane, so decode is a few C unpack
+    calls plus a shape rebuild instead of one dispatch per node.
+    Returns ``False`` (having written nothing) when the value does not
+    qualify; the caller falls back to the recursive walker.
+    """
+    shape = bytearray()
+    leaves: list = []
+    containers = _flatten_shape(value, shape, leaves)
+    if containers < 2 or not leaves:
+        return False
+    count = len(leaves)
+    if all(type(leaf) is str for leaf in leaves):
+        out += _SIZED.pack(b"W", len(shape))
+        out += shape
+        blob = "".join(leaves).encode("utf-8")
+        out.append(_LANE_STR)
+        out += _U32.pack(count)
+        out += _repeat("I", count).pack(*map(len, leaves))
+        out += _U32.pack(len(blob))
+        out += blob
+        return True
+    if all(
+        type(leaf) is int and -(1 << 63) <= leaf < (1 << 63) for leaf in leaves
+    ):
+        out += _SIZED.pack(b"W", len(shape))
+        out += shape
+        out.append(_LANE_I64)
+        out += _U32.pack(count)
+        out += _repeat("q", count).pack(*leaves)
+        return True
+    return False
+
+
+def _rebuild_shape(
+    shape: bytes, offset: int, leaves: list, index: int
+) -> Tuple[Any, int, int]:
+    """Rebuild one subtree from a ``'W'`` shape prefix and leaf lane;
+    returns (value, new shape offset, new leaf index)."""
+    token = shape[offset]
+    offset += 1
+    if token == _K_LEAF:
+        return leaves[index], offset, index + 1
+    (count,) = _U32.unpack_from(shape, offset)
+    offset += 4
+    items = []
+    for _ in range(count):
+        item, offset, index = _rebuild_shape(shape, offset, leaves, index)
+        items.append(item)
+    if token == _K_TUPLE:
+        return tuple(items), offset, index
+    if token == _K_FSET:
+        return frozenset(items), offset, index
+    raise ProtocolError(f"unknown shape token {token!r}")
 
 
 def _encode_binary_value(value: Any, out: bytearray) -> None:
@@ -560,15 +716,17 @@ def _encode_binary_value(value: Any, out: bytearray) -> None:
     elif value is False:
         out += b"F"
     elif kind is tuple:
-        out += _SIZED.pack(b"U", len(value))
-        for item in value:
-            _encode_binary_value(item, out)
+        if not _encode_flattened(value, out):
+            out += _SIZED.pack(b"U", len(value))
+            for item in value:
+                _encode_binary_value(item, out)
     elif kind is frozenset:
         # Canonical (repr-sorted) element order, like the JSON codec:
         # equal sets encode byte-identically in every process.
-        out += _SIZED.pack(b"X", len(value))
-        for item in sorted(value, key=repr):
-            _encode_binary_value(item, out)
+        if not _encode_flattened(value, out):
+            out += _SIZED.pack(b"X", len(value))
+            for item in sorted(value, key=repr):
+                _encode_binary_value(item, out)
     else:
         # bool/int/float/str subclasses land here too (exact types
         # above keep the hot path to one dispatch) — the canonical
@@ -624,6 +782,36 @@ def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
             item, offset = _decode_binary_value(body, offset)
             items.append(item)
         return frozenset(items), offset
+    if kind == _K_FLAT:
+        (shape_size,) = _U32.unpack_from(body, offset)
+        offset += 4
+        shape = body[offset : offset + shape_size]
+        offset += shape_size
+        lane = body[offset]
+        offset += 1
+        (count,) = _U32.unpack_from(body, offset)
+        offset += 4
+        leaves: list = []
+        if lane == _LANE_STR:
+            lengths = _repeat("I", count).unpack_from(body, offset)
+            offset += 4 * count
+            (blob_size,) = _U32.unpack_from(body, offset)
+            offset += 4
+            text = body[offset : offset + blob_size].decode("utf-8")
+            offset += blob_size
+            position = 0
+            for length in lengths:
+                leaves.append(text[position : position + length])
+                position += length
+        elif lane == _LANE_I64:
+            leaves.extend(_repeat("q", count).unpack_from(body, offset))
+            offset += 8 * count
+        else:
+            raise ProtocolError(f"unknown flattened leaf lane {lane!r}")
+        value, shape_offset, leaf_index = _rebuild_shape(shape, 0, leaves, 0)
+        if shape_offset != len(shape) or leaf_index != count:
+            raise ProtocolError("malformed flattened shape prefix")
+        return value, offset
     if kind == _K_JSON:
         (length,) = _U32.unpack_from(body, offset)
         offset += 4
@@ -739,6 +927,7 @@ def _unpack_round_outcome(body: bytes, offset: int):
 #: binary message tags; 0 is the JSON escape for the non-hot messages.
 _B_JSON, _B_ROUND_REQ, _B_ROUND_REP, _B_PEEK_REQ, _B_PEEK_REP = 0, 1, 2, 3, 4
 _B_BATCH_REQ, _B_BATCH_REP = 5, 6
+_B_MUX_REQ, _B_MUX_REP = 7, 8
 
 
 def _encode_binary_body(message: object, out: bytearray) -> None:
@@ -788,6 +977,17 @@ def _encode_binary_body(message: object, out: bytearray) -> None:
         out.append(1 if message.alive else 0)
         out += _U32.pack(message.executed)
         _pack_round_outcome(message.completions, message.crashed, message.now, out)
+    elif kind is MuxRequest or kind is MuxReply:
+        # length-prefixed sub-bodies, each a complete tagged binary
+        # body — the hot sub-messages keep their struct-packed layouts
+        # inside the multiplexed frame
+        out.append(_B_MUX_REQ if kind is MuxRequest else _B_MUX_REP)
+        out += _U32.pack(len(message.subs))
+        for sub in message.subs:
+            sub_body = bytearray()
+            _encode_binary_body(sub, sub_body)
+            out += _U32.pack(len(sub_body))
+            out += sub_body
     else:
         # cold messages (trace/stop/error/bootstrap): JSON behind the
         # escape tag — one frame format, no second registry to drift
@@ -847,6 +1047,17 @@ def _decode_binary_body(body: bytes) -> object:
                 crashed=crashed,
                 now=now,
             )
+        if tag in (_B_MUX_REQ, _B_MUX_REP):
+            (count,) = _U32.unpack_from(body, 1)
+            offset = 5
+            subs = []
+            for _ in range(count):
+                (length,) = _U32.unpack_from(body, offset)
+                offset += 4
+                subs.append(_decode_binary_body(body[offset : offset + length]))
+                offset += length
+            cls = MuxRequest if tag == _B_MUX_REQ else MuxReply
+            return cls(subs=tuple(subs))
     except (struct.error, IndexError) as error:
         raise ProtocolError(f"truncated binary frame body: {error}") from None
     raise ProtocolError(f"unknown binary message tag {tag!r}")

@@ -73,6 +73,7 @@ import socket
 import time
 import traceback
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro._rng import derive_randrange
@@ -87,6 +88,8 @@ from repro.weakset.protocol import (
     ConfigReply,
     ErrorReply,
     HelloRequest,
+    MuxReply,
+    MuxRequest,
     PeekReply,
     PeekRequest,
     ProtocolError,
@@ -116,6 +119,8 @@ from repro.weakset.transport import (
     Transport,
     TransportError,
     exchange_all,
+    harvest_all,
+    send_all,
     serve_requests,
 )
 
@@ -196,11 +201,19 @@ class ShardBackend(ABC):
             coalesces into one :meth:`step_batch` call (transport
             backends turn that into **one frame pair per worker** —
             the high-latency-link lever).  Default 1.
+        window: how many round batches a multi-chunk :meth:`advance`
+            may keep **in flight** at once (transport backends send
+            batch ``k+1`` before batch ``k``'s replies are harvested —
+            the round-trip-hiding lever; see
+            :meth:`TransportBackend.advance`).  Backends without a
+            wire accept and ignore it.  Default 1: strict
+            send-then-harvest, the historical behaviour.
     """
 
     num_shards: int
     n: int
     round_batch: int = 1
+    window: int = 1
 
     @property
     @abstractmethod
@@ -250,6 +263,26 @@ class ShardBackend(ABC):
             if not alive:
                 break
         return executed, alive
+
+    def advance(self, rounds: int) -> int:
+        """Run every shard up to ``rounds`` ticks; return how many ran.
+
+        Ticks are issued in chunks of :attr:`round_batch` through
+        :meth:`step_batch` and stop early once a shard world dies —
+        exactly the loop the facade's :meth:`ShardedWeakSetCluster.advance`
+        historically ran inline.  Living on the backend seam lets a
+        transport backend override it with the pipelined (windowed)
+        driver while every backend keeps the identical tick sequence.
+        """
+        executed_total = 0
+        remaining = rounds
+        while remaining > 0:
+            executed, alive = self.step_batch(min(self.round_batch, remaining))
+            executed_total += executed
+            remaining -= executed
+            if not alive:
+                break
+        return executed_total
 
     @abstractmethod
     def crashed(self, shard_index: int, pid: int) -> bool:
@@ -313,6 +346,7 @@ class SerialBackend(ShardBackend):
         max_total_rounds: int,
         trace_mode: str,
         round_batch: int = 1,
+        window: int = 1,
         frames: str = DEFAULT_CODEC,
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
@@ -320,21 +354,26 @@ class SerialBackend(ShardBackend):
     ):
         # ``frames`` is accepted (and checked) for signature uniformity
         # with the transport backends; no wire is involved here, so the
-        # codec choice has nothing to encode.  Likewise ``retry_policy``
-        # (nothing to retry); supervision and fault injection, though,
-        # are wire features a wireless backend cannot honour even
-        # vacuously — asking for them here is a configuration error.
+        # codec choice has nothing to encode.  Likewise ``window`` (no
+        # round trips to overlap: in-process steps are synchronous
+        # either way) and ``retry_policy`` (nothing to retry);
+        # supervision and fault injection, though, are wire features a
+        # wireless backend cannot honour even vacuously — asking for
+        # them here is a configuration error.
         if frames not in CODECS:
             known = ", ".join(sorted(CODECS))
             raise SimulationError(f"unknown frame codec {frames!r}; known: {known}")
         if round_batch < 1:
             raise SimulationError("round_batch must be >= 1")
+        if window < 1:
+            raise SimulationError("window must be >= 1")
         if recover or fault_plan:
             raise SimulationError(
                 "the serial backend has no workers to supervise or wires "
                 "to fault; use inproc, multiprocess, or socket"
             )
         self.round_batch = round_batch
+        self.window = window
         self.num_shards = shards
         self.n = n
         self.clusters: List[MSWeakSetCluster] = [
@@ -444,11 +483,30 @@ class ShardServer:
             del self._records[token]
         return completions
 
+    def _dead_round_reply(self) -> RoundReply:
+        """The no-op reply for a step aimed at an already-dead world.
+
+        A pipelined parent may have several round batches in flight
+        when a world dies; the speculative suffix lands here and must
+        change nothing — matching the scheduler's own behaviour at the
+        horizon, where a further step is a no-op returning False.  The
+        driver discards these replies, so all that matters is that the
+        world (and its trace) is untouched and the clock unchanged.
+        """
+        return RoundReply(
+            alive=False,
+            completions=self._take_completions(),
+            crashed=self._crashed_set(),
+            now=self.cluster.now,
+        )
+
     def handle(self, request: object) -> object:
         """Answer one request; raises on protocol misuse (the serve
         loop converts that into an :class:`~repro.weakset.protocol.ErrorReply`)."""
         if isinstance(request, RoundRequest):
             self._apply_adds(request.adds)
+            if self.cluster.exhausted:
+                return self._dead_round_reply()
             alive = self.cluster.step()
             return RoundReply(
                 alive=alive,
@@ -460,6 +518,15 @@ class ShardServer:
             if request.rounds < 1:
                 raise ProtocolMisuse("step batch needs rounds >= 1")
             self._apply_adds(request.adds)
+            if self.cluster.exhausted:
+                reply = self._dead_round_reply()
+                return StepBatchReply(
+                    alive=False,
+                    executed=1,
+                    completions=reply.completions,
+                    crashed=reply.crashed,
+                    now=reply.now,
+                )
             alive = True
             executed = 0
             # the exact step sequence `rounds` single-round requests
@@ -492,6 +559,44 @@ class ShardServer:
             # clean close as protocol misuse.
             return StopReply()
         raise ProtocolMisuse(f"unexpected request {type(request).__name__}")
+
+
+class _MuxShardServer:
+    """Several shard worlds behind one channel (protocol-v4 mux).
+
+    The worker half of ``worlds_per_worker > 1``: the parent speaks one
+    :class:`~repro.weakset.protocol.MuxRequest` per exchange, carrying
+    one sub-request per hosted world in the order the handshake
+    assigned them (``shard_index`` first, then ``extra_shards``); each
+    sub-request is handled by that world's :class:`ShardServer` and the
+    sub-replies travel back in the same order inside one
+    :class:`~repro.weakset.protocol.MuxReply` — one frame pair per
+    *worker* per round instead of one per *world*.  Stop frames are
+    intercepted by :func:`~repro.weakset.transport.serve_requests`
+    before reaching any handler, so a clean shutdown needs no mux
+    treatment; any other bare request is protocol misuse.
+    """
+
+    def __init__(self, servers: List[ShardServer]):
+        self._servers = servers
+
+    def handle(self, request: object) -> object:
+        if not isinstance(request, MuxRequest):
+            raise ProtocolMisuse(
+                f"multiplexed worker hosting {len(self._servers)} worlds "
+                f"expected MuxRequest, got {type(request).__name__}"
+            )
+        if len(request.subs) != len(self._servers):
+            raise ProtocolMisuse(
+                f"MuxRequest carries {len(request.subs)} sub-requests for "
+                f"a worker hosting {len(self._servers)} worlds"
+            )
+        return MuxReply(
+            subs=tuple(
+                server.handle(sub)
+                for server, sub in zip(self._servers, request.subs)
+            )
+        )
 
 
 def _pipe_worker(
@@ -599,9 +704,14 @@ def serve_shard_over_socket(
     transport.codec = config_reply.codec
     try:
         config = pickle.loads(config_reply.world)
-        server = ShardServer(
-            config, config_reply.shard_index, config_reply.resume_round
-        )
+        # ``extra_shards`` (protocol v4) multiplexes several shard
+        # worlds behind this one channel; a singleton assignment keeps
+        # the historical one-world serve loop.
+        indices = (config_reply.shard_index, *config_reply.extra_shards)
+        servers = [
+            ShardServer(config, index, config_reply.resume_round)
+            for index in indices
+        ]
     except BaseException:
         try:
             transport.send(ErrorReply(traceback.format_exc()))
@@ -609,7 +719,11 @@ def serve_shard_over_socket(
             pass
         transport.close()
         return True
-    serve_requests(transport, server.handle)
+    if len(servers) == 1:
+        handler = servers[0].handle
+    else:
+        handler = _MuxShardServer(servers).handle
+    serve_requests(transport, handler)
     transport.close()
     return True
 
@@ -668,22 +782,34 @@ def spawn_socket_workers(
     count: int,
     *,
     start_method: Optional[str] = None,
+    worlds_per_worker: int = 1,
 ) -> List:
-    """Spawn ``count`` local worker processes serving shards at ``address``.
+    """Spawn local worker processes serving ``count`` shards at ``address``.
 
     The loopback deployment (what ``backend="socket"`` does by default,
     and what CI exercises): same wire protocol, same TCP transport,
-    all on one box.  Each worker serves exactly one world and exits.
+    all on one box.  Each worker connects once, serves the worlds the
+    parent's handshake assigns it, and exits.
 
-    All-or-nothing: if worker ``k`` of ``count`` fails to start, the
-    ``k-1`` already running are terminated and reaped before the error
+    ``worlds_per_worker`` is the mux knob: with ``M > 1`` only
+    ``ceil(count / M)`` worker processes are spawned — the parent
+    assigns each up to ``M`` shard worlds behind one multiplexed
+    channel (the realistic fewer-boxes-than-shards deployment), so
+    per-round wire traffic drops from one frame pair per *world* to
+    one per *worker*.
+
+    All-or-nothing: if worker ``k`` fails to start, the ``k-1``
+    already running are terminated and reaped before the error
     propagates — a failed spawn must not leak processes for the caller
     (who never saw the list) to clean up.
     """
+    if worlds_per_worker < 1:
+        raise SimulationError("worlds_per_worker must be >= 1")
+    processes = -(-count // worlds_per_worker)  # ceil division
     context = multiprocessing.get_context(_resolve_start_method(start_method))
     workers = []
     try:
-        for _ in range(count):
+        for _ in range(processes):
             worker = context.Process(
                 target=_socket_worker_main, args=(address,), daemon=True
             )
@@ -725,9 +851,29 @@ class TransportBackend(ShardBackend):
     for a fixed seed (``overlap=False`` forces the lock-step harvest;
     the benchmarks compare the two).
 
+    With ``window > 1`` a multi-chunk :meth:`advance` goes further and
+    **pipelines** the exchanges themselves: up to ``window`` round
+    batches are encoded and sent before the oldest batch's replies are
+    harvested, so the wire carries requests and replies concurrently
+    and a worker can run straight into its next batch without waiting
+    out the parent's fold-in.  Replies are still harvested and folded
+    oldest-batch-first (each channel is FIFO), so the mirror updates —
+    and therefore the traces — are byte-identical to ``window=1``; see
+    :meth:`advance` for the death-mid-window story.
+
+    Mux (socket backend only): ``worlds_per_worker > 1`` assigns one
+    worker several shard worlds behind protocol-v4
+    :class:`~repro.weakset.protocol.MuxRequest` /
+    :class:`~repro.weakset.protocol.MuxReply` frames.  The driver keeps
+    mirroring per *shard*; requests are wrapped per *worker* just
+    before the wire and replies unwrapped right after, so the rest of
+    this class never sees the difference.  :attr:`frame_pairs` counts
+    wire frames, i.e. one per worker per exchange.
+
     Subclasses implement :meth:`_start` to create one
-    :class:`~repro.weakset.transport.Transport` per shard (and any
-    worker processes backing them).
+    :class:`~repro.weakset.transport.Transport` per worker channel
+    (one per shard unless the subclass multiplexes) and any worker
+    processes backing them.
 
     Failure model: by default a vanished worker or a worker-side error
     poisons the backend — the current round is half-applied and
@@ -758,6 +904,7 @@ class TransportBackend(ShardBackend):
         overlap: bool = True,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        window: int = 1,
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
@@ -767,10 +914,20 @@ class TransportBackend(ShardBackend):
             raise SimulationError(f"unknown frame codec {frames!r}; known: {known}")
         if round_batch < 1:
             raise SimulationError("round_batch must be >= 1")
+        if window < 1:
+            raise SimulationError("window must be >= 1")
         self.frames = frames
         self.round_batch = round_batch
+        self.window = window
         self.num_shards = shards
         self.n = n
+        #: structural wire-cost counters: driver exchanges issued, and
+        #: request/reply frame pairs they put on the wire (one per
+        #: worker channel per exchange — so batching and mux visibly
+        #: shrink ``frame_pairs`` per simulated round, independent of
+        #: timing noise).  Shutdown and recovery traffic is not counted.
+        self.exchanges = 0
+        self.frame_pairs = 0
         self._config = WorldConfig(
             n=n,
             environment_factory=environment_factory,
@@ -809,6 +966,11 @@ class TransportBackend(ShardBackend):
         self._transports: List[Transport] = []
         self._workers: List = []
         self._selector: Optional[selectors.BaseSelector] = None
+        #: shard indices behind each worker channel (``_groups[c]`` are
+        #: the shards channel ``c`` hosts, in sub-request order).  The
+        #: identity mapping unless a subclass's ``_start`` multiplexes.
+        self._groups: List[List[int]] = [[i] for i in range(shards)]
+        self._mux = False
         try:
             self._start()
             if fault_plan:
@@ -875,8 +1037,56 @@ class TransportBackend(ShardBackend):
             self._transports[shard_index] = raw
 
     # -- plumbing --------------------------------------------------------
+    def _wire_requests(self, requests: List[object]) -> List[object]:
+        """Per-shard requests -> per-channel requests (mux wrap)."""
+        if not self._mux:
+            return requests
+        wire: List[object] = []
+        for group in self._groups:
+            if len(group) == 1:
+                wire.append(requests[group[0]])
+            else:
+                wire.append(
+                    MuxRequest(subs=tuple(requests[index] for index in group))
+                )
+        return wire
+
+    def _unwire_replies(self, wire_replies: List[object]) -> List[object]:
+        """Per-channel replies -> per-shard replies (mux unwrap).
+
+        A worker-side :class:`~repro.weakset.protocol.ErrorReply` to a
+        multiplexed request fans out to every shard the worker hosts
+        (they all share the failed process); anything else that is not
+        a matching :class:`~repro.weakset.protocol.MuxReply` poisons
+        the backend — a desynchronized mux stream cannot be consumed.
+        """
+        if not self._mux:
+            return wire_replies
+        replies: List[object] = [None] * self.num_shards
+        for group, wire_reply in zip(self._groups, wire_replies):
+            if len(group) == 1:
+                replies[group[0]] = wire_reply
+            elif isinstance(wire_reply, ErrorReply):
+                for index in group:
+                    replies[index] = wire_reply
+            elif (
+                isinstance(wire_reply, MuxReply)
+                and len(wire_reply.subs) == len(group)
+            ):
+                for index, sub in zip(group, wire_reply.subs):
+                    replies[index] = sub
+            else:
+                self._failed = True
+                raise SimulationError(
+                    f"worker hosting shards {group} answered a multiplexed "
+                    f"request with {type(wire_reply).__name__}"
+                )
+        return replies
+
     def _exchange(self, requests: List[object]) -> List[object]:
         """One overlapped round trip; replies in canonical shard order."""
+        self.exchanges += 1
+        self.frame_pairs += len(self._transports)
         if self._supervisor is not None:
             try:
                 replies = self._supervisor.exchange(requests)
@@ -888,12 +1098,14 @@ class TransportBackend(ShardBackend):
                 raise
         else:
             try:
-                replies = exchange_all(
-                    self._transports,
-                    requests,
-                    overlap=self._overlap,
-                    selector=self._selector,
-                    timeout=self._request_timeout,
+                replies = self._unwire_replies(
+                    exchange_all(
+                        self._transports,
+                        self._wire_requests(requests),
+                        overlap=self._overlap,
+                        selector=self._selector,
+                        timeout=self._request_timeout,
+                    )
                 )
             except TransportError as error:
                 # A worker died mid-round: sibling replies may be
@@ -991,6 +1203,139 @@ class TransportBackend(ShardBackend):
             )
         return executed_counts.pop(), self._apply_step_replies(replies)
 
+    # -- the pipelined (windowed) driver ---------------------------------
+    def advance(self, rounds: int) -> int:
+        """Run up to ``rounds`` ticks, keeping ``window`` batches in flight.
+
+        With ``window=1`` this is exactly the base chunk loop: send a
+        round batch, harvest it, fold it, repeat.  With ``window=W>1``
+        the driver sends up to ``W`` batches before harvesting the
+        oldest — the wire (and the workers) stay busy while the parent
+        folds replies, hiding the per-batch round trip that made
+        batching a timing no-op.
+
+        Determinism is preserved by construction:
+
+        * queued adds ride only with the **first** batch (the facade
+          cannot queue adds mid-``advance``), so every later batch is
+          the empty-adds frame an unpipelined run would send;
+        * channels are FIFO and batches are harvested and folded
+          oldest-first, so the mirror update sequence — and therefore
+          every trace — is byte-identical across window sizes;
+        * when a batch reports a dead world, the remaining in-flight
+          batches were **speculative**: the workers answered them with
+          no-op dead replies (see :meth:`ShardServer._dead_round_reply`)
+          that this driver drains off the wire and discards, leaving
+          worlds and mirrors exactly where an unpipelined run stops.
+
+        Supervised (``recover=True``) runs route sends and harvests
+        through the supervisor's window API instead: a worker death
+        mid-window is healed by replaying to the last *acknowledged*
+        batch and re-issuing the whole in-flight suffix
+        (:meth:`~repro.weakset.supervisor.ShardSupervisor.harvest_window`).
+        """
+        if self.window == 1:
+            return super().advance(rounds)
+        self._ensure_open()
+        chunks: List[int] = []
+        remaining = rounds
+        while remaining > 0:
+            size = min(self.round_batch, remaining)
+            chunks.append(size)
+            remaining -= size
+        in_flight: deque = deque()
+        executed_total = 0
+        alive = True
+        sent = 0
+        while sent < len(chunks) or in_flight:
+            while alive and sent < len(chunks) and len(in_flight) < self.window:
+                size = chunks[sent]
+                in_flight.append((size, self._window_send(size)))
+                sent += 1
+            if not in_flight:
+                break  # world died with unsent chunks: abandon them
+            size, deadlines = in_flight.popleft()
+            replies = self._window_harvest(deadlines)
+            if not alive:
+                continue  # speculative batch behind a death: discard
+            executed, alive = self._fold_chunk(size, replies)
+            executed_total += executed
+        return executed_total
+
+    def _window_send(self, size: int) -> Optional[List[float]]:
+        """Send one round batch to every shard; per-request deadlines."""
+        batches = self._take_pending()
+        if size == 1:
+            requests: List[object] = [
+                RoundRequest(adds=batch) for batch in batches
+            ]
+        else:
+            requests = [
+                StepBatchRequest(rounds=size, adds=batch) for batch in batches
+            ]
+        self.exchanges += 1
+        self.frame_pairs += len(self._transports)
+        if self._supervisor is not None:
+            self._supervisor.send_window(requests)
+            return None
+        try:
+            return send_all(
+                self._transports,
+                self._wire_requests(requests),
+                timeout=self._request_timeout,
+            )
+        except TransportError as error:
+            self._failed = True
+            raise SimulationError(
+                f"shard worker failed mid-round (round clock "
+                f"{self._now:g}): {error}"
+            ) from None
+
+    def _window_harvest(self, deadlines: Optional[List[float]]) -> List[object]:
+        """Harvest the oldest in-flight batch, one reply per shard."""
+        if self._supervisor is not None:
+            try:
+                replies = self._supervisor.harvest_window()
+            except SimulationError:
+                self._failed = True
+                raise
+            return replies
+        try:
+            wire_replies = harvest_all(
+                self._transports,
+                overlap=self._overlap,
+                selector=self._selector,
+                deadlines=deadlines,
+                timeout=self._request_timeout,
+            )
+        except TransportError as error:
+            self._failed = True
+            raise SimulationError(
+                f"shard worker failed mid-round (round clock "
+                f"{self._now:g}): {error}"
+            ) from None
+        return self._unwire_replies(wire_replies)
+
+    def _fold_chunk(self, size: int, replies: List[object]) -> Tuple[int, bool]:
+        """Fold one harvested batch into the mirrors (canonical order)."""
+        for shard_index, reply in enumerate(replies):
+            if isinstance(reply, ErrorReply):
+                self._failed = True
+                raise SimulationError(
+                    f"shard {shard_index} worker failed:\n{reply.message}"
+                )
+        if size == 1:
+            return 1, self._apply_step_replies(replies)
+        executed_counts = {reply.executed for reply in replies}
+        if len(executed_counts) != 1:
+            self._failed = True
+            raise SimulationError(
+                "shard worlds diverged mid-batch: executed counts "
+                f"{sorted(executed_counts)} (same horizon and crash schedule "
+                "should stop every shard at the same tick)"
+            )
+        return executed_counts.pop(), self._apply_step_replies(replies)
+
     def _apply_step_replies(self, replies: List[object]) -> bool:
         """Fold round/batch replies into the parent-side mirrors.
 
@@ -1042,7 +1387,9 @@ class TransportBackend(ShardBackend):
 
     def traces(self) -> List[RunTrace]:
         self._ensure_open()
-        replies = self._exchange([TraceRequest() for _ in self._transports])
+        replies = self._exchange(
+            [TraceRequest() for _ in range(self.num_shards)]
+        )
         return [reply.trace for reply in replies]
 
     def close(self) -> None:
@@ -1163,6 +1510,7 @@ class MultiprocessBackend(TransportBackend):
         overlap: bool = True,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        window: int = 1,
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
@@ -1180,6 +1528,7 @@ class MultiprocessBackend(TransportBackend):
             overlap=overlap,
             frames=frames,
             round_batch=round_batch,
+            window=window,
             recover=recover,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
@@ -1266,10 +1615,26 @@ class SocketBackend(TransportBackend):
         overlap: bool = True,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        window: int = 1,
+        worlds_per_worker: int = 1,
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
     ):
+        if worlds_per_worker < 1:
+            raise SimulationError("worlds_per_worker must be >= 1")
+        if worlds_per_worker > 1 and (recover or fault_plan):
+            # Supervision and fault injection are per-shard-channel
+            # features: respawn-and-replay rebuilds ONE world per
+            # channel, and fault schedules address one shard's wire.
+            # A worker hosting several worlds has neither granularity.
+            raise SimulationError(
+                "worlds_per_worker > 1 multiplexes several shard worlds "
+                "behind one channel, which cannot be supervised or "
+                "fault-injected per shard; drop recover/fault_plan or "
+                "use worlds_per_worker=1"
+            )
+        self._worlds_per_worker = worlds_per_worker
         self._listen = listen
         self._start_method = start_method
         self._accept_timeout = accept_timeout
@@ -1285,6 +1650,7 @@ class SocketBackend(TransportBackend):
             overlap=overlap,
             frames=frames,
             round_batch=round_batch,
+            window=window,
             recover=recover,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
@@ -1299,16 +1665,32 @@ class SocketBackend(TransportBackend):
                 f"cannot listen on {address[0]}:{address[1]}: {error}"
             ) from None
         self.address = self._listener.getsockname()[:2]
+        per = self._worlds_per_worker
+        self._groups = [
+            list(range(start, min(start + per, self.num_shards)))
+            for start in range(0, self.num_shards, per)
+        ]
+        self._mux = any(len(group) > 1 for group in self._groups)
         if self._listen is None:
             self._workers = spawn_socket_workers(
-                self.address, self.num_shards, start_method=self._start_method
+                self.address,
+                self.num_shards,
+                start_method=self._start_method,
+                worlds_per_worker=per,
             )
         self._listener.settimeout(self._accept_timeout)
         self._world_blob = pickle.dumps(self._config)
-        for shard_index in range(self.num_shards):
-            self._transports.append(self._accept_worker(shard_index))
+        for group in self._groups:
+            self._transports.append(
+                self._accept_worker(group[0], extra_shards=tuple(group[1:]))
+            )
 
-    def _accept_worker(self, shard_index: int, resume_round: int = 0) -> Transport:
+    def _accept_worker(
+        self,
+        shard_index: int,
+        resume_round: int = 0,
+        extra_shards: Tuple[int, ...] = (),
+    ) -> Transport:
         """Accept one worker connection and run the hello/config
         handshake for ``shard_index``; the transport is closed here on
         any handshake failure (the caller never sees it)."""
@@ -1349,6 +1731,7 @@ class SocketBackend(TransportBackend):
                         world=self._world_blob,
                         codec=self.frames,
                         resume_round=resume_round,
+                        extra_shards=extra_shards,
                     )
                 )
             except TransportError as error:
@@ -1504,6 +1887,20 @@ class ShardedWeakSetCluster:
             blocking adds stay per-tick, so traces are identical
             across batch sizes for a fixed seed (pinned in
             ``tests/weakset/test_shard_backends.py``).  Default 1.
+        window: how many round batches a multi-chunk :meth:`advance`
+            keeps in flight on the wire backends — batch ``k+1`` is
+            sent before batch ``k``'s replies are harvested, hiding
+            the per-batch round trip (see
+            :meth:`TransportBackend.advance`).  Traces are identical
+            across window sizes for a fixed seed.  The serial backend
+            accepts and ignores it.  Default 1.
+        worlds_per_worker: socket backend only — let one worker
+            process host up to this many shard worlds behind one
+            multiplexed channel (protocol-v4 ``MuxRequest`` frames),
+            collapsing per-round wire traffic from one frame pair per
+            *world* to one per *worker*.  Incompatible with
+            ``recover``/``fault_plan`` (both are per-shard-channel
+            features).  Default: one world per worker.
         recover: opt into worker supervision on the wire backends — a
             dead shard worker is respawned and its world replayed
             deterministically instead of poisoning the run (the final
@@ -1546,6 +1943,8 @@ class ShardedWeakSetCluster:
         start_method: Optional[str] = None,
         frames: str = DEFAULT_CODEC,
         round_batch: int = 1,
+        window: int = 1,
+        worlds_per_worker: Optional[int] = None,
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
@@ -1570,6 +1969,12 @@ class ShardedWeakSetCluster:
                     "backend knobs; pass them where the backend is built, "
                     "not alongside a constructed instance"
                 )
+            if window != 1 or worlds_per_worker is not None:
+                raise SimulationError(
+                    "window/worlds_per_worker are construction-time backend "
+                    "knobs; pass them where the backend is built, not "
+                    "alongside a constructed instance"
+                )
             self._backend = backend
         else:
             kwargs: Dict[str, object] = {}
@@ -1585,6 +1990,14 @@ class ShardedWeakSetCluster:
                 ) from None
             if backend_cls in (MultiprocessBackend, SocketBackend):
                 kwargs["start_method"] = start_method
+            if worlds_per_worker is not None:
+                if backend_cls is not SocketBackend:
+                    raise SimulationError(
+                        "worlds_per_worker only applies to the socket "
+                        f"backend (got backend {name!r}); the other "
+                        "backends pin one world per channel"
+                    )
+                kwargs["worlds_per_worker"] = worlds_per_worker
             self._backend = backend_cls(
                 n,
                 shards=shards,
@@ -1594,6 +2007,7 @@ class ShardedWeakSetCluster:
                 trace_mode=trace_mode,
                 frames=frames,
                 round_batch=round_batch,
+                window=window,
                 recover=recover,
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
@@ -1667,21 +2081,12 @@ class ShardedWeakSetCluster:
 
         Ticks are issued to the backend in chunks of the backend's
         ``round_batch`` (one frame pair per worker per chunk on the
-        wire backends) and the tick sequence is identical for every
-        batch size.  Returns how many ticks actually ran — fewer than
-        ``rounds`` once a shard world goes dead.
+        wire backends; up to ``window`` chunks kept in flight on a
+        pipelined backend) and the tick sequence is identical for
+        every batch and window size.  Returns how many ticks actually
+        ran — fewer than ``rounds`` once a shard world goes dead.
         """
-        backend = self._backend
-        batch = backend.round_batch
-        executed_total = 0
-        remaining = rounds
-        while remaining > 0:
-            executed, alive = backend.step_batch(min(batch, remaining))
-            executed_total += executed
-            remaining -= executed
-            if not alive:
-                break
-        return executed_total
+        return self._backend.advance(rounds)
 
     def step(self) -> bool:
         """Advance every shard one tick; False once any shard is done."""

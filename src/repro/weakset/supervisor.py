@@ -43,8 +43,9 @@ bugs.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro._rng import derive_uniform
 from repro.errors import SimulationError
@@ -203,6 +204,19 @@ class ShardSupervisor:
         self.policy = policy or RetryPolicy()
         self.stats = ShardRecoveryStats()
         self._logs: List[List[object]] = [[] for _ in range(backend.num_shards)]
+        # -- pipelined-window state (see send_window/harvest_window) --
+        #: in-flight request sets, oldest first; a set moves from here
+        #: into ``_logs`` only once its replies are fully harvested —
+        #: the *acknowledged* point replay rebuilds to.
+        self._window: deque = deque()
+        #: per-shard replies already collected by a mid-window recovery
+        #: (the re-issued suffix answers ahead of the harvest cursor).
+        self._replies_ahead: List[deque] = [
+            deque() for _ in range(backend.num_shards)
+        ]
+        #: shards whose channel failed at *send* time, with the cause;
+        #: recovery happens lazily at their next harvest.
+        self._broken: Dict[int, str] = {}
 
     # -- plumbing --------------------------------------------------------
     @property
@@ -269,6 +283,63 @@ class ShardSupervisor:
             if isinstance(request, (RoundRequest, StepBatchRequest, PeekRequest)):
                 self._logs[index].append(request)
 
+    # -- the supervised pipelined window ---------------------------------
+    def send_window(self, requests: List[object]) -> None:
+        """Issue one request set without harvesting: it joins the window.
+
+        The supervised half of the pipelined driver
+        (:meth:`~repro.weakset.sharding.TransportBackend.advance` with
+        ``window > 1``): requests are sent immediately but only
+        *logged* once :meth:`harvest_window` acknowledges their
+        replies — so replay after a death rebuilds exactly the
+        acknowledged prefix and the whole unacknowledged in-flight
+        suffix is re-issued.  A send failure is recorded, not raised:
+        the shard recovers lazily when its reply is first needed.
+        """
+        for index, (transport, request) in enumerate(
+            zip(self.backend._transports, requests)
+        ):
+            if index in self._broken:
+                continue  # channel already dead; recovery re-sends it
+            try:
+                transport.send(request)
+            except TransportError as error:
+                self._broken[index] = f"send failed: {error}"
+        self._window.append(list(requests))
+
+    def harvest_window(self) -> List[object]:
+        """Harvest (and acknowledge) the oldest in-flight request set.
+
+        Replies come back index-aligned like :meth:`exchange`.  A shard
+        whose channel died — at send time or mid-harvest — runs the
+        windowed recovery: respawn, replay the acknowledged log, then
+        re-issue the **whole** in-flight suffix and buffer its replies
+        parent-side (:attr:`_replies_ahead`), so later harvests of the
+        same window read the buffer instead of the wire and the
+        channel owes nothing once recovery returns (which keeps any
+        fault wrapper's reply schedule aligned with driver exchanges).
+        """
+        if not self._window:
+            raise SimulationError(
+                "harvest_window called with no request set in flight"
+            )
+        replies: List[object] = [None] * self.backend.num_shards
+        for index, transport in enumerate(self.backend._transports):
+            ahead = self._replies_ahead[index]
+            if ahead:
+                replies[index] = ahead.popleft()
+                continue
+            cause = self._broken.pop(index, None)
+            if cause is None:
+                try:
+                    replies[index] = self._recv(transport, index)
+                    continue
+                except (TransportError, ProtocolError) as error:
+                    cause = str(error)
+            replies[index] = self._recover_windowed(index, cause)
+        self._log(self._window.popleft())
+        return replies
+
     # -- recovery --------------------------------------------------------
     def _recover(self, index: int, request: object, cause: str) -> object:
         """Respawn shard ``index``'s worker, replay, re-issue ``request``."""
@@ -320,6 +391,71 @@ class ShardSupervisor:
         self.stats.recovered_shards.append(index)
         self.stats.wall_clock += time.perf_counter() - started
         return reply
+
+    def _recover_windowed(self, index: int, cause: str) -> object:
+        """Respawn shard ``index`` mid-window; return the oldest reply.
+
+        Like :meth:`_recover`, but what gets re-issued after replay is
+        the whole in-flight suffix (every request set in
+        :attr:`_window`, oldest first) rather than a single
+        interrupted request.  All suffix replies are drained under
+        fault suspension; the first answers the harvest in progress,
+        the rest wait in :attr:`_replies_ahead`.
+        """
+        backend = self.backend
+        started = time.perf_counter()
+        self.stats.detections += 1
+        resume_round = int(backend._now)
+        try:
+            backend._transports[index].close()
+        except TransportError:  # pragma: no cover - defensive
+            pass
+        last_error: object = cause
+        collected: Optional[List[object]] = None
+        delays = self.policy.backoff("respawn", index)
+        for attempt in range(self.policy.attempts):
+            if attempt:
+                time.sleep(next(delays))
+            try:
+                raw = backend._respawn(index, resume_round=resume_round)
+            except SimulationError as error:
+                last_error = error
+                continue
+            backend._install_transport(index, raw)
+            self.stats.respawns += 1
+            transport = backend._transports[index]
+            try:
+                with self._suspended(transport):
+                    self._replay(index, transport)
+                    collected = []
+                    for requests in self._window:
+                        transport.send(requests[index])
+                        collected.append(self._recv(transport, index))
+                break
+            except (TransportError, ProtocolError) as error:
+                # the respawned worker died too: close and go around
+                last_error = error
+                collected = None
+                try:
+                    transport.close()
+                except TransportError:  # pragma: no cover - defensive
+                    pass
+        if collected is None:
+            raise SimulationError(
+                f"shard {index} worker died (at round clock {backend._now:g}: "
+                f"{cause}) and could not be recovered after "
+                f"{self.policy.attempts} respawn attempt(s): {last_error}"
+            )
+        for reply in collected:
+            if isinstance(reply, ErrorReply):
+                raise SimulationError(
+                    f"shard {index} worker failed after recovery:\n"
+                    f"{reply.message}"
+                )
+        self._replies_ahead[index].extend(collected[1:])
+        self.stats.recovered_shards.append(index)
+        self.stats.wall_clock += time.perf_counter() - started
+        return collected[0]
 
     def _replay(self, index: int, transport: Transport) -> None:
         """Re-drive the logged request sequence into a fresh world.

@@ -63,6 +63,8 @@ __all__ = [
     "InProcTransport",
     "PipeTransport",
     "SocketTransport",
+    "send_all",
+    "harvest_all",
     "exchange_all",
     "serve_requests",
 ]
@@ -286,6 +288,119 @@ class SocketTransport(Transport):
 # ----------------------------------------------------------------------
 # the overlapped exchange
 # ----------------------------------------------------------------------
+def send_all(
+    transports: Sequence[Transport],
+    requests: Sequence[object],
+    *,
+    timeout: Optional[float] = None,
+) -> Optional[List[float]]:
+    """Send ``requests[i]`` on ``transports[i]`` for all ``i``.
+
+    The issue half of an exchange, usable on its own by pipelined
+    drivers that want several request waves in flight before the first
+    harvest.  With ``timeout`` set, returns the per-request reply
+    deadlines — each stamped ``time.monotonic() + timeout`` *at its own
+    send* — for :func:`harvest_all`; the deadline belongs to the
+    request, so a wave sent later does not inherit an earlier wave's
+    (staler) deadline.  Returns ``None`` when ``timeout`` is ``None``.
+
+    Raises :class:`TransportError` annotated with the failing index.
+    """
+    if len(transports) != len(requests):
+        raise ValueError("one request per transport required")
+    deadlines: Optional[List[float]] = None if timeout is None else []
+    for index, (transport, request) in enumerate(zip(transports, requests)):
+        try:
+            transport.send(request)
+        except TransportError as error:
+            raise TransportError(f"shard {index}: {error}") from None
+        if deadlines is not None:
+            deadlines.append(time.monotonic() + timeout)
+    return deadlines
+
+
+def harvest_all(
+    transports: Sequence[Transport],
+    *,
+    overlap: bool = True,
+    selector: Optional[selectors.BaseSelector] = None,
+    deadlines: Optional[Sequence[float]] = None,
+    timeout: Optional[float] = None,
+) -> List[object]:
+    """Receive exactly one reply per transport, order-canonically.
+
+    The harvest half of an exchange.  With ``overlap=True`` and every
+    transport selectable, replies are collected as they arrive via a
+    selector; otherwise in index order (lock-step).  Either way the
+    returned list is index-aligned with ``transports``.  Each call
+    consumes exactly one reply per channel, and channels deliver
+    replies in request order — so a pipelined driver that issued
+    several waves via :func:`send_all` harvests them one wave at a
+    time, oldest first, and reply ``i`` of each harvest is transport
+    ``i``'s answer to its request in that wave.
+
+    ``deadlines`` optionally bounds each reply individually (monotonic
+    timestamps, index-aligned — normally :func:`send_all`'s return
+    value); a transport whose own deadline passes without a reply
+    raises :class:`TransportError` naming it.  ``timeout`` only labels
+    that error with the originally requested budget.
+    """
+    replies: List[object] = [None] * len(transports)
+    limit = "its deadline" if timeout is None else f"{timeout:g}s"
+    selectable = len(transports) > 1 and all(
+        transport.fileno() is not None for transport in transports
+    )
+    if overlap and selectable:
+        own_selector = selector is None
+        if own_selector:
+            selector = selectors.DefaultSelector()
+            for index, transport in enumerate(transports):
+                selector.register(transport.fileno(), selectors.EVENT_READ, index)
+        try:
+            pending = set(range(len(transports)))
+            while pending:
+                if deadlines is None:
+                    ready = selector.select()
+                else:
+                    now = time.monotonic()
+                    expired = sorted(
+                        index for index in pending if deadlines[index] <= now
+                    )
+                    if expired:
+                        raise TransportError(
+                            f"shard(s) {expired}: no reply within {limit}"
+                        )
+                    wait = min(deadlines[index] for index in pending) - now
+                    ready = selector.select(wait)
+                    if not ready:
+                        continue  # next pass raises for whoever expired
+                for key, _events in ready:
+                    index = key.data
+                    if index not in pending:
+                        continue
+                    try:
+                        replies[index] = transports[index].recv()
+                    except TransportError as error:
+                        raise TransportError(f"shard {index}: {error}") from None
+                    pending.discard(index)
+        finally:
+            if own_selector:
+                selector.close()
+    else:
+        for index, transport in enumerate(transports):
+            if deadlines is not None:
+                remaining = deadlines[index] - time.monotonic()
+                if remaining <= 0 or not transport.poll(remaining):
+                    raise TransportError(
+                        f"shard {index}: no reply within {limit}"
+                    )
+            try:
+                replies[index] = transport.recv()
+            except TransportError as error:
+                raise TransportError(f"shard {index}: {error}") from None
+    return replies
+
+
 def exchange_all(
     transports: Sequence[Transport],
     requests: Sequence[object],
@@ -303,81 +418,34 @@ def exchange_all(
     they are received in index order (lock-step harvest).  Either way
     the returned list is index-aligned with the inputs — the caller
     processes replies in canonical shard order, so traces do not
-    depend on arrival interleaving.
+    depend on arrival interleaving.  (:func:`send_all` and
+    :func:`harvest_all` are the two halves, exposed separately for
+    pipelined drivers that keep several waves in flight.)
 
     ``selector`` optionally supplies a long-lived selector with every
     transport already registered (data = its index); round-loop
     drivers pass one so the per-exchange cost is a single poll, not a
-    register/unregister cycle (exactly one reply per transport is in
-    flight, so registrations can persist across exchanges).
+    register/unregister cycle.
 
-    ``timeout`` optionally bounds the whole harvest: once that many
-    seconds pass without every reply arriving, the exchange raises
-    :class:`TransportError` naming the shards still owing a reply —
-    a wedged or silent worker becomes a diagnosable error instead of a
-    hang.  ``None`` (the default) preserves the historical blocking
-    harvest.
+    ``timeout`` optionally bounds each reply: the deadline is stamped
+    **per request at its send** (not once per call), so a reply's
+    budget starts when its own request went out — a wedged or silent
+    worker becomes a diagnosable :class:`TransportError` naming the
+    shards still owing a reply instead of a hang.  ``None`` (the
+    default) preserves the historical blocking harvest.
 
     Raises :class:`TransportError` (annotated with the shard index) as
     soon as any channel fails; remaining replies are left unread — the
     round is poisoned either way, and the owning backend fails closed.
     """
-    if len(transports) != len(requests):
-        raise ValueError("one request per transport required")
-    deadline = None if timeout is None else time.monotonic() + timeout
-    for index, (transport, request) in enumerate(zip(transports, requests)):
-        try:
-            transport.send(request)
-        except TransportError as error:
-            raise TransportError(f"shard {index}: {error}") from None
-    replies: List[object] = [None] * len(transports)
-    selectable = len(transports) > 1 and all(
-        transport.fileno() is not None for transport in transports
+    deadlines = send_all(transports, requests, timeout=timeout)
+    return harvest_all(
+        transports,
+        overlap=overlap,
+        selector=selector,
+        deadlines=deadlines,
+        timeout=timeout,
     )
-    if overlap and selectable:
-        own_selector = selector is None
-        if own_selector:
-            selector = selectors.DefaultSelector()
-            for index, transport in enumerate(transports):
-                selector.register(transport.fileno(), selectors.EVENT_READ, index)
-        try:
-            pending = set(range(len(transports)))
-            while pending:
-                if deadline is None:
-                    ready = selector.select()
-                else:
-                    remaining = deadline - time.monotonic()
-                    ready = selector.select(max(remaining, 0.0)) if remaining > 0 else []
-                    if not ready:
-                        raise TransportError(
-                            f"shard(s) {sorted(pending)}: no reply within "
-                            f"{timeout:g}s"
-                        )
-                for key, _events in ready:
-                    index = key.data
-                    if index not in pending:
-                        continue
-                    try:
-                        replies[index] = transports[index].recv()
-                    except TransportError as error:
-                        raise TransportError(f"shard {index}: {error}") from None
-                    pending.discard(index)
-        finally:
-            if own_selector:
-                selector.close()
-    else:
-        for index, transport in enumerate(transports):
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 or not transport.poll(remaining):
-                    raise TransportError(
-                        f"shard {index}: no reply within {timeout:g}s"
-                    )
-            try:
-                replies[index] = transport.recv()
-            except TransportError as error:
-                raise TransportError(f"shard {index}: {error}") from None
-    return replies
 
 
 # ----------------------------------------------------------------------

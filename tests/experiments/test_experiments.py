@@ -87,17 +87,35 @@ class TestHeadlineClaims:
 
     def test_c2_transport_backends_match_serial(self):
         table = run_c2(quick=True)
-        assert table.column("backend") == [
-            "serial", "multiprocess", "socket", "socket", "socket",
-        ]
-        # the grid covers both frame codecs and a round-batched row
+        assert table.column("backend") == (
+            ["serial", "multiprocess"] + ["socket"] * 6
+        )
+        # the grid covers both frame codecs, a round-batched row, the
+        # pipelined windows, and a multiplexed (2 worlds/worker) row
         assert "json" in table.column("frames")
         assert 4 in table.column("batch")
+        assert {1, 2, 4} <= set(table.column("win"))
+        assert 2 in table.column("wpw")
         assert all(table.column("matches-serial"))
         # completed + the three latency percentiles agree on every row
         assert len(set(map(tuple, (
-            (row[4], row[5], row[6], row[7]) for row in table.rows
+            (row[5], row[6], row[7], row[8]) for row in table.rows
         )))) == 1
+        # frame-pair accounting: batching cuts pairs, mux halves them
+        # again, and the window re-orders without adding any
+        pairs = dict(zip(
+            zip(table.column("batch"), table.column("win"),
+                table.column("wpw")),
+            table.column("pairs"),
+        ))
+        unbatched = pairs[(1, 1, 1)]
+        batched = pairs[(4, 1, 1)]
+        assert 0 < batched < unbatched
+        assert pairs[(4, 1, 2)] == batched // 2
+        # an open window may add a few speculative pairs at the stream
+        # tail (completions are only visible at harvest) — never fewer
+        assert pairs[(4, 2, 1)] >= batched
+        assert pairs[(4, 4, 1)] >= batched
 
     def test_c3_crashes_reduce_but_do_not_stop_the_stream(self):
         table = run_c3(quick=True)

@@ -25,6 +25,8 @@ from repro.weakset.protocol import (
     ConfigReply,
     ErrorReply,
     HelloRequest,
+    MuxReply,
+    MuxRequest,
     PeekReply,
     PeekRequest,
     ProtocolError,
@@ -188,6 +190,155 @@ class TestRoundTripIdentity:
         message = RoundRequest(adds=((0, 1, "x"), (1, 2, frozenset({("y", 3)}))))
         frame = encode_message(message, codec=codec)
         assert decode_message(frame) == message
+
+
+def _binary_body(message):
+    return encode_message(message, codec="binary")[HEADER_SIZE:]
+
+
+# nested payloads whose leaves all fit one bulk lane — the 'W'
+# flattened layout's target shapes
+nested_strings = st.recursive(
+    st.text(max_size=8),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.frozensets(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+nested_i64 = st.recursive(
+    st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.frozensets(children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+class TestFlattenedLayout:
+    """The 'W' shape-prefixed layout: nested homogeneous containers
+    cross as one shape string plus one column-packed leaf lane; every
+    shape that does not qualify falls back to the recursive walker —
+    and both paths round-trip identically under both frame codecs."""
+
+    @pytest.mark.parametrize("codec", BOTH_CODECS)
+    @given(value=nested_strings)
+    @settings(max_examples=60)
+    def test_string_lane_round_trips(self, codec, value):
+        message = RoundRequest(adds=((0, 0, value),))
+        assert roundtrip(message, codec) == message
+
+    @pytest.mark.parametrize("codec", BOTH_CODECS)
+    @given(value=nested_i64)
+    @settings(max_examples=60)
+    def test_i64_lane_round_trips(self, codec, value):
+        message = PeekReply(crashed=False, proposed=frozenset({(value, 0)}))
+        assert roundtrip(message, codec) == message
+
+    @pytest.mark.parametrize("codec", BOTH_CODECS)
+    @given(value=st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.tuples(children, children),
+            st.frozensets(children, max_size=3),
+        ),
+        max_leaves=10,
+    ))
+    @settings(max_examples=60)
+    def test_walker_fallback_round_trips(self, codec, value):
+        """Mixed-lane leaves (strings next to ints, floats, ⊥ …) do
+        not qualify for a bulk lane; the walker carries them."""
+        message = RoundRequest(adds=((1, 2, (value, "tail")),))
+        assert roundtrip(message, codec) == message
+
+    def test_flattened_layout_engages_on_nested_payloads(self):
+        nested = (("aa", "bb"), frozenset({"cc"}))
+        assert b"W" in _binary_body(RoundRequest(adds=((0, 0, nested),)))
+        # a single (unnested) container stays on the walker: the
+        # shape prefix would cost more than it saves
+        flat = ("aa", "bb", "cc")
+        assert b"W" not in _binary_body(RoundRequest(adds=((0, 0, flat),)))
+        # mixed leaf types disqualify the bulk lanes
+        mixed = (("aa", 1), frozenset({"cc"}))
+        assert b"W" not in _binary_body(RoundRequest(adds=((0, 0, mixed),)))
+        message = RoundRequest(adds=((0, 0, mixed),))
+        assert roundtrip(message, "binary") == message
+
+    def test_big_ints_fall_back_to_the_walker(self):
+        huge = ((1 << 70, 2), (3, 4))
+        body = _binary_body(RoundRequest(adds=((0, 0, huge),)))
+        assert b"W" not in body
+        message = RoundRequest(adds=((0, 0, huge),))
+        for codec in BOTH_CODECS:
+            assert roundtrip(message, codec) == message
+
+    def test_equal_frozensets_encode_byte_identically(self):
+        """The flattened frozenset walk keeps the canonical
+        (repr-sorted) element order, so equal sets built in different
+        orders produce the same bytes in every process."""
+        ab = frozenset({("a", "b"), ("c", "d")})
+        ba = frozenset({("c", "d"), ("a", "b")})
+        left = encode_message(PeekReply(crashed=False, proposed=ab), "binary")
+        right = encode_message(PeekReply(crashed=False, proposed=ba), "binary")
+        assert left == right
+
+
+class TestMuxFrames:
+    """Protocol v4: several shard worlds behind one worker channel."""
+
+    @pytest.mark.parametrize("codec", BOTH_CODECS)
+    def test_mux_request_and_reply_round_trip(self, codec):
+        request = MuxRequest(subs=(
+            RoundRequest(adds=((0, 1, "alpha"),)),
+            StepBatchRequest(rounds=4, adds=()),
+            PeekRequest(pid=2, adds=()),
+        ))
+        assert roundtrip(request, codec) == request
+        reply = MuxReply(subs=(
+            RoundReply(
+                alive=True, completions=((1, 2.0),),
+                crashed=frozenset({0}), now=3.0,
+            ),
+            StepBatchReply(
+                alive=False, executed=2, completions=(),
+                crashed=frozenset(), now=5.0,
+            ),
+            PeekReply(crashed=False, proposed=frozenset({"v"})),
+        ))
+        assert roundtrip(reply, codec) == reply
+
+    @pytest.mark.parametrize("codec", BOTH_CODECS)
+    def test_empty_and_nested_payload_subs(self, codec):
+        request = MuxRequest(subs=(
+            RoundRequest(adds=((0, 0, (("x", "y"), frozenset({"z"}))),)),
+        ))
+        assert roundtrip(request, codec) == request
+
+    @pytest.mark.parametrize("codec", BOTH_CODECS)
+    def test_config_reply_carries_extra_shards(self, codec):
+        config = ConfigReply(
+            shard_index=2, world=b"\x00pickled", codec="binary",
+            extra_shards=(3, 4),
+        )
+        decoded = roundtrip(config, codec)
+        assert decoded == config
+        assert decoded.extra_shards == (3, 4)
+
+    def test_config_reply_without_extra_shards_defaults_empty(self):
+        """A frame from a pre-v4-shaped body (no extra_shards key)
+        decodes with the single-world default."""
+        frame = encode_message(
+            ConfigReply(shard_index=1, world=b"w", codec="binary"),
+            codec="json",
+        )
+        blob = json.loads(frame[HEADER_SIZE:].decode("utf-8"))
+        del blob["v"]["extra_shards"]
+        body = json.dumps(blob).encode("utf-8")
+        header = bytes([PROTOCOL_VERSION, CODECS["json"]]) + len(
+            body
+        ).to_bytes(4, "big")
+        assert decode_message(header + body).extra_shards == ()
 
 
 class TestFraming:

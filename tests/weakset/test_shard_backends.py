@@ -551,3 +551,176 @@ class TestBackendClasses:
             trace_mode="full",
         )
         assert backend.traces()[0] is backend.clusters[0].trace
+
+
+class TestPipelinedWindow:
+    """The pipelined driver: windows change timing, never bytes.
+
+    ``window=W`` keeps up to W round batches in flight before the
+    oldest is harvested; ``worlds_per_worker=M`` multiplexes M shard
+    worlds behind one socket worker.  Both are pure transport-shape
+    levers — every cell of the grid must replay the serial worlds byte
+    for byte, and the frame-pair counters must show the wire cost
+    moving the way the levers promise."""
+
+    def _build(self, backend, **kwargs):
+        return ShardedWeakSetCluster(
+            4,
+            shards=3,
+            environment_factory=ChurnEnvironments(pattern="random", seed=7),
+            backend=backend,
+            **kwargs,
+        )
+
+    def _serial_reference(self):
+        serial = self._build("serial")
+        return _drive(serial), _snapshot(serial)
+
+    def test_window_grid_byte_identical(self):
+        """window × round_batch × codec on the in-process transport:
+        every combination equals the plain serial run."""
+        serial_result, serial_traces = self._serial_reference()
+        for window in (2, 4):
+            for round_batch in (1, 4):
+                for frames in ("binary", "json"):
+                    label = (window, round_batch, frames)
+                    with self._build(
+                        "inproc",
+                        window=window,
+                        round_batch=round_batch,
+                        frames=frames,
+                    ) as cluster:
+                        assert _drive(cluster) == serial_result, label
+                        assert _snapshot(cluster) == serial_traces, label
+
+    def test_window_grid_process_backends(self, start_method):
+        serial_result, serial_traces = self._serial_reference()
+        for backend in ("multiprocess", "socket"):
+            with self._build(
+                backend, window=4, round_batch=4, start_method=start_method
+            ) as cluster:
+                assert _drive(cluster) == serial_result, backend
+                assert _snapshot(cluster) == serial_traces, backend
+
+    def test_worlds_per_worker_byte_identical(self, start_method):
+        """Mux grouping (3 shards: an uneven [0,1]+[2] split and a
+        single [0,1,2] worker) never leaks into the worlds."""
+        serial_result, serial_traces = self._serial_reference()
+        for worlds_per_worker in (2, 3):
+            with self._build(
+                "socket",
+                worlds_per_worker=worlds_per_worker,
+                start_method=start_method,
+            ) as cluster:
+                assert _drive(cluster) == serial_result, worlds_per_worker
+                assert _snapshot(cluster) == serial_traces, worlds_per_worker
+
+    def test_mux_composes_with_batching_and_window(self):
+        serial_result, serial_traces = self._serial_reference()
+        with self._build(
+            "socket", worlds_per_worker=2, round_batch=4, window=2
+        ) as cluster:
+            assert _drive(cluster) == serial_result
+            assert _snapshot(cluster) == serial_traces
+
+    def test_frame_pair_counters(self):
+        """Batching must actually shrink the frame-pair count (the
+        0.99-speedup fix is structural, not a timing claim); a deeper
+        window may add a few speculative batches but no more."""
+        def pairs(**kwargs):
+            with self._build("inproc", **kwargs) as cluster:
+                _drive(cluster)
+                backend = cluster.backend
+                # one frame pair per shard channel per exchange
+                assert backend.frame_pairs == backend.exchanges * 3
+                return backend.frame_pairs
+
+        unbatched = pairs()
+        batched = pairs(round_batch=4)
+        windowed = pairs(round_batch=4, window=4)
+        assert batched < unbatched
+        assert batched <= windowed < unbatched
+
+    def test_mux_frame_pairs_collapse(self):
+        """worlds_per_worker=3 puts all 3 shard worlds behind one
+        channel: same exchanges, a third of the frame pairs."""
+        def measure(worlds_per_worker):
+            with self._build(
+                "socket", worlds_per_worker=worlds_per_worker
+            ) as cluster:
+                _drive(cluster)
+                return cluster.backend.exchanges, cluster.backend.frame_pairs
+
+        solo_exchanges, solo_pairs = measure(1)
+        mux_exchanges, mux_pairs = measure(3)
+        assert solo_exchanges == mux_exchanges
+        assert solo_pairs == 3 * mux_pairs
+
+    def test_churn_workload_window_invariant(self):
+        reference = run_churn_workload(
+            n=3, shards=2, total_adds=10, adds_per_round=2,
+            pattern="round-robin", backend="serial", seed=5,
+        )
+        for backend, window, worlds_per_worker in (
+            ("inproc", 2, None),
+            ("inproc", 4, None),
+            ("socket", 4, None),
+            ("socket", 2, 2),
+        ):
+            run = run_churn_workload(
+                n=3, shards=2, total_adds=10, adds_per_round=2,
+                pattern="round-robin", backend=backend, seed=5,
+                round_batch=4, window=window,
+                worlds_per_worker=worlds_per_worker,
+            )
+            label = (backend, window, worlds_per_worker)
+            assert run.latencies == reference.latencies, label
+            assert run.completed == reference.completed, label
+
+    def test_window_and_mux_validation(self):
+        with pytest.raises(SimulationError, match="window"):
+            ShardedWeakSetCluster(2, shards=1, backend="inproc", window=0)
+        with pytest.raises(SimulationError, match="worlds_per_worker"):
+            ShardedWeakSetCluster(
+                2, shards=1, backend="socket", worlds_per_worker=0
+            )
+        with pytest.raises(SimulationError, match="socket"):
+            ShardedWeakSetCluster(
+                2, shards=1, backend="inproc", worlds_per_worker=2
+            )
+        # serial accepts (and ignores) window: the CLI can pass it
+        # uniformly without special-casing the reference backend
+        cluster = ShardedWeakSetCluster(2, shards=1, window=4)
+        cluster.handle(0).add("v")
+
+    def test_mux_rejects_per_shard_channel_features(self):
+        """Supervision and fault plans address individual shard
+        channels; a multiplexed worker has no such channel."""
+        from repro.weakset.faults import parse_fault_plan
+
+        with pytest.raises(SimulationError, match="worlds_per_worker"):
+            ShardedWeakSetCluster(
+                2, shards=2, backend="socket", worlds_per_worker=2,
+                recover=True,
+            )
+        with pytest.raises(SimulationError, match="worlds_per_worker"):
+            ShardedWeakSetCluster(
+                2, shards=2, backend="socket", worlds_per_worker=2,
+                fault_plan=parse_fault_plan("kill:0:2"),
+            )
+
+    def test_constructed_backend_rejects_window_knobs(self):
+        backend = SerialBackend(
+            3,
+            shards=2,
+            environment_factory=ChurnEnvironments(seed=1),
+            crash_schedule=None,
+            max_total_rounds=100,
+            trace_mode="full",
+        )
+        with pytest.raises(SimulationError, match="construction-time"):
+            ShardedWeakSetCluster(3, shards=2, backend=backend, window=2)
+        with pytest.raises(SimulationError, match="construction-time"):
+            ShardedWeakSetCluster(
+                3, shards=2, backend=backend, worlds_per_worker=2
+            )

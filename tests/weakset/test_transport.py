@@ -25,6 +25,8 @@ from repro.weakset.transport import (
     SocketTransport,
     TransportError,
     exchange_all,
+    harvest_all,
+    send_all,
     serve_requests,
 )
 
@@ -202,6 +204,81 @@ class TestExchangeAll:
         thread.join(timeout=10)
         for transport in (left0, right0, left1):
             transport.close()
+
+
+class TestDeadlineBookkeeping:
+    """Reply deadlines belong to *requests*, not to driver calls.
+
+    ``send_all(timeout=)`` stamps each request's deadline at its own
+    send; ``harvest_all`` then bounds each reply by its own stamp —
+    the contract a pipelined driver relies on so a wave sent later
+    never inherits an earlier wave's staler budget."""
+
+    def test_send_all_stamps_each_deadline_at_its_own_send(self):
+        class SlowSend(InProcTransport):
+            def send(self, message):
+                time.sleep(0.05)
+                super().send(message)
+
+        transports = [SlowSend(lambda request: StopReply()) for _ in range(3)]
+        before = time.monotonic()
+        deadlines = send_all(transports, [StopRequest()] * 3, timeout=1.0)
+        after = time.monotonic()
+        assert len(deadlines) == 3
+        assert deadlines == sorted(deadlines)
+        # each stamp is send-time + timeout, so the third (sent two
+        # slow sends later) is measurably later than the first
+        assert deadlines[2] - deadlines[0] >= 0.08
+        for deadline in deadlines:
+            assert before + 1.0 <= deadline <= after + 1.0
+
+    def test_send_all_without_timeout_returns_no_deadlines(self):
+        transports = [InProcTransport(lambda request: StopReply())]
+        assert send_all(transports, [StopRequest()]) is None
+
+    def test_harvest_raises_for_the_shard_past_its_own_deadline(self):
+        quick = InProcTransport(lambda request: StopReply())
+        quick.send(StopRequest())  # its reply is already buffered
+        silent = InProcTransport(lambda request: StopReply())
+        now = time.monotonic()
+        with pytest.raises(TransportError, match="shard 1"):
+            harvest_all(
+                [quick, silent],
+                deadlines=[now + 5.0, now + 0.05],
+                timeout=0.05,
+            )
+
+    def test_overlapped_harvest_times_out_only_the_late_shard(self):
+        left0, right0 = socket_pair()
+        left1, right1 = socket_pair()
+        right0.send(StopReply())  # shard 0's reply is already in flight
+        now = time.monotonic()
+        try:
+            with pytest.raises(TransportError, match=r"shard\(s\) \[1\]"):
+                harvest_all(
+                    [left0, left1],
+                    deadlines=[now + 5.0, now + 0.1],
+                    timeout=0.1,
+                )
+        finally:
+            for transport in (left0, right0, left1, right1):
+                transport.close()
+
+    def test_later_wave_gets_a_fresh_budget(self):
+        """Two pipelined waves on one channel: the second wave's
+        deadline starts at *its* send, and the harvests drain the
+        channel's replies oldest-wave-first."""
+        transports = [InProcTransport(lambda request: StopReply())]
+        first = send_all(transports, [StopRequest()], timeout=1.0)
+        time.sleep(0.05)
+        second = send_all(transports, [StopRequest()], timeout=1.0)
+        assert second[0] - first[0] >= 0.04
+        assert harvest_all(transports, deadlines=first, timeout=1.0) == [
+            StopReply()
+        ]
+        assert harvest_all(transports, deadlines=second, timeout=1.0) == [
+            StopReply()
+        ]
 
 
 class TestServeRequests:
