@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test chaos bench bench-shard perf docs experiments experiments-full
+.PHONY: test chaos membership coverage bench bench-shard perf docs \
+	experiments experiments-full
 
 test:
 	$(PYTHON) -m pytest -q
@@ -13,6 +14,22 @@ test:
 chaos:
 	$(PYTHON) -m pytest -q -m chaos tests/weakset
 	$(PYTHON) -m repro.experiments C4
+
+# Membership suite: the elastic-sharding layer alone — the HashRing
+# properties, the join/leave byte-identity matrix (every backend ×
+# start method × batch/window shape), the mid-migration chaos tests,
+# and the C5 rebalance grid as an end-to-end smoke.
+membership:
+	$(PYTHON) -m pytest -q -m membership tests/weakset
+	$(PYTHON) -m repro.experiments C5
+
+# Tier-1 suite under coverage (needs pytest-cov; CI installs it — see
+# .github/workflows/ci.yml, which also enforces the floor).
+coverage:
+	@$(PYTHON) -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed (pip install pytest-cov)"; exit 1; }
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing \
+		--cov-fail-under=80
 
 # Capture the performance trajectory (micro benches + T1/F1/C1/C3
 # quick + T3 full) into BENCH_micro.json.  See PERFORMANCE.md.

@@ -399,6 +399,51 @@ def test_bench_shard_recovery_time(benchmark):
     assert run.recovery is not None and run.recovery.respawns == 1
 
 
+def _grown_membership_cluster(shards: int) -> ShardedWeakSetCluster:
+    """A steady serial shard cluster at round 6 with 8 adds in flight."""
+    cluster = ShardedWeakSetCluster(8, shards=shards, max_total_rounds=500)
+    for pid in range(8):
+        cluster.handle(pid).add_async(f"grow-{pid}")
+    cluster.advance(6)
+    return cluster
+
+
+def test_bench_shard_rebalance_join(benchmark):
+    """One ``join_shard()`` on a steady 2-shard serial cluster.
+
+    What is timed is the whole membership change: the consistent-hash
+    ring diff, the minimal moved-value set, migration, and the
+    deterministic seed replay that rebuilds the newcomer's world to the
+    current round.  Each bench round starts from a fresh steady cluster
+    (built in setup, outside the measurement).  The fresh-twin bench
+    below is the yardstick: a rebalance is pinned byte-identical to
+    constructing the post-join membership from scratch, so its cost
+    should stay in the same ballpark as (and amortize better than)
+    that rebuild.
+    """
+
+    def join(cluster):
+        member = cluster.join_shard()
+        stats = cluster.last_rebalance
+        assert stats.moved_values >= 1 and member in stats.rebuilt_members
+        return stats
+
+    benchmark.pedantic(
+        join,
+        setup=lambda: ((_grown_membership_cluster(2),), {}),
+        rounds=5,
+        iterations=1,
+    )
+
+
+def test_bench_shard_rebalance_fresh_twin(benchmark):
+    """The rebalance's equivalence yardstick, measured directly:
+    construct the post-join membership (3 shard groups) from scratch
+    and drive it through the identical schedule to the same round."""
+    cluster = benchmark(_grown_membership_cluster, 3)
+    assert cluster.now == 6.0
+
+
 def _steady_multiprocess_cluster(overlap: bool) -> ShardedWeakSetCluster:
     """A 4-shard multiprocess cluster at steady state (adds landed)."""
     backend = MultiprocessBackend(

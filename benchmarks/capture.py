@@ -234,6 +234,15 @@ def main(argv=None) -> int:
     recovery = micro.get("test_bench_shard_recovery_time")
     if multiproc and recovery:
         speedups["shard_recovery_time"] = round(recovery / multiproc, 2)
+    # Elastic membership (PR 8): one join_shard() rebalance against its
+    # equivalence yardstick — constructing the post-join membership
+    # from scratch and driving the identical schedule.  > 1 means the
+    # incremental rebalance (migrate + replay only the rebuilt worlds)
+    # beats a full rebuild; the floor only trips if it blows past it.
+    rebalance = micro.get("test_bench_shard_rebalance_join")
+    fresh = micro.get("test_bench_shard_rebalance_fresh_twin")
+    if rebalance and fresh:
+        speedups["shard_rebalance_time"] = round(fresh / rebalance, 2)
     drifting = micro.get("test_bench_drifting_round_throughput")
     recorded = PR4_RECORDED_US.get("test_bench_drifting_round_throughput")
     if drifting and recorded:

@@ -78,6 +78,13 @@ SAME_RUN_FLOORS = [
         "the flattened 'W' layout lost its edge over JSON on nested "
         "payloads",
     ),
+    (
+        "shard_rebalance_time",
+        0.5,
+        "a join rebalance costs more than twice a from-scratch rebuild "
+        "of the same membership (migrate + targeted replay stopped "
+        "paying for itself)",
+    ),
 ]
 
 #: reference-machine trajectory floors (--strict only)

@@ -52,6 +52,22 @@ def _parse_fault_plan(text: str):
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
+def _parse_leave(text: str) -> Tuple[int, int]:
+    """argparse adapter for ``ROUND:MEMBER`` retire specs."""
+    parts = text.split(":")
+    try:
+        if len(parts) != 2:
+            raise ValueError
+        at, member = int(parts[0]), int(parts[1])
+        if at < 0 or member < 0:
+            raise ValueError
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected ROUND:MEMBER (two non-negative ints), got {text!r}"
+        ) from None
+    return at, member
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -139,6 +155,26 @@ def main(argv=None) -> int:
         "combine with --recover to heal, omit it to verify fail-closed",
     )
     parser.add_argument(
+        "--join-at",
+        type=int,
+        action="append",
+        default=None,
+        metavar="R",
+        help="C5: grow the churn cluster by one shard member at round R "
+        "(repeatable; replaces C5's stock scenario grid with this one "
+        "— the consistent-hash rebalance migrates the minimal key set "
+        "and the tables stay backend-invariant)",
+    )
+    parser.add_argument(
+        "--leave-at",
+        type=_parse_leave,
+        action="append",
+        default=None,
+        metavar="R:MEMBER",
+        help="C5: retire shard MEMBER at round R (repeatable; combines "
+        "with --join-at into one custom scenario)",
+    )
+    parser.add_argument(
         "--listen",
         type=_parse_address,
         default=None,
@@ -159,6 +195,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.join_at is not None and any(at < 0 for at in args.join_at):
+        parser.error("--join-at rounds must be >= 0")
     if args.round_batch is not None and args.round_batch < 1:
         parser.error("--round-batch must be >= 1")
     if args.window is not None and args.window < 1:
@@ -179,13 +217,15 @@ def main(argv=None) -> int:
             or args.worlds_per_worker is not None
             or args.recover
             or args.fault_plan is not None
+            or args.join_at is not None
+            or args.leave_at is not None
         ):
             # parent-side knobs; the worker adopts whatever the parent
             # negotiated, so accepting them here would mislead
             parser.error(
                 "--connect runs a bare worker; drop IDs/--listen/--backend/"
                 "--frames/--round-batch/--window/--worlds-per-worker/"
-                "--recover/--fault-plan"
+                "--recover/--fault-plan/--join-at/--leave-at"
             )
         from repro.weakset.sharding import run_socket_worker
 
@@ -218,6 +258,8 @@ def main(argv=None) -> int:
             worlds_per_worker=args.worlds_per_worker,
             recover=args.recover or None,
             fault_plan=args.fault_plan,
+            join_at=args.join_at,
+            leave_at=args.leave_at,
         )
         print(table.render())
         print()

@@ -30,6 +30,16 @@ add-stream workload natural, and these experiments characterize it.
   recovery wall-clock — against the crash fraction, backend, and round
   batch, and demonstrates the headline guarantee: the recovered run's
   results are identical to an unfaulted run of the same cell.
+* **C5** — elastic sharding.  The same spaced add stream while the
+  cluster *changes membership mid-run*: a shard member joins
+  (``join_at``), retires (``leave_at``), or both.  The consistent-hash
+  ring moves only the minimal key set and the affected worlds are
+  replayed from their seeds, so the simulation-domain results are
+  identical across backends (and — pinned in
+  ``tests/weakset/test_membership.py`` — identical to a cluster
+  *constructed* with the final membership).  The table reports the
+  rebalance cost: values moved, world ticks replayed, wall-clock
+  inside the migration.
 
 All three scale far beyond their table grids: the driver
 (:func:`repro.sim.runner.run_churn_workload`) accepts arbitrarily long
@@ -44,7 +54,7 @@ from __future__ import annotations
 
 import time
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.tables import Table
 from repro.giraf.adversary import CrashSchedule
@@ -53,7 +63,7 @@ from repro.sim.workloads import CHURN_PATTERNS, recovery_fault_plan
 from repro.weakset.faults import FaultPlan
 from repro.weakset.supervisor import RetryPolicy
 
-__all__ = ["run_c1", "run_c2", "run_c3", "run_c4"]
+__all__ = ["run_c1", "run_c2", "run_c3", "run_c4", "run_c5"]
 
 
 def run_c1(
@@ -382,4 +392,100 @@ def run_c4(
                     (run.completed, run.latencies)
                     == (clean.completed, clean.latencies),
                 )
+    return table
+
+
+def run_c5(
+    quick: bool = True,
+    seed: int = 0,
+    backend: Optional[str] = None,
+    frames: str = "binary",
+    round_batch: Optional[int] = None,
+    join_at: Optional[Sequence[int]] = None,
+    leave_at: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Table:
+    """C5: elastic sharding — membership-change cost per backend.
+
+    Each cell drives the same spaced add stream (one add per round,
+    round-robin over ``n`` clients — membership changes need per-pid
+    adds far enough apart that the rewritten history is admissible
+    under the new routing) while the cluster joins a member, retires
+    one, or both.  ``join_at``/``leave_at`` replace the stock scenario
+    grid with one custom scenario (the CLI's ``--join-at`` /
+    ``--leave-at``).  The ``matches-serial`` column re-runs the
+    scenario's first backend as reference and compares the completed
+    count and every latency — the rebalance replays worlds from their
+    SHA-512 seeds, so they are identical.
+    """
+    backends = [backend] if backend else (
+        ["serial", "inproc"] if quick else ["serial", "multiprocess", "socket"]
+    )
+    n = 8
+    shards = 2
+    total_adds = 16 if quick else 48
+    if join_at is not None or leave_at is not None:
+        scenarios = [("custom", tuple(join_at or ()), tuple(leave_at or ()))]
+    else:
+        grow, shrink = (6, 12) if quick else (10, 40)
+        scenarios = [
+            (f"join@{grow}", (grow,), ()),
+            (f"leave@{shrink}", (), ((shrink, 0),)),
+            (
+                f"join@{grow},leave@{shrink}",
+                (grow,),
+                ((shrink, 0),),
+            ),
+        ]
+
+    table = Table(
+        experiment_id="C5",
+        title="Elastic sharding: membership-change cost under load",
+        headers=[
+            "backend", "event", "batch", "moved", "replayed",
+            "rebal-wall-s", "completed", "p50", "matches-serial",
+        ],
+        notes=[
+            "each row joins/retires shard members mid-stream; moved = "
+            "values the consistent-hash ring reassigned (minimal: only "
+            "keys whose owner changed), replayed = world ticks re-run "
+            "to rebuild the affected worlds from their seed streams",
+            "matches-serial compares completed count and every add "
+            "latency against the scenario's reference backend — "
+            "deterministic replay makes membership changes invisible "
+            "to the simulation domain",
+            f"n={n}, shards={shards}, adds={total_adds}, frames={frames}, "
+            f"seed={seed}",
+        ],
+    )
+    batch = round_batch or 1
+    for label, joins, leaves in scenarios:
+        reference = None
+        for backend_name in backends:
+            run = run_churn_workload(
+                n=n,
+                shards=shards,
+                total_adds=total_adds,
+                adds_per_round=1,
+                pattern="random",
+                backend=backend_name,
+                seed=seed,
+                frames=frames,
+                round_batch=batch,
+                join_at=joins,
+                leave_at=leaves,
+            )
+            summary = (run.completed, run.latencies)
+            if reference is None:
+                reference = summary
+            table.add_row(
+                backend_name,
+                label,
+                batch,
+                run.moved_values,
+                run.replayed_ticks,
+                sum(stats.wall_clock for stats in run.rebalances),
+                run.completed,
+                run.percentile_latency(50),
+                summary == reference,
+            )
     return table

@@ -13,7 +13,13 @@ from typing import Callable, Dict, List, Optional
 from repro.analysis.tables import Table
 from repro.experiments.ablations import run_a1, run_a2, run_a3
 from repro.experiments.baseline_table import run_t7
-from repro.experiments.churn_tables import run_c1, run_c2, run_c3, run_c4
+from repro.experiments.churn_tables import (
+    run_c1,
+    run_c2,
+    run_c3,
+    run_c4,
+    run_c5,
+)
 from repro.experiments.consensus_tables import run_f1, run_f2, run_t1, run_t2
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
@@ -43,6 +49,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "C2": run_c2,
     "C3": run_c3,
     "C4": run_c4,
+    "C5": run_c5,
 }
 
 
@@ -59,6 +66,8 @@ def run_experiment(
     worlds_per_worker: Optional[int] = None,
     recover: Optional[bool] = None,
     fault_plan: Optional[object] = None,
+    join_at: Optional[object] = None,
+    leave_at: Optional[object] = None,
 ) -> Table:
     """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``).
 
@@ -72,7 +81,9 @@ def run_experiment(
     backend's world multiplexing; ``recover`` turns on worker
     supervision and ``fault_plan`` injects a
     :class:`~repro.weakset.faults.FaultPlan` of scheduled transport
-    faults.  Runners without the matching knob ignore them.
+    faults.  ``join_at``/``leave_at`` hand C5 a custom membership-change
+    scenario (rounds to grow at; ``(round, member)`` pairs to retire).
+    Runners without the matching knob ignore them.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -90,6 +101,8 @@ def run_experiment(
         ("worlds_per_worker", worlds_per_worker),
         ("recover", recover),
         ("fault_plan", fault_plan),
+        ("join_at", join_at),
+        ("leave_at", leave_at),
     ):
         if value is not None and name in parameters:
             kwargs[name] = value

@@ -21,7 +21,16 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.stats import percentile
 from repro.core.checkers import ConsensusReport, check_consensus
@@ -40,6 +49,10 @@ from repro.sim.workloads import ChurnEnvironments
 from repro.weakset.faults import FaultPlan
 from repro.weakset.spec import AddRecord
 from repro.weakset.supervisor import RetryPolicy, ShardRecoveryStats
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids the
+    # heavy sharding import at module load
+    from repro.weakset.sharding import RebalanceStats
 
 __all__ = [
     "ChurnRun",
@@ -232,6 +245,15 @@ class ChurnRun:
             per worker channel per exchange).  Zero for the serial
             backend (no wire).  These are what round batching and
             world multiplexing shrink, independent of timing noise.
+        rebalances: one
+            :class:`~repro.weakset.sharding.RebalanceStats` per
+            membership change the run performed (``join_at`` /
+            ``leave_at``), in firing order — where the elastic-scaling
+            cost (moved values, replayed ticks, wall clock) shows.
+            The simulation-domain results are rebalance-invariant in
+            the sense pinned by ``tests/weakset/test_membership.py``:
+            a run that joins a member at round R matches one
+            *constructed* with the post-join membership.
     """
 
     issued: int
@@ -245,6 +267,17 @@ class ChurnRun:
     recovery: Optional["ShardRecoveryStats"] = None
     exchanges: int = 0
     frame_pairs: int = 0
+    rebalances: List["RebalanceStats"] = field(default_factory=list)
+
+    @property
+    def moved_values(self) -> int:
+        """Total values migrated across all membership changes."""
+        return sum(stats.moved_values for stats in self.rebalances)
+
+    @property
+    def replayed_ticks(self) -> int:
+        """Total world ticks replayed across all membership changes."""
+        return sum(stats.replayed_ticks for stats in self.rebalances)
 
     def percentile_latency(self, q: float) -> Optional[float]:
         """Nearest-rank percentile of the completed-add latencies.
@@ -279,6 +312,8 @@ def run_churn_workload(
     recover: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    join_at: Sequence[int] = (),
+    leave_at: Sequence[Tuple[int, int]] = (),
 ) -> ChurnRun:
     """Drive a stream of weak-set adds across shards and measure latency.
 
@@ -353,6 +388,21 @@ def run_churn_workload(
         retry_policy: optional
             :class:`~repro.weakset.supervisor.RetryPolicy` shaping
             recovery backoff and reply deadlines.
+        join_at: rounds at which to grow the cluster by one member
+            (:meth:`~repro.weakset.sharding.ShardedWeakSetCluster.join_shard`).
+            Each fires once, when the run's round counter first reaches
+            it; queued and in-flight adds are re-routed to the new
+            ownership.  Per-change cost lands in
+            :attr:`ChurnRun.rebalances`.
+        leave_at: ``(round, member)`` pairs at which to retire a member
+            (:meth:`~repro.weakset.sharding.ShardedWeakSetCluster.leave_shard`).
+            Fires like ``join_at``; same-round events fire joins first.
+            A membership change replays history under the new routing,
+            so it fails closed (:class:`~repro.errors.SimulationError`)
+            when one pid's adds that would share a new owner have no
+            admissible replay — space per-pid adds apart (low
+            ``adds_per_round`` relative to ``n``) to keep change
+            rounds feasible; the outcome is deterministic per seed.
 
     Returns:
         A :class:`ChurnRun` with latency percentiles and throughput.
@@ -411,18 +461,56 @@ def run_churn_workload(
         remaining = total_adds
         skipped = 0
         rounds = 0
+        rebalance_stats: List["RebalanceStats"] = []
+        events = sorted(
+            [(at, "join", None) for at in join_at]
+            + [(at, "leave", member) for at, member in leave_at]
+        )
 
         def drop_slot(key: Tuple[int, int]) -> None:
             """Abandon a crashed slot's queue (its pid cannot add again)."""
             nonlocal remaining, skipped
-            dropped = len(pending[key])
-            pending[key].clear()
+            dropped = len(pending.get(key, ()))
+            if dropped:
+                pending[key].clear()
             skipped += dropped
             remaining -= dropped
+
+        def reroute() -> None:
+            """Re-key the driver's routing tables after a membership
+            change: queued and in-flight adds follow their values to
+            the new ownership (slot indices shift when members come
+            and go)."""
+            nonlocal pending, ready, busy
+            queued = sorted(
+                item for items in pending.values() for item in items
+            )
+            pending = {}
+            for index, value, pid in queued:
+                key = (pid, cluster.shard_index_for(value))
+                pending.setdefault(key, deque()).append((index, value, pid))
+            busy = {
+                (record.pid, cluster.shard_index_for(record.value)): record
+                for record in busy.values()
+            }
+            ready = [
+                (items[0][0], key)
+                for key, items in pending.items()
+                if key not in busy
+            ]
+            heapq.heapify(ready)
 
         while remaining or busy:
             if cluster.exhausted or rounds >= max_total_rounds:
                 break
+            while events and rounds >= events[0][0]:
+                _at, kind, member = events.pop(0)
+                if kind == "join":
+                    cluster.join_shard()
+                else:
+                    cluster.leave_shard(member)
+                rebalance_stats.append(cluster.last_rebalance)
+                reroute()
             issued_now = 0
             while issued_now < adds_per_round and ready:
                 _, key = heapq.heappop(ready)
@@ -444,11 +532,14 @@ def run_churn_workload(
             # window full.
             drain_span = round_batch * window
             step = drain_span if not remaining and drain_span > 1 else 1
+            if events and events[0][0] > rounds:
+                # land exactly on the next membership change
+                step = min(step, events[0][0] - rounds)
             rounds += cluster.advance(step)
             for key, record in list(busy.items()):
                 if record.end is not None:
                     del busy[key]
-                    items = pending[key]
+                    items = pending.get(key)
                     if items:
                         heapq.heappush(ready, (items[0][0], key))
                 elif crash_schedule is not None and cluster.backend.crashed(
@@ -474,6 +565,7 @@ def run_churn_workload(
             recovery=cluster.recovery_stats,
             exchanges=getattr(cluster.backend, "exchanges", 0),
             frame_pairs=getattr(cluster.backend, "frame_pairs", 0),
+            rebalances=rebalance_stats,
         )
     finally:
         cluster.close()

@@ -5,7 +5,10 @@
 * :mod:`~repro.weakset.ms_weakset` — Algorithm 4 (weak-set in MS);
 * :mod:`~repro.weakset.cluster` — synchronous facade over Algorithm 4;
 * :mod:`~repro.weakset.sharding` — value-partitioned scale-out across
-  K shard clusters behind the same handle API;
+  K shard clusters behind the same handle API, with runtime membership
+  (join/leave + consistent-hash rebalance);
+* :mod:`~repro.weakset.ring` — the consistent-hash membership ring
+  (SHA-512 placement, minimal movement);
 * :mod:`~repro.weakset.ms_emulation` — Algorithm 5 (MS from weak-set);
 * :mod:`~repro.weakset.register_adapter` — Proposition 1 (regular
   register from weak-set);
@@ -33,10 +36,13 @@ from repro.weakset.ms_weakset import (
     WeakSetRunResult,
     run_ms_weakset,
 )
+from repro.weakset.protocol import MigrateReply, MigrateRequest
 from repro.weakset.register_adapter import RegisterEntry, WeakSetRegister
+from repro.weakset.ring import HashRing, ring_for_shards
 from repro.weakset.sharding import (
     InProcBackend,
     MultiprocessBackend,
+    RebalanceStats,
     SerialBackend,
     ShardBackend,
     ShardServer,
@@ -70,15 +76,19 @@ __all__ = [
     "FaultyTransport",
     "FiniteUniverseWeakSet",
     "GetRecord",
+    "HashRing",
     "IdealWeakSet",
     "InProcBackend",
     "KnownParticipantsWeakSet",
     "MSEmulation",
+    "MigrateReply",
+    "MigrateRequest",
     "MSWeakSetAlgorithm",
     "MSWeakSetCluster",
     "MultiprocessBackend",
     "OpLog",
     "OpScript",
+    "RebalanceStats",
     "RegisterBackedMSEmulation",
     "RegisterEntry",
     "RetryPolicy",
@@ -98,6 +108,7 @@ __all__ = [
     "WeakSetRunResult",
     "check_weakset",
     "parse_fault_plan",
+    "ring_for_shards",
     "run_ms_weakset",
     "run_socket_worker",
     "shard_of",

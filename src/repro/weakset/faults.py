@@ -45,6 +45,17 @@ Faults count only **driver** exchanges: while the supervisor replays a
 respawned world the wrapper is :meth:`~FaultyTransport.suspended`, so
 scheduled faults keep their meaning ("the 7th round the *experiment*
 drives") no matter how much recovery traffic interleaves.
+
+Faults also carry a **phase**: ``"live"`` faults (the default) fire at
+driver exchanges as above, while ``"rebalance"`` faults fire at
+*migration* exchanges — the frames a membership change
+(:meth:`~repro.weakset.sharding.ShardedWeakSetCluster.join_shard` /
+``leave_shard``) sends while rebuilding moved worlds, which flow
+inside :meth:`FaultyTransport.rebalancing`.  The two counters are
+independent: live traffic never trips a rebalance fault and a
+rebalance never consumes a live fault's exchange budget, so a plan
+like ``kill:2:3:rebalance`` deterministically kills shard 2's worker
+in the middle of a migration without disturbing the run around it.
 """
 
 from __future__ import annotations
@@ -61,6 +72,7 @@ from repro.weakset.transport import Transport, TransportError
 
 __all__ = [
     "FAULT_KINDS",
+    "FAULT_PHASES",
     "Fault",
     "FaultPlan",
     "FaultyTransport",
@@ -70,6 +82,10 @@ __all__ = [
 #: recognised fault kinds, in spec-string order of documentation.
 FAULT_KINDS = ("kill", "reset", "drop", "duplicate", "delay", "truncate")
 
+#: recognised fault phases: live driver exchanges vs membership
+#: rebalance (migration/replay) exchanges.
+FAULT_PHASES = ("live", "rebalance")
+
 
 @dataclass(frozen=True)
 class Fault:
@@ -77,12 +93,17 @@ class Fault:
 
     Attributes:
         kind: one of :data:`FAULT_KINDS`.
-        shard: shard index whose channel misbehaves.
+        shard: member id whose channel misbehaves (equal to the shard
+            index until runtime membership changes the mapping).
         at: 1-based driver exchange at which the fault fires (exchange
             1 is the first request the backend sends after start-up).
+            For ``phase="rebalance"`` faults, the 1-based *migration*
+            exchange instead.
         delay: stall length in seconds (``delay`` faults only).
         cut: bytes of the encoded frame actually shipped (``truncate``
             faults only; must land inside the frame).
+        phase: ``"live"`` (default) or ``"rebalance"`` — which
+            exchange counter the fault fires against.
     """
 
     kind: str
@@ -90,12 +111,18 @@ class Fault:
     at: int
     delay: float = 0.0
     cut: int = 3
+    phase: str = "live"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise SimulationError(
                 f"unknown fault kind {self.kind!r} (expected one of "
                 f"{', '.join(FAULT_KINDS)})"
+            )
+        if self.phase not in FAULT_PHASES:
+            raise SimulationError(
+                f"unknown fault phase {self.phase!r} (expected one of "
+                f"{', '.join(FAULT_PHASES)})"
             )
         if self.shard < 0:
             raise SimulationError("fault shard index must be >= 0")
@@ -186,13 +213,18 @@ class FaultPlan:
 def parse_fault_plan(text: str) -> FaultPlan:
     """Parse the CLI's ``--fault-plan`` spec into a :class:`FaultPlan`.
 
-    The spec is comma-separated ``kind:shard:at[:param]`` entries; the
-    optional fourth field is the delay in seconds for ``delay`` faults
-    and the byte cut for ``truncate`` faults (other kinds take none).
+    The spec is comma-separated ``kind:shard:at[:param][:rebalance]``
+    entries; the optional parameter field is the delay in seconds for
+    ``delay`` faults and the byte cut for ``truncate`` faults (other
+    kinds take none).  A trailing ``rebalance`` field schedules the
+    fault against *migration* exchanges (membership changes) instead
+    of live driver exchanges.
 
-        >>> parse_fault_plan("kill:0:5, delay:1:3:0.5").faults
-        (Fault(kind='kill', shard=0, at=5, delay=0.0, cut=3),\
- Fault(kind='delay', shard=1, at=3, delay=0.5, cut=3))
+        >>> plan = parse_fault_plan("kill:0:5, delay:1:3:0.5")
+        >>> [(f.kind, f.shard, f.at, f.delay) for f in plan.faults]
+        [('kill', 0, 5, 0.0), ('delay', 1, 3, 0.5)]
+        >>> parse_fault_plan("kill:2:3:rebalance").faults[0].phase
+        'rebalance'
     """
     faults: List[Fault] = []
     for entry in text.split(","):
@@ -200,9 +232,14 @@ def parse_fault_plan(text: str) -> FaultPlan:
         if not entry:
             continue
         parts = entry.split(":")
+        phase = "live"
+        if len(parts) > 3 and parts[-1].strip().lower() == "rebalance":
+            phase = "rebalance"
+            parts = parts[:-1]
         if len(parts) not in (3, 4):
             raise SimulationError(
-                f"bad fault spec {entry!r} (expected kind:shard:at[:param])"
+                f"bad fault spec {entry!r} (expected "
+                "kind:shard:at[:param][:rebalance])"
             )
         kind = parts[0].strip().lower()
         try:
@@ -232,7 +269,7 @@ def parse_fault_plan(text: str) -> FaultPlan:
                 raise SimulationError(
                     f"bad fault spec {entry!r}: {kind!r} faults take no parameter"
                 )
-        faults.append(Fault(kind, shard, at, **extra))
+        faults.append(Fault(kind, shard, at, phase=phase, **extra))
     if not faults:
         raise SimulationError("empty fault plan spec")
     return FaultPlan(tuple(faults))
@@ -253,8 +290,18 @@ class FaultyTransport(Transport):
     def __init__(self, inner: Transport, shard: int, plan: FaultPlan):
         self._inner = inner
         self._shard = shard
-        self._schedule: List[Fault] = list(plan.for_shard(shard))
+        scheduled = plan.for_shard(shard)
+        self._schedule: List[Fault] = [
+            fault for fault in scheduled if fault.phase == "live"
+        ]
+        #: rebalance-phase faults fire against their own exchange
+        #: counter, bumped only inside :meth:`rebalancing` blocks.
+        self._rebalance_schedule: List[Fault] = [
+            fault for fault in scheduled if fault.phase == "rebalance"
+        ]
         self._exchanges = 0
+        self._rebalance_exchanges = 0
+        self._rebalancing = 0
         self._suspended = 0
         # one entry per reply the channel still owes, in request order:
         # ``[fault-or-None, remaining delay]``.  A FIFO (not a single
@@ -305,10 +352,33 @@ class FaultyTransport(Transport):
         finally:
             self._suspended -= 1
 
+    @contextlib.contextmanager
+    def rebalancing(self) -> Iterator[None]:
+        """Route traffic in the block through the *rebalance* schedule.
+
+        Membership migration frames (world reset + history replay)
+        flow through here: they bump the rebalance exchange counter
+        and can fire only ``phase="rebalance"`` faults, so live fault
+        schedules keep their driver-exchange meaning across a
+        rebalance — and chaos tests can kill a worker precisely
+        mid-migration.  Reentrant, like :meth:`suspended`.
+        """
+        self._rebalancing += 1
+        try:
+            yield
+        finally:
+            self._rebalancing -= 1
+
     # -- fault machinery -------------------------------------------------
     def _due(self) -> Optional[Fault]:
-        if self._schedule and self._schedule[0].at <= self._exchanges:
-            return self._schedule.pop(0)
+        if self._rebalancing:
+            schedule = self._rebalance_schedule
+            count = self._rebalance_exchanges
+        else:
+            schedule = self._schedule
+            count = self._exchanges
+        if schedule and schedule[0].at <= count:
+            return schedule.pop(0)
         return None
 
     def _kill_channel(self) -> None:
@@ -324,7 +394,10 @@ class FaultyTransport(Transport):
             return
         if self._dead:
             raise TransportError("peer is gone (injected fault)")
-        self._exchanges += 1
+        if self._rebalancing:
+            self._rebalance_exchanges += 1
+        else:
+            self._exchanges += 1
         fault = self._due()
         if fault is None:
             self._inner.send(message)
@@ -397,6 +470,11 @@ class FaultyTransport(Transport):
                     time.sleep(timeout)
                 entry[1] -= max(timeout, 0.0)
                 return False
-            time.sleep(entry[1])
+            stall = entry[1]
+            time.sleep(stall)
             entry[1] = 0.0
+            # the stall spent part of the budget; only the remainder is
+            # left to wait on the wire (a stall equal to the deadline
+            # still succeeds when the reply is already buffered).
+            return self._inner.poll(max(timeout - stall, 0.0))
         return self._inner.poll(timeout)

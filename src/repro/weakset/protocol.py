@@ -158,6 +158,8 @@ __all__ = [
     "ErrorReply",
     "MuxRequest",
     "MuxReply",
+    "MigrateRequest",
+    "MigrateReply",
     "HelloRequest",
     "ConfigReply",
     "encode_message",
@@ -174,8 +176,11 @@ __all__ = [
 #: version 4 added the multiplexed frames (:class:`MuxRequest` /
 #: :class:`MuxReply`), ``ConfigReply.extra_shards`` (one worker
 #: hosting several shard worlds) and the flattened ``'W'``
-#: nested-container value layout.
-PROTOCOL_VERSION = 4
+#: nested-container value layout; version 5 added the membership
+#: rebalance pair (:class:`MigrateRequest` / :class:`MigrateReply`)
+#: that resets one worker's world in place before the parent replays
+#: its rewritten history (``join_shard`` / ``leave_shard``).
+PROTOCOL_VERSION = 5
 
 _HEADER = struct.Struct(">BBI")
 
@@ -366,6 +371,38 @@ class MuxReply:
     subs: Tuple[object, ...]
 
 
+@dataclass(frozen=True)
+class MigrateRequest:
+    """Reset the worker's world for a membership rebalance (v5).
+
+    Sent over an *existing* channel when a ``join_shard`` /
+    ``leave_shard`` changed which values the hosted world owns: the
+    worker discards its current world and in-flight add records and
+    builds a fresh one for ``shard_index`` (its own member id — the
+    field double-checks the parent and worker agree which world this
+    channel hosts).  The parent then replays the member's rewritten
+    request history into the fresh world, exactly like the
+    supervisor's crash replay; ``resume_round`` records the round
+    clock that replay is expected to reach, mirroring
+    :class:`ConfigReply.resume_round`.
+    """
+
+    shard_index: int
+    resume_round: int = 0
+
+
+@dataclass(frozen=True)
+class MigrateReply:
+    """Acknowledges a :class:`MigrateRequest`: the fresh world's clock.
+
+    ``now`` is always 0.0 for a just-built world; carrying it lets the
+    parent assert the reset actually happened before replaying.
+    """
+
+    shard_index: int
+    now: float
+
+
 # ----------------------------------------------------------------------
 # bootstrap (socket transport only)
 # ----------------------------------------------------------------------
@@ -508,6 +545,21 @@ _MESSAGE_CODECS: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any
             extra_shards=tuple(v.get("extra_shards", ())),
         ),
     ),
+    # the migrate pair (protocol v5) is cold-path traffic — one pair
+    # per rebuilt world per membership change — so it rides the binary
+    # codec's JSON escape hatch like every other bootstrap message
+    "migrate_req": (
+        MigrateRequest,
+        lambda m: {"shard_index": m.shard_index, "resume_round": m.resume_round},
+        lambda v: MigrateRequest(
+            shard_index=v["shard_index"], resume_round=v.get("resume_round", 0)
+        ),
+    ),
+    "migrate_rep": (
+        MigrateReply,
+        lambda m: {"shard_index": m.shard_index, "now": m.now},
+        lambda v: MigrateReply(shard_index=v["shard_index"], now=v["now"]),
+    ),
     # the multiplexed frames nest ordinary tagged messages, so the JSON
     # side is simply a list of tagged blobs
     "mux_req": (
@@ -591,6 +643,23 @@ def _repeat(fmt: str, count: int) -> struct.Struct:
     one per element.
     """
     return struct.Struct(">" + fmt * count)
+
+
+def _check_items(body: bytes, offset: int, count: int, itemsize: int) -> None:
+    """Reject a wire-read item count the remaining body cannot hold.
+
+    Counts come off the wire before the items they describe; a garbage
+    or hostile count (say ``0xFFFFFFFF``) would otherwise be handed to
+    :func:`_repeat`, which builds the format *string* first — gigabytes
+    of work before ``struct.error`` ever gets a chance.  Checking
+    ``count * itemsize`` against the bytes actually present turns every
+    such frame into an immediate :class:`ProtocolError`.
+    """
+    if count * itemsize > len(body) - offset:
+        raise ProtocolError(
+            f"binary body announces {count} items of {itemsize} byte(s) "
+            f"but only {len(body) - offset} bytes remain"
+        )
 
 #: value kind bytes as ints (decode compares ``body[offset]`` directly)
 _K_NONE, _K_TRUE, _K_FALSE = ord("N"), ord("T"), ord("F")
@@ -769,6 +838,7 @@ def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
     if kind == _K_TUPLE:
         (count,) = _U32.unpack_from(body, offset)
         offset += 4
+        _check_items(body, offset, count, 1)
         items = []
         for _ in range(count):
             item, offset = _decode_binary_value(body, offset)
@@ -777,6 +847,7 @@ def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
     if kind == _K_FSET:
         (count,) = _U32.unpack_from(body, offset)
         offset += 4
+        _check_items(body, offset, count, 1)
         items = []
         for _ in range(count):
             item, offset = _decode_binary_value(body, offset)
@@ -785,6 +856,11 @@ def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
     if kind == _K_FLAT:
         (shape_size,) = _U32.unpack_from(body, offset)
         offset += 4
+        if shape_size > len(body) - offset:
+            raise ProtocolError(
+                f"flattened shape prefix announces {shape_size} bytes, "
+                f"only {len(body) - offset} remain"
+            )
         shape = body[offset : offset + shape_size]
         offset += shape_size
         lane = body[offset]
@@ -793,6 +869,7 @@ def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
         offset += 4
         leaves: list = []
         if lane == _LANE_STR:
+            _check_items(body, offset, count, 4)
             lengths = _repeat("I", count).unpack_from(body, offset)
             offset += 4 * count
             (blob_size,) = _U32.unpack_from(body, offset)
@@ -804,6 +881,7 @@ def _decode_binary_value(body: bytes, offset: int) -> Tuple[Any, int]:
                 leaves.append(text[position : position + length])
                 position += length
         elif lane == _LANE_I64:
+            _check_items(body, offset, count, 8)
             leaves.extend(_repeat("q", count).unpack_from(body, offset))
             offset += 8 * count
         else:
@@ -866,8 +944,10 @@ def _unpack_adds(body: bytes, offset: int) -> Tuple[Tuple[QueuedAdd, ...], int]:
     offset += 1
     adds = []
     if bulk:
+        _check_items(body, offset, count, 12)
         heads = _repeat("QI", count).unpack_from(body, offset)
         offset += 12 * count
+        _check_items(body, offset, count, 4)
         lengths = _repeat("I", count).unpack_from(body, offset)
         offset += 4 * count
         (blob_size,) = _U32.unpack_from(body, offset)
@@ -911,6 +991,7 @@ def _unpack_round_outcome(body: bytes, offset: int):
     (count,) = _U32.unpack_from(body, offset)
     offset += 4
     if count:
+        _check_items(body, offset, count, 16)
         flat = _repeat("Qd", count).unpack_from(body, offset)
         offset += 16 * count
         completions = tuple(zip(flat[0::2], flat[1::2]))
@@ -918,6 +999,7 @@ def _unpack_round_outcome(body: bytes, offset: int):
         completions = ()
     (count,) = _U32.unpack_from(body, offset)
     offset += 4
+    _check_items(body, offset, count, 4)
     crashed = frozenset(_repeat("I", count).unpack_from(body, offset))
     offset += 4 * count
     (now,) = _F64.unpack_from(body, offset)
@@ -1019,6 +1101,7 @@ def _decode_binary_body(body: bytes) -> object:
             offset = 7
             items = []
             if body[2]:  # bulk all-strings layout
+                _check_items(body, offset, count, 4)
                 lengths = _repeat("I", count).unpack_from(body, offset)
                 offset += 4 * count
                 (blob_size,) = _U32.unpack_from(body, offset)
@@ -1029,6 +1112,7 @@ def _decode_binary_body(body: bytes) -> object:
                     items.append(text[position : position + length])
                     position += length
             else:
+                _check_items(body, offset, count, 1)
                 for _ in range(count):
                     item, offset = _decode_binary_value(body, offset)
                     items.append(item)
@@ -1050,6 +1134,7 @@ def _decode_binary_body(body: bytes) -> object:
         if tag in (_B_MUX_REQ, _B_MUX_REP):
             (count,) = _U32.unpack_from(body, 1)
             offset = 5
+            _check_items(body, offset, count, 4)
             subs = []
             for _ in range(count):
                 (length,) = _U32.unpack_from(body, offset)
@@ -1058,8 +1143,19 @@ def _decode_binary_body(body: bytes) -> object:
                 offset += length
             cls = MuxRequest if tag == _B_MUX_REQ else MuxReply
             return cls(subs=tuple(subs))
-    except (struct.error, IndexError) as error:
-        raise ProtocolError(f"truncated binary frame body: {error}") from None
+    except ProtocolError:
+        raise
+    except (
+        struct.error,       # short buffer under a column unpack
+        IndexError,         # direct body[i] read past the end
+        UnicodeDecodeError, # bulk string blob is not valid utf-8
+        ValueError,         # e.g. a 'V' bignum whose digits aren't ascii digits
+        OverflowError,      # a length/count that doesn't fit machine ints
+        RecursionError,     # hostile deeply-nested container prefix
+    ) as error:
+        raise ProtocolError(
+            f"truncated or corrupt binary frame body: {error!r}"
+        ) from None
     raise ProtocolError(f"unknown binary message tag {tag!r}")
 
 

@@ -76,7 +76,8 @@ from abc import ABC, abstractmethod
 from collections import deque
 from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
-from repro._rng import derive_randrange
+from dataclasses import dataclass
+
 from repro.errors import ProtocolMisuse, SimulationError
 from repro.giraf.adversary import CrashSchedule
 from repro.giraf.environments import Environment, MovingSourceEnvironment
@@ -88,6 +89,8 @@ from repro.weakset.protocol import (
     ConfigReply,
     ErrorReply,
     HelloRequest,
+    MigrateReply,
+    MigrateRequest,
     MuxReply,
     MuxRequest,
     PeekReply,
@@ -105,6 +108,7 @@ from repro.weakset.protocol import (
     VersionMismatch,
     WorldConfig,
 )
+from repro.weakset.ring import HashRing, ring_for_shards
 from repro.weakset.spec import AddRecord, GetRecord, OpLog, WeakSet
 from repro.weakset.faults import FaultPlan, FaultyTransport
 from repro.weakset.supervisor import (
@@ -134,6 +138,7 @@ __all__ = [
     "MultiprocessBackend",
     "SocketBackend",
     "ShardServer",
+    "RebalanceStats",
     "spawn_socket_workers",
     "run_socket_worker",
     "parse_address",
@@ -155,10 +160,13 @@ def _default_environment(shard_index: int) -> Environment:
 def shard_of(value: Hashable, shards: int) -> int:
     """The shard a value lives on.
 
-    Deterministic for content-``repr`` values (see the module
-    docstring); derived via SHA-512, never the salted builtin ``hash``,
-    so the same value routes identically in every process — which is
-    what lets the transport backends route adds parent-side.
+    Routes through the consistent-hash ring over members
+    ``0..shards-1`` (:func:`repro.weakset.ring.ring_for_shards`) — the
+    same SHA-512-derived streams every seeded policy uses, never the
+    salted builtin ``hash`` — so the same value routes identically in
+    every process, and a cluster that *grew* to ``shards`` members via
+    :meth:`ShardedWeakSetCluster.join_shard` routes exactly like a
+    cluster constructed with ``shards`` members.
 
     Args:
         value: the value being added or looked up.
@@ -177,7 +185,171 @@ def shard_of(value: Hashable, shards: int) -> int:
     """
     if shards <= 1:
         return 0
-    return derive_randrange(shards, "weakset-shard", value)
+    return ring_for_shards(shards).owner(value)
+
+
+@dataclass(frozen=True)
+class RebalanceStats:
+    """What one membership change (:meth:`ShardedWeakSetCluster.join_shard`
+    / :meth:`~ShardedWeakSetCluster.leave_shard`) cost.
+
+    Attributes:
+        joined: member ids added by this change.
+        left: member ids removed by this change.
+        moved_values: distinct already-delivered values whose owner
+            changed (the consistent-hash minimal set).
+        rebuilt_members: member ids whose worlds were reconstructed by
+            seed replay (old and new owners of moved values, plus every
+            joined member); all other worlds were untouched.
+        replayed_ticks: lock-step ticks replayed across the rebuilt
+            worlds (``rebuilt worlds × current round``).
+        wall_clock: seconds the rebalance took, migration included.
+    """
+
+    joined: Tuple[int, ...]
+    left: Tuple[int, ...]
+    moved_values: int
+    rebuilt_members: Tuple[int, ...]
+    replayed_ticks: int
+    wall_clock: float
+
+
+def _resolve_members(shards: int, members: Optional[List[int]]) -> List[int]:
+    """Validate and normalize a backend's member-id list."""
+    if members is None:
+        return list(range(shards))
+    ordered = list(members)
+    if not ordered:
+        raise SimulationError("need at least one shard member")
+    if ordered != sorted(set(ordered)) or any(
+        (not isinstance(m, int)) or isinstance(m, bool) or m < 0 for m in ordered
+    ):
+        raise SimulationError(
+            f"members must be sorted, unique, non-negative ints: {members!r}"
+        )
+    if len(ordered) != shards:
+        raise SimulationError(
+            f"members {ordered!r} names {len(ordered)} shard worlds, "
+            f"but shards={shards}"
+        )
+    return ordered
+
+
+@dataclass
+class _RebalancePlan:
+    """The classification one membership change computes up front."""
+
+    joined: List[int]
+    removed: List[int]
+    rebuilt: List[int]  # member ids (all in the new membership) to rebuild
+    moved_values: int
+
+
+def _plan_rebalance(
+    old_members: List[int],
+    new_members: List[int],
+    history: List[tuple],
+    route_old: Callable[[Hashable], int],
+    route_new: Callable[[Hashable], int],
+    pending_tokens: FrozenSet[int] = frozenset(),
+) -> _RebalancePlan:
+    """Classify a membership change against the operation history.
+
+    A world needs rebuilding exactly when its *delivered-add stream*
+    changes under the new routing: the old and new owners of every
+    moved delivered value, plus every joined member (whose world must
+    exist and be caught up to the current round).  Pending (queued,
+    undelivered) adds never force a rebuild — they are simply
+    re-bucketed to their new owner's queue, exactly where a freshly
+    constructed cluster would hold them.
+
+    Raises :class:`~repro.errors.SimulationError` — before anything is
+    mutated — when two still-in-flight adds by the same pid would land
+    on the same new owner: a cluster constructed with the new
+    membership would have rejected the second add outright
+    (:class:`~repro.errors.ProtocolMisuse`), so there is no equivalent
+    state to rebalance into.
+    """
+    ordered = list(new_members)
+    if not ordered:
+        raise SimulationError("membership cannot become empty")
+    if ordered != sorted(set(ordered)) or any(
+        (not isinstance(m, int)) or isinstance(m, bool) or m < 0 for m in ordered
+    ):
+        raise SimulationError(
+            f"new membership must be sorted, unique, non-negative ints: "
+            f"{new_members!r}"
+        )
+    old_set = frozenset(old_members)
+    new_set = frozenset(ordered)
+    joined = sorted(new_set - old_set)
+    removed = sorted(old_set - new_set)
+    in_flight: Dict[Tuple[int, int], Hashable] = {}
+    moved: set = set()
+    rebuilt: set = set(joined)
+    for entry in history:
+        if entry[0] != "add":
+            continue
+        _kind, token, pid, value, record = entry
+        owner_new = route_new(value)
+        if record.end is None:
+            key = (owner_new, pid)
+            if key in in_flight:
+                raise SimulationError(
+                    f"cannot rebalance: process {pid} has in-flight adds "
+                    f"{in_flight[key]!r} and {value!r} that would share new "
+                    f"owner {owner_new} (a cluster built with the new "
+                    "membership would have rejected the second add); "
+                    "advance until one completes first"
+                )
+            in_flight[key] = value
+        if token is not None and token in pending_tokens:
+            continue  # undelivered: re-bucketed, never replayed
+        owner_old = route_old(value)
+        if owner_old != owner_new:
+            moved.add(value)
+            if owner_old in new_set:
+                rebuilt.add(owner_old)
+            rebuilt.add(owner_new)
+    return _RebalancePlan(joined, removed, sorted(rebuilt), len(moved))
+
+
+def _member_replay_requests(
+    history: List[tuple],
+    member: int,
+    route_new: Callable[[Hashable], int],
+    pending_tokens: FrozenSet[int],
+) -> List[object]:
+    """The wire request sequence that rebuilds ``member``'s world.
+
+    Walks the global history and keeps only the delivered adds the new
+    routing assigns to ``member``, closing each add run with the tick
+    span that followed it — the exact operation sequence a cluster
+    constructed with the new membership would have driven into this
+    world.  Delivered adds issued after the last tick ride a trailing
+    peek frame (adds apply before the peek reads; the world's clock
+    does not move), mirroring how a live peek delivers queued adds.
+    The list doubles as the supervisor's request log for the slot, so
+    a *later* crash replays the rebalanced world correctly.
+    """
+    requests: List[object] = []
+    adds: List[QueuedAdd] = []
+    for entry in history:
+        if entry[0] == "step":
+            requests.append(
+                StepBatchRequest(rounds=entry[1], adds=tuple(adds))
+            )
+            adds = []
+            continue
+        _kind, token, pid, value, _record = entry
+        if token in pending_tokens:
+            continue  # undelivered: re-bucketed to the live queue
+        if route_new(value) != member:
+            continue
+        adds.append((token, pid, value))
+    if adds:
+        requests.append(PeekRequest(pid=0, adds=tuple(adds)))
+    return requests
 
 
 # ----------------------------------------------------------------------
@@ -196,6 +368,12 @@ class ShardBackend(ABC):
 
     Attributes:
         num_shards: how many shard worlds the backend drives.
+        members: the sorted member ids owning the shard worlds, one per
+            slot (``members[slot]`` seeds slot ``slot``'s world:
+            environment factory argument, worker handshake index).  A
+            freshly constructed backend has ``members == [0..K-1]``;
+            runtime membership (:meth:`apply_membership`) may leave
+            holes, e.g. ``[0, 2, 3]`` after member 1 left.
         n: process count inside every shard world.
         round_batch: how many lock-step ticks the facade's ``advance``
             coalesces into one :meth:`step_batch` call (transport
@@ -211,9 +389,49 @@ class ShardBackend(ABC):
     """
 
     num_shards: int
+    members: List[int]
     n: int
     round_batch: int = 1
     window: int = 1
+
+    # -- membership history ---------------------------------------------
+    # Every backend that supports runtime membership keeps the global
+    # operation history: the interleaving of issued adds and lock-step
+    # ticks since construction.  A rebalance replays the *owned* slice
+    # of this history into each rebuilt world — the same seed-replay
+    # idea the supervisor uses for crash recovery, applied to a
+    # membership change instead of a worker death.  Entries:
+    #   ("add", token, pid, value, record)   token is None serially
+    #   ("step", ticks)                      coalesced with the tail
+    def _record_add(
+        self, token: Optional[int], pid: int, value: Hashable, record: AddRecord
+    ) -> None:
+        self._history.append(("add", token, pid, value, record))
+
+    def _record_steps(self, ticks: int) -> None:
+        if ticks < 1:
+            return
+        history = self._history
+        if history and history[-1][0] == "step":
+            history[-1] = ("step", history[-1][1] + ticks)
+        else:
+            history.append(("step", ticks))
+
+    def apply_membership(
+        self,
+        new_members: List[int],
+        route_old: Callable[[Hashable], int],
+        route_new: Callable[[Hashable], int],
+    ) -> RebalanceStats:
+        """Rebalance to ``new_members`` (member-id routes old/new).
+
+        Only the serial backend and the single-world-per-channel
+        transport backends support runtime membership; the default
+        rejects it.
+        """
+        raise SimulationError(
+            f"{type(self).__name__} does not support runtime membership"
+        )
 
     @property
     @abstractmethod
@@ -351,6 +569,7 @@ class SerialBackend(ShardBackend):
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        members: Optional[List[int]] = None,
     ):
         # ``frames`` is accepted (and checked) for signature uniformity
         # with the transport backends; no wire is involved here, so the
@@ -374,17 +593,25 @@ class SerialBackend(ShardBackend):
             )
         self.round_batch = round_batch
         self.window = window
-        self.num_shards = shards
+        self.members = _resolve_members(shards, members)
+        self.num_shards = len(self.members)
         self.n = n
+        # kept for runtime membership: a rebalanced world is rebuilt
+        # from exactly these construction ingredients plus the history
+        self._environment_factory = environment_factory
+        self._crash_schedule = crash_schedule
+        self._max_total_rounds = max_total_rounds
+        self._trace_mode = trace_mode
+        self._history: List[tuple] = []
         self.clusters: List[MSWeakSetCluster] = [
             MSWeakSetCluster(
                 n,
-                environment=environment_factory(shard_index),
+                environment=environment_factory(member),
                 crash_schedule=crash_schedule,
                 max_total_rounds=max_total_rounds,
                 trace_mode=trace_mode,
             )
-            for shard_index in range(shards)
+            for member in self.members
         ]
 
     @property
@@ -396,14 +623,103 @@ class SerialBackend(ShardBackend):
         return any(cluster.exhausted for cluster in self.clusters)
 
     def begin_add(self, shard_index: int, pid: int, value: Hashable) -> AddRecord:
-        return self.clusters[shard_index].begin_add(pid, value)
+        record = self.clusters[shard_index].begin_add(pid, value)
+        self._record_add(None, pid, value, record)
+        return record
 
     def step(self) -> bool:
         alive = True
         for cluster in self.clusters:
             if not cluster.step():
                 alive = False
+        self._record_steps(1)
         return alive
+
+    def apply_membership(
+        self,
+        new_members: List[int],
+        route_old: Callable[[Hashable], int],
+        route_new: Callable[[Hashable], int],
+    ) -> RebalanceStats:
+        started = time.perf_counter()
+        if self.exhausted:
+            raise SimulationError(
+                "cannot change membership once a shard world is exhausted"
+            )
+        plan = _plan_rebalance(
+            self.members, new_members, self._history, route_old, route_new
+        )
+        # Rebuild each affected world from its seed: a fresh cluster
+        # driven through the owned slice of the global history — the
+        # exact begin_add/step sequence a cluster *constructed* with
+        # the new membership would have executed.  The replay drives
+        # throwaway records; originals are only mutated once every
+        # world replayed cleanly, so a replay-time rejection leaves
+        # the cluster untouched on the old membership.
+        rebuilt: Dict[int, MSWeakSetCluster] = {}
+        replayed_ticks = 0
+        swaps: List[Tuple[MSWeakSetCluster, AddRecord, AddRecord]] = []
+        for member in plan.rebuilt:
+            world = MSWeakSetCluster(
+                self.n,
+                environment=self._environment_factory(member),
+                crash_schedule=self._crash_schedule,
+                max_total_rounds=self._max_total_rounds,
+                trace_mode=self._trace_mode,
+            )
+            for entry in self._history:
+                if entry[0] == "step":
+                    for _ in range(entry[1]):
+                        world.step()
+                    replayed_ticks += entry[1]
+                    continue
+                _kind, _token, pid, value, record = entry
+                if route_new(value) != member:
+                    continue
+                try:
+                    replayed = world.begin_add(pid, value)
+                except (ProtocolMisuse, SimulationError) as error:
+                    raise SimulationError(
+                        f"cannot rebalance: replaying member {member}'s "
+                        f"history has no equivalent state under the new "
+                        f"membership ({error})"
+                    ) from None
+                swaps.append((world, replayed, record))
+            if world.now != self.now:
+                raise SimulationError(
+                    f"rebuilt world for member {member} replayed to round "
+                    f"{world.now:g}, cluster is at {self.now:g}"
+                )
+            rebuilt[member] = world
+        # Adopt the replay outcomes.  The replayed timeline is the
+        # authoritative one for every value a rebuilt world owns: the
+        # caller-held records take its stamps — identical for values
+        # that did not move; the new owner's timeline for moved ones,
+        # exactly what a fresh post-change cluster stamps — and the
+        # worlds swap the original objects back in so live traffic
+        # keeps stamping what the caller holds (blocking-add loop,
+        # OpLog).
+        for world, replayed, record in swaps:
+            record.end = replayed.end
+            for sequence in (world.log.adds, world._in_flight):
+                for index, item in enumerate(sequence):
+                    if item is replayed:
+                        sequence[index] = record
+        by_member = dict(zip(self.members, self.clusters))
+        for member in plan.removed:
+            del by_member[member]
+        by_member.update(rebuilt)
+        self.members = list(new_members)
+        self.num_shards = len(self.members)
+        self.clusters = [by_member[member] for member in self.members]
+        return RebalanceStats(
+            joined=tuple(plan.joined),
+            left=tuple(plan.removed),
+            moved_values=plan.moved_values,
+            rebuilt_members=tuple(plan.rebuilt),
+            replayed_ticks=replayed_ticks,
+            wall_clock=time.perf_counter() - started,
+        )
 
     def crashed(self, shard_index: int, pid: int) -> bool:
         return self.clusters[shard_index]._scheduler.processes[pid].crashed
@@ -447,6 +763,8 @@ class ShardServer:
     """
 
     def __init__(self, config: WorldConfig, shard_index: int, resume_round: int = 0):
+        self._config = config
+        self.shard_index = shard_index
         self.cluster = MSWeakSetCluster(
             config.n,
             environment=config.environment_factory(shard_index),
@@ -552,6 +870,29 @@ class ShardServer:
             )
         if isinstance(request, TraceRequest):
             return TraceReply(trace=self.cluster.trace)
+        if isinstance(request, MigrateRequest):
+            # Membership rebalance (protocol v5): reset this worker's
+            # world to a fresh seed-built state in place — the parent
+            # then replays the member's rewritten history to the
+            # current round, exactly like a supervisor respawn but
+            # without paying for a new process.
+            if request.shard_index != self.shard_index:
+                raise ProtocolMisuse(
+                    f"migrate aimed at shard {request.shard_index}, this "
+                    f"worker hosts shard {self.shard_index}"
+                )
+            self.cluster = MSWeakSetCluster(
+                self._config.n,
+                environment=self._config.environment_factory(self.shard_index),
+                crash_schedule=self._config.crash_schedule,
+                max_total_rounds=self._config.max_total_rounds,
+                trace_mode=self._config.trace_mode,
+            )
+            self._records = {}
+            self.resume_round = request.resume_round
+            return MigrateReply(
+                shard_index=self.shard_index, now=self.cluster.now
+            )
         if isinstance(request, StopRequest):
             # serve_requests intercepts stops before they reach a
             # handler; InProcTransport dispatches here directly, so
@@ -908,6 +1249,7 @@ class TransportBackend(ShardBackend):
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        members: Optional[List[int]] = None,
     ):
         if frames not in CODECS:
             known = ", ".join(sorted(CODECS))
@@ -919,8 +1261,11 @@ class TransportBackend(ShardBackend):
         self.frames = frames
         self.round_batch = round_batch
         self.window = window
-        self.num_shards = shards
+        self.members = _resolve_members(shards, members)
+        self.num_shards = len(self.members)
+        shards = self.num_shards
         self.n = n
+        self._history: List[tuple] = []
         #: structural wire-cost counters: driver exchanges issued, and
         #: request/reply frame pairs they put on the wire (one per
         #: worker channel per exchange — so batching and mux visibly
@@ -974,8 +1319,10 @@ class TransportBackend(ShardBackend):
         try:
             self._start()
             if fault_plan:
+                # fault schedules address *member ids* (== shard
+                # indices until membership changes at runtime)
                 self._transports = [
-                    FaultyTransport(transport, index, fault_plan)
+                    FaultyTransport(transport, self.members[index], fault_plan)
                     for index, transport in enumerate(self._transports)
                 ]
             if recover:
@@ -1008,15 +1355,25 @@ class TransportBackend(ShardBackend):
         return self._supervisor.stats if self._supervisor is not None else None
 
     def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
-        """Start a replacement worker for ``shard_index``; return its
-        raw (unwrapped) transport.
+        """Start a replacement worker for slot ``shard_index``; return
+        its raw (unwrapped) transport.
 
-        Called by the supervisor after detecting worker death; the
-        base backend has no idea how its subclass makes workers, so
-        recovery is only available where a subclass overrides this.
-        Raises :class:`~repro.errors.SimulationError` on a failed
-        attempt (the supervisor retries under its backoff policy).
+        Called by the supervisor after detecting worker death.  Slots
+        are translated to member ids here (identical until runtime
+        membership changes them), so subclasses implement only
+        :meth:`_spawn_world`.  Raises
+        :class:`~repro.errors.SimulationError` on a failed attempt
+        (the supervisor retries under its backoff policy).
         """
+        return self._spawn_world(
+            self.members[shard_index], resume_round=resume_round
+        )
+
+    def _spawn_world(self, member: int, *, resume_round: int = 0) -> Transport:
+        """Start a worker hosting ``member``'s world; return its raw
+        transport.  The base backend has no idea how its subclass makes
+        workers, so recovery and membership joins are only available
+        where a subclass overrides this."""
         raise SimulationError(
             f"{type(self).__name__} cannot respawn shard workers"
         )
@@ -1164,6 +1521,7 @@ class TransportBackend(ShardBackend):
         self._records[token] = record
         self._in_flight[(shard_index, pid)] = record
         self._pending[shard_index].append((token, pid, value))
+        self._record_add(token, pid, value, record)
         return record
 
     def step(self) -> bool:
@@ -1202,6 +1560,332 @@ class TransportBackend(ShardBackend):
                 "should stop every shard at the same tick)"
             )
         return executed_counts.pop(), self._apply_step_replies(replies)
+
+    # -- runtime membership ----------------------------------------------
+    def apply_membership(
+        self,
+        new_members: List[int],
+        route_old: Callable[[Hashable], int],
+        route_new: Callable[[Hashable], int],
+    ) -> RebalanceStats:
+        """Rebalance the live worker fleet onto ``new_members``.
+
+        The facade calls this between advances, so the transport window
+        is already quiescent (no exchange in flight).  Leaving members'
+        workers are stopped; every member whose owned-value set changes
+        (plus every joined member) gets its world **reset and replayed**
+        from the rewritten global history — the same seed-replay the
+        supervisor uses for crash recovery, carried by the protocol-v5
+        :class:`~repro.weakset.protocol.MigrateRequest` /
+        :class:`~repro.weakset.protocol.MigrateReply` handshake — so
+        the rebalanced cluster is byte-identical to one *constructed*
+        with the new membership and driven through the same schedule.
+
+        Migration traffic is not a driver exchange: it does not bump
+        :attr:`exchanges`/:attr:`frame_pairs`, and scheduled faults fire
+        on it only when tagged ``phase="rebalance"``
+        (:meth:`~repro.weakset.faults.FaultyTransport.rebalancing`).
+        With ``recover=True`` a worker killed mid-migration is respawned
+        under the supervisor's backoff policy and its replay re-driven
+        from scratch; without supervision a mid-migration death poisons
+        the backend exactly like a mid-round death.
+        """
+        started = time.perf_counter()
+        self._ensure_open()
+        if self._mux:
+            raise SimulationError(
+                "runtime membership needs one shard world per worker "
+                "channel; worlds_per_worker > 1 multiplexes several"
+            )
+        if self.exhausted:
+            raise SimulationError(
+                "cannot change membership once a shard world is exhausted"
+            )
+        pending_tokens = frozenset(
+            token for batch in self._pending for token, _pid, _value in batch
+        )
+        plan = _plan_rebalance(
+            self.members,
+            new_members,
+            self._history,
+            route_old,
+            route_new,
+            pending_tokens,
+        )
+        old_members = list(self.members)
+        replay_lists = {
+            member: _member_replay_requests(
+                self._history, member, route_new, pending_tokens
+            )
+            for member in plan.rebuilt
+        }
+
+        # 1. stop the leaving members' workers.  Like close(), the stop
+        #    handshake is quiet: unfired scheduled faults must not fire
+        #    on (or count) it.
+        transports_by_member = dict(zip(old_members, self._transports))
+        for member in plan.removed:
+            transport = transports_by_member.pop(member)
+            with contextlib.ExitStack() as stack:
+                suspend = getattr(transport, "suspended", None)
+                if suspend is not None:
+                    stack.enter_context(suspend())
+                try:
+                    transport.send(StopRequest())
+                    if transport.poll(1.0):
+                        transport.recv()
+                except (TransportError, ProtocolError):
+                    pass
+            transport.close()
+
+        # 2. joined members get fresh workers; existing rebuilt members
+        #    keep their channel and are reset in place by the migrate
+        #    handshake inside the replay drive.
+        needs_migrate: Dict[int, bool] = {}
+        for member in plan.rebuilt:
+            if member in transports_by_member:
+                needs_migrate[member] = True
+            else:
+                raw = self._spawn_world(member)
+                if self._fault_plan:
+                    raw = FaultyTransport(raw, member, self._fault_plan)
+                transports_by_member[member] = raw
+                needs_migrate[member] = False
+
+        # 3. replay each rebuilt member's rewritten history.
+        completions: Dict[int, float] = {}
+        crashed_by_member: Dict[int, FrozenSet[int]] = {}
+        replayed_ticks = 0
+        for member in plan.rebuilt:
+            ticks, crashed_set, final_now, member_completions = (
+                self._rebuild_world(
+                    member,
+                    transports_by_member,
+                    replay_lists[member],
+                    needs_migrate[member],
+                )
+            )
+            replayed_ticks += ticks
+            crashed_by_member[member] = crashed_set
+            completions.update(member_completions)
+            if final_now != self._now and (ticks or self._now):
+                self._failed = True
+                raise SimulationError(
+                    f"rebuilt world for member {member} replayed to round "
+                    f"{final_now:g}; the cluster is at {self._now:g}"
+                )
+
+        # 4. settle add records.  A rebuilt world's replay is the
+        #    authoritative timeline for every value it now owns: each
+        #    such record takes the replayed completion stamp — a no-op
+        #    for values that did not move, the new owner's timeline for
+        #    moved ones, exactly what a fresh post-change cluster
+        #    stamps — and records the replay left open are reset to
+        #    ``None`` and re-tracked so their later completion is
+        #    recognized rather than rejected as an unknown token.
+        rebuilt_set = set(plan.rebuilt)
+        for entry in self._history:
+            if entry[0] != "add":
+                continue
+            _kind, token, pid, value, record = entry
+            if token in pending_tokens or route_new(value) not in rebuilt_set:
+                continue
+            record.end = completions.get(token)
+            if record.end is None:
+                self._records[token] = record
+            else:
+                self._records.pop(token, None)
+
+        # 5. adopt the new membership across every parent-side mirror.
+        if self._selector is not None:
+            self._selector.close()
+            self._selector = None
+        old_crashed = dict(zip(old_members, self._crashed))
+        old_logs: Dict[int, List[object]] = (
+            dict(zip(old_members, self._supervisor._logs))
+            if self._supervisor is not None
+            else {}
+        )
+        self.members = list(new_members)
+        self.num_shards = len(self.members)
+        slot_of = {member: slot for slot, member in enumerate(self.members)}
+        self._transports = [transports_by_member[m] for m in self.members]
+        self._groups = [[i] for i in range(self.num_shards)]
+        self._shard_exhausted = [False] * self.num_shards
+        self._crashed = [
+            crashed_by_member.get(m, old_crashed.get(m, frozenset()))
+            for m in self.members
+        ]
+        self._pending = [[] for _ in range(self.num_shards)]
+        self._in_flight = {}
+        for entry in self._history:
+            if entry[0] != "add":
+                continue
+            _kind, token, pid, value, record = entry
+            slot = slot_of[route_new(value)]
+            if token in pending_tokens:
+                self._pending[slot].append((token, pid, value))
+            if record.end is None:
+                self._in_flight[(slot, pid)] = record
+        if (
+            self._overlap
+            and len(self._transports) > 1
+            and all(t.fileno() is not None for t in self._transports)
+        ):
+            self._selector = selectors.DefaultSelector()
+            for index, transport in enumerate(self._transports):
+                self._selector.register(
+                    transport.fileno(), selectors.EVENT_READ, index
+                )
+        if self._supervisor is not None:
+            self._supervisor.reset_membership(
+                [
+                    list(replay_lists[m]) if m in rebuilt_set
+                    else old_logs.get(m, [])
+                    for m in self.members
+                ]
+            )
+        return RebalanceStats(
+            joined=tuple(plan.joined),
+            left=tuple(plan.removed),
+            moved_values=plan.moved_values,
+            rebuilt_members=tuple(plan.rebuilt),
+            replayed_ticks=replayed_ticks,
+            wall_clock=time.perf_counter() - started,
+        )
+
+    def _rebuild_world(
+        self,
+        member: int,
+        transports_by_member: Dict[int, Transport],
+        requests: List[object],
+        migrate: bool,
+    ) -> Tuple[int, FrozenSet[int], float, Dict[int, float]]:
+        """Reset ``member``'s world and drive its replay, healing worker
+        death under the supervisor's backoff when supervision is on.
+
+        Returns ``(ticks, crashed, final_now, completions)``.  A fresh
+        respawn needs no migrate frame (its world starts empty), so the
+        retry re-drives the request list directly, discarding any
+        partial completions from the failed attempt.
+        """
+        supervisor = self._supervisor
+        attempts = supervisor.policy.attempts if supervisor is not None else 1
+        delays = (
+            supervisor.policy.backoff("rebalance", member)
+            if supervisor is not None
+            else iter(())
+        )
+        last_error: Optional[BaseException] = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(next(delays))
+            transport = transports_by_member[member]
+            try:
+                result = self._drive_rebuild(transport, member, migrate, requests)
+            except (TransportError, ProtocolError) as error:
+                last_error = error
+                if supervisor is None:
+                    self._failed = True
+                    raise SimulationError(
+                        f"shard worker for member {member} died "
+                        f"mid-migration: {error}"
+                    ) from None
+                supervisor.stats.detections += 1
+                try:
+                    raw = self._spawn_world(member)
+                except SimulationError as spawn_error:
+                    last_error = spawn_error
+                    continue
+                if isinstance(transport, FaultyTransport):
+                    transport.replace_inner(raw)
+                else:
+                    transport.close()
+                    transports_by_member[member] = raw
+                supervisor.stats.respawns += 1
+                supervisor.stats.recovered_shards.append(member)
+                migrate = False  # the replacement world starts fresh
+                continue
+            if attempt and supervisor is not None:
+                ticks = result[0]
+                supervisor.stats.replayed_rounds += ticks
+            return result
+        self._failed = True
+        raise SimulationError(
+            f"worker for member {member} died mid-migration and could not "
+            f"be recovered after {attempts} attempt(s): {last_error}"
+        )
+
+    def _drive_rebuild(
+        self,
+        transport: Transport,
+        member: int,
+        migrate: bool,
+        requests: List[object],
+    ) -> Tuple[int, FrozenSet[int], float, Dict[int, float]]:
+        """One attempt at the migrate handshake + history replay."""
+        ticks = 0
+        crashed: FrozenSet[int] = frozenset()
+        final_now = 0.0
+        completions: Dict[int, float] = {}
+        rebalancing = getattr(transport, "rebalancing", None)
+        context = (
+            rebalancing() if rebalancing is not None
+            else contextlib.nullcontext()
+        )
+        with context:
+            if migrate:
+                reply = self._rebuild_exchange(
+                    transport,
+                    member,
+                    MigrateRequest(
+                        shard_index=member, resume_round=int(self._now)
+                    ),
+                )
+                if not isinstance(reply, MigrateReply) or reply.now != 0.0:
+                    self._failed = True
+                    raise SimulationError(
+                        f"member {member} answered the migrate request "
+                        f"with {type(reply).__name__}"
+                    )
+            for request in requests:
+                reply = self._rebuild_exchange(transport, member, request)
+                if isinstance(reply, StepBatchReply):
+                    completions.update(dict(reply.completions))
+                    crashed = reply.crashed
+                    final_now = reply.now
+                    ticks += reply.executed
+                elif isinstance(reply, PeekReply):
+                    pass  # trailing-adds delivery frame; nothing to fold
+                else:
+                    self._failed = True
+                    raise SimulationError(
+                        f"member {member} answered a replay request with "
+                        f"{type(reply).__name__}"
+                    )
+        return ticks, crashed, final_now, completions
+
+    def _rebuild_exchange(
+        self, transport: Transport, member: int, request: object
+    ) -> object:
+        transport.send(request)
+        timeout = self._request_timeout
+        if timeout is None and self._supervisor is not None:
+            timeout = 30.0
+        if timeout is not None and not transport.poll(timeout):
+            raise TransportError(
+                f"member {member}: no migration reply within {timeout:g}s"
+            )
+        reply = transport.recv()
+        if isinstance(reply, ErrorReply):
+            # deterministic worker-side error: replaying would repeat
+            # it, so fail closed rather than let the supervisor retry
+            self._failed = True
+            raise SimulationError(
+                f"member {member} failed while replaying its world:\n"
+                f"{reply.message}"
+            )
+        return reply
 
     # -- the pipelined (windowed) driver ---------------------------------
     def advance(self, rounds: int) -> int:
@@ -1355,6 +2039,7 @@ class TransportBackend(ShardBackend):
                 f"{sorted(clocks)} (a stale or duplicated reply is being "
                 "consumed)"
             )
+        self._record_steps(getattr(replies[0], "executed", 1))
         for shard_index, reply in enumerate(replies):
             for token, end in reply.completions:
                 record = self._records.pop(token, None)
@@ -1365,7 +2050,12 @@ class TransportBackend(ShardBackend):
                         f"{token} (round clock {self._now:g}): a stale or "
                         "duplicated reply is being consumed"
                     )
-                record.end = end
+                if record.end is None:
+                    # keep the first observed completion stamp: after a
+                    # rebalance replay re-tracks an already-completed
+                    # moved add, the rebuilt world re-reports it — the
+                    # original (already observed) stamp wins
+                    record.end = end
             self._crashed[shard_index] = reply.crashed
             if shard_index == 0:
                 self._now = reply.now
@@ -1462,12 +2152,12 @@ class InProcBackend(TransportBackend):
     """
 
     def _start(self) -> None:
-        for shard_index in range(self.num_shards):
-            server = ShardServer(self._config, shard_index)
+        for member in self.members:
+            server = ShardServer(self._config, member)
             self._transports.append(InProcTransport(server.handle, self.frames))
 
-    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
-        server = ShardServer(self._config, shard_index, resume_round)
+    def _spawn_world(self, member: int, *, resume_round: int = 0) -> Transport:
+        server = ShardServer(self._config, member, resume_round)
         return InProcTransport(server.handle, self.frames)
 
 
@@ -1514,6 +2204,7 @@ class MultiprocessBackend(TransportBackend):
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        members: Optional[List[int]] = None,
     ):
         self._context = multiprocessing.get_context(
             _resolve_start_method(start_method)
@@ -1532,20 +2223,21 @@ class MultiprocessBackend(TransportBackend):
             recover=recover,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            members=members,
         )
 
     def _start(self) -> None:
         self._shard_workers: Dict[int, object] = {}
-        for shard_index in range(self.num_shards):
-            self._transports.append(self._spawn_worker(shard_index))
+        for member in self.members:
+            self._transports.append(self._spawn_worker(member))
 
-    def _spawn_worker(self, shard_index: int, resume_round: int = 0) -> Transport:
+    def _spawn_worker(self, member: int, resume_round: int = 0) -> Transport:
         parent_conn, child_conn = self._context.Pipe()
         worker = self._context.Process(
             target=_pipe_worker,
             args=(
                 child_conn,
-                shard_index,
+                member,
                 self._config,
                 self.frames,
                 resume_round,
@@ -1555,24 +2247,24 @@ class MultiprocessBackend(TransportBackend):
         worker.start()
         child_conn.close()
         self._workers.append(worker)
-        self._shard_workers[shard_index] = worker
+        self._shard_workers[member] = worker
         return PipeTransport(parent_conn, self.frames)
 
-    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
+    def _spawn_world(self, member: int, *, resume_round: int = 0) -> Transport:
         # The superseded worker stays in ``_workers`` for the final
         # reap, but is terminated NOW if still running: under ``fork``,
         # sibling workers inherit copies of its pipe's parent end, so a
         # channel-severing fault alone never delivers the EOF that
         # would make it exit — without this it lingers until close()'s
         # escalation timeout.
-        old = self._shard_workers.get(shard_index)
+        old = self._shard_workers.get(member)
         if old is not None and old.is_alive():
             old.terminate()
         try:
-            return self._spawn_worker(shard_index, resume_round)
+            return self._spawn_worker(member, resume_round)
         except OSError as error:  # pragma: no cover - resource exhaustion
             raise SimulationError(
-                f"could not respawn worker for shard {shard_index}: {error}"
+                f"could not respawn worker for member {member}: {error}"
             ) from None
 
 
@@ -1620,6 +2312,7 @@ class SocketBackend(TransportBackend):
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        members: Optional[List[int]] = None,
     ):
         if worlds_per_worker < 1:
             raise SimulationError("worlds_per_worker must be >= 1")
@@ -1654,6 +2347,7 @@ class SocketBackend(TransportBackend):
             recover=recover,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
+            members=members,
         )
 
     def _start(self) -> None:
@@ -1681,8 +2375,13 @@ class SocketBackend(TransportBackend):
         self._listener.settimeout(self._accept_timeout)
         self._world_blob = pickle.dumps(self._config)
         for group in self._groups:
+            # handshakes carry *member ids* (world identity/seed), not
+            # slots — identical until runtime membership changes them
             self._transports.append(
-                self._accept_worker(group[0], extra_shards=tuple(group[1:]))
+                self._accept_worker(
+                    self.members[group[0]],
+                    extra_shards=tuple(self.members[s] for s in group[1:]),
+                )
             )
 
     def _accept_worker(
@@ -1746,7 +2445,7 @@ class SocketBackend(TransportBackend):
         sock.settimeout(None)
         return transport
 
-    def _respawn(self, shard_index: int, *, resume_round: int = 0) -> Transport:
+    def _spawn_world(self, member: int, *, resume_round: int = 0) -> Transport:
         # Loopback mode spawns the replacement itself; in external mode
         # (``listen=``) :func:`run_socket_worker`'s loop re-offers the
         # surviving worker fleet, so the accept below is served by
@@ -1759,7 +2458,7 @@ class SocketBackend(TransportBackend):
                     self.address, 1, start_method=self._start_method
                 )
             )
-        return self._accept_worker(shard_index, resume_round)
+        return self._accept_worker(member, resume_round)
 
     def _reap(self) -> None:
         if self._listener is not None:
@@ -1948,7 +2647,17 @@ class ShardedWeakSetCluster:
         recover: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        members: Optional[List[int]] = None,
     ):
+        if members is not None:
+            resolved = _resolve_members(len(members), list(members))
+            if shards not in (1, len(resolved)):
+                raise SimulationError(
+                    f"members={resolved} names {len(resolved)} shard worlds "
+                    f"but shards={shards} was also given"
+                )
+            shards = len(resolved)
+            members = resolved
         if shards < 1:
             raise SimulationError("need at least one shard")
         make_environment = environment_factory or _default_environment
@@ -1974,6 +2683,12 @@ class ShardedWeakSetCluster:
                     "window/worlds_per_worker are construction-time backend "
                     "knobs; pass them where the backend is built, not "
                     "alongside a constructed instance"
+                )
+            if members is not None:
+                raise SimulationError(
+                    "members is a construction-time backend knob; pass it "
+                    "where the backend is built, not alongside a "
+                    "constructed instance"
                 )
             self._backend = backend
         else:
@@ -2011,12 +2726,22 @@ class ShardedWeakSetCluster:
                 recover=recover,
                 fault_plan=fault_plan,
                 retry_policy=retry_policy,
+                members=members,
                 **kwargs,
             )
         self._n = self._backend.n
         self.log = OpLog()
+        self._last_rebalance: Optional[RebalanceStats] = None
+        self._refresh_ring()
 
     # -- facade plumbing -------------------------------------------------
+    def _refresh_ring(self) -> None:
+        members = getattr(self._backend, "members", None)
+        if members is None:  # a custom backend predating membership
+            members = list(range(self._backend.num_shards))
+        self._ring = HashRing(members)
+        self._slots = {member: slot for slot, member in enumerate(members)}
+
     @property
     def backend(self) -> ShardBackend:
         """The executing :class:`ShardBackend`."""
@@ -2065,12 +2790,79 @@ class ShardedWeakSetCluster:
         return [self.handle(pid) for pid in range(self._n)]
 
     def shard_index_for(self, value: Hashable) -> int:
-        """The shard index owning ``value`` (any backend)."""
-        return shard_of(value, self.num_shards)
+        """The shard slot owning ``value`` (any backend).
+
+        Routing goes through the membership :class:`HashRing`; for the
+        construction-default membership ``[0..K-1]`` this is exactly
+        :func:`shard_of` (the rings are the same object modulo
+        memoization), so a cluster that *grew* to ``0..K-1`` routes
+        identically to one constructed with ``shards=K``.
+        """
+        if self.num_shards == 1:
+            return 0
+        return self._slots[self._ring.owner(value)]
 
     def shard_for(self, value: Hashable) -> MSWeakSetCluster:
         """The in-process shard cluster owning ``value`` (serial only)."""
         return self.shards[self.shard_index_for(value)]
+
+    # -- runtime membership ----------------------------------------------
+    @property
+    def members(self) -> List[int]:
+        """The sorted member ids owning the shard slots."""
+        return list(self._backend.members)
+
+    @property
+    def last_rebalance(self) -> Optional[RebalanceStats]:
+        """What the most recent :meth:`join_shard` / :meth:`leave_shard`
+        moved and replayed, or ``None`` before any membership change."""
+        return self._last_rebalance
+
+    def join_shard(self, member: Optional[int] = None) -> int:
+        """Add a shard world at runtime; returns its member id.
+
+        The new member (default: one past the highest current id) is
+        inserted into the consistent-hash ring, the minimal set of
+        values whose owner changed is computed, and every affected
+        world is rebuilt by deterministic history replay — the
+        resulting cluster is byte-identical to one *constructed* with
+        the new membership and driven through the same schedule (pinned
+        in ``tests/weakset/test_membership.py``).  Call it between
+        advances; adds still in flight move with their values.
+        """
+        current = self.members
+        if member is None:
+            member = max(current) + 1
+        if isinstance(member, bool) or not isinstance(member, int) or member < 0:
+            raise SimulationError(
+                f"member ids are non-negative ints, got {member!r}"
+            )
+        if member in current:
+            raise SimulationError(f"member {member} is already in the cluster")
+        self._rebalance(sorted(current + [member]))
+        return member
+
+    def leave_shard(self, member: int) -> None:
+        """Remove shard world ``member`` at runtime.
+
+        Only ``member``'s values move (each to the next surviving ring
+        member); their new owners are rebuilt by deterministic history
+        replay, exactly like :meth:`join_shard`.
+        """
+        current = self.members
+        if member not in current:
+            raise SimulationError(f"member {member} is not in the cluster")
+        if len(current) == 1:
+            raise SimulationError("cannot remove the last shard member")
+        self._rebalance([m for m in current if m != member])
+
+    def _rebalance(self, new_members: List[int]) -> None:
+        new_ring = HashRing(new_members)
+        stats = self._backend.apply_membership(
+            new_members, self._ring.owner, new_ring.owner
+        )
+        self._refresh_ring()
+        self._last_rebalance = stats
 
     def traces(self) -> List[RunTrace]:
         """Per-shard run traces (index = shard)."""

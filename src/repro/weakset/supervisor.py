@@ -283,6 +283,25 @@ class ShardSupervisor:
             if isinstance(request, (RoundRequest, StepBatchRequest, PeekRequest)):
                 self._logs[index].append(request)
 
+    def reset_membership(self, new_logs: List[List[object]]) -> None:
+        """Adopt a membership change's per-slot request logs.
+
+        Called by the backend after a rebalance rewrote some worlds'
+        histories: ``new_logs`` is the new slot-ordered log list —
+        carried over verbatim for untouched members, rewritten (the
+        member's owned slice of the global history) for rebuilt ones —
+        so a *later* crash recovery replays the post-rebalance world
+        exactly.  Membership changes happen only between advances, so
+        an in-flight window or an unrecovered broken channel here is a
+        driver bug.
+        """
+        if self._window or self._broken:
+            raise SimulationError(
+                "cannot change membership with exchanges in flight"
+            )
+        self._logs = [list(log) for log in new_logs]
+        self._replies_ahead = [deque() for _ in new_logs]
+
     # -- the supervised pipelined window ---------------------------------
     def send_window(self, requests: List[object]) -> None:
         """Issue one request set without harvesting: it joins the window.

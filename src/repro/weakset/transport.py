@@ -24,6 +24,12 @@ returned **order-canonically** (reply ``i`` belongs to transport ``i``
 no matter the arrival order), which is why backend traces stay
 byte-identical for a fixed seed regardless of harvest interleaving.
 
+Rebalance traffic rides the same channels: a membership change first
+quiesces the pipelined window (every in-flight frame is harvested, so
+the wire is empty), then the driver runs ``Migrate``/replay exchanges
+over these transports like any other request — no side channel, and
+the frame ordering a worker observes stays deterministic.
+
 Example — the protocol stack over an in-process echo worker:
 
     >>> from repro.weakset.protocol import StopRequest, StopReply

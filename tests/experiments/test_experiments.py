@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis.tables import Table
 from repro.experiments import EXPERIMENTS, run_experiment
-from repro.experiments.churn_tables import run_c1, run_c2, run_c3
+from repro.experiments.churn_tables import run_c1, run_c2, run_c3, run_c5
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
 from repro.experiments.state_growth import run_t3
@@ -21,7 +21,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "T5", "T6", "T7",
             "F1", "F2", "F3", "F4", "A1", "A2", "A3",
-            "C1", "C2", "C3", "C4",
+            "C1", "C2", "C3", "C4", "C5",
         }
 
     def test_churn_family_registered_and_dispatches(self):
@@ -132,6 +132,27 @@ class TestHeadlineClaims:
         # every cell accounts for the whole offered load
         for issued, skipped in zip(table.column("issued"), table.column("skipped")):
             assert issued + skipped == 18
+
+    def test_c5_membership_changes_are_invisible_to_the_stream(self):
+        table = run_c5(quick=True)
+        assert all(table.column("matches-serial"))
+        # the join and leave scenarios both actually rebalanced
+        for event, moved, replayed in zip(
+            table.column("event"),
+            table.column("moved"),
+            table.column("replayed"),
+        ):
+            assert moved >= 1, event
+            assert replayed >= 1, event
+        # every cell still lands the full offered load
+        assert all(done == 16 for done in table.column("completed"))
+
+    def test_c5_custom_scenario_via_join_leave_kwargs(self):
+        table = run_experiment(
+            "C5", backend="serial", join_at=[6], leave_at=[(12, 0)]
+        )
+        assert table.column("event") == ["custom"]
+        assert all(table.column("matches-serial"))
 
     def test_f4_registers_read_back_last_write(self):
         table = run_f4(quick=True)

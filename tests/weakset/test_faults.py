@@ -28,7 +28,12 @@ from repro.weakset.faults import (
 from repro.weakset.protocol import PeekReply, encode_message
 from repro.weakset.sharding import ShardedWeakSetCluster
 from repro.weakset.supervisor import RetryPolicy
-from repro.weakset.transport import InProcTransport, PipeTransport, TransportError
+from repro.weakset.transport import (
+    InProcTransport,
+    PipeTransport,
+    TransportError,
+    exchange_all,
+)
 
 
 class TestFaultValidation:
@@ -197,6 +202,57 @@ class TestFaultyTransportUnit:
         finally:
             transport.close()
             worker_end.close()
+
+
+class TestDelayDeadlineBoundary:
+    """Delay faults against ``exchange_all(timeout=)`` at the boundary.
+
+    The poll-budget arithmetic (``poll(max(timeout - stall, 0.0))``)
+    makes the two edge outcomes deterministic: a stall that exactly
+    equals a *direct* poll budget still harvests the buffered reply
+    (zero remainder, not a negative timeout), while ``exchange_all``
+    stamps its deadline at send time — so a stall equal to the exchange
+    timeout always lands on a strictly smaller remaining budget and
+    fails closed with the ordinary reply-timeout error.
+    """
+
+    def test_direct_poll_stall_equal_to_budget_finds_buffered_reply(self):
+        transport = _wrapped(FaultPlan((Fault("delay", 0, 1, delay=0.05),)))
+        transport.send(_PING)
+        # budget == stall: the remainder is exactly 0.0, and poll(0.0)
+        # must still see the reply the echo worker already buffered
+        assert transport.poll(0.05) is True
+        assert transport.recv().proposed == frozenset({"v"})
+
+    def test_exchange_all_delay_just_under_timeout_succeeds(self):
+        transport = _wrapped(FaultPlan((Fault("delay", 0, 1, delay=0.05),)))
+        replies = exchange_all([transport], [_PING], timeout=0.5)
+        assert replies[0].proposed == frozenset({"v"})
+
+    def test_exchange_all_delay_at_timeout_fails_closed(self):
+        # the deadline is stamped at send, so by harvest time the
+        # remaining budget is strictly below the stall — deterministic
+        # timeout, surfaced as the ordinary reply-timeout TransportError
+        transport = _wrapped(FaultPlan((Fault("delay", 0, 1, delay=0.2),)))
+        with pytest.raises(TransportError, match=r"no reply within 0\.2s"):
+            exchange_all([transport], [_PING], timeout=0.2)
+
+    def test_exchange_all_delay_over_timeout_fails_closed(self):
+        transport = _wrapped(FaultPlan((Fault("delay", 0, 1, delay=0.4),)))
+        with pytest.raises(TransportError, match=r"no reply within 0\.1s"):
+            exchange_all([transport], [_PING], timeout=0.1)
+
+    def test_stall_spends_the_whole_budget_before_failing(self):
+        # the failed exchange must have consumed real wall-clock time
+        # (the stall is served, not skipped) but no more than ~timeout
+        import time
+
+        transport = _wrapped(FaultPlan((Fault("delay", 0, 1, delay=0.3),)))
+        before = time.monotonic()
+        with pytest.raises(TransportError):
+            exchange_all([transport], [_PING], timeout=0.15)
+        elapsed = time.monotonic() - before
+        assert 0.1 <= elapsed < 0.3
 
 
 @pytest.mark.chaos

@@ -15,9 +15,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from gen import (
+    messages,
+    nested_i64,
+    nested_strings,
+    queued_adds,
+    scalars,
+    values,
+)
 from repro.core.counters import FrozenCounters
 from repro.serialization import trace_to_json
-from repro.values import BOTTOM
 from repro.weakset.protocol import (
     CODECS,
     HEADER_SIZE,
@@ -25,6 +32,8 @@ from repro.weakset.protocol import (
     ConfigReply,
     ErrorReply,
     HelloRequest,
+    MigrateReply,
+    MigrateRequest,
     MuxReply,
     MuxRequest,
     PeekReply,
@@ -49,35 +58,6 @@ BOTH_CODECS = sorted(CODECS)
 
 def roundtrip(message, codec):
     return decode_message(encode_message(message, codec=codec))
-
-
-# the payload universe the weak set trades in (and the canonical codec
-# carries): scalars, ⊥, and nested tuples/frozensets of them
-scalars = st.one_of(
-    st.integers(min_value=-(2**40), max_value=2**40),
-    st.integers(min_value=2**70, max_value=2**80),  # outside the i64 lane
-    st.floats(allow_nan=False, allow_infinity=False),
-    st.text(max_size=20),
-    st.booleans(),
-    st.none(),
-    st.just(BOTTOM),
-)
-values = st.recursive(
-    scalars,
-    lambda children: st.one_of(
-        st.tuples(children, children),
-        st.frozensets(children, max_size=4),
-    ),
-    max_leaves=8,
-)
-queued_adds = st.lists(
-    st.tuples(
-        st.integers(min_value=0, max_value=2**31),
-        st.integers(min_value=0, max_value=63),
-        values,
-    ),
-    max_size=5,
-).map(tuple)
 
 
 @pytest.mark.parametrize("codec", BOTH_CODECS)
@@ -185,6 +165,14 @@ class TestRoundTripIdentity:
         assert roundtrip(config, codec) == config
         assert roundtrip(config, codec).codec == "binary"
 
+    def test_migrate_pair(self, codec):
+        """The protocol-v5 rebalance handshake crosses both codecs."""
+        request = MigrateRequest(shard_index=7, resume_round=42)
+        assert roundtrip(request, codec) == request
+        assert roundtrip(MigrateRequest(shard_index=0), codec).resume_round == 0
+        reply = MigrateReply(shard_index=7, now=0.0)
+        assert roundtrip(reply, codec) == reply
+
     def test_cross_codec_decode(self, codec):
         """Frames are self-describing: a decoder needs no codec hint."""
         message = RoundRequest(adds=((0, 1, "x"), (1, 2, frozenset({("y", 3)}))))
@@ -194,26 +182,6 @@ class TestRoundTripIdentity:
 
 def _binary_body(message):
     return encode_message(message, codec="binary")[HEADER_SIZE:]
-
-
-# nested payloads whose leaves all fit one bulk lane — the 'W'
-# flattened layout's target shapes
-nested_strings = st.recursive(
-    st.text(max_size=8),
-    lambda children: st.one_of(
-        st.tuples(children, children),
-        st.frozensets(children, max_size=3),
-    ),
-    max_leaves=12,
-)
-nested_i64 = st.recursive(
-    st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1),
-    lambda children: st.one_of(
-        st.tuples(children, children),
-        st.frozensets(children, max_size=3),
-    ),
-    max_leaves=12,
-)
 
 
 class TestFlattenedLayout:
@@ -426,3 +394,124 @@ class TestFraming:
         blob = json.loads(as_json[HEADER_SIZE:].decode("utf-8"))
         assert blob["t"] == "round_req"
         assert len(blob["v"]["adds"]) == 8
+
+
+class TestCodecFuzz:
+    """Hostile-input bar for both codecs: decode of any truncated or
+    corrupted frame must raise a clean :class:`ProtocolError` (or its
+    :class:`VersionMismatch` subclass when the mutation hits the
+    version byte) — never hang, never assert, never leak a bare
+    ``struct.error``/``UnicodeDecodeError``/``RecursionError``.
+    """
+
+    @given(message=messages, codec=st.sampled_from(BOTH_CODECS))
+    @settings(max_examples=120)
+    def test_every_message_round_trips(self, message, codec):
+        """The generator module's full message universe is lossless in
+        both codecs (the positive half the fuzz half leans on)."""
+        assert roundtrip(message, codec) == message
+
+    @given(
+        message=messages,
+        codec=st.sampled_from(BOTH_CODECS),
+        data=st.data(),
+    )
+    @settings(max_examples=150)
+    def test_truncated_frames_raise_protocol_error(self, message, codec, data):
+        frame = encode_message(message, codec=codec)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(ProtocolError):
+            decode_message(frame[:cut])
+
+    @given(
+        message=messages,
+        codec=st.sampled_from(BOTH_CODECS),
+        data=st.data(),
+    )
+    @settings(max_examples=200)
+    def test_mutated_frames_never_leak_raw_errors(self, message, codec, data):
+        frame = bytearray(encode_message(message, codec=codec))
+        for _ in range(data.draw(st.integers(min_value=1, max_value=6))):
+            position = data.draw(
+                st.integers(min_value=0, max_value=len(frame) - 1)
+            )
+            frame[position] = data.draw(st.integers(min_value=0, max_value=255))
+        try:
+            decode_message(bytes(frame))
+        except ProtocolError:
+            pass  # VersionMismatch subclasses ProtocolError
+
+    @given(
+        message=messages,
+        codec=st.sampled_from(BOTH_CODECS),
+        garbage=st.binary(min_size=1, max_size=16),
+    )
+    @settings(max_examples=100)
+    def test_garbage_prefixed_bodies_raise(self, message, codec, garbage):
+        """A frame whose body got displaced by leading garbage (the
+        classic desynchronized-stream symptom) fails loudly."""
+        frame = encode_message(message, codec=codec)
+        body = garbage + frame[HEADER_SIZE:]
+        header = bytes([PROTOCOL_VERSION, CODECS[codec]]) + len(body).to_bytes(
+            4, "big"
+        )
+        try:
+            decode_message(header + body)
+        except ProtocolError:
+            pass
+
+    @given(value=st.one_of(nested_strings, nested_i64), data=st.data())
+    @settings(max_examples=150)
+    def test_flattened_layout_survives_corruption(self, value, data):
+        """The 'W' shape-prefixed layout under byte corruption: its
+        shape prefix, lane byte, counts and blob are all attack
+        surface; nothing worse than ProtocolError may escape."""
+        frame = bytearray(
+            encode_message(RoundRequest(adds=((1, 0, (value, value)),)), "binary")
+        )
+        for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+            position = data.draw(
+                st.integers(min_value=HEADER_SIZE, max_value=len(frame) - 1)
+            )
+            frame[position] = data.draw(st.integers(min_value=0, max_value=255))
+        try:
+            decode_message(bytes(frame))
+        except ProtocolError:
+            pass
+
+    def test_giant_count_rejected_before_allocation(self):
+        """A hostile item count (0xFFFFFFFF) must be rejected from the
+        body length, not handed to the column unpacker to build a
+        4-billion-entry format string."""
+        import struct
+        import time
+
+        # bulk-adds layout announcing 2**32-1 adds with a 5-byte body
+        body = struct.pack(">BIB", 1, 0xFFFFFFFF, 1)  # tag=round_req
+        header = bytes([PROTOCOL_VERSION, CODECS["binary"]]) + len(
+            body
+        ).to_bytes(4, "big")
+        started = time.perf_counter()
+        with pytest.raises(ProtocolError, match="announce"):
+            decode_message(header + body)
+        assert time.perf_counter() - started < 1.0
+
+    def test_deep_nesting_rejected_cleanly(self):
+        """A hostile deeply-nested tuple prefix (every byte opens a new
+        1-element tuple) exhausts recursion inside the decoder and
+        surfaces as ProtocolError, not RecursionError."""
+        depth = 50_000
+        add_head = (0).to_bytes(8, "big") + (0).to_bytes(4, "big")
+        value = (b"U" + (1).to_bytes(4, "big")) * depth + b"N"
+        body = (
+            bytes([1])  # round_req tag
+            + (1).to_bytes(4, "big")  # one add
+            + bytes([0])  # walker (non-bulk) layout
+            + add_head
+            + value
+        )
+        header = bytes([PROTOCOL_VERSION, CODECS["binary"]]) + len(
+            body
+        ).to_bytes(4, "big")
+        with pytest.raises(ProtocolError):
+            decode_message(header + body)

@@ -615,6 +615,36 @@ class TestPipelinedWindow:
                 assert _drive(cluster) == serial_result, worlds_per_worker
                 assert _snapshot(cluster) == serial_traces, worlds_per_worker
 
+    def test_ragged_mux_split_byte_identical(self, start_method):
+        """``num_shards % worlds_per_worker != 0``: 5 shards at M=2
+        give workers [0,1]+[2,3]+[4] — the single-world tail speaks
+        plain (unwrapped) frames inside an otherwise-mux run — and
+        M=7 > shards collapses to one worker hosting everything."""
+        def build(backend, **kwargs):
+            return ShardedWeakSetCluster(
+                4,
+                shards=5,
+                environment_factory=ChurnEnvironments(pattern="random", seed=9),
+                backend=backend,
+                **kwargs,
+            )
+
+        with build("serial") as serial:
+            serial_result = _drive(serial)
+            serial_traces = _snapshot(serial)
+        for worlds_per_worker, shape in ((2, [2, 2, 1]), (7, [5])):
+            with build(
+                "socket",
+                worlds_per_worker=worlds_per_worker,
+                start_method=start_method,
+            ) as cluster:
+                backend = cluster.backend
+                assert [len(group) for group in backend._groups] == shape
+                # one worker process per group, not per shard
+                assert len(backend._workers) == len(shape)
+                assert _drive(cluster) == serial_result, worlds_per_worker
+                assert _snapshot(cluster) == serial_traces, worlds_per_worker
+
     def test_mux_composes_with_batching_and_window(self):
         serial_result, serial_traces = self._serial_reference()
         with self._build(
