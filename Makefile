@@ -1,11 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test chaos membership coverage bench bench-shard perf docs \
-	experiments experiments-full
+.PHONY: test test-columnar chaos membership coverage bench bench-shard \
+	perf docs scale experiments experiments-full
 
 test:
 	$(PYTHON) -m pytest -q
+
+# Columnar suite alone: the counter-twin property tests and the
+# engine-equivalence pins.  Run it twice — plain, and again with
+# REPRO_NO_NUMPY=1 — to cover both array backends (CI does exactly
+# that; the numpy-masked run exercises the pure-stdlib fallback).
+test-columnar:
+	$(PYTHON) -m pytest -q tests/core/test_columnar.py \
+		tests/runtime/test_columnar_engine.py
 
 # Chaos suite: the fault-injection and crash-recovery tests alone —
 # seeded FaultPlans (fixed in the test files, so every run replays the
@@ -47,6 +55,13 @@ bench-shard:
 # reference-machine trajectory floors).  See scripts/check_perf.py.
 perf:
 	$(PYTHON) scripts/check_perf.py
+
+# Engine-scaling table: the S1 grid (rounds/s, peak memory, and the
+# columnar-vs-object pinned column across n).  The full grid pushes
+# the columnar engine to n=10,000; quick (make experiments) stops at
+# n=1,024.  See PERFORMANCE.md §11.
+scale:
+	$(PYTHON) -m repro.experiments S1 --full
 
 # Doctest the documented API surface and link-check every *.md.
 docs:

@@ -22,8 +22,18 @@ import time
 
 from repro.core.counters import FrozenCounters, apply_round_update
 from repro.core.es_consensus import ESConsensus
-from repro.core.history import intern_history
-from repro.giraf.environments import EventualSynchronyEnvironment
+from repro.core.history import clear_intern_cache, intern_history
+from repro.core.pseudo_leader import HeartbeatPseudoLeader
+from repro.giraf.adversary import (
+    NEVER_DELIVERED,
+    ConstantDelay,
+    RoundRobinSource,
+)
+from repro.giraf.environments import (
+    EventualSynchronyEnvironment,
+    MovingSourceEnvironment,
+    SilentLinks,
+)
 from repro.giraf.messages import payload_size
 from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
 from repro.runtime.events import CalendarEventQueue, HeapEventQueue
@@ -164,6 +174,58 @@ def test_bench_drifting_round_throughput_full_trace(benchmark):
     """Drifting scheduler, checker-grade full event traces."""
     trace = benchmark(_run_drifting, "full")
     assert trace.decided_pids()
+
+
+def _heartbeat_lockstep(n: int, engine: str, rounds: int):
+    """S1's regime at bench scale: heartbeat pseudo-leaders, 8 brands,
+    MS obligations, no extra links, aggregate traces — the dense
+    anonymity workload the columnar engine collapses to matrix ops.
+    The intern table is cleared first so every iteration pays the same
+    (empty-cache) interning bill."""
+    clear_intern_cache()
+    scheduler = LockStepScheduler(
+        [HeartbeatPseudoLeader(pid % 8) for pid in range(n)],
+        MovingSourceEnvironment(
+            RoundRobinSource(), SilentLinks(), ConstantDelay(NEVER_DELIVERED)
+        ),
+        max_rounds=rounds,
+        trace_mode="aggregate",
+        engine=engine,
+    )
+    trace = scheduler.run()
+    assert trace.rounds_executed == rounds
+    return trace
+
+
+def test_bench_aggregate_round_object_n100(benchmark):
+    """The object engine's per-round cost at n=100 (12 rounds/run)."""
+    trace = benchmark(_heartbeat_lockstep, 100, "object", 12)
+    assert trace.agg_sends > 0
+
+
+def test_bench_aggregate_round_columnar_n100(benchmark):
+    """The columnar engine on the identical n=100 workload."""
+    trace = benchmark(_heartbeat_lockstep, 100, "columnar", 12)
+    assert trace.agg_sends > 0
+
+
+def test_bench_aggregate_round_object_n10k(benchmark):
+    """The object engine at n=10,000 — the honest baseline the
+    columnar floor is measured against.  One iteration of 2 rounds is
+    all this box can afford (several seconds *per round*); the twin
+    below runs the identical workload."""
+    trace = benchmark.pedantic(
+        _heartbeat_lockstep, args=(10_000, "object", 2), rounds=1, iterations=1
+    )
+    assert trace.agg_sends > 0
+
+
+def test_bench_aggregate_round_columnar_n10k(benchmark):
+    """The columnar engine at n=10,000, same 2-round workload."""
+    trace = benchmark.pedantic(
+        _heartbeat_lockstep, args=(10_000, "columnar", 2), rounds=3, iterations=1
+    )
+    assert trace.agg_sends > 0
 
 
 def _event_queue_churn(queue_factory, pending: int = 200_000, churn: int = 100_000):

@@ -95,6 +95,7 @@ def run_experiments() -> dict[str, float]:
         ("T3_full", "T3", False),
         ("C1_quick", "C1", True),
         ("C3_quick", "C3", True),
+        ("S1_quick", "S1", True),
     ]:
         start = time.perf_counter()
         run_experiment(experiment_id, quick=quick, seed=0)
@@ -243,6 +244,19 @@ def main(argv=None) -> int:
     fresh = micro.get("test_bench_shard_rebalance_fresh_twin")
     if rebalance and fresh:
         speedups["shard_rebalance_time"] = round(fresh / rebalance, 2)
+    # Columnar aggregate engine (PR 9): same-run twins of the heartbeat
+    # lock-step round at two scales.  n=100 guards against a small-n
+    # regression (floor ≈ parity); n=10,000 is the reason the engine
+    # exists — the object engine's per-round cost is quadratic-ish in n
+    # (every process merges every sender's counter dict), the columnar
+    # engine's a few matrix passes, so the ratio grows with n.
+    for scale in ("n100", "n10k"):
+        object_cost = micro.get(f"test_bench_aggregate_round_object_{scale}")
+        columnar_cost = micro.get(f"test_bench_aggregate_round_columnar_{scale}")
+        if object_cost and columnar_cost:
+            speedups[f"aggregate_round_columnar_vs_object_{scale}"] = round(
+                object_cost / columnar_cost, 2
+            )
     drifting = micro.get("test_bench_drifting_round_throughput")
     recorded = PR4_RECORDED_US.get("test_bench_drifting_round_throughput")
     if drifting and recorded:

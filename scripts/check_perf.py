@@ -79,6 +79,19 @@ SAME_RUN_FLOORS = [
         "payloads",
     ),
     (
+        "aggregate_round_columnar_vs_object_n10k",
+        10.0,
+        "the columnar engine lost its order-of-magnitude edge over the "
+        "object engine at n=10,000 (the whole-round matrix path "
+        "presumably stopped engaging)",
+    ),
+    (
+        "aggregate_round_columnar_vs_object_n100",
+        0.9,
+        "the columnar engine costs more than the object engine at "
+        "n=100 — the representation switch should never lose at small n",
+    ),
+    (
         "shard_rebalance_time",
         0.5,
         "a join rebalance costs more than twice a from-scratch rebuild "

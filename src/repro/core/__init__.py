@@ -28,6 +28,7 @@ from repro.core.history import (
     diverged,
     extend,
     initial_history,
+    intern_cache_size,
     intern_history,
     interning_disabled,
     interning_enabled,
@@ -64,6 +65,7 @@ __all__ = [
     "diverged",
     "extend",
     "initial_history",
+    "intern_cache_size",
     "intern_history",
     "interning_disabled",
     "interning_enabled",

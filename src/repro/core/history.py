@@ -39,6 +39,7 @@ __all__ = [
     "set_interning",
     "interning_disabled",
     "clear_intern_cache",
+    "intern_cache_size",
     "intern_generation",
     "is_prefix",
     "is_proper_prefix",
@@ -281,6 +282,25 @@ def clear_intern_cache() -> None:
     # Fresh chains hang off the root and inherit its generation; old
     # detached chains keep theirs, marking them non-canonical.
     _ROOT._gen = _GENERATION
+
+
+def intern_cache_size() -> int:
+    """Number of interned nodes currently reachable from the root.
+
+    The size of the global table :func:`clear_intern_cache` would free
+    (the empty-history root itself is excluded: it is permanent).  In
+    the paper's anonymity regime this is about brands × rounds — the
+    quantity the scale experiment watches to prove grid runs stay
+    bounded when the cell runner clears between cells.
+    """
+    count = 0
+    stack = [_ROOT]
+    while stack:
+        children = stack.pop()._children
+        if children:
+            count += len(children)
+            stack.extend(children.values())
+    return count
 
 
 def intern_history(elements: Iterable[Hashable]) -> HistoryNode:

@@ -175,6 +175,16 @@ def main(argv=None) -> int:
         "with --join-at into one custom scenario)",
     )
     parser.add_argument(
+        "--engine",
+        choices=["object", "columnar"],
+        default=None,
+        help="counter representation for the consensus-family "
+        "experiments that thread it through (S1, T1, T3, F1): object "
+        "is per-process Python state, columnar flat arrays over a "
+        "shared history index (tables are identical — S1's columns "
+        "show the speed difference)",
+    )
+    parser.add_argument(
         "--listen",
         type=_parse_address,
         default=None,
@@ -260,6 +270,7 @@ def main(argv=None) -> int:
             fault_plan=args.fault_plan,
             join_at=args.join_at,
             leave_at=args.leave_at,
+            engine=args.engine,
         )
         print(table.render())
         print()

@@ -58,6 +58,7 @@ def sample_consensus(
     record_snapshots: bool = False,
     bind_link_policy: bool = False,
     trace_mode: str = "full",
+    engine: str = "object",
 ) -> ConsensusSample:
     """Run once and summarize (used by every consensus experiment).
 
@@ -65,6 +66,8 @@ def sample_consensus(
     instead of per-event lists.  Every number this summary reports is
     identical in both modes; pick aggregate when the caller consumes
     only the summary, full when it also inspects ``trace`` events.
+    ``engine="columnar"`` additionally swaps the counter representation
+    for flat arrays (pinned equivalent; see :mod:`repro.core.columnar`).
     """
     algorithms = [factory(value) for value in proposals]
     scheduler = LockStepScheduler(
@@ -75,6 +78,7 @@ def sample_consensus(
         stop_when=stop_when_all_correct_decided,
         record_snapshots=record_snapshots,
         trace_mode=trace_mode,
+        engine=engine,
     )
     if bind_link_policy and hasattr(environment.link_policy, "bind"):
         environment.link_policy.bind(scheduler.processes)  # type: ignore[attr-defined]

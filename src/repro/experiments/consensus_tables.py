@@ -57,7 +57,7 @@ def _blockade(release: int, mode: str, n: int, crash_schedule=None) -> BlockadeE
 
 def _t1_cell(cell) -> tuple:
     """One T1 row: (n, crash fraction, gst) aggregated over repeats."""
-    n, fraction, gst, repeats, seed = cell
+    n, fraction, gst, repeats, seed, engine = cell
     samples = []
     for rep in range(repeats):
         run_seed = seed + 1000 * rep
@@ -73,13 +73,23 @@ def _t1_cell(cell) -> tuple:
                 crash_schedule=crashes,
                 max_rounds=gst + 60,
                 trace_mode="aggregate",
+                engine=engine,
             )
         )
     return (n, fraction, gst) + aggregate_latency(samples)
 
 
-def run_t1(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
-    """T1: Algorithm 2 latency across n × crash fraction × GST."""
+def run_t1(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+) -> Table:
+    """T1: Algorithm 2 latency across n × crash fraction × GST.
+
+    ``engine`` selects the counter representation; the rendered table
+    is engine-invariant (pinned in ``tests/experiments``).
+    """
     ns = [4, 10] if quick else [4, 8, 16, 32]
     fractions = [0.0, 0.5] if quick else [0.0, 0.25, 0.5]
     gsts = [2, 12] if quick else [2, 8, 16, 32]
@@ -97,7 +107,7 @@ def run_t1(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Tab
         ],
     )
     cells = [
-        (n, fraction, gst, repeats, seed)
+        (n, fraction, gst, repeats, seed, engine)
         for n in ns
         for fraction in fractions
         for gst in gsts
@@ -159,13 +169,14 @@ _SERIES_FACTORIES: dict = {
 
 def _series_cell(cell) -> list:
     """One latency-series point: blockade released at ``point``."""
-    mode, point, n, max_extra = cell
+    mode, point, n, max_extra, engine = cell
     sample = sample_consensus(
         _SERIES_FACTORIES[mode],
         carrier_proposals(n),
         _blockade(point, mode, n),
         max_rounds=point + max_extra,
         trace_mode="aggregate",
+        engine=engine,
     )
     return [point, sample.last_decision_round if sample.terminated else None]
 
@@ -176,13 +187,23 @@ def _latency_series(
     n: int,
     max_extra: int,
     jobs: Optional[int] = None,
+    engine: str = "object",
 ) -> List[List[object]]:
-    cells = [(mode, point, n, max_extra) for point in points]
+    cells = [(mode, point, n, max_extra, engine) for point in points]
     return run_cells(_series_cell, cells, jobs=jobs)
 
 
-def run_f1(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
-    """F1: ES latency as a function of GST (fixed n)."""
+def run_f1(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+) -> Table:
+    """F1: ES latency as a function of GST (fixed n).
+
+    ``engine`` selects the counter representation; the rendered table
+    is engine-invariant (pinned in ``tests/experiments``).
+    """
     n = 8
     points = [1, 8, 16, 32] if quick else [1, 4, 8, 16, 32, 64, 128]
 
@@ -192,7 +213,7 @@ def run_f1(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Tab
         headers=["gst", "rounds-to-decide"],
         notes=["expected: decide ≈ GST + 2 (deterministic blockade)"],
     )
-    for row in _latency_series("es", points, n, 60, jobs=jobs):
+    for row in _latency_series("es", points, n, 60, jobs=jobs, engine=engine):
         table.add_row(*row)
     return table
 

@@ -22,6 +22,7 @@ from repro.experiments.churn_tables import (
 )
 from repro.experiments.consensus_tables import run_f1, run_f2, run_t1, run_t2
 from repro.experiments.leader_figure import run_f3
+from repro.experiments.scale_table import run_s1
 from repro.experiments.sigma_table import run_t6
 from repro.experiments.state_growth import run_t3
 from repro.experiments.weakset_tables import run_f4, run_t4, run_t5
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "C3": run_c3,
     "C4": run_c4,
     "C5": run_c5,
+    "S1": run_s1,
 }
 
 
@@ -68,6 +70,7 @@ def run_experiment(
     fault_plan: Optional[object] = None,
     join_at: Optional[object] = None,
     leave_at: Optional[object] = None,
+    engine: Optional[str] = None,
 ) -> Table:
     """Run one experiment by its DESIGN.md ID (e.g. ``"T1"``).
 
@@ -83,7 +86,10 @@ def run_experiment(
     :class:`~repro.weakset.faults.FaultPlan` of scheduled transport
     faults.  ``join_at``/``leave_at`` hand C5 a custom membership-change
     scenario (rounds to grow at; ``(round, member)`` pairs to retire).
-    Runners without the matching knob ignore them.
+    ``engine`` selects the counter representation (``"object"`` /
+    ``"columnar"``) for the consensus-family experiments that thread it
+    through (S1, T1, T3, F1).  Runners without the matching knob ignore
+    them.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
@@ -103,6 +109,7 @@ def run_experiment(
         ("fault_plan", fault_plan),
         ("join_at", join_at),
         ("leave_at", leave_at),
+        ("engine", engine),
     ):
         if value is not None and name in parameters:
             kwargs[name] = value
@@ -121,6 +128,7 @@ def run_all(
     worlds_per_worker: Optional[int] = None,
     recover: Optional[bool] = None,
     fault_plan: Optional[object] = None,
+    engine: Optional[str] = None,
 ) -> List[Table]:
     """Run the whole suite in ID order."""
     return [
@@ -136,6 +144,7 @@ def run_all(
             worlds_per_worker=worlds_per_worker,
             recover=recover,
             fault_plan=fault_plan,
+            engine=engine,
         )
         for key in sorted(EXPERIMENTS)
     ]

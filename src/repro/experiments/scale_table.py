@@ -1,0 +1,177 @@
+"""Experiment S1: engine scaling — rounds/s and memory vs ``n``.
+
+The columnar engine's reason to exist is pushing the lock-step
+aggregate path from hundreds of processes into the tens of thousands
+(PERFORMANCE.md §11).  S1 makes that claim inspectable: one heartbeat
+pseudo-leader grid over ``n × engine`` under the dense anonymity
+regime the engine targets (a bounded brand set, MS obligations, silent
+extra links), reporting simulated rounds per wall-clock second and the
+run's peak traced allocation.
+
+Two columns keep the table honest:
+
+* **pinned** — every columnar row inside the overlap region (``n``
+  small enough to afford an object run) re-runs the identical
+  configuration on the object engine and compares the full trace
+  fingerprint plus final elector views; ``yes`` means byte-identical.
+  Object rows read ``ref``; columnar rows beyond the overlap read
+  ``n/a`` (the object engine is what the overlap bound protects you
+  from waiting on).
+* **peak-mb** — ``tracemalloc`` peak over a separate instrumented run
+  (tracing slows execution, so timing and memory come from different
+  runs of the same seeded configuration).
+
+Timing numbers vary with the host; the *shape* — object rounds/s
+collapsing quadratically while columnar stays flat-ish — is the
+reproducible observation, and the pinned column is deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import List, Optional
+
+from repro.analysis.tables import Table
+from repro.core.history import clear_intern_cache
+from repro.core.pseudo_leader import HeartbeatPseudoLeader
+from repro.giraf.adversary import (
+    NEVER_DELIVERED,
+    ConstantDelay,
+    RoundRobinSource,
+)
+from repro.giraf.environments import MovingSourceEnvironment, SilentLinks
+from repro.giraf.scheduler import LockStepScheduler
+
+__all__ = ["run_s1"]
+
+#: distinct brands in the grid — the anonymity regime: many processes,
+#: few behaviours, so distinct histories stay ≈ brands × rounds.
+BRANDS = 8
+
+
+def _environment() -> MovingSourceEnvironment:
+    return MovingSourceEnvironment(
+        RoundRobinSource(), SilentLinks(), ConstantDelay(NEVER_DELIVERED)
+    )
+
+
+def _run_once(n: int, engine: str, rounds: int) -> LockStepScheduler:
+    clear_intern_cache()
+    scheduler = LockStepScheduler(
+        [HeartbeatPseudoLeader(pid % BRANDS) for pid in range(n)],
+        _environment(),
+        max_rounds=rounds,
+        trace_mode="aggregate",
+        engine=engine,
+    )
+    scheduler.run()
+    return scheduler
+
+
+def _fingerprint(scheduler: LockStepScheduler) -> tuple:
+    """Everything a run exposes, in comparable form."""
+    trace = scheduler.trace
+    return (
+        trace.rounds_executed,
+        trace.agg_sends,
+        trace.agg_deliveries,
+        trace.round_entries,
+        trace.compute_times,
+        trace.declared_sources,
+        [
+            (
+                proc.round,
+                tuple(proc.algorithm.elector.history),
+                tuple(
+                    sorted(
+                        (tuple(history), count)
+                        for history, count in proc.algorithm.elector.counters.items()
+                    )
+                ),
+                proc.algorithm.currently_leader,
+                proc.algorithm.leader_since,
+            )
+            for proc in scheduler.processes
+        ],
+    )
+
+
+def _s1_cell(cell) -> List[object]:
+    n, engine, rounds, pin_cap = cell
+    # warmup: a tiny run outside the timing window, so one-time costs
+    # (numpy import, code-object warmup) don't land on the first cell
+    _run_once(min(n, 8), engine, 2)
+    # timing run (untraced)
+    started = time.perf_counter()
+    scheduler = _run_once(n, engine, rounds)
+    elapsed = time.perf_counter() - started
+    fingerprint = _fingerprint(scheduler)
+    # memory run (traced; same seeded configuration)
+    tracemalloc.start()
+    _run_once(n, engine, rounds)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    if engine == "object":
+        pinned = "ref"
+    elif n <= pin_cap:
+        reference = _fingerprint(_run_once(n, "object", rounds))
+        pinned = "yes" if fingerprint == reference else "NO"
+    else:
+        pinned = "n/a"
+    rounds_per_s = rounds / elapsed if elapsed > 0 else float("inf")
+    return [n, engine, rounds, round(rounds_per_s, 1), round(peak / 1e6, 2), pinned]
+
+
+def run_s1(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Table:
+    """S1: rounds/s and peak memory across ``n × engine``.
+
+    ``engine`` restricts the grid to one engine (the pinned column
+    still runs its object references); default is both.
+    """
+    # imported lazily: run_cells pulls in the full experiments package
+    from repro.experiments.common import run_cells
+
+    rounds = 12
+    if quick:
+        object_ns = [64, 256]
+        columnar_ns = [64, 256, 1024]
+        pin_cap = 256
+    else:
+        object_ns = [64, 256, 1024]
+        columnar_ns = [64, 256, 1024, 4000, 10000]
+        pin_cap = 1024
+    engines = ["object", "columnar"] if engine is None else [engine]
+
+    cells = []
+    for size in sorted(set(object_ns) | set(columnar_ns)):
+        for name in engines:
+            grid = object_ns if name == "object" else columnar_ns
+            if size in grid:
+                cells.append((size, name, rounds, pin_cap))
+
+    table = Table(
+        experiment_id="S1",
+        title=(
+            "Engine scaling: heartbeat lock-step rounds/s vs n "
+            f"({BRANDS} brands, aggregate traces)"
+        ),
+        headers=["n", "engine", "rounds", "rounds/s", "peak-mb", "pinned"],
+        notes=[
+            "pinned=yes: identical trace + final views vs an object-engine "
+            "run of the same cell (ref=is the reference, n/a=object run "
+            "too slow to afford)",
+            "rounds/s is host-dependent; the shape (object collapsing "
+            "with n, columnar staying flat) is the observation",
+            "peak-mb is tracemalloc's peak over a separate traced run",
+        ],
+    )
+    for row in run_cells(_s1_cell, cells, jobs=jobs):
+        table.add_row(*row)
+    return table

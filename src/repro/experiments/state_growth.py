@@ -58,7 +58,7 @@ def _checkpoints(horizon: int) -> List[int]:
     return points
 
 
-def _run(make_algorithm, n: int, horizon: int, seed: int):
+def _run(make_algorithm, n: int, horizon: int, seed: int, engine: str = "object"):
     environment = EventuallyStableSourceEnvironment(
         stabilization_round=8,
         preferred_source=0,
@@ -73,14 +73,17 @@ def _run(make_algorithm, n: int, horizon: int, seed: int):
         record_snapshots=True,
         trace_mode="aggregate",
         payload_stats=True,
+        engine=engine,
     )
     return scheduler.run()
 
 
 def _t3_cell(cell) -> dict:
     """One grid cell: both electorates at (n, horizon), summarized."""
-    n, horizon, checkpoints, seed = cell
-    anonymous = _run(lambda pid: HeartbeatPseudoLeader(brand=pid), n, horizon, seed)
+    n, horizon, checkpoints, seed, engine = cell
+    anonymous = _run(
+        lambda pid: HeartbeatPseudoLeader(brand=pid), n, horizon, seed, engine
+    )
     known = _run(lambda pid: HeartbeatOmega(pid), n, horizon, seed)
     history_series = anonymous.snapshot_series("history_len")
     final_history = (
@@ -98,16 +101,26 @@ def _t3_cell(cell) -> dict:
     }
 
 
-def run_t3(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
-    """T3: payload atoms per broadcast by round, anonymous vs IDs."""
+def run_t3(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+) -> Table:
+    """T3: payload atoms per broadcast by round, anonymous vs IDs.
+
+    ``engine`` selects the anonymous substrate's counter representation
+    (the Ω baseline has no counters to vectorize); the rendered table is
+    engine-invariant (pinned in ``tests/experiments``).
+    """
     if quick:
-        cells = [(6, 48, [5, 10, 20, 40], seed)]
+        cells = [(6, 48, [5, 10, 20, 40], seed, engine)]
     else:
         cells = [
-            (10, 150, _checkpoints(150), seed),
-            (10, 300, _checkpoints(300), seed),
-            (10, 450, _checkpoints(450), seed),
-            (16, 150, _checkpoints(150), seed),
+            (10, 150, _checkpoints(150), seed, engine),
+            (10, 300, _checkpoints(300), seed, engine),
+            (10, 450, _checkpoints(450), seed, engine),
+            (16, 150, _checkpoints(150), seed, engine),
         ]
 
     table = Table(

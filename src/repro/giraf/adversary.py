@@ -133,6 +133,17 @@ class CrashSchedule:
     def plan_for(self, pid: int) -> Optional[CrashPlan]:
         return self._plans.get(pid)
 
+    def plans(self) -> Mapping[int, CrashPlan]:
+        """All crash plans, keyed by pid (read-only view).
+
+        Lets the runtime kernel precompute which (round, phase) pairs
+        carry crashes at all, so crash-free rounds skip the per-process
+        scan entirely.
+        """
+        from types import MappingProxyType
+
+        return MappingProxyType(self._plans)
+
     def correct_set(self, n: int) -> FrozenSet[int]:
         return frozenset(pid for pid in range(n) if pid not in self._plans)
 

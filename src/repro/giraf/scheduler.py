@@ -49,6 +49,25 @@ __all__ = ["LockStepScheduler", "DriftingScheduler"]
 RoundHook = Callable[[int], None]
 
 
+def _swap_columnar_electors(processes: Sequence[GirafProcess]) -> None:
+    """Give every counter-bearing algorithm an array-backed elector.
+
+    The elector-level half of ``engine="columnar"``: one shared
+    :class:`~repro.core.columnar.HistoryIndex` per run, algorithms
+    opting in through their ``use_columnar`` hook (heartbeat and ESS
+    algorithms define it; counterless algorithms are left untouched and
+    simply run as before).
+    """
+    from repro.core.columnar import HistoryIndex, default_backend
+
+    index = HistoryIndex()
+    backend = default_backend()
+    for proc in processes:
+        hook = getattr(proc.algorithm, "use_columnar", None)
+        if hook is not None:
+            hook(index, backend)
+
+
 class LockStepScheduler:
     """Synchronized global rounds with controlled per-message lateness.
 
@@ -79,6 +98,16 @@ class LockStepScheduler:
     before the tick's end-of-rounds fire — the injection point drivers
     (the weak-set facades) use to issue application operations so they
     ride in that round's envelopes.
+
+    ``engine="columnar"`` switches the counter representation to flat
+    integer rows over one shared history index
+    (:mod:`repro.core.columnar`).  In aggregate trace mode with
+    heartbeat algorithms the whole tick becomes a matrix operation
+    (:class:`~repro.runtime.columnar_engine.ColumnarLockStepEngine` —
+    no per-envelope Python objects at all); otherwise counter-bearing
+    algorithms get array-backed electors and the loop is unchanged.
+    Either way the produced trace and final algorithm views are pinned
+    identical to the object engine (``tests/runtime``).
     """
 
     def __init__(
@@ -92,6 +121,7 @@ class LockStepScheduler:
         record_snapshots: bool = False,
         trace_mode: str = "full",
         payload_stats: bool = False,
+        engine: str = "object",
         on_round: Optional[RoundHook] = None,
     ):
         self._kernel = RuntimeKernel(
@@ -103,12 +133,25 @@ class LockStepScheduler:
             record_snapshots=record_snapshots,
             trace_mode=trace_mode,
             payload_stats=payload_stats,
+            engine=engine,
         )
         self._environment = environment
         self._record_snapshots = record_snapshots
         self._on_round = on_round
         self.processes = self._kernel.processes
         self._tick = 0
+        self._columnar_engine = None
+        if self._kernel.columnar:
+            from repro.runtime.columnar_engine import ColumnarLockStepEngine
+
+            self._columnar_engine = ColumnarLockStepEngine.try_build(
+                self._kernel,
+                environment,
+                record_snapshots=record_snapshots,
+                on_round=on_round,
+            )
+            if self._columnar_engine is None:
+                _swap_columnar_electors(self.processes)
 
     @property
     def trace(self) -> RunTrace:
@@ -132,6 +175,8 @@ class LockStepScheduler:
         trace = kernel.trace
         self._tick += 1
         tick = self._tick
+        if self._columnar_engine is not None:
+            return self._columnar_engine.step(tick)
         self._flush_late(trace, tick)
         kernel.apply_scheduled_crashes(tick, float(tick), before_send=True)
 
@@ -148,6 +193,12 @@ class LockStepScheduler:
     def run(self) -> RunTrace:
         while self.step():
             pass
+        if self._columnar_engine is not None:
+            # Materialize final algorithm views (history / counters /
+            # leader flags / process rounds) out of the matrices, so a
+            # finished run is externally indistinguishable from the
+            # object engine's.
+            self._columnar_engine.finalize()
         return self.trace
 
     # ------------------------------------------------------------------
@@ -365,6 +416,7 @@ class DriftingScheduler:
         record_snapshots: bool = False,
         trace_mode: str = "full",
         payload_stats: bool = False,
+        engine: str = "object",
         event_queue: str = "calendar",
     ):
         self._kernel = RuntimeKernel(
@@ -376,11 +428,17 @@ class DriftingScheduler:
             record_snapshots=record_snapshots,
             trace_mode=trace_mode,
             payload_stats=payload_stats,
+            engine=engine,
             event_queue=event_queue,
         )
         self._environment = environment
         self._record_snapshots = record_snapshots
         self.processes = self._kernel.processes
+        if self._kernel.columnar:
+            # Continuous time has no global round to vectorize across
+            # processes, so the columnar win here is the elector level:
+            # per-process rows over one shared index.
+            _swap_columnar_electors(self.processes)
         n = len(self.processes)
         if periods is None:
             periods = [1.0 + 0.13 * pid for pid in range(n)]

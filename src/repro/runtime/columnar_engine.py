@@ -1,0 +1,725 @@
+"""Whole-round columnar engine for the lock-step aggregate path.
+
+The object engine's lock-step tick, even in aggregate trace mode,
+still touches one Python object per process: an ``end_of_round`` call,
+an :class:`~repro.giraf.automaton.InboxView`, a dict-backed counter
+merge, an envelope, and a handful of frozensets — per process, per
+tick.  That per-process constant is the measured n ceiling.
+
+This engine replaces the *entire tick* with matrix operations over
+:class:`~repro.core.columnar.CounterColumns` when three things hold
+(checked by :meth:`ColumnarLockStepEngine.try_build`; anything else
+falls back to the object loop, or to per-process columnar electors):
+
+* aggregate trace mode — no per-event objects are owed to anyone;
+* every algorithm is a stock
+  :class:`~repro.core.pseudo_leader.HeartbeatPseudoLeader` in its
+  initial state — the protocol whose round *is* exactly the counter
+  update (Algorithm 3 lines 8–9 + the leader predicate), with a
+  constant per-process brand appended each round;
+* no ``on_round`` injection hook (drivers that inject application
+  operations need real envelopes).
+
+Under those conditions the lock-step semantics collapse into closed
+form, and every step below is pinned byte-identical to the object
+scheduler (``tests/runtime/test_columnar_engine.py``):
+
+* every active process fires every tick, so round-``t`` state lives in
+  one ``n × width`` matrix ``C`` (row ``i`` = the counters process
+  ``i`` sent at tick ``t``) plus one history column per process;
+* the tick-``t+1`` compute of process ``i`` is
+  ``min(C[i], C[obligatory…], C[extras delivering to i])`` followed by
+  one prefix-max bump per *distinct sender history* — and active
+  same-brand processes share one history column, so the per-tick
+  update is a handful of row broadcasts and one bump per column, not
+  per process;
+* late deliveries with delay ≥ 2 ticks land in round slots the
+  receiver has already computed, so for the heartbeat protocol they
+  are state-no-ops that only the delivery *counter* sees — the engine
+  counts them arithmetically at queue time and flushes the counts on
+  the due tick, never materializing a queue entry; delay-1 lates are
+  flushed by the object loop *before* the next fire, so they do reach
+  the slot being computed — the engine feeds those into the next
+  tick's min/bump exactly like timely extras (counted on the due
+  tick, state-applied at the next compute);
+* broadcast planning consumes the environment's vectorized
+  ``plan_round_links`` boolean rows and ``delay_ticks_row`` delay rows
+  directly (with a constant-delay arithmetic shortcut when the policy
+  declares fixed bounds), so no per-envelope object exists anywhere on
+  the path.
+
+Trace bookkeeping (round entries, compute times, aggregate counters,
+optional snapshots and payload statistics) is emitted in the object
+engine's exact order and arithmetic; :meth:`finalize` writes the final
+histories, counters, leader flags, and process rounds back into the
+untouched algorithm objects so a finished run is externally
+indistinguishable.  (Inbox round slots are *not* materialized — in
+aggregate mode nothing reads them after the run.)
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.columnar import CounterColumns, HistoryIndex, default_backend
+from repro.core.pseudo_leader import HeartbeatPseudoLeader, PseudoLeaderElector
+from repro.giraf.adversary import NEVER_DELIVERED
+from repro.giraf.environments import Environment
+from repro.giraf.messages import payload_size
+
+__all__ = ["ColumnarLockStepEngine"]
+
+
+class ColumnarLockStepEngine:
+    """One lock-step run as matrix operations (see module docstring).
+
+    Built via :meth:`try_build` by the lock-step scheduler when
+    ``engine="columnar"``; the scheduler delegates :meth:`step` (after
+    its own horizon guard) and calls :meth:`finalize` when the run
+    ends.
+    """
+
+    def __init__(self, kernel, environment, *, record_snapshots: bool):
+        self._kernel = kernel
+        self._environment = environment
+        self._record_snapshots = record_snapshots
+        self._trace = kernel.trace
+        self._sink = kernel.sink
+        self._payload_stats = kernel.payload_stats
+        n = len(kernel.processes)
+        self._n = n
+        backend = default_backend()
+        self._backend = backend
+        self._numpy = backend == "numpy"
+        if self._numpy:
+            import numpy
+
+            self._np = numpy
+        else:
+            self._np = None
+        self._index = HistoryIndex()
+        self._C = CounterColumns(n, self._index, backend)
+        self._N = CounterColumns(n, self._index, backend)
+
+        # --- activity -------------------------------------------------
+        self._active: List[bool] = [True] * n
+        self._active_count = n
+        self._active_sorted: Optional[List[int]] = list(range(n))
+        if self._numpy:
+            self._active_np = self._np.ones(n, dtype=bool)
+            self._active_idx = self._np.arange(n)
+        # --- histories ------------------------------------------------
+        # Per-process current history column (-1 = never fired).  The
+        # numpy path keeps an int64 array (compute indexes rows with
+        # it); the python path a plain list.
+        if self._numpy:
+            self._hist_col = self._np.full(n, -1, dtype=self._np.int64)
+        else:
+            self._hist_col = [-1] * n
+        # Brand groups: active same-brand processes share identical
+        # histories (everyone fires every tick), so one column intern
+        # per group per tick covers all members.
+        group_pids: Dict[object, List[int]] = {}
+        order: List[object] = []
+        for pid, algorithm in enumerate(kernel.algorithms):
+            brand = algorithm.brand
+            if brand not in group_pids:
+                group_pids[brand] = []
+                order.append(brand)
+            group_pids[brand].append(pid)
+        self._brands = order
+        self._groups = [group_pids[brand] for brand in order]
+        self._group_of = [0] * n
+        for g, pids in enumerate(self._groups):
+            for pid in pids:
+                self._group_of[pid] = g
+        if self._numpy:
+            self._group_idx = [
+                self._np.array(pids, dtype=self._np.intp) for pids in self._groups
+            ]
+        # Length-1 history column per group, from the elector's actual
+        # initial history node (so finalize hands back the same
+        # interned object the object engine would hold).
+        self._initial_col = [
+            self._index.intern(kernel.algorithms[pids[0]].elector.history)
+            for pids in self._groups
+        ]
+        self._group_col = [-1] * len(self._groups)
+
+        # --- leadership / per-process results -------------------------
+        if self._numpy:
+            i64 = self._np.int64
+            self._leader = self._np.ones(n, dtype=bool)
+            self._since = self._np.full(n, -1, dtype=i64)
+            self._my = self._np.zeros(n, dtype=i64)
+            self._mx = self._np.zeros(n, dtype=i64)
+            self._computed = self._np.zeros(n, dtype=bool)
+        else:
+            self._leader = [True] * n
+            self._since = [-1] * n
+            self._my = [0] * n
+            self._mx = [0] * n
+            self._computed = [False] * n
+        self._last_fired = [0] * n
+
+        # --- trace plumbing -------------------------------------------
+        self._entries: List[Optional[dict]] = [None] * n
+        self._computes: List[Optional[dict]] = [None] * n
+        # due tick -> late-delivery count (the whole late queue)
+        self._late_counts: Dict[int, int] = {}
+        # last tick's delivery plan, consumed by the next compute:
+        # (obligatory sender pids, [(extra sender, timely receivers)])
+        # where timely receivers is a bool mask (numpy) or pid list.
+        self._pending: Tuple[List[int], list] = ([], [])
+        # per-tick scratch for snapshots / payload stats (numpy path)
+        self._round_rows = None
+        self._round_own = None
+        self._round_max = None
+        self._round_leader = None
+        self._round_width = 0
+        # payload-size per column, grown with the index
+        self._col_atoms: List[int] = []
+        self._finalized = False
+
+        # Constant-delay shortcut: when the environment routes delays
+        # straight to a fixed-width policy, a broadcast's late count is
+        # pure arithmetic — no delay row needs drawing.
+        self._const_delay: Optional[int] = None
+        env_type = type(environment)
+        if (
+            env_type.delay_ticks is Environment.delay_ticks
+            and env_type.delay_ticks_row is Environment.delay_ticks_row
+        ):
+            bounds = environment.delay_policy.delay_bounds()
+            if bounds is not None and bounds[0] == bounds[1]:
+                self._const_delay = bounds[0]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def try_build(
+        cls, kernel, environment, *, record_snapshots: bool, on_round
+    ) -> Optional["ColumnarLockStepEngine"]:
+        """The whole-round engine, or ``None`` when it cannot apply.
+
+        Deliberately conservative: any subclassing, pre-seeded state,
+        or event-needing configuration falls back (the caller then
+        swaps per-process columnar electors instead, keeping
+        ``engine="columnar"`` meaningful for every run).
+        """
+        if not kernel.aggregate or on_round is not None:
+            return None
+        for algorithm in kernel.algorithms:
+            if type(algorithm) is not HeartbeatPseudoLeader:
+                return None
+            elector = algorithm.elector
+            if type(elector) is not PseudoLeaderElector:
+                return None
+            if not getattr(elector, "_inherit_prefixes", True):
+                return None
+            if elector._counters or len(elector.history) != 1:
+                return None
+        for proc in kernel.processes:
+            if proc.round != 0 or proc.crashed or proc.halted:
+                return None
+        return cls(kernel, environment, record_snapshots=record_snapshots)
+
+    # ------------------------------------------------------------------
+    # activity bookkeeping
+    # ------------------------------------------------------------------
+    def _active_pids(self) -> List[int]:
+        cached = self._active_sorted
+        if cached is None:
+            active = self._active
+            cached = self._active_sorted = [
+                pid for pid in range(self._n) if active[pid]
+            ]
+            if self._numpy:
+                self._active_idx = self._np.flatnonzero(self._active_np)
+        return cached
+
+    def _apply_crashes(self, tick: int, *, before_send: bool) -> None:
+        crashes = self._trace.crashes
+        before = len(crashes)
+        self._kernel.apply_scheduled_crashes(
+            tick, float(tick), before_send=before_send
+        )
+        if len(crashes) == before:
+            return
+        for event in crashes[before:]:
+            pid = event.pid
+            self._active[pid] = False
+            if self._numpy:
+                self._active_np[pid] = False
+            self._active_count -= 1
+        self._active_sorted = None
+
+    # ------------------------------------------------------------------
+    # the tick
+    # ------------------------------------------------------------------
+    def step(self, tick: int) -> bool:
+        """One lock-step tick (same phase order as the object loop)."""
+        kernel = self._kernel
+        late = self._late_counts.pop(tick, 0)
+        if late:
+            self._sink.bulk_deliveries(late)
+        self._apply_crashes(tick, before_send=True)
+        fired = self._fire(tick)
+        self._apply_crashes(tick, before_send=False)
+        self._deliver(tick, fired)
+        if self._active_count == 0:
+            return False
+        if kernel.stop_requested():
+            return False
+        return True
+
+    # -- fire ----------------------------------------------------------
+    def _fire(self, tick: int) -> List[int]:
+        fired = self._active_pids()
+        if not fired:
+            return fired
+        if tick >= 2:
+            if self._numpy:
+                self._compute_numpy(tick)
+            else:
+                self._compute_python(tick, fired)
+        self._append_and_record(tick, fired)
+        if self._record_snapshots and tick >= 2:
+            self._emit_snapshots(tick, fired)
+        if self._payload_stats:
+            self._emit_payload_stats(tick, fired)
+        return fired
+
+    def _compute_numpy(self, tick: int) -> None:
+        np = self._np
+        index = self._index
+        width = index.width
+        C, N = self._C, self._N
+        C.ensure_width(width)
+        N.ensure_width(width)
+        Cd, Nd = C.data, N.data
+        act = self._active_idx
+        active_np = self._active_np
+        hist_col = self._hist_col
+        oblig, extras = self._pending
+
+        # Carry every row over (crashed rows stay frozen across the
+        # double-buffer swap), then fold the round's messages in.
+        Nd[:, :width] = Cd[:, :width]
+        if oblig:
+            if len(oblig) == 1:
+                shared = Cd[oblig[0], :width]
+            else:
+                shared = Cd[np.array(oblig), :width].min(axis=0)
+            Nd[act, :width] = np.minimum(Cd[act, :width], shared)
+        for sender, mask in extras:
+            hit = mask & active_np
+            if hit.any():
+                Nd[hit, :width] = np.minimum(Nd[hit, :width], Cd[sender, :width])
+
+        # Bumps: one prefix-max per distinct received-history column,
+        # all maxima read before any write lands (the paper's
+        # simultaneous batch assignment — a bump column can be another
+        # bump's ancestor).
+        masks: Dict[int, object] = {}
+        n = self._n
+
+        def mask_for(col: int):
+            mask = masks.get(col)
+            if mask is None:
+                mask = masks[col] = np.zeros(n, dtype=bool)
+            return mask
+
+        for g, gidx in enumerate(self._group_idx):
+            sel = active_np[gidx]
+            if sel.any():
+                mask_for(self._group_col[g])[gidx[sel]] = True
+        for sender in oblig:
+            mask = mask_for(int(hist_col[sender]))
+            np.logical_or(mask, active_np, out=mask)
+        for sender, emask in extras:
+            mask = mask_for(int(hist_col[sender]))
+            np.logical_or(mask, emask & active_np, out=mask)
+
+        writes = []
+        for col, mask in masks.items():
+            rows = np.flatnonzero(mask)
+            ancestors = index.ancestor_cols(col)
+            values = Nd[np.ix_(rows, ancestors)].max(axis=1) + 1
+            writes.append((rows, col, values))
+        for rows, col, values in writes:
+            Nd[rows, col] = values
+
+        # Leadership + the pre-append my/max capture, vectorized.
+        sub = Nd[act, :width]
+        own_cols = hist_col[act]
+        own = sub[np.arange(len(act)), own_cols]
+        row_max = sub.max(axis=1)
+        leader_now = own >= row_max
+        prev = self._leader[act]
+        since = self._since[act]
+        since[leader_now & ~prev] = tick - 1
+        since[~leader_now] = -1
+        self._since[act] = since
+        self._leader[act] = leader_now
+        self._my[act] = own
+        self._mx[act] = row_max
+        self._computed[act] = True
+        self._round_rows = sub
+        self._round_own = own
+        self._round_max = row_max
+        self._round_leader = leader_now
+        self._round_width = width
+        self._C, self._N = self._N, self._C
+
+    def _compute_python(self, tick: int, fired: List[int]) -> None:
+        index = self._index
+        width = index.width
+        C, N = self._C, self._N
+        C.ensure_width(width)
+        N.ensure_width(width)
+        crows, nrows = C.rows, N.rows
+        active = self._active
+        hist_col = self._hist_col
+        oblig, extras = self._pending
+
+        for pid in range(self._n):
+            nrows[pid] = array("q", crows[pid])
+        if oblig:
+            shared = crows[oblig[0]]
+            for sender in oblig[1:]:
+                shared = array("q", map(min, shared, crows[sender]))
+            for pid in fired:
+                nrows[pid] = array("q", map(min, nrows[pid], shared))
+        for sender, timely in extras:
+            srow = crows[sender]
+            for receiver in timely:
+                if active[receiver]:
+                    nrows[receiver] = array("q", map(min, nrows[receiver], srow))
+
+        masks: Dict[int, Set[int]] = {}
+        for g, pids in enumerate(self._groups):
+            members = [pid for pid in pids if active[pid]]
+            if members:
+                masks.setdefault(self._group_col[g], set()).update(members)
+        for sender in oblig:
+            masks.setdefault(hist_col[sender], set()).update(fired)
+        for sender, timely in extras:
+            hits = [pid for pid in timely if active[pid]]
+            if hits:
+                masks.setdefault(hist_col[sender], set()).update(hits)
+
+        writes = []
+        for col, pids in masks.items():
+            ancestors = index.ancestor_cols(col)
+            for pid in pids:
+                row = nrows[pid]
+                best = 0
+                for ancestor in ancestors:
+                    value = row[ancestor]
+                    if value > best:
+                        best = value
+                writes.append((pid, col, best + 1))
+        for pid, col, value in writes:
+            nrows[pid][col] = value
+
+        for pid in fired:
+            row = nrows[pid]
+            own = row[hist_col[pid]]
+            row_max = max(row) if width else 0
+            leader_now = own >= row_max
+            if leader_now and not self._leader[pid]:
+                self._since[pid] = tick - 1
+            elif not leader_now:
+                self._since[pid] = -1
+            self._leader[pid] = leader_now
+            self._my[pid] = own
+            self._mx[pid] = row_max
+            self._computed[pid] = True
+        self._round_width = width
+        self._C, self._N = self._N, self._C
+
+    def _append_and_record(self, tick: int, fired: List[int]) -> None:
+        """Per-group history appends + the object loop's bookkeeping."""
+        index = self._index
+        trace = self._trace
+        hist_col = self._hist_col
+        active = self._active
+        new_cols: Dict[int, int] = {}
+        for g, pids in enumerate(self._groups):
+            if self._numpy:
+                gidx = self._group_idx[g]
+                sel = self._active_np[gidx]
+                if not sel.any():
+                    continue
+            else:
+                sel = None
+                if not any(active[pid] for pid in pids):
+                    continue
+            if tick == 1:
+                col = self._initial_col[g]
+            else:
+                col = index.child_col(self._group_col[g], self._brands[g])
+            self._group_col[g] = col
+            new_cols[g] = col
+            if self._numpy:
+                hist_col[gidx[sel]] = col
+
+        entries = self._entries
+        computes = self._computes
+        group_of = self._group_of
+        last_fired = self._last_fired
+        time = float(tick)
+        computing = tick - 1
+        use_lists = not self._numpy
+        for pid in fired:
+            if use_lists:
+                hist_col[pid] = new_cols[group_of[pid]]
+            if tick >= 2:
+                per_round = computes[pid]
+                if per_round is None:
+                    per_round = computes[pid] = trace.compute_times.setdefault(
+                        pid, {}
+                    )
+                per_round[computing] = time
+            per_round = entries[pid]
+            if per_round is None:
+                per_round = entries[pid] = trace.round_entries.setdefault(pid, {})
+            per_round[tick] = time
+            last_fired[pid] = tick
+        if tick > trace.rounds_executed:
+            trace.rounds_executed = tick
+        trace.agg_sends += len(fired)
+
+    def _emit_snapshots(self, tick: int, fired: List[int]) -> None:
+        trace = self._trace
+        computing = tick - 1
+        if self._numpy:
+            counts = (self._round_rows > 0).sum(axis=1)
+            own, row_max = self._round_own, self._round_max
+            leader = self._round_leader
+            for position, pid in enumerate(fired):
+                trace.record_snapshot(
+                    pid,
+                    computing,
+                    {
+                        "leader": bool(leader[position]),
+                        "my_counter": int(own[position]),
+                        "max_counter": int(row_max[position]),
+                        "history_len": tick,
+                        "counter_entries": int(counts[position]),
+                    },
+                )
+        else:
+            crows = self._C.rows
+            for pid in fired:
+                support = sum(1 for value in crows[pid] if value > 0)
+                trace.record_snapshot(
+                    pid,
+                    computing,
+                    {
+                        "leader": bool(self._leader[pid]),
+                        "my_counter": int(self._my[pid]),
+                        "max_counter": int(self._mx[pid]),
+                        "history_len": tick,
+                        "counter_entries": support,
+                    },
+                )
+
+    def _atoms_upto(self, width: int) -> List[int]:
+        atoms = self._col_atoms
+        histories = self._index.histories
+        parents = self._index.parents
+        while len(atoms) < width:
+            col = len(atoms)
+            parent = parents[col]
+            base = atoms[parent] if parent >= 0 else 1
+            atoms.append(base + payload_size(histories[col].value))
+        return atoms
+
+    def _emit_payload_stats(self, tick: int, fired: List[int]) -> None:
+        """The object sink's per-send size stats, in closed form.
+
+        A lock-step heartbeat payload is the frozenset of the sender's
+        own message, so its structural size is
+        ``2 + atoms(history) + atoms(counters)`` with
+        ``atoms(counters) = 1 + Σ_support (atoms(history) + 1)`` —
+        exactly what :func:`~repro.giraf.messages.payload_size` walks
+        out of the object representation.
+        """
+        trace = self._trace
+        atoms = self._atoms_upto(self._index.width)
+        if self._numpy:
+            np = self._np
+            atoms_arr = np.array(atoms, dtype=np.int64)
+            hist_atoms = atoms_arr[self._hist_col[self._active_idx]]
+            if tick >= 2:
+                width = self._round_width
+                counter_atoms = 1 + (self._round_rows > 0) @ (
+                    atoms_arr[:width] + 1
+                )
+            else:
+                counter_atoms = np.ones(len(fired), dtype=np.int64)
+            send_atoms = 2 + hist_atoms + counter_atoms
+            total = int(send_atoms.sum())
+            biggest = int(send_atoms.max())
+        else:
+            crows = self._C.rows
+            total = 0
+            biggest = 0
+            for pid in fired:
+                counter_atoms = 1
+                if tick >= 2:
+                    for col, value in enumerate(crows[pid]):
+                        if value > 0:
+                            counter_atoms += atoms[col] + 1
+                size = 2 + atoms[self._hist_col[pid]] + counter_atoms
+                total += size
+                if size > biggest:
+                    biggest = size
+        trace.agg_payload[tick] = [len(fired), total, biggest]
+
+    # -- deliver -------------------------------------------------------
+    def _deliver(self, tick: int, fired: List[int]) -> None:
+        if not fired:
+            return
+        kernel = self._kernel
+        trace = self._trace
+        environment = self._environment
+        correct = kernel.correct
+        correct_senders = [pid for pid in fired if pid in correct]
+        candidates = correct_senders or fired
+        plan = environment.plan_round(tick, candidates)
+        if plan.source is not None:
+            trace.declared_sources[tick] = plan.source
+
+        active = self._active
+        receivers = self._active_pids()
+        receiver_count = len(receivers)
+        obligatory = plan.obligatory
+        oblig_senders = [pid for pid in fired if pid in obligatory]
+        deliveries = 0
+        for sender in oblig_senders:
+            deliveries += receiver_count - (1 if active[sender] else 0)
+
+        extra_senders = [pid for pid in fired if pid not in obligatory]
+        link_rows: Dict[int, List[bool]] = {}
+        if extra_senders and receivers:
+            link_rows = environment.plan_round_links(tick, extra_senders, receivers)
+
+        extras_store = []
+        const_delay = self._const_delay
+        late_counts = self._late_counts
+        max_rounds = kernel.max_rounds
+        # With a constant delay past the horizon (or the never-delivered
+        # sentinel) every late is dropped at queue time — senders whose
+        # link row is all-false then contribute nothing at all.
+        drop_all_late = const_delay is not None and (
+            tick + const_delay > max_rounds or const_delay >= NEVER_DELIVERED
+        )
+        # Link policies may share one row object across senders (the
+        # all-false silent row does); cache its true positions once.
+        positions_cache: Dict[int, List[int]] = {}
+        for sender in extra_senders:
+            row = link_rows.get(sender)
+            if row is None:
+                if drop_all_late:
+                    continue
+                timely: List[int] = []
+            else:
+                key = id(row)
+                positions = positions_cache.get(key)
+                if positions is None:
+                    positions = positions_cache[key] = [
+                        position for position, flag in enumerate(row) if flag
+                    ]
+                if drop_all_late and not positions:
+                    continue
+                timely = [receivers[position] for position in positions]
+                if timely:
+                    timely = [pid for pid in timely if pid != sender]
+            if timely:
+                deliveries += len(timely)
+                if self._numpy:
+                    mask = self._np.zeros(self._n, dtype=bool)
+                    mask[timely] = True
+                    extras_store.append((sender, mask))
+                else:
+                    extras_store.append((sender, timely))
+            late_count = (
+                receiver_count - (1 if active[sender] else 0) - len(timely)
+            )
+            if not late_count:
+                continue
+            # Delay-1 lates are flushed before the next fire, so they
+            # reach the slot that fire computes from — state-effective,
+            # fed into the next tick exactly like timely extras (their
+            # delivery count still lands on the due tick).
+            effective: List[int] = []
+            if const_delay is not None:
+                due = tick + const_delay
+                if due <= max_rounds and const_delay < NEVER_DELIVERED:
+                    late_counts[due] = late_counts.get(due, 0) + late_count
+                    if const_delay == 1:
+                        timely_set = set(timely)
+                        effective = [
+                            pid
+                            for pid in receivers
+                            if pid != sender and pid not in timely_set
+                        ]
+            else:
+                timely_set = set(timely)
+                late = [
+                    pid
+                    for pid in receivers
+                    if pid != sender and pid not in timely_set
+                ]
+                delays = environment.delay_ticks_row(tick, sender, late)
+                for pid, delay in zip(late, delays):
+                    due = tick + delay
+                    if due <= max_rounds and delay < NEVER_DELIVERED:
+                        late_counts[due] = late_counts.get(due, 0) + 1
+                        if delay == 1:
+                            effective.append(pid)
+            if effective:
+                if self._numpy:
+                    mask = self._np.zeros(self._n, dtype=bool)
+                    mask[effective] = True
+                    extras_store.append((sender, mask))
+                else:
+                    extras_store.append((sender, effective))
+        if deliveries:
+            self._sink.bulk_deliveries(deliveries)
+        self._pending = (oblig_senders, extras_store)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Write matrix state back into the algorithm objects.
+
+        Idempotent; called by the scheduler's ``run()`` when the run
+        ends.  After this, histories (interned nodes), counter dicts,
+        leader flags, ``leader_since``, the pre-append my/max counter
+        captures, and ``proc.round`` all read exactly as the object
+        engine would leave them.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        index = self._index
+        histories = index.histories
+        C = self._C
+        for pid, proc in enumerate(self._kernel.processes):
+            algorithm = proc.algorithm
+            elector = algorithm.elector
+            col = int(self._hist_col[pid])
+            if col >= 0:
+                elector.history = histories[col]
+            elector._counters = C.row_map(pid)
+            algorithm.currently_leader = bool(self._leader[pid])
+            since = int(self._since[pid])
+            algorithm.leader_since = None if since < 0 else since
+            if self._computed[pid]:
+                algorithm._my_counter = int(self._my[pid])
+                algorithm._max_counter = int(self._mx[pid])
+            proc.round = self._last_fired[pid]

@@ -68,6 +68,15 @@ class RuntimeKernel:
             ``"aggregate"`` (running counters only).
         payload_stats: collect per-round payload-size statistics
             (aggregate mode only).
+        engine: ``"object"`` (per-process Python objects, the default)
+            or ``"columnar"`` (flat counter rows over a shared
+            :class:`~repro.core.columnar.HistoryIndex`).  The kernel
+            only validates and records the choice; engines act on it —
+            the lock-step scheduler swaps in the whole-round matrix
+            engine (or columnar electors when it cannot engage), the
+            drifting scheduler swaps electors.  Both engines are
+            pinned equivalent (``tests/runtime``), so this is purely a
+            representation switch.
         event_queue: ``"calendar"`` (bucketed timing wheel, the
             default — O(1) inserts, bucket width derived from the
             environment's delay bounds) or ``"heap"`` (the historical
@@ -105,6 +114,7 @@ class RuntimeKernel:
         record_snapshots: bool = False,
         trace_mode: str = "full",
         payload_stats: bool = False,
+        engine: str = "object",
         event_queue: str = "calendar",
     ):
         if not algorithms:
@@ -113,6 +123,8 @@ class RuntimeKernel:
             raise SimulationError("max_rounds must be >= 1")
         if trace_mode not in ("full", "aggregate"):
             raise SimulationError(f"unknown trace_mode {trace_mode!r}")
+        if engine not in ("object", "columnar"):
+            raise SimulationError(f"unknown engine {engine!r}")
         if event_queue not in ("calendar", "heap"):
             raise SimulationError(f"unknown event_queue {event_queue!r}")
         self.algorithms = list(algorithms)
@@ -124,11 +136,21 @@ class RuntimeKernel:
         self.record_snapshots = record_snapshots
         self.aggregate = trace_mode == "aggregate"
         self.payload_stats = payload_stats and self.aggregate
+        self.columnar = engine == "columnar"
         self.processes = [
             GirafProcess(pid, algorithm)
             for pid, algorithm in enumerate(self.algorithms)
         ]
         self.correct = self.crashes.correct_set(len(self.algorithms))
+        # (round, phase) -> pids crashing there, in pid order: lets
+        # apply_scheduled_crashes skip the all-process scan on the
+        # overwhelmingly common crash-free rounds.
+        self._crash_phases: Dict[Tuple[int, bool], List[int]] = {}
+        for pid in sorted(self.crashes.plans()):
+            plan = self.crashes.plan_for(pid)
+            self._crash_phases.setdefault(
+                (plan.round_no, plan.before_send), []
+            ).append(pid)
 
         self._trace: Optional[RunTrace] = None
         self._sink: Optional[TraceSink] = None
@@ -210,16 +232,14 @@ class RuntimeKernel:
         self, round_no: int, time: float, *, before_send: bool
     ) -> None:
         """Apply every crash the adversary scheduled for this phase."""
-        for proc in self.processes:
+        pids = self._crash_phases.get((round_no, before_send))
+        if not pids:
+            return
+        for pid in pids:
+            proc = self.processes[pid]
             if proc.crashed or proc.halted:
                 continue
-            plan = self.crashes.plan_for(proc.pid)
-            if (
-                plan is not None
-                and plan.round_no == round_no
-                and plan.before_send == before_send
-            ):
-                self.crash(proc, round_no, time, before_send=before_send)
+            self.crash(proc, round_no, time, before_send=before_send)
 
     def record_halt(self, proc: GirafProcess, round_no: int, time: float) -> None:
         """Record a halt exactly once per process."""

@@ -96,6 +96,7 @@ def run_consensus(
     periods: Optional[Sequence[float]] = None,
     phases: Optional[Sequence[float]] = None,
     trace_mode: str = "full",
+    engine: str = "object",
 ) -> ConsensusRun:
     """Run one consensus instance and package trace + verdict + metrics.
 
@@ -110,6 +111,10 @@ def run_consensus(
             ``"aggregate"`` (counter-only fast path; the returned
             metrics are identical — equivalence-tested — but the
             safety report degrades to count-based checks only).
+        engine: ``"object"`` (per-process Python state, the default)
+            or ``"columnar"`` (array-backed counters over a shared
+            history index; pinned equivalent — see
+            :mod:`repro.core.columnar`).
     """
     algorithms = [factory(value) for value in proposals]
     stop = stop_when_all_correct_decided if stop_early else None
@@ -122,6 +127,7 @@ def run_consensus(
             stop_when=stop,
             record_snapshots=record_snapshots,
             trace_mode=trace_mode,
+            engine=engine,
         )
     elif scheduler == "drifting":
         driver = DriftingScheduler(
@@ -134,6 +140,7 @@ def run_consensus(
             periods=periods,
             phases=phases,
             trace_mode=trace_mode,
+            engine=engine,
         )
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -156,6 +163,7 @@ def run_es_consensus(
     scheduler: str = "lockstep",
     record_snapshots: bool = False,
     trace_mode: str = "full",
+    engine: str = "object",
     **algorithm_kwargs,
 ) -> ConsensusRun:
     """Algorithm 2 under a seeded ES environment."""
@@ -172,6 +180,7 @@ def run_es_consensus(
         record_snapshots=record_snapshots,
         stabilization_round=gst,
         trace_mode=trace_mode,
+        engine=engine,
     )
 
 
@@ -186,6 +195,7 @@ def run_ess_consensus(
     scheduler: str = "lockstep",
     record_snapshots: bool = False,
     trace_mode: str = "full",
+    engine: str = "object",
     **algorithm_kwargs,
 ) -> ConsensusRun:
     """Algorithm 3 under a seeded ESS environment.
@@ -208,6 +218,7 @@ def run_ess_consensus(
         record_snapshots=record_snapshots,
         stabilization_round=stabilization_round,
         trace_mode=trace_mode,
+        engine=engine,
     )
 
 

@@ -604,7 +604,7 @@ def _obj_to_message(blob: object) -> object:
     _cls, _encode, decode = codec
     try:
         return decode(blob["v"])
-    except (KeyError, TypeError, ValueError) as error:
+    except (KeyError, TypeError, ValueError, SerializationError) as error:
         raise ProtocolError(f"malformed {tag!r} payload: {error}") from None
 
 

@@ -21,7 +21,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {
             "T1", "T2", "T3", "T4", "T5", "T6", "T7",
             "F1", "F2", "F3", "F4", "A1", "A2", "A3",
-            "C1", "C2", "C3", "C4", "C5",
+            "C1", "C2", "C3", "C4", "C5", "S1",
         }
 
     def test_churn_family_registered_and_dispatches(self):
