@@ -13,7 +13,8 @@ test:
 # that; the numpy-masked run exercises the pure-stdlib fallback).
 test-columnar:
 	$(PYTHON) -m pytest -q tests/core/test_columnar.py \
-		tests/runtime/test_columnar_engine.py
+		tests/runtime/test_columnar_engine.py \
+		tests/runtime/test_columnar_drifting_engine.py
 
 # Chaos suite: the fault-injection and crash-recovery tests alone —
 # seeded FaultPlans (fixed in the test files, so every run replays the
@@ -57,9 +58,10 @@ perf:
 	$(PYTHON) scripts/check_perf.py
 
 # Engine-scaling table: the S1 grid (rounds/s, peak memory, and the
-# columnar-vs-object pinned column across n).  The full grid pushes
+# columnar-vs-object pinned column across scheduler × n — both the
+# lock-step tick and the drifting event loop).  The full grid pushes
 # the columnar engine to n=10,000; quick (make experiments) stops at
-# n=1,024.  See PERFORMANCE.md §11.
+# n=1,024.  See PERFORMANCE.md §11–§12.
 scale:
 	$(PYTHON) -m repro.experiments S1 --full
 

@@ -228,6 +228,59 @@ def test_bench_aggregate_round_columnar_n10k(benchmark):
     assert trace.agg_sends > 0
 
 
+def _heartbeat_drifting(n: int, engine: str, rounds: int):
+    """The drifting twin of ``_heartbeat_lockstep``: the same S1
+    anonymity regime driven by the event loop — per-process nominal
+    clocks, continuous-time deliveries, gating on the MS obligation.
+    ``engine="columnar"`` takes the delivery-tick-column engine; the
+    intern table is cleared first so every iteration pays the same
+    (empty-cache) interning bill."""
+    clear_intern_cache()
+    scheduler = DriftingScheduler(
+        [HeartbeatPseudoLeader(pid % 8) for pid in range(n)],
+        MovingSourceEnvironment(
+            RoundRobinSource(), SilentLinks(), ConstantDelay(NEVER_DELIVERED)
+        ),
+        max_rounds=rounds,
+        trace_mode="aggregate",
+        engine=engine,
+    )
+    trace = scheduler.run()
+    assert trace.agg_sends > 0
+    return trace
+
+
+def test_bench_drifting_round_object_n100(benchmark):
+    """The object event loop's per-round cost at n=100 (12 rounds)."""
+    trace = benchmark(_heartbeat_drifting, 100, "object", 12)
+    assert trace.agg_sends > 0
+
+
+def test_bench_drifting_round_columnar_n100(benchmark):
+    """The drifting columnar engine on the identical n=100 workload."""
+    trace = benchmark(_heartbeat_drifting, 100, "columnar", 12)
+    assert trace.agg_sends > 0
+
+
+def test_bench_drifting_round_object_n10k(benchmark):
+    """The object event loop at n=10,000 — tens of seconds *per
+    round* (every broadcast walks its n-1 receivers in Python), so one
+    iteration of 2 rounds is all this box can afford; the twin below
+    runs the identical workload."""
+    trace = benchmark.pedantic(
+        _heartbeat_drifting, args=(10_000, "object", 2), rounds=1, iterations=1
+    )
+    assert trace.agg_sends > 0
+
+
+def test_bench_drifting_round_columnar_n10k(benchmark):
+    """The drifting columnar engine at n=10,000, same 2-round workload."""
+    trace = benchmark.pedantic(
+        _heartbeat_drifting, args=(10_000, "columnar", 2), rounds=3, iterations=1
+    )
+    assert trace.agg_sends > 0
+
+
 def _event_queue_churn(queue_factory, pending: int = 200_000, churn: int = 100_000):
     """Steady-state event churn at a size where the insert cost shows.
 

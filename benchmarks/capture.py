@@ -257,6 +257,19 @@ def main(argv=None) -> int:
             speedups[f"aggregate_round_columnar_vs_object_{scale}"] = round(
                 object_cost / columnar_cost, 2
             )
+    # Columnar drifting engine (PR 10): the event-driven twins of the
+    # pair above — the same anonymity regime driven through the
+    # drifting scheduler's delivery queue.  The object loop pays a
+    # Python broadcast walk per sender per round; the columnar engine
+    # drains delivery-tick columns as masked matrix passes, so again
+    # the ratio grows with n while n=100 guards the small-n switch.
+    for scale in ("n100", "n10k"):
+        object_cost = micro.get(f"test_bench_drifting_round_object_{scale}")
+        columnar_cost = micro.get(f"test_bench_drifting_round_columnar_{scale}")
+        if object_cost and columnar_cost:
+            speedups[f"drifting_round_columnar_vs_object_{scale}"] = round(
+                object_cost / columnar_cost, 2
+            )
     drifting = micro.get("test_bench_drifting_round_throughput")
     recorded = PR4_RECORDED_US.get("test_bench_drifting_round_throughput")
     if drifting and recorded:

@@ -92,6 +92,20 @@ SAME_RUN_FLOORS = [
         "n=100 — the representation switch should never lose at small n",
     ),
     (
+        "drifting_round_columnar_vs_object_n10k",
+        5.0,
+        "the drifting columnar engine lost its edge over the object "
+        "event loop at n=10,000 (delivery-tick column draining "
+        "presumably stopped engaging, or the broadcast fast paths "
+        "regressed to per-receiver Python loops)",
+    ),
+    (
+        "drifting_round_columnar_vs_object_n100",
+        0.9,
+        "the drifting columnar engine costs more than the object event "
+        "loop at n=100 — the switch should never lose at small n",
+    ),
+    (
         "shard_rebalance_time",
         0.5,
         "a join rebalance costs more than twice a from-scratch rebuild "

@@ -179,9 +179,9 @@ def main(argv=None) -> int:
         choices=["object", "columnar"],
         default=None,
         help="counter representation for the consensus-family "
-        "experiments that thread it through (S1, T1, T3, F1): object "
-        "is per-process Python state, columnar flat arrays over a "
-        "shared history index (tables are identical — S1's columns "
+        "experiments that thread it through (S1, T1, T2, T3, F1, F2): "
+        "object is per-process Python state, columnar flat arrays over "
+        "a shared history index (tables are identical — S1's columns "
         "show the speed difference)",
     )
     parser.add_argument(

@@ -119,7 +119,7 @@ def run_t1(
 
 def _t2_cell(cell) -> tuple:
     """One T2 row: (n, stabilization round) aggregated over repeats."""
-    n, stab, repeats, seed = cell
+    n, stab, repeats, seed, engine = cell
     samples = []
     for rep in range(repeats):
         run_seed = seed + 1000 * rep
@@ -134,13 +134,23 @@ def _t2_cell(cell) -> tuple:
                 crash_schedule=crashes,
                 max_rounds=stab + 150,
                 trace_mode="aggregate",
+                engine=engine,
             )
         )
     return (n, stab) + aggregate_latency(samples)
 
 
-def run_t2(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
-    """T2: Algorithm 3 latency across n × stabilization round."""
+def run_t2(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+) -> Table:
+    """T2: Algorithm 3 latency across n × stabilization round.
+
+    ``engine`` selects the counter representation; the rendered table
+    is engine-invariant (pinned in ``tests/experiments``).
+    """
     ns = [4, 10] if quick else [4, 8, 16, 32]
     stabs = [2, 12] if quick else [2, 8, 16, 32]
     repeats = 3 if quick else 8
@@ -155,7 +165,7 @@ def run_t2(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Tab
             "defeats the blockade (Lemma 6) — see EXPERIMENTS.md",
         ],
     )
-    cells = [(n, stab, repeats, seed) for n in ns for stab in stabs]
+    cells = [(n, stab, repeats, seed, engine) for n in ns for stab in stabs]
     for row in run_cells(_t2_cell, cells, jobs=jobs):
         table.add_row(*row)
     return table
@@ -218,8 +228,17 @@ def run_f1(
     return table
 
 
-def run_f2(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Table:
-    """F2: ESS latency as a function of the stabilization round."""
+def run_f2(
+    quick: bool = True,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+    engine: str = "object",
+) -> Table:
+    """F2: ESS latency as a function of the stabilization round.
+
+    ``engine`` selects the counter representation; the rendered table
+    is engine-invariant (pinned in ``tests/experiments``).
+    """
     n = 8
     points = [1, 8, 16, 32] if quick else [1, 4, 8, 16, 32, 64, 128]
 
@@ -237,6 +256,6 @@ def run_f2(quick: bool = True, seed: int = 0, jobs: Optional[int] = None) -> Tab
             "algorithm winning, not the adversary",
         ],
     )
-    for row in _latency_series("ess", points, n, 150, jobs=jobs):
+    for row in _latency_series("ess", points, n, 150, jobs=jobs, engine=engine):
         table.add_row(*row)
     return table

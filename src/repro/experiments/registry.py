@@ -88,8 +88,8 @@ def run_experiment(
     scenario (rounds to grow at; ``(round, member)`` pairs to retire).
     ``engine`` selects the counter representation (``"object"`` /
     ``"columnar"``) for the consensus-family experiments that thread it
-    through (S1, T1, T3, F1).  Runners without the matching knob ignore
-    them.
+    through (S1, T1, T2, T3, F1, F2).  Runners without the matching
+    knob ignore them.
     """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:

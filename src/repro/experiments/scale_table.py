@@ -1,29 +1,33 @@
 """Experiment S1: engine scaling — rounds/s and memory vs ``n``.
 
-The columnar engine's reason to exist is pushing the lock-step
-aggregate path from hundreds of processes into the tens of thousands
-(PERFORMANCE.md §11).  S1 makes that claim inspectable: one heartbeat
-pseudo-leader grid over ``n × engine`` under the dense anonymity
-regime the engine targets (a bounded brand set, MS obligations, silent
-extra links), reporting simulated rounds per wall-clock second and the
-run's peak traced allocation.
+The columnar engine's reason to exist is pushing the aggregate
+heartbeat path from hundreds of processes into the tens of thousands
+(PERFORMANCE.md §11–§12).  S1 makes that claim inspectable: one
+heartbeat pseudo-leader grid over ``scheduler × engine × n`` under the
+dense anonymity regime the engine targets (a bounded brand set, MS
+obligations, silent extra links), reporting simulated rounds per
+wall-clock second and the run's peak traced allocation.  The
+``sched`` axis covers both execution models the matrix engines
+accelerate: the lock-step tick (whole-round matrix passes) and the
+drifting event loop (delivery-tick columns drained as masked passes).
 
 Two columns keep the table honest:
 
 * **pinned** — every columnar row inside the overlap region (``n``
   small enough to afford an object run) re-runs the identical
-  configuration on the object engine and compares the full trace
-  fingerprint plus final elector views; ``yes`` means byte-identical.
-  Object rows read ``ref``; columnar rows beyond the overlap read
-  ``n/a`` (the object engine is what the overlap bound protects you
-  from waiting on).
+  configuration on the object engine *of the same scheduler* and
+  compares the full trace fingerprint plus final elector views;
+  ``yes`` means byte-identical.  Object rows read ``ref``; columnar
+  rows beyond the overlap read ``n/a`` (the object engine is what the
+  overlap bound protects you from waiting on).
 * **peak-mb** — ``tracemalloc`` peak over a separate instrumented run
   (tracing slows execution, so timing and memory come from different
   runs of the same seeded configuration).
 
 Timing numbers vary with the host; the *shape* — object rounds/s
-collapsing quadratically while columnar stays flat-ish — is the
-reproducible observation, and the pinned column is deterministic.
+collapsing quadratically while columnar stays flat-ish, under both
+schedulers — is the reproducible observation, and the pinned column
+is deterministic.
 """
 
 from __future__ import annotations
@@ -41,7 +45,7 @@ from repro.giraf.adversary import (
     RoundRobinSource,
 )
 from repro.giraf.environments import MovingSourceEnvironment, SilentLinks
-from repro.giraf.scheduler import LockStepScheduler
+from repro.giraf.scheduler import DriftingScheduler, LockStepScheduler
 
 __all__ = ["run_s1"]
 
@@ -56,22 +60,25 @@ def _environment() -> MovingSourceEnvironment:
     )
 
 
-def _run_once(n: int, engine: str, rounds: int) -> LockStepScheduler:
+def _run_once(n: int, engine: str, rounds: int, scheduler: str):
     clear_intern_cache()
-    scheduler = LockStepScheduler(
+    scheduler_cls = (
+        LockStepScheduler if scheduler == "lockstep" else DriftingScheduler
+    )
+    driver = scheduler_cls(
         [HeartbeatPseudoLeader(pid % BRANDS) for pid in range(n)],
         _environment(),
         max_rounds=rounds,
         trace_mode="aggregate",
         engine=engine,
     )
-    scheduler.run()
-    return scheduler
+    driver.run()
+    return driver
 
 
-def _fingerprint(scheduler: LockStepScheduler) -> tuple:
+def _fingerprint(driver) -> tuple:
     """Everything a run exposes, in comparable form."""
-    trace = scheduler.trace
+    trace = driver.trace
     return (
         trace.rounds_executed,
         trace.agg_sends,
@@ -92,36 +99,44 @@ def _fingerprint(scheduler: LockStepScheduler) -> tuple:
                 proc.algorithm.currently_leader,
                 proc.algorithm.leader_since,
             )
-            for proc in scheduler.processes
+            for proc in driver.processes
         ],
     )
 
 
 def _s1_cell(cell) -> List[object]:
-    n, engine, rounds, pin_cap = cell
+    scheduler, n, engine, rounds, pin_cap = cell
     # warmup: a tiny run outside the timing window, so one-time costs
     # (numpy import, code-object warmup) don't land on the first cell
-    _run_once(min(n, 8), engine, 2)
+    _run_once(min(n, 8), engine, 2, scheduler)
     # timing run (untraced)
     started = time.perf_counter()
-    scheduler = _run_once(n, engine, rounds)
+    driver = _run_once(n, engine, rounds, scheduler)
     elapsed = time.perf_counter() - started
-    fingerprint = _fingerprint(scheduler)
+    fingerprint = _fingerprint(driver)
     # memory run (traced; same seeded configuration)
     tracemalloc.start()
-    _run_once(n, engine, rounds)
+    _run_once(n, engine, rounds, scheduler)
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
 
     if engine == "object":
         pinned = "ref"
     elif n <= pin_cap:
-        reference = _fingerprint(_run_once(n, "object", rounds))
+        reference = _fingerprint(_run_once(n, "object", rounds, scheduler))
         pinned = "yes" if fingerprint == reference else "NO"
     else:
         pinned = "n/a"
     rounds_per_s = rounds / elapsed if elapsed > 0 else float("inf")
-    return [n, engine, rounds, round(rounds_per_s, 1), round(peak / 1e6, 2), pinned]
+    return [
+        scheduler,
+        n,
+        engine,
+        rounds,
+        round(rounds_per_s, 1),
+        round(peak / 1e6, 2),
+        pinned,
+    ]
 
 
 def run_s1(
@@ -129,11 +144,13 @@ def run_s1(
     seed: int = 0,
     jobs: Optional[int] = None,
     engine: Optional[str] = None,
+    scheduler: Optional[str] = None,
 ) -> Table:
-    """S1: rounds/s and peak memory across ``n × engine``.
+    """S1: rounds/s and peak memory across ``scheduler × engine × n``.
 
-    ``engine`` restricts the grid to one engine (the pinned column
-    still runs its object references); default is both.
+    ``engine`` / ``scheduler`` restrict the grid to one engine or one
+    scheduler (the pinned column still runs its object references);
+    default is the full cross product.
     """
     # imported lazily: run_cells pulls in the full experiments package
     from repro.experiments.common import run_cells
@@ -148,21 +165,25 @@ def run_s1(
         columnar_ns = [64, 256, 1024, 4000, 10000]
         pin_cap = 1024
     engines = ["object", "columnar"] if engine is None else [engine]
+    schedulers = (
+        ["lockstep", "drifting"] if scheduler is None else [scheduler]
+    )
 
     cells = []
-    for size in sorted(set(object_ns) | set(columnar_ns)):
-        for name in engines:
-            grid = object_ns if name == "object" else columnar_ns
-            if size in grid:
-                cells.append((size, name, rounds, pin_cap))
+    for sched in schedulers:
+        for size in sorted(set(object_ns) | set(columnar_ns)):
+            for name in engines:
+                grid = object_ns if name == "object" else columnar_ns
+                if size in grid:
+                    cells.append((sched, size, name, rounds, pin_cap))
 
     table = Table(
         experiment_id="S1",
         title=(
-            "Engine scaling: heartbeat lock-step rounds/s vs n "
+            "Engine scaling: heartbeat rounds/s vs scheduler × n "
             f"({BRANDS} brands, aggregate traces)"
         ),
-        headers=["n", "engine", "rounds", "rounds/s", "peak-mb", "pinned"],
+        headers=["sched", "n", "engine", "rounds", "rounds/s", "peak-mb", "pinned"],
         notes=[
             "pinned=yes: identical trace + final views vs an object-engine "
             "run of the same cell (ref=is the reference, n/a=object run "

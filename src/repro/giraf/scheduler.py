@@ -401,6 +401,15 @@ class DriftingScheduler:
     inserts) or ``"heap"`` (the historical global ``heapq``).  Both
     drain in identical ``(time, seq)`` order, so the produced traces
     are byte-identical (pinned in ``tests/runtime``).
+
+    ``engine="columnar"`` runs the whole event loop as masked matrix
+    passes when the regime allows it
+    (:class:`~repro.runtime.columnar_engine.ColumnarDriftingEngine` —
+    aggregate traces without payload statistics, stock heartbeat
+    pseudo-leaders, stock latency draws); anything else transparently
+    falls back to per-process columnar electors with the object loop.
+    Either way the traces and final views are pinned identical to the
+    object engine (``tests/runtime``).
     """
 
     def __init__(
@@ -434,11 +443,6 @@ class DriftingScheduler:
         self._environment = environment
         self._record_snapshots = record_snapshots
         self.processes = self._kernel.processes
-        if self._kernel.columnar:
-            # Continuous time has no global round to vectorize across
-            # processes, so the columnar win here is the elector level:
-            # per-process rows over one shared index.
-            _swap_columnar_electors(self.processes)
         n = len(self.processes)
         if periods is None:
             periods = [1.0 + 0.13 * pid for pid in range(n)]
@@ -450,6 +454,22 @@ class DriftingScheduler:
             raise SimulationError("periods must be positive")
         self._periods = list(periods)
         self._phases = list(phases)
+        self._columnar_engine = None
+        if self._kernel.columnar:
+            from repro.runtime.columnar_engine import ColumnarDriftingEngine
+
+            self._columnar_engine = ColumnarDriftingEngine.try_build(
+                self._kernel,
+                environment,
+                periods=self._periods,
+                phases=self._phases,
+                record_snapshots=record_snapshots,
+            )
+            if self._columnar_engine is None:
+                # Outside the matrix engine's regime the columnar win
+                # is the elector level: per-process rows over one
+                # shared index.
+                _swap_columnar_electors(self.processes)
 
     @property
     def trace(self) -> RunTrace:
@@ -458,6 +478,10 @@ class DriftingScheduler:
 
     # ------------------------------------------------------------------
     def run(self) -> RunTrace:
+        if self._columnar_engine is not None:
+            trace = self._columnar_engine.run()
+            self._columnar_engine.finalize()
+            return trace
         kernel = self._kernel
         trace = kernel.trace
         sink = kernel.sink

@@ -97,6 +97,7 @@ def run_consensus(
     phases: Optional[Sequence[float]] = None,
     trace_mode: str = "full",
     engine: str = "object",
+    event_queue: str = "calendar",
 ) -> ConsensusRun:
     """Run one consensus instance and package trace + verdict + metrics.
 
@@ -115,6 +116,9 @@ def run_consensus(
             or ``"columnar"`` (array-backed counters over a shared
             history index; pinned equivalent — see
             :mod:`repro.core.columnar`).
+        event_queue: continuous-time event core for the drifting
+            scheduler (``"calendar"`` or ``"heap"``; ignored under
+            lock-step, which has no event queue).
     """
     algorithms = [factory(value) for value in proposals]
     stop = stop_when_all_correct_decided if stop_early else None
@@ -141,6 +145,7 @@ def run_consensus(
             phases=phases,
             trace_mode=trace_mode,
             engine=engine,
+            event_queue=event_queue,
         )
     else:
         raise ValueError(f"unknown scheduler {scheduler!r}")
@@ -164,6 +169,7 @@ def run_es_consensus(
     record_snapshots: bool = False,
     trace_mode: str = "full",
     engine: str = "object",
+    event_queue: str = "calendar",
     **algorithm_kwargs,
 ) -> ConsensusRun:
     """Algorithm 2 under a seeded ES environment."""
@@ -181,6 +187,7 @@ def run_es_consensus(
         stabilization_round=gst,
         trace_mode=trace_mode,
         engine=engine,
+        event_queue=event_queue,
     )
 
 
@@ -196,6 +203,7 @@ def run_ess_consensus(
     record_snapshots: bool = False,
     trace_mode: str = "full",
     engine: str = "object",
+    event_queue: str = "calendar",
     **algorithm_kwargs,
 ) -> ConsensusRun:
     """Algorithm 3 under a seeded ESS environment.
@@ -219,6 +227,7 @@ def run_ess_consensus(
         stabilization_round=stabilization_round,
         trace_mode=trace_mode,
         engine=engine,
+        event_queue=event_queue,
     )
 
 

@@ -10,6 +10,7 @@ import pytest
 from repro.analysis.tables import Table
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.churn_tables import run_c1, run_c2, run_c3, run_c5
+from repro.experiments.consensus_tables import run_f2, run_t2
 from repro.experiments.leader_figure import run_f3
 from repro.experiments.sigma_table import run_t6
 from repro.experiments.state_growth import run_t3
@@ -42,6 +43,20 @@ class TestRegistry:
     def test_case_insensitive_lookup(self):
         table = run_experiment("t6")
         assert isinstance(table, Table)
+
+
+class TestEngineInvariance:
+    """``--engine`` must not move a digit of the rendered tables."""
+
+    def test_t2_table_engine_invariant(self):
+        reference = run_t2(quick=True, seed=0, engine="object").render()
+        columnar = run_t2(quick=True, seed=0, engine="columnar").render()
+        assert columnar == reference
+
+    def test_f2_table_engine_invariant(self):
+        reference = run_f2(quick=True, seed=0, engine="object").render()
+        columnar = run_f2(quick=True, seed=0, engine="columnar").render()
+        assert columnar == reference
 
 
 class TestHeadlineClaims:
